@@ -1,0 +1,28 @@
+#pragma once
+// Shared scaffolding for the per-artefact bench binaries: every binary
+// (a) prints its paper table/figure with paper-vs-model values, (b) dumps a
+// CSV next to the binary, and (c) runs google-benchmark microbenchmarks of
+// the kernels/simulator that produce the artefact.
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace armstice::benchx {
+
+/// Print the artefact then hand over to google-benchmark.
+inline int run(int argc, char** argv, const std::string& artefact_text) {
+    std::fputs(artefact_text.c_str(), stdout);
+    std::fputs("\n--- microbenchmarks of the code behind this artefact ---\n", stdout);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace armstice::benchx

@@ -1,0 +1,86 @@
+// Extension: sparse-format study. The paper attributes part of the A64FX's
+// HPCG headroom to vendor-optimised kernels; a key ingredient of those is
+// the sparse format (padded SELL/ELL layouts vectorise on SVE where CSR's
+// short rows do not). This bench compares the real CSR and ELL kernels and
+// prices both formats on the machine models.
+
+#include "bench_common.hpp"
+
+#include "arch/cost_model.hpp"
+#include "arch/system.hpp"
+#include "kern/sparse/ell.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using armstice::util::Table;
+
+std::string format_report() {
+    Table t("Extension — CSR vs ELLPACK for the HPCG operator (model)");
+    t.header({"System", "CSR GB touched", "ELL GB touched", "ELL padding",
+              "CSR est. ms", "ELL est. ms"});
+
+    const auto csr = armstice::kern::poisson27(48, 48, 48);
+    const armstice::kern::EllMatrix ell(csr);
+    std::vector<double> x(static_cast<std::size_t>(csr.rows()), 1.0), y(x.size());
+    armstice::kern::OpCounts c_csr, c_ell;
+    csr.spmv(x, y, &c_csr);
+    ell.spmv(x, y, &c_ell);
+
+    for (const auto& sys : armstice::arch::system_catalog()) {
+        const armstice::arch::CostModel model;
+        armstice::arch::ExecContext ctx;
+        ctx.cpu = &sys.node.cpu;
+        ctx.streams_on_domain = sys.node.cores_per_domain();
+
+        // CSR: gather-limited. ELL: streaming layout, vectorises.
+        armstice::arch::ComputePhase p_csr;
+        p_csr.flops = c_csr.flops;
+        p_csr.main_bytes = c_csr.bytes();
+        p_csr.pattern = armstice::arch::MemPattern::gather;
+        armstice::arch::ComputePhase p_ell = p_csr;
+        p_ell.main_bytes = c_ell.bytes();
+        p_ell.pattern = armstice::arch::MemPattern::stream;
+
+        t.row({sys.name, Table::num(c_csr.bytes() / 1e9, 3),
+               Table::num(c_ell.bytes() / 1e9, 3),
+               Table::num(ell.padding_ratio(), 3),
+               Table::num(model.phase_time(p_csr, ctx) * 1e3, 2),
+               Table::num(model.phase_time(p_ell, ctx) * 1e3, 2)});
+    }
+    return t.render() +
+           "\nELL trades ~4% extra traffic (padding) for streaming access — a large\n"
+           "win on the A64FX, whose per-core gather rate is the binding constraint,\n"
+           "and a slight loss on the DDR machines that are domain-bandwidth-bound\n"
+           "either way. This is the mechanism behind the vendor-optimised HPCG\n"
+           "variants the paper benchmarks in Table III.\n";
+}
+
+void BM_SpmvCsr(benchmark::State& state) {
+    const auto a = armstice::kern::poisson27(24, 24, 24);
+    std::vector<double> x(static_cast<std::size_t>(a.rows()), 1.0), y(x.size());
+    for (auto _ : state) {
+        a.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvCsr);
+
+void BM_SpmvEll(benchmark::State& state) {
+    const auto csr = armstice::kern::poisson27(24, 24, 24);
+    const armstice::kern::EllMatrix a(csr);
+    std::vector<double> x(static_cast<std::size_t>(a.rows()), 1.0), y(x.size());
+    for (auto _ : state) {
+        a.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvEll);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    return armstice::benchx::run(argc, argv, format_report());
+}

@@ -1,0 +1,29 @@
+// Figure 1 — minikab process/thread configurations on 2 A64FX nodes
+// (paper §VI.A). Prints the config sweep including the plain-MPI memory
+// ceiling, then benchmarks hybrid-placement simulation.
+
+#include "bench_common.hpp"
+
+#include "apps/minikab/minikab.hpp"
+
+namespace {
+
+void BM_SimulateHybridMinikab(benchmark::State& state) {
+    armstice::apps::MinikabConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks = 8;
+    cfg.threads = 12;
+    for (auto _ : state) {
+        const auto out = armstice::apps::run_minikab(armstice::arch::a64fx(), cfg);
+        benchmark::DoNotOptimize(out.seconds);
+    }
+}
+BENCHMARK(BM_SimulateHybridMinikab)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto series = armstice::core::run_fig1();
+    armstice::core::save_fig1(series, "fig1");
+    return armstice::benchx::run(argc, argv, armstice::core::render_fig1(series));
+}

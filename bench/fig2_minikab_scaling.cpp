@@ -1,0 +1,26 @@
+// Figure 2 — minikab strong scaling on A64FX vs Fulhame (paper §VI.A).
+
+#include "bench_common.hpp"
+
+#include "apps/minikab/minikab.hpp"
+
+namespace {
+
+void BM_SimulateMinikabScale(benchmark::State& state) {
+    armstice::apps::MinikabConfig cfg;
+    cfg.nodes = static_cast<int>(state.range(0));
+    cfg.ranks = 64 * cfg.nodes;
+    for (auto _ : state) {
+        const auto out = armstice::apps::run_minikab(armstice::arch::fulhame(), cfg);
+        benchmark::DoNotOptimize(out.seconds);
+    }
+}
+BENCHMARK(BM_SimulateMinikabScale)->Arg(1)->Arg(6)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto series = armstice::core::run_fig2();
+    armstice::core::save_fig2(series, "fig2");
+    return armstice::benchx::run(argc, argv, armstice::core::render_fig2(series));
+}

@@ -1,0 +1,28 @@
+// Figure 3 — Nekbone single-node core scaling (paper §VI.B.1). The log-scale
+// plot reproduces the paper's key observation: IvyBridge saturates its DDR3
+// bandwidth beyond ~4 cores while the A64FX and ThunderX2 keep scaling.
+
+#include "bench_common.hpp"
+
+#include "apps/nekbone/nekbone.hpp"
+
+namespace {
+
+void BM_SimulateNekboneCoreSweep(benchmark::State& state) {
+    armstice::apps::NekboneConfig cfg;
+    cfg.nodes = 1;
+    cfg.ranks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto out = armstice::apps::run_nekbone(armstice::arch::a64fx(), cfg);
+        benchmark::DoNotOptimize(out.gflops);
+    }
+}
+BENCHMARK(BM_SimulateNekboneCoreSweep)->Arg(1)->Arg(48)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto series = armstice::core::run_fig3();
+    armstice::core::save_fig3(series, "fig3");
+    return armstice::benchx::run(argc, argv, armstice::core::render_fig3(series));
+}

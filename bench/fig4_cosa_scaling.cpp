@@ -1,0 +1,27 @@
+// Figure 4 — COSA strong scaling to 16 nodes (paper §VII.A.3): the A64FX
+// cannot fit the ~60 GB case on one node, leads from 2-8 nodes, and is
+// overtaken by Fulhame at 16 nodes through the 800-block load imbalance.
+
+#include "bench_common.hpp"
+
+#include "apps/cosa/cosa.hpp"
+
+namespace {
+
+void BM_SimulateCosa(benchmark::State& state) {
+    armstice::apps::CosaConfig cfg;
+    cfg.nodes = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto out = armstice::apps::run_cosa(armstice::arch::fulhame(), cfg);
+        benchmark::DoNotOptimize(out.seconds);
+    }
+}
+BENCHMARK(BM_SimulateCosa)->Arg(2)->Arg(16)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto series = armstice::core::run_fig4();
+    armstice::core::save_fig4(series, "fig4");
+    return armstice::benchx::run(argc, argv, armstice::core::render_fig4(series));
+}

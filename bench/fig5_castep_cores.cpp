@@ -1,0 +1,45 @@
+// Figure 5 — CASTEP TiN single-node performance vs core count (paper
+// §VII.B.1), plus microbenchmarks of the real FFT/ZGEMM kernels standing in
+// for FFTW/MKL/SSL2.
+
+#include "bench_common.hpp"
+
+#include "kern/dense/blas.hpp"
+#include "kern/fft/fft.hpp"
+
+namespace {
+
+void BM_Fft3d(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    std::vector<armstice::kern::cplx> data(
+        static_cast<std::size_t>(n) * n * static_cast<std::size_t>(n),
+        armstice::kern::cplx(1.0, 0.5));
+    for (auto _ : state) {
+        armstice::kern::fft3d(data, n);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.counters["flops"] = benchmark::Counter(
+        armstice::kern::fft3d_flops(n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fft3d)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Zgemm(benchmark::State& state) {
+    const int b = static_cast<int>(state.range(0));
+    const int k = 256;
+    std::vector<armstice::kern::cplx> a(static_cast<std::size_t>(b) * k,
+                                        armstice::kern::cplx(1.0, -1.0));
+    std::vector<armstice::kern::cplx> c(static_cast<std::size_t>(b) * b);
+    for (auto _ : state) {
+        armstice::kern::zgemm(a, a, c, b, k, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_Zgemm)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto series = armstice::core::run_fig5();
+    armstice::core::save_fig5(series, "fig5");
+    return armstice::benchx::run(argc, argv, armstice::core::render_fig5(series));
+}

@@ -1,0 +1,25 @@
+// The reproduction scorecard: every published number vs the model, plus
+// the qualitative findings, in one table. The capstone artefact of the
+// reproduction (see EXPERIMENTS.md for per-table discussion).
+
+#include "bench_common.hpp"
+
+#include "core/score.hpp"
+
+namespace {
+
+void BM_FullScorecard(benchmark::State& state) {
+    // The scorecard re-runs the entire evaluation; this measures the cost
+    // of reproducing the paper end to end.
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(armstice::core::compute_scorecard().total_points());
+    }
+}
+BENCHMARK(BM_FullScorecard)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto card = armstice::core::compute_scorecard();
+    return armstice::benchx::run(argc, argv, armstice::core::render_scorecard(card));
+}

@@ -1,0 +1,29 @@
+// Table X — OpenSBLI Taylor-Green 64^3 runtimes (paper §VII.C), plus
+// microbenchmarks of the real compressible TGV stepper.
+
+#include "bench_common.hpp"
+
+#include "kern/stencil/taylor_green.hpp"
+
+namespace {
+
+void BM_TaylorGreenStep(benchmark::State& state) {
+    armstice::kern::TaylorGreen tg(static_cast<int>(state.range(0)));
+    const double dt = tg.stable_dt();
+    for (auto _ : state) {
+        tg.step(dt);
+        benchmark::DoNotOptimize(tg.kinetic_energy());
+    }
+    const double n3 = static_cast<double>(state.range(0)) * state.range(0) * state.range(0);
+    state.counters["flops"] = benchmark::Counter(
+        armstice::kern::TaylorGreen::step_flops_per_point() * n3 * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TaylorGreenStep)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto rows = armstice::core::run_table10();
+    return armstice::benchx::run(argc, argv, armstice::core::render_table10(rows));
+}

@@ -1,0 +1,41 @@
+// Table I & II — system and toolchain catalog dump, plus microbenchmarks of
+// the cost model and topology routines every experiment relies on.
+
+#include "bench_common.hpp"
+
+#include "arch/cost_model.hpp"
+#include "arch/system.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+void BM_CostModelPhaseTime(benchmark::State& state) {
+    const auto& sys = armstice::arch::a64fx();
+    armstice::arch::CostModel model;
+    armstice::arch::ComputePhase phase;
+    phase.flops = 1e9;
+    phase.main_bytes = 1e8;
+    phase.pattern = armstice::arch::MemPattern::gather;
+    armstice::arch::ExecContext ctx;
+    ctx.cpu = &sys.node.cpu;
+    ctx.streams_on_domain = 12;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.phase_time(phase, ctx));
+    }
+}
+BENCHMARK(BM_CostModelPhaseTime);
+
+void BM_TorusMeanHops(benchmark::State& state) {
+    const armstice::net::Network net(armstice::arch::NetKind::tofud,
+                                     static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.mean_latency());
+    }
+}
+BENCHMARK(BM_TorusMeanHops)->Arg(8)->Arg(48);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    return armstice::benchx::run(argc, argv, armstice::core::render_system_catalog());
+}

@@ -1,0 +1,54 @@
+// Table III — single-node HPCG (paper §V.A). Prints paper-vs-model GFLOP/s
+// for all five systems plus the vendor-optimised variants, then benchmarks
+// the real sparse kernels behind the skeleton (SpMV, SymGS, MG V-cycle).
+
+#include "bench_common.hpp"
+
+#include "kern/sparse/multigrid.hpp"
+
+namespace {
+
+void BM_Spmv27(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const auto a = armstice::kern::poisson27(n, n, n);
+    std::vector<double> x(static_cast<std::size_t>(a.rows()), 1.0);
+    std::vector<double> y(x.size());
+    for (auto _ : state) {
+        a.spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Spmv27)->Arg(16)->Arg(32);
+
+void BM_SymGs27(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const auto a = armstice::kern::poisson27(n, n, n);
+    std::vector<double> r(static_cast<std::size_t>(a.rows()), 1.0);
+    std::vector<double> x(r.size(), 0.0);
+    for (auto _ : state) {
+        a.symgs(r, x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SymGs27)->Arg(16)->Arg(32);
+
+void BM_MgVcycle(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const armstice::kern::Multigrid mg(n, n, n, 3);
+    std::vector<double> r(static_cast<std::size_t>(mg.rows(0)), 1.0);
+    std::vector<double> z(r.size());
+    for (auto _ : state) {
+        mg.vcycle(r, z);
+        benchmark::DoNotOptimize(z.data());
+    }
+}
+BENCHMARK(BM_MgVcycle)->Arg(16)->Arg(32);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto rows = armstice::core::run_table3();
+    return armstice::benchx::run(argc, argv, armstice::core::render_table3(rows));
+}

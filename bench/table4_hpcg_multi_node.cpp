@@ -1,0 +1,25 @@
+// Table IV — multi-node HPCG scaling (paper §V.A). Prints paper-vs-model
+// GFLOP/s at 1/2/4/8 nodes, then benchmarks the discrete-event engine on
+// the HPCG program itself (the simulator is the system under test here).
+
+#include "bench_common.hpp"
+
+#include "apps/hpcg/hpcg.hpp"
+
+namespace {
+
+void BM_SimulateHpcg(benchmark::State& state) {
+    const int nodes = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto out = armstice::apps::run_hpcg(armstice::arch::a64fx(), nodes);
+        benchmark::DoNotOptimize(out.res.gflops);
+    }
+}
+BENCHMARK(BM_SimulateHpcg)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto rows = armstice::core::run_table4();
+    return armstice::benchx::run(argc, argv, armstice::core::render_table4(rows));
+}

@@ -1,0 +1,25 @@
+// Table V — single-core minikab runtime (paper §VI.A). Prints paper-vs-model
+// seconds, then benchmarks the real CG solver the skeleton counts.
+
+#include "bench_common.hpp"
+
+#include "apps/minikab/minikab.hpp"
+
+namespace {
+
+void BM_MinikabReferenceCg(benchmark::State& state) {
+    const long n = state.range(0);
+    for (auto _ : state) {
+        const auto res = armstice::apps::minikab_reference(n, 6, 40);
+        benchmark::DoNotOptimize(res.final_residual);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MinikabReferenceCg)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto rows = armstice::core::run_table5();
+    return armstice::benchx::run(argc, argv, armstice::core::render_table5(rows));
+}

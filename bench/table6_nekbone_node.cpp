@@ -1,0 +1,41 @@
+// Table VI — Nekbone node performance, -O3 vs fast-math (paper §VI.B).
+// Prints paper-vs-model GFLOP/s, then benchmarks the real spectral-element
+// ax kernel (the >75%-of-runtime kernel the paper describes).
+
+#include "bench_common.hpp"
+
+#include "kern/nek/spectral.hpp"
+
+namespace {
+
+void BM_NekAx(benchmark::State& state) {
+    const int elems = static_cast<int>(state.range(0));
+    const int nx1 = static_cast<int>(state.range(1));
+    const armstice::kern::NekMesh mesh(elems, nx1);
+    std::vector<double> u(static_cast<std::size_t>(mesh.local_dofs()), 1.0);
+    std::vector<double> w(u.size());
+    for (auto _ : state) {
+        mesh.ax(u, w);
+        benchmark::DoNotOptimize(w.data());
+    }
+    state.counters["flops"] = benchmark::Counter(
+        armstice::kern::NekMesh::ax_flops(elems, nx1) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NekAx)->Args({8, 8})->Args({8, 16})->Args({32, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GllSetup(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(armstice::kern::gll_deriv_matrix(n));
+    }
+}
+BENCHMARK(BM_GllSetup)->Arg(8)->Arg(16);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto rows = armstice::core::run_table6();
+    return armstice::benchx::run(argc, argv, armstice::core::render_table6(rows));
+}

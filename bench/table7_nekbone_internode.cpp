@@ -1,0 +1,36 @@
+// Table VII — Nekbone inter-node parallel efficiency (paper §VI.B.2), weak
+// scaling to 16 nodes on the TofuD / EDR IB / Aries models.
+
+#include "bench_common.hpp"
+
+#include "apps/nekbone/nekbone.hpp"
+#include "net/collectives.hpp"
+
+namespace {
+
+void BM_AllreduceModel(benchmark::State& state) {
+    const armstice::net::Network net(armstice::arch::NetKind::tofud, 16);
+    const armstice::net::CollectiveModel coll(net);
+    armstice::net::CommLayout layout{16, 48};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(coll.allreduce(layout, 8.0));
+    }
+}
+BENCHMARK(BM_AllreduceModel);
+
+void BM_SimulateNekbone16Nodes(benchmark::State& state) {
+    const auto& sys = armstice::arch::fulhame();
+    for (auto _ : state) {
+        const auto out = armstice::apps::run_nekbone(
+            sys, armstice::apps::nekbone_node_config(sys, 16, false));
+        benchmark::DoNotOptimize(out.seconds);
+    }
+}
+BENCHMARK(BM_SimulateNekbone16Nodes)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto rows = armstice::core::run_table7();
+    return armstice::benchx::run(argc, argv, armstice::core::render_table7(rows));
+}

@@ -1,0 +1,41 @@
+// Table VIII — COSA processes per node (paper §VII.A.2), plus the block
+// distributions those process counts induce (the input to Fig 4).
+
+#include "bench_common.hpp"
+
+#include "apps/cosa/cosa.hpp"
+#include "core/paper_data.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::string render_distributions() {
+    armstice::util::Table t(
+        "Block distribution per system at 16 nodes (800 blocks, Fig 4 input)");
+    t.header({"System", "Ranks", "Active ranks", "Max blocks/rank", "Balance"});
+    for (const auto& p : armstice::core::paper::kTable8) {
+        armstice::apps::CosaConfig cfg;
+        const int ranks = 16 * p.ppn;
+        const auto d = armstice::apps::cosa_distribution(cfg, ranks);
+        t.row({p.system, std::to_string(ranks), std::to_string(d.active_ranks),
+               std::to_string(d.max_blocks_per_rank),
+               armstice::util::Table::num(d.balance(), 3)});
+    }
+    return t.render();
+}
+
+void BM_BlockDistribution(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            armstice::kern::BlockDistribution::round_robin(800,
+                                                           static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_BlockDistribution)->Arg(768)->Arg(1024);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    return armstice::benchx::run(
+        argc, argv, armstice::core::render_table8() + "\n" + render_distributions());
+}

@@ -1,0 +1,25 @@
+// Table IX — CASTEP TiN best single-node performance (paper §VII.B.1).
+
+#include "bench_common.hpp"
+
+#include "apps/castep/castep.hpp"
+
+namespace {
+
+void BM_SimulateCastepNode(benchmark::State& state) {
+    armstice::apps::CastepConfig cfg;
+    cfg.nodes = 1;
+    cfg.ranks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto out = armstice::apps::run_castep(armstice::arch::ngio(), cfg);
+        benchmark::DoNotOptimize(out.scf_cycles_per_s);
+    }
+}
+BENCHMARK(BM_SimulateCastepNode)->Arg(8)->Arg(48)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto rows = armstice::core::run_table9();
+    return armstice::benchx::run(argc, argv, armstice::core::render_table9(rows));
+}

@@ -1,0 +1,55 @@
+// Example: evaluate a hypothetical next-generation processor with the same
+// model the paper reproduction uses. We sketch an "A64FX-NEXT" — more cores,
+// higher clock, HBM3-class bandwidth — and ask how the paper's benchmarks
+// would have looked on it.
+
+#include "apps/hpcg/hpcg.hpp"
+#include "apps/nekbone/nekbone.hpp"
+#include "arch/system.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+#include <cstdio>
+
+int main() {
+    using namespace armstice;
+    using namespace armstice::util;
+
+    // Start from the real A64FX and upgrade it.
+    arch::SystemSpec next = arch::a64fx();
+    next.name = "A64FX";  // keep the calibration lookups (same residuals)
+    auto& cpu = next.node.cpu;
+    cpu.name = "A64FX-NEXT (hypothetical)";
+    cpu.freq_hz = 2.6 * GHz;
+    cpu.cores_per_group = 16;                    // 64 cores per node
+    cpu.domain.bandwidth = 320.0 * GB_per_s;     // HBM3-class per CMG
+    cpu.domain.capacity_bytes = 16.0 * GiB;      // 64 GB per node
+    cpu.core_stream_bw = 70.0 * GB_per_s;
+    cpu.core_gather_bw = 11.0 * GB_per_s;
+    next.table_peak_gflops = next.node.peak_gflops();
+
+    std::puts("What-if: the paper's benchmarks on a hypothetical A64FX-NEXT\n");
+
+    Table t("Single-node results, baseline A64FX vs A64FX-NEXT (model)");
+    t.header({"Benchmark", "A64FX", "A64FX-NEXT", "speedup"});
+
+    {
+        const auto base = apps::run_hpcg(arch::a64fx(), 1);
+        const auto up = apps::run_hpcg(next, 1);
+        t.row({"HPCG (GFLOP/s)", Table::num(base.res.gflops), Table::num(up.res.gflops),
+               Table::num(up.res.gflops / base.res.gflops)});
+    }
+    {
+        const auto base = apps::run_nekbone(
+            arch::a64fx(), apps::nekbone_node_config(arch::a64fx(), 1, true));
+        const auto up =
+            apps::run_nekbone(next, apps::nekbone_node_config(next, 1, true));
+        t.row({"Nekbone fast-math (GFLOP/s)", Table::num(base.gflops),
+               Table::num(up.gflops), Table::num(up.gflops / base.gflops)});
+    }
+    t.print();
+
+    std::puts("\nDoubling node memory also changes feasibility: with 64 GB the");
+    std::puts("COSA case from Fig 4 would fit on a single node (32 GB did not).");
+    return 0;
+}

@@ -1,0 +1,38 @@
+// Quickstart: simulate HPCG on two of the paper's systems and print the
+// paper-vs-model comparison for the headline single-node result.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include "apps/hpcg/hpcg.hpp"
+#include "arch/system.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+
+int main() {
+    using namespace armstice;
+
+    std::puts("armstice quickstart — single-node HPCG on A64FX vs Cascade Lake\n");
+
+    util::Table table("HPCG --nx=80 --ny=80 --nz=80, one fully populated node");
+    table.header({"System", "GFLOP/s (model)", "% of peak", "paper value"});
+
+    for (const auto* name : {"A64FX", "EPCC NGIO"}) {
+        const auto& sys = arch::system_by_name(name);
+        const auto out = apps::run_hpcg(sys, /*nodes=*/1);
+        table.row({sys.name, util::Table::num(out.res.gflops),
+                   util::Table::num(out.pct_peak, 1),
+                   sys.name == std::string("A64FX") ? "38.26" : "26.16"});
+    }
+    table.print();
+
+    std::puts("\nWhere the time goes on the A64FX (per-phase compute seconds,");
+    std::puts("summed over ranks):");
+    const auto out = apps::run_hpcg(arch::a64fx(), 1);
+    for (const auto& [label, seconds] : out.res.run.phase_compute) {
+        std::printf("  %-14s %8.3f s\n", label.c_str(), seconds);
+    }
+    return 0;
+}

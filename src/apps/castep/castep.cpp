@@ -1,0 +1,140 @@
+#include "apps/castep/castep.hpp"
+
+#include "arch/calibration.hpp"
+#include "arch/toolchain.hpp"
+#include "kern/dense/blas.hpp"
+#include "kern/dense/eigen.hpp"
+#include "kern/fft/fft.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace armstice::apps {
+namespace {
+
+using arch::ComputePhase;
+using arch::MemPattern;
+
+} // namespace
+
+double castep_bytes_per_rank(const CastepConfig& cfg) {
+    const double n3 = static_cast<double>(cfg.grid) * cfg.grid * cfg.grid;
+    const double npw = n3 / 8.0;  // plane waves inside the cutoff sphere
+    const double wavefns = 16.0 * cfg.bands * npw / cfg.ranks;
+    const double grids = 16.0 * n3 * 6.0 / cfg.ranks;  // density/potential grids
+    return wavefns + grids + 250e6;  // + replicated pseudopotentials etc.
+}
+
+CastepOutcome run_castep(const arch::SystemSpec& sys, const CastepConfig& cfg) {
+    ARMSTICE_CHECK(cfg.ranks >= 1 && cfg.nodes >= 1 && cfg.threads >= 1,
+                   "bad castep config");
+    const auto tc = arch::toolchain_for(sys.name, "castep");
+    const double fft_q = arch::calib::castep_fft_quality(sys);
+    const double blas_q = arch::calib::castep_blas_quality(sys);
+
+    const double n3 = static_cast<double>(cfg.grid) * cfg.grid * cfg.grid;
+    const double npw = n3 / 8.0;
+    const double n_fft = static_cast<double>(cfg.bands) * cfg.h_apps;
+
+    // FFT batch: each H application round-trips one band through real space.
+    ComputePhase fft;
+    fft.label = "fft-batch";
+    fft.flops = n_fft * kern::fft3d_flops(cfg.grid) / cfg.ranks;
+    fft.main_bytes = n_fft * 16.0 * n3 * 2.0 / cfg.ranks;  // cache-blocked pencil passes
+    fft.pattern = MemPattern::strided;
+    fft.vector_fraction = 0.8;
+    fft.parallel_fraction = 0.95;
+    fft.efficiency = fft_q;
+
+    // Subspace ZGEMMs (B x Npw times Npw x B etc.).
+    ComputePhase gemm;
+    gemm.label = "subspace-zgemm";
+    gemm.flops = cfg.subspace_ops *
+                 kern::zgemm_flops(cfg.bands, static_cast<long>(npw), cfg.bands) /
+                 cfg.ranks;
+    gemm.main_bytes = cfg.subspace_ops * 16.0 * (2.0 * cfg.bands * npw) / cfg.ranks;
+    gemm.pattern = MemPattern::stream;
+    gemm.vector_fraction = 0.95;
+    gemm.parallel_fraction = 0.98;
+    gemm.efficiency = blas_q;
+
+    // Everything else: density build, potentials, diagonalisation tails.
+    ComputePhase misc;
+    misc.label = "density-potential";
+    misc.flops = 30.0 * n3 * cfg.bands / 10.0 / cfg.ranks;
+    misc.main_bytes = 16.0 * n3 * 12.0 / cfg.ranks;
+    misc.pattern = MemPattern::stream;
+    misc.efficiency = 0.7;
+
+    simmpi::ProgramSet ps(cfg.ranks);
+    ps.mark("castep-scf");
+    for (int c = 0; c < cfg.scf_cycles; ++c) {
+        ps.compute(fft);
+        if (cfg.ranks > 1) {
+            // Distributed-FFT transposes: each rank exchanges its share of
+            // the grid with every other rank, twice per H application pass.
+            const double a2a_bytes = 16.0 * n3 / cfg.ranks / cfg.ranks;
+            ps.alltoall(a2a_bytes);
+            ps.alltoall(a2a_bytes);
+        }
+        ps.compute(gemm);
+        if (cfg.ranks > 1) {
+            ps.allreduce(16.0 * cfg.bands * cfg.bands);  // subspace matrix
+        }
+        ps.compute(misc);
+        if (cfg.ranks > 1) ps.allreduce(8);  // SCF energy/convergence check
+    }
+
+    CastepOutcome out;
+    out.res = run_on(sys, cfg.nodes, cfg.ranks, cfg.threads, tc.vec_quality,
+                     std::move(ps), castep_bytes_per_rank(cfg), cfg.knobs);
+    if (out.res.feasible && out.res.seconds > 0) {
+        out.scf_cycles_per_s = cfg.scf_cycles / out.res.seconds;
+    }
+    return out;
+}
+
+kern::OpCounts castep_reference(int grid, int bands) {
+    kern::OpCounts counts;
+    const std::size_t n3 =
+        static_cast<std::size_t>(grid) * grid * static_cast<std::size_t>(grid);
+    util::Rng rng(11);
+
+    // One H|psi> application per band: FFT to real space, multiply by a
+    // local potential, FFT back.
+    std::vector<kern::cplx> psi(n3);
+    std::vector<double> vloc(n3);
+    for (auto& v : vloc) v = rng.uniform(-1.0, 1.0);
+    for (int b = 0; b < bands; ++b) {
+        for (std::size_t i = 0; i < n3; ++i) {
+            psi[i] = kern::cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+        }
+        kern::fft3d(psi, grid, &counts);
+        for (std::size_t i = 0; i < n3; ++i) psi[i] *= vloc[i];
+        counts.flops += 2.0 * static_cast<double>(n3);
+        kern::ifft3d(psi, grid, &counts);
+    }
+
+    // One subspace ZGEMM: S = Psi^H Psi over a reduced plane-wave set.
+    const int npw = std::max(8, grid * grid / 4);
+    std::vector<kern::cplx> a(static_cast<std::size_t>(bands) * npw);
+    std::vector<kern::cplx> s(static_cast<std::size_t>(bands) * bands);
+    for (auto& v : a) v = kern::cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    kern::zgemm(a, a, s, bands, npw, bands, &counts);
+
+    // Subspace diagonalisation (the Kohn-Sham rotation): symmetrise the real
+    // part of S and eigensolve it with the Jacobi solver.
+    std::vector<double> h(static_cast<std::size_t>(bands) * bands);
+    for (int i = 0; i < bands; ++i) {
+        for (int j = 0; j < bands; ++j) {
+            const double v = 0.5 * (s[static_cast<std::size_t>(i) * bands + j].real() +
+                                    s[static_cast<std::size_t>(j) * bands + i].real());
+            h[static_cast<std::size_t>(i) * bands + j] = v;
+        }
+    }
+    (void)kern::eigen_sym(h, bands, 1e-10, 30, &counts);
+    return counts;
+}
+
+} // namespace armstice::apps

@@ -1,0 +1,46 @@
+#pragma once
+// CASTEP application model (paper §VII.B, Fig 5, Table IX).
+//
+// CASTEP is a plane-wave density-functional-theory code; the TiN benchmark
+// is dominated by (a) batches of 3D FFTs applying the Hamiltonian to each
+// band, provided by FFTW/MKL-DFT/SSL2, and (b) dense complex subspace
+// algebra (ZGEMM) from MKL/SSL2/ArmPL. The skeleton models one SCF cycle as
+// those two phase families plus the distributed-FFT all-to-all transposes
+// and subspace allreduces, with per-library quality factors from
+// calibration.cpp (the paper used an *early development* FFTW on A64FX).
+// The real kernels live in kern/fft and kern/dense.
+
+#include "apps/common.hpp"
+#include "kern/counters.hpp"
+
+namespace armstice::apps {
+
+struct CastepConfig {
+    // TiN-benchmark computational dimensions (proxy values chosen to land
+    // the measured SCF work; chemistry is irrelevant to performance shape).
+    int grid = 128;        ///< plane-wave FFT grid per dimension
+    int bands = 320;       ///< Kohn-Sham bands
+    int h_apps = 12;       ///< H|psi> applications per band per SCF cycle
+    int subspace_ops = 6;  ///< B x B x Npw ZGEMM-like operations per cycle
+    int scf_cycles = 2;    ///< cycles to simulate (steady state)
+    int nodes = 1;
+    int ranks = 1;
+    int threads = 1;
+    arch::ModelKnobs knobs;  ///< model-component switches (ablation)
+};
+
+double castep_bytes_per_rank(const CastepConfig& cfg);
+
+struct CastepOutcome {
+    AppResult res;
+    double scf_cycles_per_s = 0;  ///< the paper's Table IX metric
+};
+
+CastepOutcome run_castep(const arch::SystemSpec& sys, const CastepConfig& cfg);
+
+/// Reference: a real mini plane-wave SCF step at laptop scale — applies a
+/// diagonal-in-k kinetic operator via kern::fft3d round trips and a subspace
+/// ZGEMM, returning the instrumented counts (validates the analytic counts).
+kern::OpCounts castep_reference(int grid, int bands);
+
+} // namespace armstice::apps

@@ -1,0 +1,35 @@
+#include "apps/common.hpp"
+
+#include "util/error.hpp"
+
+namespace armstice::apps {
+
+AppResult run_on(const arch::SystemSpec& sys, int nodes, int ranks, int threads,
+                 double vec_quality, simmpi::ProgramSet&& programs,
+                 double bytes_per_rank, arch::ModelKnobs knobs) {
+    AppResult out;
+    try {
+        auto placement = sim::Placement::block(sys.node, nodes, ranks, threads);
+        placement.check_capacity(bytes_per_rank);
+        const sim::Engine engine(sys, std::move(placement), vec_quality, knobs);
+        out.run = engine.run(programs.take());
+        out.seconds = out.run.makespan;
+        out.gflops = out.run.gflops();
+    } catch (const util::CapacityError& e) {
+        out.feasible = false;
+        out.note = e.what();
+    }
+    return out;
+}
+
+double parallel_efficiency_strong(double t1, double tn, int n) {
+    ARMSTICE_CHECK(t1 > 0 && tn > 0 && n >= 1, "bad efficiency inputs");
+    return t1 / (n * tn);
+}
+
+double parallel_efficiency_weak(double t1, double tn) {
+    ARMSTICE_CHECK(t1 > 0 && tn > 0, "bad efficiency inputs");
+    return t1 / tn;
+}
+
+} // namespace armstice::apps

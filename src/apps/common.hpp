@@ -1,0 +1,34 @@
+#pragma once
+// Shared plumbing for the six application models: a uniform result type and
+// the run helper that owns placement, capacity checking and engine execution.
+
+#include "arch/system.hpp"
+#include "sim/engine.hpp"
+#include "simmpi/minimpi.hpp"
+
+#include <string>
+
+namespace armstice::apps {
+
+/// Result of simulating one application configuration on one system.
+struct AppResult {
+    bool feasible = true;    ///< false when the capacity model rejected it
+    std::string note;        ///< why infeasible / run annotations
+    double seconds = 0;      ///< simulated makespan
+    double gflops = 0;       ///< counted FLOPs / makespan
+    sim::RunResult run;      ///< full engine output (empty when infeasible)
+};
+
+/// Place `ranks` x `threads` onto `nodes` nodes of `sys`, check the
+/// per-rank footprint, and execute the program set. Capacity violations
+/// return an infeasible AppResult instead of throwing.
+AppResult run_on(const arch::SystemSpec& sys, int nodes, int ranks, int threads,
+                 double vec_quality, simmpi::ProgramSet&& programs,
+                 double bytes_per_rank, arch::ModelKnobs knobs = {});
+
+/// Strong-scaling parallel efficiency: t1 / (n * tn) given per-node-count
+/// times; weak-scaling PE is t1 / tn.
+double parallel_efficiency_strong(double t1, double tn, int n);
+double parallel_efficiency_weak(double t1, double tn);
+
+} // namespace armstice::apps

@@ -1,0 +1,42 @@
+#pragma once
+// COSA application model (paper §VII.A, Table VIII, Fig 4).
+//
+// COSA is a harmonic-balance (HB) finite-volume Navier-Stokes solver with
+// multigrid integration, parallelised over structured grid blocks. The
+// paper's test case: 4 harmonics (9 solution snapshots), 800 blocks,
+// 3,690,218 total grid cells, 100 iterations, ~60 GB footprint, I/O
+// disabled. Blocks are dealt round-robin to MPI processes, which is the
+// whole story of the Fig 4 crossover: at 16 nodes the A64FX runs 768
+// processes (32 of them carrying 2 blocks) while Fulhame's 1024 processes
+// leave 224 idle but every active one carries exactly 1 block.
+
+#include "apps/common.hpp"
+#include "kern/mesh/blocks.hpp"
+
+namespace armstice::apps {
+
+struct CosaConfig {
+    int blocks = 800;
+    long total_cells = 3'690'218;
+    int harmonics = 4;       ///< HB harmonics -> 2*4+1 = 9 solution snapshots
+    int iterations = 100;
+    int nodes = 1;
+    int ranks_per_node = 0;  ///< 0 -> full node (Table VIII)
+    arch::ModelKnobs knobs;  ///< model-component switches (ablation)
+};
+
+/// Solution snapshots carried by the HB formulation.
+int cosa_snapshots(const CosaConfig& cfg);
+
+/// Per-rank memory footprint given its block count (the ~60 GB case).
+double cosa_bytes_per_rank(const CosaConfig& cfg, int blocks_on_rank);
+
+/// Simulate one strong-scaling point. Returns infeasible when the blocks do
+/// not fit (A64FX at 1 node in the paper).
+AppResult run_cosa(const arch::SystemSpec& sys, const CosaConfig& cfg);
+
+/// The block distribution used for a given rank count (exposed for tests
+/// and the Table VIII bench).
+kern::BlockDistribution cosa_distribution(const CosaConfig& cfg, int ranks);
+
+} // namespace armstice::apps

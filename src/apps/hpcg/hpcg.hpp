@@ -1,0 +1,48 @@
+#pragma once
+// HPCG application model (paper §V.A, Tables III & IV).
+//
+// The skeleton reproduces HPCG 3.x's per-iteration structure exactly:
+// preconditioned CG where each iteration performs one level-0 SpMV, one
+// 4-level multigrid V-cycle (SymGS pre/post smoothing, residual SpMV,
+// injection transfers, one SymGS coarse solve), three WAXPBYs, and three
+// reduction points. Work counts are exact for the paper's configuration
+// --nx=80 --ny=80 --nz=80 with one MPI rank per core; the real kernels
+// behind each phase live in kern/sparse and are cross-checked by tests.
+
+#include "apps/common.hpp"
+#include "kern/sparse/cg.hpp"
+#include "kern/sparse/multigrid.hpp"
+
+namespace armstice::apps {
+
+struct HpcgConfig {
+    int nx = 80, ny = 80, nz = 80;  ///< local grid per rank (paper's values)
+    int levels = 4;                 ///< multigrid depth (HPCG default)
+    int iters = 10;                 ///< CG iterations to simulate (steady state)
+    bool optimized = false;         ///< vendor-optimised variant (Table III)
+    arch::ModelKnobs knobs;         ///< model-component switches (ablation)
+};
+
+/// Exact nonzero count of the 27-point operator on an n-point grid in each
+/// dimension: product of (3n_d - 2). Cross-checked against kern::poisson27.
+double nnz_27pt(long nx, long ny, long nz);
+
+/// Per-rank memory footprint of the HPCG data structures (matrix hierarchy
+/// + CG vectors) in bytes.
+double hpcg_bytes_per_rank(const HpcgConfig& cfg);
+
+struct HpcgOutcome {
+    AppResult res;
+    double pct_peak = 0;  ///< % of Table I theoretical peak (Table III column)
+};
+
+/// Simulate HPCG on `nodes` fully populated nodes of `sys` (one MPI rank per
+/// core, the paper's configuration).
+HpcgOutcome run_hpcg(const arch::SystemSpec& sys, int nodes, const HpcgConfig& cfg = {});
+
+/// Reference run of the real kernels at laptop scale: multigrid-
+/// preconditioned CG on the 27-point operator (validates numerics and the
+/// analytic counts the skeleton uses).
+kern::CgResult hpcg_reference(int n, int levels = 3, int max_iters = 50);
+
+} // namespace armstice::apps

@@ -1,0 +1,56 @@
+#pragma once
+// minikab application model (paper §VI.A, Table V, Figs 1 & 2).
+//
+// minikab is EPCC's Mini Krylov ASiMoV Benchmark: a plain parallel CG solve
+// on the "Benchmark1" sparse matrix (9,573,984 DoF, 696,096,138 nonzeros, a
+// large structural problem). The skeleton reproduces the CG iteration's
+// traffic exactly (SpMV gather + BLAS-1 + two reductions) under a row-slab
+// decomposition, supports hybrid MPI x OpenMP configurations, and carries
+// the per-process memory-footprint model that caps plain MPI at 24
+// processes per 32 GB A64FX node (the paper's Fig 1 observation).
+
+#include "apps/common.hpp"
+#include "kern/sparse/cg.hpp"
+
+namespace armstice::apps {
+
+/// minikab's solver-algorithm command-line option (paper §VI.A: the mini-app
+/// exists "to allow testing of a range of parallel implementation
+/// techniques"). The paper benchmarks the default; we model all three:
+///  * cg            — plain CG: 2 blocking allreduces per iteration.
+///  * jacobi_pcg    — diagonally preconditioned CG: extra diagonal sweep,
+///                    fewer iterations on the stiff structural matrix.
+///  * pipelined_cg  — Ghysels-Vanroose pipelined CG: one allreduce per
+///                    iteration, overlapped with the SpMV; extra vector work.
+enum class MinikabSolver { cg, jacobi_pcg, pipelined_cg };
+
+const char* minikab_solver_name(MinikabSolver s);
+
+struct MinikabConfig {
+    long rows = 9'573'984;       ///< Benchmark1 degrees of freedom
+    double nnz = 696'096'138.0;  ///< Benchmark1 nonzeros
+    int iterations = 1080;       ///< CG iterations to convergence (calibrated
+                                 ///< once against Table V; see minikab.cpp)
+    int nodes = 1;
+    int ranks = 1;               ///< MPI processes
+    int threads = 1;             ///< OpenMP threads per process
+    MinikabSolver solver = MinikabSolver::cg;
+    arch::ModelKnobs knobs;      ///< model-component switches (ablation)
+};
+
+/// Per-process memory footprint: matrix slab + CG vectors + the replicated
+/// setup data that makes plain MPI memory-hungry (Fig 1: max 48 processes
+/// on 2 nodes).
+double minikab_bytes_per_rank(const MinikabConfig& cfg);
+
+/// Simulate one configuration. Infeasible placements (memory) are reported,
+/// not thrown.
+AppResult run_minikab(const arch::SystemSpec& sys, const MinikabConfig& cfg);
+
+/// Reference: real CG on a random SPD system at laptop scale; `solver`
+/// selects plain or Jacobi-preconditioned CG (pipelined CG is numerically
+/// identical to plain CG, differing only in communication schedule).
+kern::CgResult minikab_reference(long n, int extra_per_row, int max_iters,
+                                 MinikabSolver solver = MinikabSolver::cg);
+
+} // namespace armstice::apps

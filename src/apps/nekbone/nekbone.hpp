@@ -1,0 +1,39 @@
+#pragma once
+// Nekbone application model (paper §VI.B, Table VI, Fig 3, Table VII).
+//
+// Nekbone is the Nek5000 mini-app: CG on the spectral-element Poisson
+// operator. Each iteration applies the `ax` kernel — per-element tensor
+// contractions with the GLL differentiation matrix (local_grad3), the
+// 6-term geometric metric, and local_grad3^T — followed by
+// direct-stiffness summation (nearest-neighbour faces) and the CG BLAS-1
+// work with two allreduce reduction points. The paper's configuration is
+// weak scaling with 200 elements per rank at 16x16x16 polynomial order.
+// The real kernel lives in kern/nek and its flop count is cross-checked.
+
+#include "apps/common.hpp"
+#include "kern/nek/spectral.hpp"
+
+namespace armstice::apps {
+
+struct NekboneConfig {
+    int elems_per_rank = 200;  ///< paper: largest repository test case
+    int nx1 = 16;              ///< points per direction (16^3 polynomial order)
+    int cg_iters = 100;        ///< Nekbone's fixed iteration count
+    int nodes = 1;
+    int ranks = 1;
+    bool fastmath = false;     ///< -Kfast / -ffast-math build (Table VI)
+    arch::ModelKnobs knobs;    ///< model-component switches (ablation)
+};
+
+double nekbone_bytes_per_rank(const NekboneConfig& cfg);
+
+AppResult run_nekbone(const arch::SystemSpec& sys, const NekboneConfig& cfg);
+
+/// Full-node configuration used by Tables VI/VII: one rank per core.
+NekboneConfig nekbone_node_config(const arch::SystemSpec& sys, int nodes,
+                                  bool fastmath = false);
+
+/// Reference: real spectral-element CG at laptop scale.
+kern::CgResult nekbone_reference(int elems, int nx1, int iters);
+
+} // namespace armstice::apps

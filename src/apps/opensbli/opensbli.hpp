@@ -1,0 +1,40 @@
+#pragma once
+// OpenSBLI application model (paper §VII.C, Table X).
+//
+// OpenSBLI generates C code (via the OPS library) for the compressible
+// Taylor-Green vortex: finite-difference RHS kernels + RK time stepping,
+// pure MPI. The paper's case is a deliberately small 64^3 grid (to fit the
+// A64FX's 32 GB), which makes per-kernel launch overhead and the OPS
+// indirection-heavy access pattern dominant — the paper's profiling found
+// instruction-fetch waits and L2 integer loads on the A64FX. The real
+// numerics live in kern/stencil (TaylorGreen), whose per-point counts the
+// skeleton uses.
+
+#include "apps/common.hpp"
+#include "kern/stencil/taylor_green.hpp"
+
+namespace armstice::apps {
+
+struct OpensbliConfig {
+    int grid = 64;             ///< points per dimension (paper's benchmark)
+    int steps = 500;           ///< RK3 steps in the benchmark run
+    int kernels_per_step = 50; ///< OPS kernel launches per step (codegen)
+    int nodes = 1;
+    int ranks = 0;             ///< 0 -> one rank per core (paper: pure MPI)
+    arch::ModelKnobs knobs;    ///< model-component switches (ablation)
+};
+
+double opensbli_bytes_per_rank(const OpensbliConfig& cfg, int ranks);
+
+AppResult run_opensbli(const arch::SystemSpec& sys, const OpensbliConfig& cfg);
+
+/// Reference: run the real Taylor-Green solver and return diagnostics.
+struct TgvReference {
+    double mass_drift = 0;     ///< |m(t)-m(0)|/m(0), should be ~machine eps
+    double ke_initial = 0;
+    double ke_final = 0;
+    kern::OpCounts counts;
+};
+TgvReference opensbli_reference(int grid, int steps);
+
+} // namespace armstice::apps

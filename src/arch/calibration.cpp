@@ -1,0 +1,153 @@
+#include "arch/calibration.hpp"
+
+#include "util/error.hpp"
+
+#include <map>
+#include <string>
+
+namespace armstice::arch::calib {
+namespace {
+
+double lookup(const std::map<std::string, double>& table, const std::string& name,
+              const char* what) {
+    const auto it = table.find(name);
+    ARMSTICE_CHECK(it != table.end(),
+                   std::string("no ") + what + " calibration for system " + name);
+    return it->second;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// HPCG. Anchor: Table III (single node, GFLOP/s):
+//   A64FX 38.26 | ARCHER 15.65 | Cirrus 17.27 | NGIO 26.16/37.61 |
+//   Fulhame 23.58/33.80.
+// The structural model prices the counted SpMV/SymGS/WAXPBY/dot traffic at
+// contended domain bandwidth with gather caps; the residuals absorb SymGS
+// dependency stalls (<1) and coarse-MG-level cache reuse (>1 on the Xeons,
+// whose large L3s hold levels 2-3 of the 80^3 hierarchy).
+// ---------------------------------------------------------------------------
+double hpcg_efficiency(const SystemSpec& sys, bool optimized) {
+    static const std::map<std::string, double> base = {
+        {"A64FX", 0.6576}, {"ARCHER", 1.265}, {"Cirrus", 1.013},
+        {"EPCC NGIO", 0.854}, {"Fulhame", 0.664},
+    };
+    // Vendor-optimised HPCG (Table III "optimised" rows): +44% on NGIO,
+    // +43% on Fulhame, from restructured SymGS/SpMV kernels.
+    static const std::map<std::string, double> opt = {
+        {"EPCC NGIO", 1.228}, {"Fulhame", 0.953},
+    };
+    if (optimized) {
+        const auto it = opt.find(sys.name);
+        ARMSTICE_CHECK(it != opt.end(),
+                       "no optimised HPCG variant existed for " + sys.name);
+        return it->second;
+    }
+    return lookup(base, sys.name, "HPCG");
+}
+
+// ---------------------------------------------------------------------------
+// minikab. Anchor: Table V (single core, seconds): A64FX 1182 | NGIO 1269 |
+// Fulhame 2415. The catalog's core_gather_bw values (8.07 / 7.84 / 4.07
+// GB/s) are fitted to these runtimes directly, so the residuals here are
+// unity; systems the paper did not run minikab on reuse 1.0.
+// ---------------------------------------------------------------------------
+double minikab_efficiency(const SystemSpec& sys) {
+    (void)sys;
+    return 1.0;
+}
+
+// ---------------------------------------------------------------------------
+// Nekbone. Anchor: Table VI GFLOP/s at -O3:
+//   A64FX 175.74 | NGIO 127.19 | Fulhame 121.63 | ARCHER 66.55.
+// The ax kernel is chains of 16x16 tensor contractions — far from peak on
+// every machine; residuals absorb the small-GEMM pipeline bubbles.
+// ---------------------------------------------------------------------------
+double nekbone_efficiency(const SystemSpec& sys) {
+    static const std::map<std::string, double> eff = {
+        {"A64FX", 0.229}, {"ARCHER", 0.653}, {"Cirrus", 0.55},
+        {"EPCC NGIO", 0.505}, {"Fulhame", 0.420},
+    };
+    return lookup(eff, sys.name, "Nekbone");
+}
+
+// Anchor: Table VI "fast math" column vs plain column, computed directly from
+// the paper's numbers: 312.34/175.74, 90.37/127.19, 132.65/121.63, 68.22/66.55.
+double nekbone_fastmath_factor(const SystemSpec& sys) {
+    static const std::map<std::string, double> f = {
+        {"A64FX", 312.34 / 175.74},   // 1.777 — -Kfast unlocks SVE on the ax kernel
+        {"EPCC NGIO", 90.37 / 127.19},// 0.710 — fast-math regressed the Intel build
+        {"Fulhame", 132.65 / 121.63}, // 1.091
+        {"ARCHER", 68.22 / 66.55},    // 1.025
+        {"Cirrus", 1.0},              // not measured in the paper
+    };
+    return lookup(f, sys.name, "Nekbone fast-math");
+}
+
+// ---------------------------------------------------------------------------
+// COSA. Figure 4 has no absolute axis; the anchors are the paper's relative
+// statements (A64FX fastest 2-8 nodes; Fulhame overtakes at 16 via the
+// 800-block load-balance effect, which the structural model supplies).
+// Residuals keep the per-node ordering consistent with the HPCG-like
+// bandwidth-bound character of the multigrid smoother.
+// ---------------------------------------------------------------------------
+double cosa_efficiency(const SystemSpec& sys) {
+    static const std::map<std::string, double> eff = {
+        {"A64FX", 0.80}, {"ARCHER", 0.75}, {"Cirrus", 0.85},
+        {"EPCC NGIO", 0.90}, {"Fulhame", 1.10},
+    };
+    return lookup(eff, sys.name, "COSA");
+}
+
+// ---------------------------------------------------------------------------
+// CASTEP. Anchor: Table IX (SCF cycles/s, best full node):
+//   NGIO 0.184 | A64FX 0.145 | Fulhame 0.141 | Cirrus 0.125 | ARCHER 0.074.
+// FFT quality: Fujitsu supplied an *early development* FFTW (paper §VII.B);
+// MKL's DFT is the mature reference; ArmPL/FFTW on TX2 in between.
+// BLAS quality: SSL2/MKL/ArmPL are all solid for ZGEMM-sized operands.
+// ---------------------------------------------------------------------------
+double castep_fft_quality(const SystemSpec& sys) {
+    static const std::map<std::string, double> q = {
+        {"A64FX", 0.231}, // early FFTW 3.3.3 port, no SVE kernels
+        {"ARCHER", 0.462}, {"Cirrus", 0.472}, {"EPCC NGIO", 0.314},
+        {"Fulhame", 0.336},
+    };
+    return lookup(q, sys.name, "CASTEP FFT");
+}
+
+double castep_blas_quality(const SystemSpec& sys) {
+    static const std::map<std::string, double> q = {
+        {"A64FX", 0.617}, // SSL2 ZGEMM is well tuned (paper §VIII)
+        {"ARCHER", 0.714}, {"Cirrus", 0.692}, {"EPCC NGIO", 0.435},
+        {"Fulhame", 0.519},
+    };
+    return lookup(q, sys.name, "CASTEP BLAS");
+}
+
+// ---------------------------------------------------------------------------
+// OpenSBLI. Anchor: Table X (total runtime, 64^3 Taylor-Green):
+//   1 node — A64FX 3.44 s | Cirrus 1.90 | NGIO 1.18 | Fulhame 1.17.
+// The tiny grid makes per-kernel overhead dominant; the paper's profiling
+// found instruction-fetch waits and L2 integer loads on the A64FX, i.e. the
+// OPS-generated indirection code runs poorly on its narrow front end.
+// ---------------------------------------------------------------------------
+double opensbli_kernel_overhead(const SystemSpec& sys) {
+    static const std::map<std::string, double> ovh = {
+        {"A64FX", 8e-6},     // s per OPS kernel launch per rank
+        {"ARCHER", 7e-6},  {"Cirrus", 7e-6},
+        {"EPCC NGIO", 5e-6}, {"Fulhame", 6e-6},
+    };
+    return lookup(ovh, sys.name, "OpenSBLI overhead");
+}
+
+double opensbli_efficiency(const SystemSpec& sys) {
+    static const std::map<std::string, double> eff = {
+        {"A64FX", 0.1084}, // generated C with scalar indirection defeats SVE
+                           // (the paper's instruction-fetch-wait profile)
+        {"ARCHER", 0.70}, {"Cirrus", 0.69}, {"EPCC NGIO", 0.59},
+        {"Fulhame", 0.53},
+    };
+    return lookup(eff, sys.name, "OpenSBLI");
+}
+
+} // namespace armstice::arch::calib

@@ -1,0 +1,98 @@
+#include "arch/cost_model.hpp"
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace armstice::arch {
+namespace {
+
+/// Fraction of nominal vector lanes usable under each access pattern.
+/// Gather without hardware gather support falls back to scalar element
+/// loads; strided access wastes part of each line/vector.
+double pattern_vec_factor(MemPattern p, const VectorIsa& isa, bool penalty_on) {
+    if (!penalty_on) return 1.0;
+    switch (p) {
+        case MemPattern::stream: return 1.0;
+        case MemPattern::strided: return 0.85;
+        case MemPattern::gather: return isa.has_gather ? 0.55 : 0.30;
+        case MemPattern::dependent: return 0.15;
+    }
+    return 1.0;
+}
+
+} // namespace
+
+TimeBreakdown CostModel::explain(const ComputePhase& phase, const ExecContext& ctx) const {
+    ARMSTICE_CHECK(ctx.cpu != nullptr, "ExecContext.cpu is null");
+    ARMSTICE_CHECK(ctx.threads >= 1, "threads >= 1");
+    ARMSTICE_CHECK(ctx.streams_on_domain >= 1, "streams_on_domain >= 1");
+    ARMSTICE_CHECK(ctx.domains_spanned >= 1, "domains_spanned >= 1");
+    ARMSTICE_CHECK(phase.efficiency > 0.0 && phase.efficiency <= 1.5,
+                   "phase efficiency out of range: " + phase.label);
+    const Processor& cpu = *ctx.cpu;
+
+    // --- Amdahl-effective thread count -----------------------------------
+    const double pf = knobs_.amdahl ? phase.parallel_fraction : 1.0;
+    const double t_eff =
+        1.0 / ((1.0 - pf) + pf / static_cast<double>(ctx.threads));
+
+    TimeBreakdown out;
+
+    // --- Floating-point term ---------------------------------------------
+    const double vqp = ctx.vec_quality *
+                       pattern_vec_factor(phase.pattern, cpu.isa, knobs_.gather_penalty);
+    out.vspeed = std::max(1.0, cpu.isa.dp_lanes() * vqp);
+    const double scalar_rate = cpu.freq_hz * cpu.scalar_fpc;  // flops/s/stream
+    const double flops_per_stream = phase.flops / t_eff;
+    const double vf = std::clamp(phase.vector_fraction, 0.0, 1.0);
+    out.t_flops =
+        flops_per_stream * (vf / (scalar_rate * out.vspeed) + (1.0 - vf) / scalar_rate);
+
+    // --- Memory term -------------------------------------------------------
+    // Domain share under the SPMD contention approximation; single-stream
+    // concurrency caps; LLC-resident working sets get LLC bandwidth.
+    double bw = cpu.domain.bandwidth;
+    if (knobs_.contention) {
+        bw = cpu.domain.bandwidth * ctx.domains_spanned /
+             static_cast<double>(ctx.streams_on_domain);
+    }
+    if (knobs_.core_bw_cap) {
+        const double cap = (phase.pattern == MemPattern::gather ||
+                            phase.pattern == MemPattern::dependent)
+                               ? cpu.core_gather_bw
+                               : cpu.core_stream_bw;
+        bw = std::min(bw, cap);
+    }
+    if (phase.pattern == MemPattern::dependent) {
+        // Serial dependency chains: one line per latency.
+        bw = std::min(bw, util::cache_line / cpu.domain.latency_s);
+    }
+    if (knobs_.cache_model && phase.working_set > 0.0) {
+        // A rank's working set is shared with the other ranks resident on the
+        // same LLC; if everything fits, the phase streams from cache instead.
+        const double ranks_on_llc =
+            std::max(1.0, static_cast<double>(ctx.streams_on_domain) / ctx.threads);
+        if (phase.working_set * ranks_on_llc <= cpu.llc.capacity_bytes) {
+            bw = std::max(bw, cpu.llc.bw_per_core);
+        }
+    }
+    out.bw_per_stream = bw;
+    out.t_mem = (phase.main_bytes / t_eff) / bw;
+
+    // --- LLC traffic term ---------------------------------------------------
+    out.t_cache = (phase.cache_bytes / t_eff) / cpu.llc.bw_per_core;
+
+    // --- Serialized latency term -------------------------------------------
+    out.t_latency = (phase.latency_ops / t_eff) * cpu.domain.latency_s;
+
+    out.t_overhead = phase.overhead_s;
+    out.total = (std::max(out.t_flops, out.t_mem) + out.t_cache + out.t_latency) /
+                    phase.efficiency +
+                out.t_overhead;
+    return out;
+}
+
+} // namespace armstice::arch

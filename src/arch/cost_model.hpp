@@ -1,0 +1,76 @@
+#pragma once
+// CostModel — maps a counted ComputePhase to seconds on a given processor
+// under a given co-residency context. This is the roofline/ECM hybrid of
+// DESIGN.md §4.2. All architecture inputs come from the Processor struct;
+// all application-level residual efficiencies come from calibration.cpp and
+// arrive pre-folded into ComputePhase::efficiency.
+
+#include "arch/phase.hpp"
+#include "arch/processor.hpp"
+
+namespace armstice::arch {
+
+/// Model-component switches for the ablation bench (DESIGN.md §4.6).
+struct ModelKnobs {
+    bool contention = true;       ///< share domain bandwidth between streams
+    bool core_bw_cap = true;      ///< apply single-core concurrency limits
+    bool gather_penalty = true;   ///< penalise gather/strided vectorisation
+    bool cache_model = true;      ///< LLC-resident working sets use LLC bw
+    bool amdahl = true;           ///< serial fraction limits thread speedup
+    /// OS/system-noise amplitude: each compute op is stretched by
+    /// (1 + os_noise * e) with e ~ Exp(1) capped at 8, deterministic per
+    /// (rank, op). In bulk-synchronous loops the per-iteration makespan
+    /// then grows like os_noise * ln(ranks) — the standard OS-jitter model —
+    /// which is what keeps large-scale parallel efficiencies below 1
+    /// (Table VII). Set to 0 to ablate.
+    double os_noise = 0.012;
+};
+
+/// Execution context: where a rank's phase runs and with how much company.
+struct ExecContext {
+    const Processor* cpu = nullptr;
+    /// Toolchain vectorisation quality (Toolchain::vec_quality).
+    double vec_quality = 0.7;
+    /// OpenMP threads executing this rank's phase.
+    int threads = 1;
+    /// Hardware streams (ranks x threads) concurrently active on the rank's
+    /// memory domain — the SPMD contention approximation (DESIGN.md §4.4).
+    int streams_on_domain = 1;
+    /// Memory domains one rank's threads span (threads crossing CMGs
+    /// aggregate bandwidth, e.g. minikab 1 process x 48 threads).
+    int domains_spanned = 1;
+};
+
+/// Per-term decomposition of a phase's modelled time (seconds).
+struct TimeBreakdown {
+    double t_flops = 0;
+    double t_mem = 0;
+    double t_cache = 0;
+    double t_latency = 0;
+    double t_overhead = 0;
+    double total = 0;
+    double bw_per_stream = 0;  ///< effective bytes/s granted per stream
+    double vspeed = 0;         ///< vector speedup over scalar issue
+};
+
+class CostModel {
+public:
+    explicit CostModel(ModelKnobs knobs = {}) : knobs_(knobs) {}
+
+    /// Full decomposition; throws util::Error on invalid context.
+    [[nodiscard]] TimeBreakdown explain(const ComputePhase& phase,
+                                        const ExecContext& ctx) const;
+
+    /// Seconds for one rank to execute `phase` under `ctx`.
+    [[nodiscard]] double phase_time(const ComputePhase& phase,
+                                    const ExecContext& ctx) const {
+        return explain(phase, ctx).total;
+    }
+
+    [[nodiscard]] const ModelKnobs& knobs() const { return knobs_; }
+
+private:
+    ModelKnobs knobs_;
+};
+
+} // namespace armstice::arch

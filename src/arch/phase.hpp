@@ -1,0 +1,46 @@
+#pragma once
+// ComputePhase — the unit of counted work the simulator prices. Application
+// skeletons emit phases whose flops/bytes are *exact analytic counts* for the
+// paper's problem sizes; property tests cross-check the counts against
+// instrumented runs of the real kernels in src/kern (DESIGN.md §1).
+
+#include <string>
+
+namespace armstice::arch {
+
+/// Dominant main-memory access pattern of a phase.
+enum class MemPattern {
+    stream,     ///< unit-stride streaming (STREAM triad, waxpby, stencil sweeps)
+    strided,    ///< regular but non-unit stride (transposes, pencil FFTs)
+    gather,     ///< index-driven loads (SpMV column gathers, spectral scatter)
+    dependent,  ///< pointer/dependency chains (SymGS sweeps, list traversal)
+};
+
+const char* pattern_name(MemPattern p);
+
+/// Per-rank counted work for one bulk-synchronous phase.
+struct ComputePhase {
+    std::string label;
+    double flops = 0.0;           ///< double-precision FLOPs per rank
+    double main_bytes = 0.0;      ///< bytes moved to/from the memory domain
+    double cache_bytes = 0.0;     ///< additional LLC-resident traffic
+    double working_set = 0.0;     ///< resident bytes per rank (capacity checks)
+    MemPattern pattern = MemPattern::stream;
+    double vector_fraction = 1.0;  ///< fraction of flops in vectorisable loops
+    double parallel_fraction = 1.0;///< OpenMP-parallel fraction (Amdahl)
+    double efficiency = 1.0;       ///< calibrated residual efficiency (see calibration.cpp)
+    double latency_ops = 0.0;      ///< serialized memory dependencies (count)
+    double overhead_s = 0.0;       ///< fixed per-phase overhead (loop/launch)
+
+    [[nodiscard]] ComputePhase scaled(double factor) const {
+        ComputePhase p = *this;
+        p.flops *= factor;
+        p.main_bytes *= factor;
+        p.cache_bytes *= factor;
+        p.latency_ops *= factor;
+        p.overhead_s *= factor;
+        return p;
+    }
+};
+
+} // namespace armstice::arch

@@ -1,0 +1,40 @@
+#include "arch/power.hpp"
+
+#include "util/error.hpp"
+
+#include <map>
+
+namespace armstice::arch {
+
+PowerSpec power_spec(const SystemSpec& sys) {
+    static const std::map<std::string, PowerSpec> specs = {
+        // idle, dynamic, nic (watts per node)
+        {"A64FX", {60.0, 110.0, 10.0}},      // ~170 W peak incl. HBM2 + TofuD
+        {"ARCHER", {110.0, 200.0, 15.0}},    // 2x130 W TDP IvyBridge + Aries
+        {"Cirrus", {100.0, 190.0, 12.0}},    // 2x120 W Broadwell + FDR HCA
+        {"EPCC NGIO", {120.0, 260.0, 12.0}}, // 2x165 W Cascade Lake + OPA
+        {"Fulhame", {115.0, 235.0, 12.0}},   // 2x~175 W ThunderX2 + EDR HCA
+    };
+    const auto it = specs.find(sys.name);
+    ARMSTICE_CHECK(it != specs.end(), "no power spec for system " + sys.name);
+    return it->second;
+}
+
+double node_energy_j(const PowerSpec& p, double busy_seconds, double total_seconds) {
+    ARMSTICE_CHECK(busy_seconds >= 0 && total_seconds >= 0, "negative time");
+    ARMSTICE_CHECK(busy_seconds <= total_seconds * 1.0001,
+                   "busy time exceeds wall time");
+    const double busy = std::min(busy_seconds, total_seconds);
+    return (p.idle_w + p.nic_w) * total_seconds + p.dynamic_w * busy;
+}
+
+double gflops_per_watt(const SystemSpec& sys, double flops, double busy_seconds,
+                       double total_seconds, int nodes) {
+    ARMSTICE_CHECK(nodes >= 1, "need >=1 node");
+    if (total_seconds <= 0) return 0.0;
+    const double energy = nodes * node_energy_j(power_spec(sys), busy_seconds,
+                                                total_seconds);
+    return flops / 1e9 / energy;  // GFLOP/J == GFLOPs/W
+}
+
+} // namespace armstice::arch

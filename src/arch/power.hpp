@@ -1,0 +1,40 @@
+#pragma once
+// Node power model — an extension the paper's introduction motivates (the
+// A64FX's Green500 result of 16.876 GFLOPs/W is one of its selling points)
+// but its evaluation does not quantify. We model node power as
+//
+//   P(t) = P_idle + P_dynamic * utilisation(t)
+//
+// with published TDP-class numbers per system, and expose energy-to-solution
+// and GFLOPs/W for any simulated run (bench/ext_energy_efficiency).
+
+#include "arch/system.hpp"
+
+namespace armstice::arch {
+
+struct PowerSpec {
+    double idle_w = 0;     ///< node power when cores are idle/waiting
+    double dynamic_w = 0;  ///< additional power at full compute utilisation
+    double nic_w = 0;      ///< interconnect interface share
+
+    [[nodiscard]] double peak_w() const { return idle_w + dynamic_w + nic_w; }
+};
+
+/// Published/TDP-anchored node power for the five systems:
+///  * A64FX: ~160 W TDP including HBM2 — the efficiency headline.
+///  * ARCHER: 2x E5-2697v2 (130 W) + DDR3.
+///  * Cirrus: 2x E5-2695v4 (120 W) + 256 GB DDR4.
+///  * NGIO:   2x Platinum 8260M (165 W).
+///  * Fulhame: 2x ThunderX2 (~175 W at 2.2 GHz 32c).
+PowerSpec power_spec(const SystemSpec& sys);
+
+/// Energy for a simulated run: busy time at peak power, wait time at idle.
+/// `busy_seconds` is per-node mean compute time, `total_seconds` makespan.
+double node_energy_j(const PowerSpec& p, double busy_seconds, double total_seconds);
+
+/// GFLOPs per watt for a run that executed `flops` over `seconds` on
+/// `nodes` nodes (the Green500 metric applied to our benchmarks).
+double gflops_per_watt(const SystemSpec& sys, double flops, double busy_seconds,
+                       double total_seconds, int nodes);
+
+} // namespace armstice::arch

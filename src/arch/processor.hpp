@@ -1,0 +1,78 @@
+#pragma once
+// Processor and node models. A processor is a set of identical core groups;
+// each core group owns one memory domain (an A64FX CMG with its HBM2 stack,
+// or a whole Xeon socket with its DDR channels — for the x86/TX2 parts a
+// "group" is simply the socket).
+
+#include "arch/vector_isa.hpp"
+#include "util/error.hpp"
+
+#include <string>
+
+namespace armstice::arch {
+
+/// One memory domain: the RAM reachable at full bandwidth by one core group.
+struct MemDomain {
+    double capacity_bytes = 0;
+    double bandwidth = 0;       ///< sustained (STREAM-triad-like) bytes/s
+    double latency_s = 90e-9;   ///< load-to-use main memory latency
+};
+
+/// Last-level cache shared by one core group.
+struct SharedCache {
+    double capacity_bytes = 0;
+    double bw_per_core = 0;     ///< sustained per-core bytes/s out of this level
+};
+
+struct Processor {
+    std::string name;
+    double freq_hz = 0;
+    int core_groups = 1;        ///< CMGs (A64FX: 4) or 1 for monolithic sockets
+    int cores_per_group = 0;
+    MemDomain domain;           ///< per core group
+    SharedCache llc;            ///< per core group
+    VectorIsa isa;
+    /// Scalar double-precision FLOPs/cycle/core (2 per FMA pipe).
+    double scalar_fpc = 2.0;
+    /// Sustained single-core bandwidth caps (concurrency-limited; these are
+    /// the measured STREAM-1-core and SpMV-gather effective rates).
+    double core_stream_bw = 0;
+    double core_gather_bw = 0;
+
+    [[nodiscard]] int cores() const { return core_groups * cores_per_group; }
+    /// Peak vector FLOPs/cycle/core.
+    [[nodiscard]] double peak_fpc() const {
+        return scalar_fpc * isa.dp_lanes();
+    }
+    [[nodiscard]] double peak_gflops() const {
+        return cores() * freq_hz * peak_fpc() / 1e9;
+    }
+    [[nodiscard]] double mem_bandwidth() const { return core_groups * domain.bandwidth; }
+    [[nodiscard]] double mem_capacity() const { return core_groups * domain.capacity_bytes; }
+};
+
+/// A compute node: `sockets` identical processors sharing an NIC.
+struct NodeSpec {
+    std::string name;
+    int sockets = 1;
+    Processor cpu;
+
+    [[nodiscard]] int cores() const { return sockets * cpu.cores(); }
+    [[nodiscard]] int mem_domains() const { return sockets * cpu.core_groups; }
+    [[nodiscard]] int cores_per_domain() const { return cpu.cores_per_group; }
+    [[nodiscard]] double mem_capacity() const { return sockets * cpu.mem_capacity(); }
+    [[nodiscard]] double mem_bandwidth() const { return sockets * cpu.mem_bandwidth(); }
+    [[nodiscard]] double peak_gflops() const { return sockets * cpu.peak_gflops(); }
+
+    void validate() const {
+        ARMSTICE_CHECK(sockets >= 1, "node needs >=1 socket");
+        ARMSTICE_CHECK(cpu.cores_per_group > 0, "processor needs cores");
+        ARMSTICE_CHECK(cpu.freq_hz > 0, "processor needs frequency");
+        ARMSTICE_CHECK(cpu.domain.bandwidth > 0, "domain needs bandwidth");
+        ARMSTICE_CHECK(cpu.domain.capacity_bytes > 0, "domain needs capacity");
+        ARMSTICE_CHECK(cpu.core_stream_bw > 0 && cpu.core_gather_bw > 0,
+                       "per-core bandwidth caps required");
+    }
+};
+
+} // namespace armstice::arch

@@ -1,0 +1,50 @@
+#pragma once
+// SystemSpec — one of the five benchmarked machines: node architecture plus
+// interconnect kind and size. The catalog (system_catalog.cpp) encodes
+// Table I of the paper.
+
+#include "arch/processor.hpp"
+
+#include <string>
+#include <vector>
+
+namespace armstice::arch {
+
+/// Interconnect families used by the five systems (Table I / §IV).
+enum class NetKind {
+    tofud,     ///< Fujitsu TofuD 6D mesh/torus (A64FX)
+    aries,     ///< Cray Aries dragonfly (ARCHER)
+    fdr_ib,    ///< Mellanox FDR InfiniBand (Cirrus)
+    omnipath,  ///< Intel OmniPath (EPCC NGIO)
+    edr_ib,    ///< Mellanox EDR InfiniBand non-blocking fat tree (Fulhame)
+};
+
+const char* net_kind_name(NetKind k);
+
+struct SystemSpec {
+    std::string name;
+    NodeSpec node;
+    NetKind net = NetKind::edr_ib;
+    int max_nodes = 16;
+    /// Table I "Maximum node DP GFLOP/s" — used verbatim for the paper's
+    /// "% of theoretical peak" columns (it differs slightly from the
+    /// physically derived node.peak_gflops() for Cascade Lake, where the
+    /// paper appears to have used a de-rated AVX-512 frequency).
+    double table_peak_gflops = 0.0;
+};
+
+/// The five systems of the paper, in Table I order:
+/// A64FX, ARCHER, Cirrus, EPCC NGIO, Fulhame.
+const std::vector<SystemSpec>& system_catalog();
+
+/// Lookup by Table I name; throws util::Error when unknown.
+const SystemSpec& system_by_name(const std::string& name);
+
+/// Convenience accessors used throughout benches/tests.
+const SystemSpec& a64fx();
+const SystemSpec& archer();
+const SystemSpec& cirrus();
+const SystemSpec& ngio();
+const SystemSpec& fulhame();
+
+} // namespace armstice::arch

@@ -1,0 +1,187 @@
+#include "arch/system.hpp"
+
+#include "arch/phase.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace armstice::arch {
+namespace {
+
+using util::GB;
+using util::GB_per_s;
+using util::GHz;
+using util::GiB;
+using util::MiB;
+using util::nsec;
+
+// ---------------------------------------------------------------------------
+// Node models for the five systems (Table I), with sustained-bandwidth and
+// per-core-cap parameters anchored to published measurements:
+//  * A64FX:   STREAM triad ~830 GB/s/node (HBM2, 256 GB/s peak per CMG);
+//             single-core STREAM ~55 GB/s; SpMV-gather effective ~8 GB/s
+//             (fitted to Table V: 7% faster than one Cascade Lake core).
+//  * ARCHER:  IvyBridge DDR3-1866 4ch, STREAM ~42 GB/s/socket.
+//  * Cirrus:  Broadwell DDR4-2400 4ch, STREAM ~58 GB/s/socket.
+//  * NGIO:    Cascade Lake DDR4-2933 6ch, STREAM ~105 GB/s/socket.
+//  * Fulhame: ThunderX2 DDR4 8ch, STREAM >240 GB/s/node (paper §II) ->
+//             122 GB/s/socket.
+// ---------------------------------------------------------------------------
+
+SystemSpec make_a64fx() {
+    Processor cpu;
+    cpu.name = "Fujitsu A64FX";
+    cpu.freq_hz = 2.2 * GHz;
+    cpu.core_groups = 4;  // CMGs
+    cpu.cores_per_group = 12;
+    cpu.domain = MemDomain{8.0 * GiB, 210.0 * GB_per_s, 130.0 * nsec};
+    cpu.llc = SharedCache{8.0 * MiB, 80.0 * GB_per_s};
+    cpu.isa = VectorIsa{IsaFamily::sve, 512, 2, true};
+    cpu.scalar_fpc = 4.0;  // 2 FMA pipes
+    cpu.core_stream_bw = 55.0 * GB_per_s;
+    cpu.core_gather_bw = 8.07 * GB_per_s;
+
+    SystemSpec sys;
+    sys.name = "A64FX";
+    sys.node = NodeSpec{"A64FX node", 1, cpu};
+    sys.net = NetKind::tofud;
+    sys.max_nodes = 48;
+    sys.table_peak_gflops = 3379.0;
+    return sys;
+}
+
+SystemSpec make_archer() {
+    Processor cpu;
+    cpu.name = "Intel Xeon E5-2697 v2 (IvyBridge)";
+    cpu.freq_hz = 2.7 * GHz;
+    cpu.core_groups = 1;
+    cpu.cores_per_group = 12;
+    cpu.domain = MemDomain{32.0 * GB, 42.0 * GB_per_s, 85.0 * nsec};
+    cpu.llc = SharedCache{30.0 * MiB, 25.0 * GB_per_s};
+    // IvyBridge: AVX 256-bit, separate add+mul pipes, no FMA -> 8 flop/cyc.
+    cpu.isa = VectorIsa{IsaFamily::avx, 256, 1, false};
+    cpu.scalar_fpc = 2.0;
+    cpu.core_stream_bw = 12.0 * GB_per_s;
+    cpu.core_gather_bw = 5.5 * GB_per_s;
+
+    SystemSpec sys;
+    sys.name = "ARCHER";
+    sys.node = NodeSpec{"Cray XC30 node", 2, cpu};
+    sys.net = NetKind::aries;
+    sys.max_nodes = 4920;
+    sys.table_peak_gflops = 518.4;
+    return sys;
+}
+
+SystemSpec make_cirrus() {
+    Processor cpu;
+    cpu.name = "Intel Xeon E5-2695 (Broadwell)";
+    cpu.freq_hz = 2.1 * GHz;
+    cpu.core_groups = 1;
+    cpu.cores_per_group = 18;
+    cpu.domain = MemDomain{128.0 * GB, 58.0 * GB_per_s, 90.0 * nsec};
+    cpu.llc = SharedCache{45.0 * MiB, 25.0 * GB_per_s};
+    cpu.isa = VectorIsa{IsaFamily::avx, 256, 2, true};  // AVX2 + FMA
+    cpu.scalar_fpc = 4.0;
+    cpu.core_stream_bw = 14.0 * GB_per_s;
+    cpu.core_gather_bw = 6.5 * GB_per_s;
+
+    SystemSpec sys;
+    sys.name = "Cirrus";
+    sys.node = NodeSpec{"SGI ICE XA node", 2, cpu};
+    sys.net = NetKind::fdr_ib;
+    sys.max_nodes = 280;
+    sys.table_peak_gflops = 1209.6;
+    return sys;
+}
+
+SystemSpec make_ngio() {
+    Processor cpu;
+    cpu.name = "Intel Xeon Platinum 8260M (Cascade Lake)";
+    cpu.freq_hz = 2.4 * GHz;
+    cpu.core_groups = 1;
+    cpu.cores_per_group = 24;
+    cpu.domain = MemDomain{96.0 * GB, 105.0 * GB_per_s, 85.0 * nsec};
+    cpu.llc = SharedCache{35.75 * MiB, 28.0 * GB_per_s};
+    cpu.isa = VectorIsa{IsaFamily::avx512, 512, 2, true};
+    cpu.scalar_fpc = 4.0;
+    cpu.core_stream_bw = 15.0 * GB_per_s;
+    cpu.core_gather_bw = 7.84 * GB_per_s;
+
+    SystemSpec sys;
+    sys.name = "EPCC NGIO";
+    sys.node = NodeSpec{"Fujitsu NGIO node", 2, cpu};
+    sys.net = NetKind::omnipath;
+    sys.max_nodes = 24;
+    sys.table_peak_gflops = 2662.4;
+    return sys;
+}
+
+SystemSpec make_fulhame() {
+    Processor cpu;
+    cpu.name = "Marvell ThunderX2 (ARMv8)";
+    cpu.freq_hz = 2.2 * GHz;
+    cpu.core_groups = 1;
+    cpu.cores_per_group = 32;
+    cpu.domain = MemDomain{128.0 * GB, 122.0 * GB_per_s, 115.0 * nsec};
+    cpu.llc = SharedCache{32.0 * MiB, 20.0 * GB_per_s};
+    cpu.isa = VectorIsa{IsaFamily::neon, 128, 2, false};
+    cpu.scalar_fpc = 4.0;
+    cpu.core_stream_bw = 10.0 * GB_per_s;
+    cpu.core_gather_bw = 4.07 * GB_per_s;
+
+    SystemSpec sys;
+    sys.name = "Fulhame";
+    sys.node = NodeSpec{"HPE Apollo 70 node", 2, cpu};
+    sys.net = NetKind::edr_ib;
+    sys.max_nodes = 64;
+    sys.table_peak_gflops = 1126.4;
+    return sys;
+}
+
+} // namespace
+
+const char* net_kind_name(NetKind k) {
+    switch (k) {
+        case NetKind::tofud: return "Fujitsu TofuD";
+        case NetKind::aries: return "Cray Aries";
+        case NetKind::fdr_ib: return "Mellanox FDR IB";
+        case NetKind::omnipath: return "Intel OmniPath";
+        case NetKind::edr_ib: return "Mellanox EDR IB";
+    }
+    return "?";
+}
+
+const char* pattern_name(MemPattern p) {
+    switch (p) {
+        case MemPattern::stream: return "stream";
+        case MemPattern::strided: return "strided";
+        case MemPattern::gather: return "gather";
+        case MemPattern::dependent: return "dependent";
+    }
+    return "?";
+}
+
+const std::vector<SystemSpec>& system_catalog() {
+    static const std::vector<SystemSpec> systems = [] {
+        std::vector<SystemSpec> v{make_a64fx(), make_archer(), make_cirrus(),
+                                  make_ngio(), make_fulhame()};
+        for (const auto& s : v) s.node.validate();
+        return v;
+    }();
+    return systems;
+}
+
+const SystemSpec& system_by_name(const std::string& name) {
+    for (const auto& s : system_catalog()) {
+        if (s.name == name) return s;
+    }
+    throw util::Error("unknown system: " + name);
+}
+
+const SystemSpec& a64fx() { return system_catalog()[0]; }
+const SystemSpec& archer() { return system_catalog()[1]; }
+const SystemSpec& cirrus() { return system_catalog()[2]; }
+const SystemSpec& ngio() { return system_catalog()[3]; }
+const SystemSpec& fulhame() { return system_catalog()[4]; }
+
+} // namespace armstice::arch

@@ -1,0 +1,38 @@
+#pragma once
+// Vector instruction-set description for the five modelled processors
+// (Table I of the paper: SVE 512b, AVX 256b, AVX-512, NEON 128b).
+
+#include <string>
+
+namespace armstice::arch {
+
+enum class IsaFamily {
+    sve,     ///< Arm SVE (A64FX, 512-bit)
+    avx,     ///< Intel AVX/AVX2 (IvyBridge/Broadwell, 256-bit)
+    avx512,  ///< Intel AVX-512 (Cascade Lake)
+    neon,    ///< Arm NEON (ThunderX2, 128-bit)
+};
+
+struct VectorIsa {
+    IsaFamily family = IsaFamily::neon;
+    int width_bits = 128;
+    /// Number of FMA-capable vector pipelines per core.
+    int fma_pipes = 1;
+    /// True when the ISA has hardware gather/scatter (SVE, AVX2+, AVX-512).
+    bool has_gather = false;
+
+    /// Double-precision lanes per vector register.
+    [[nodiscard]] int dp_lanes() const { return width_bits / 64; }
+
+    [[nodiscard]] std::string name() const {
+        switch (family) {
+            case IsaFamily::sve: return "SVE" + std::to_string(width_bits);
+            case IsaFamily::avx: return "AVX" + std::to_string(width_bits);
+            case IsaFamily::avx512: return "AVX-512";
+            case IsaFamily::neon: return "NEON" + std::to_string(width_bits);
+        }
+        return "?";
+    }
+};
+
+} // namespace armstice::arch

@@ -1,0 +1,308 @@
+#include "core/experiments.hpp"
+
+#include "apps/castep/castep.hpp"
+#include "apps/cosa/cosa.hpp"
+#include "apps/hpcg/hpcg.hpp"
+#include "apps/minikab/minikab.hpp"
+#include "apps/nekbone/nekbone.hpp"
+#include "apps/opensbli/opensbli.hpp"
+#include "core/paper_data.hpp"
+#include "util/error.hpp"
+
+#include <algorithm>
+
+namespace armstice::core {
+namespace {
+
+const arch::SystemSpec& sys(const std::string& name) {
+    return arch::system_by_name(name);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Table III
+std::vector<Table3Row> run_table3() {
+    std::vector<Table3Row> rows;
+    for (const auto& p : paper::kTable3) {
+        apps::HpcgConfig cfg;
+        cfg.optimized = p.optimized;
+        const auto out = apps::run_hpcg(sys(p.system), 1, cfg);
+        Table3Row row;
+        row.system = p.system;
+        row.optimized = p.optimized;
+        row.paper_gflops = p.gflops;
+        row.model_gflops = out.res.feasible ? out.res.gflops : 0.0;
+        row.model_pct_peak = out.pct_peak;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+// ----------------------------------------------------------------- Table IV
+std::vector<Table4Row> run_table4() {
+    std::vector<Table4Row> rows;
+    for (const auto& p : paper::kTable4) {
+        Table4Row row;
+        row.system = p.system;
+        row.optimized = p.optimized;
+        row.paper = p.gflops;
+        for (std::size_t i = 0; i < paper::kTable4Nodes.size(); ++i) {
+            apps::HpcgConfig cfg;
+            cfg.optimized = p.optimized;
+            const auto out = apps::run_hpcg(sys(p.system), paper::kTable4Nodes[i], cfg);
+            row.model[i] = out.res.feasible ? out.res.gflops : 0.0;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+// ------------------------------------------------------------------ Table V
+std::vector<Table5Row> run_table5() {
+    std::vector<Table5Row> rows;
+    for (const auto& p : paper::kTable5) {
+        apps::MinikabConfig cfg;  // 1 node, 1 rank, 1 thread
+        const auto out = apps::run_minikab(sys(p.system), cfg);
+        rows.push_back({p.system, p.seconds, out.feasible ? out.seconds : 0.0});
+    }
+    return rows;
+}
+
+// ----------------------------------------------------------------- Figure 1
+std::vector<Fig1Series> run_fig1() {
+    const auto& a64 = arch::a64fx();
+    struct Setup {
+        const char* label;
+        int threads;
+        std::vector<int> cores;
+    };
+    // The five execution setups of Fig 1 on 2 nodes; plain MPI is capped by
+    // memory (the capacity model reports configurations beyond 48 processes
+    // as infeasible, matching the paper).
+    const std::vector<Setup> setups = {
+        {"plain MPI", 1, {8, 16, 24, 32, 48, 96}},
+        {"4 ranks x 24 thr", 24, {48, 96}},
+        {"8 ranks x 12 thr", 12, {24, 48, 96}},
+        {"16 ranks x 6 thr", 6, {24, 48, 96}},
+        {"32 ranks x 3 thr", 3, {24, 48, 96}},
+    };
+    std::vector<Fig1Series> series;
+    for (const auto& s : setups) {
+        Fig1Series fs;
+        fs.label = s.label;
+        for (int cores : s.cores) {
+            if (cores % s.threads != 0) continue;
+            apps::MinikabConfig cfg;
+            cfg.nodes = 2;
+            cfg.threads = s.threads;
+            cfg.ranks = cores / s.threads;
+            const auto out = apps::run_minikab(a64, cfg);
+            Fig1Point pt;
+            pt.cores = cores;
+            pt.ranks = cfg.ranks;
+            pt.threads = s.threads;
+            pt.feasible = out.feasible;
+            pt.runtime_s = out.seconds;
+            pt.gflops = out.gflops;
+            fs.points.push_back(pt);
+        }
+        series.push_back(std::move(fs));
+    }
+    return series;
+}
+
+// ----------------------------------------------------------------- Figure 2
+std::vector<Fig2Series> run_fig2() {
+    std::vector<Fig2Series> series;
+
+    // A64FX: best setup from Fig 1 — 4 processes/node x 12 threads.
+    {
+        Fig2Series fs;
+        fs.system = "A64FX";
+        fs.config = "4 ranks/node x 12 threads";
+        for (int nodes : {2, 4, 6, 8}) {
+            apps::MinikabConfig cfg;
+            cfg.nodes = nodes;
+            cfg.ranks = 4 * nodes;
+            cfg.threads = 12;
+            const auto out = apps::run_minikab(arch::a64fx(), cfg);
+            fs.points.push_back({nodes, nodes * 48, out.seconds});
+        }
+        series.push_back(std::move(fs));
+    }
+    // Fulhame: plain MPI, fully populated (memory is no concern there).
+    {
+        Fig2Series fs;
+        fs.system = "Fulhame";
+        fs.config = "plain MPI, 64 ranks/node";
+        for (int nodes : {1, 2, 3, 4, 5, 6}) {
+            apps::MinikabConfig cfg;
+            cfg.nodes = nodes;
+            cfg.ranks = 64 * nodes;
+            cfg.threads = 1;
+            const auto out = apps::run_minikab(arch::fulhame(), cfg);
+            fs.points.push_back({nodes, nodes * 64, out.seconds});
+        }
+        series.push_back(std::move(fs));
+    }
+    return series;
+}
+
+// ----------------------------------------------------------------- Table VI
+std::vector<Table6Row> run_table6() {
+    std::vector<Table6Row> rows;
+    for (const auto& p : paper::kTable6) {
+        const auto& s = sys(p.system);
+        const auto plain = apps::run_nekbone(s, apps::nekbone_node_config(s, 1, false));
+        const auto fast = apps::run_nekbone(s, apps::nekbone_node_config(s, 1, true));
+        Table6Row row;
+        row.system = p.system;
+        row.cores = p.cores;
+        row.paper_gflops = p.gflops;
+        row.model_gflops = plain.gflops;
+        row.paper_fast = p.gflops_fast;
+        row.model_fast = fast.gflops;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+// ----------------------------------------------------------------- Figure 3
+std::vector<Fig3Series> run_fig3() {
+    std::vector<Fig3Series> series;
+    for (const auto& s : arch::system_catalog()) {
+        Fig3Series fs;
+        fs.system = s.name;
+        for (int cores : {1, 2, 4, 8, 12, 16, 24, 32, 48, 64}) {
+            if (cores > s.node.cores()) break;
+            apps::NekboneConfig cfg;
+            cfg.nodes = 1;
+            cfg.ranks = cores;
+            const auto out = apps::run_nekbone(s, cfg);
+            fs.cores.push_back(cores);
+            fs.mflops.push_back(out.gflops * 1000.0);
+        }
+        series.push_back(std::move(fs));
+    }
+    return series;
+}
+
+// ---------------------------------------------------------------- Table VII
+std::vector<Table7Row> run_table7() {
+    auto pe_curve = [](const arch::SystemSpec& s) {
+        std::vector<double> pe;
+        double t1 = 0;
+        for (int nodes : {1, 2, 4, 8, 16}) {
+            const auto out =
+                apps::run_nekbone(s, apps::nekbone_node_config(s, nodes, false));
+            if (nodes == 1) {
+                t1 = out.seconds;
+            } else {
+                pe.push_back(apps::parallel_efficiency_weak(t1, out.seconds));
+            }
+        }
+        return pe;
+    };
+    const auto a64 = pe_curve(arch::a64fx());
+    const auto ful = pe_curve(arch::fulhame());
+    const auto arc = pe_curve(arch::archer());
+
+    std::vector<Table7Row> rows;
+    for (std::size_t i = 0; i < paper::kTable7.size(); ++i) {
+        const auto& p = paper::kTable7[i];
+        Table7Row row;
+        row.nodes = p.nodes;
+        row.a64fx_paper = p.a64fx;
+        row.a64fx_model = a64[i];
+        row.fulhame_paper = p.fulhame;
+        row.fulhame_model = ful[i];
+        row.archer_paper = p.archer;
+        row.archer_model = arc[i];
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+// ----------------------------------------------------------------- Figure 4
+std::vector<Fig4Series> run_fig4() {
+    std::vector<Fig4Series> series;
+    for (const auto& p : paper::kTable8) {
+        const auto& s = sys(p.system);
+        Fig4Series fs;
+        fs.system = p.system;
+        fs.ppn = p.ppn;
+        for (int nodes : {1, 2, 4, 8, 16}) {
+            apps::CosaConfig cfg;
+            cfg.nodes = nodes;
+            cfg.ranks_per_node = p.ppn;
+            const auto out = apps::run_cosa(s, cfg);
+            fs.points.push_back({nodes, out.feasible, out.seconds});
+        }
+        series.push_back(std::move(fs));
+    }
+    return series;
+}
+
+// ------------------------------------------------------- Figure 5 / Table IX
+namespace {
+std::vector<int> castep_core_counts(const arch::SystemSpec& s) {
+    // The TiN benchmark needs core counts that are factors or multiples of 8;
+    // Cirrus (36-core nodes) therefore tops out at 32 (paper §VII.B.1).
+    std::vector<int> counts;
+    for (int c : {1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64}) {
+        if (c <= s.node.cores() && (c <= 8 || c % 8 == 0)) counts.push_back(c);
+    }
+    return counts;
+}
+} // namespace
+
+std::vector<Fig5Series> run_fig5() {
+    std::vector<Fig5Series> series;
+    for (const auto& s : arch::system_catalog()) {
+        Fig5Series fs;
+        fs.system = s.name;
+        for (int cores : castep_core_counts(s)) {
+            apps::CastepConfig cfg;
+            cfg.nodes = 1;
+            cfg.ranks = cores;
+            const auto out = apps::run_castep(s, cfg);
+            fs.cores.push_back(cores);
+            fs.scf_per_s.push_back(out.scf_cycles_per_s);
+        }
+        series.push_back(std::move(fs));
+    }
+    return series;
+}
+
+std::vector<Table9Row> run_table9() {
+    std::vector<Table9Row> rows;
+    for (const auto& p : paper::kTable9) {
+        apps::CastepConfig cfg;
+        cfg.nodes = 1;
+        cfg.ranks = p.cores;
+        const auto out = apps::run_castep(sys(p.system), cfg);
+        rows.push_back({p.system, p.cores, p.scf_cycles_per_s, out.scf_cycles_per_s});
+    }
+    return rows;
+}
+
+// ------------------------------------------------------------------ Table X
+std::vector<Table10Row> run_table10() {
+    std::vector<Table10Row> rows;
+    for (const auto& p : paper::kTable10) {
+        Table10Row row;
+        row.system = p.system;
+        row.paper = p.seconds;
+        for (std::size_t i = 0; i < paper::kTable10Nodes.size(); ++i) {
+            apps::OpensbliConfig cfg;
+            cfg.nodes = paper::kTable10Nodes[i];
+            const auto out = apps::run_opensbli(sys(p.system), cfg);
+            row.model[i] = out.seconds;
+            row.feasible[i] = out.feasible;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace armstice::core

@@ -1,0 +1,134 @@
+#pragma once
+// Experiment drivers — one function per paper artefact (Tables III-X,
+// Figures 1-5). Each returns structured paper-vs-model rows consumed by the
+// bench binaries (printing) and the reproduction tests (shape scoring).
+// The per-experiment index lives in DESIGN.md §3.
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace armstice::core {
+
+// ---- Table III: single-node HPCG -----------------------------------------
+struct Table3Row {
+    std::string system;
+    bool optimized = false;
+    double paper_gflops = 0;
+    double model_gflops = 0;
+    double model_pct_peak = 0;
+};
+std::vector<Table3Row> run_table3();
+
+// ---- Table IV: multi-node HPCG --------------------------------------------
+struct Table4Row {
+    std::string system;
+    bool optimized = false;
+    std::array<double, 4> paper{};   // 1,2,4,8 nodes
+    std::array<double, 4> model{};
+};
+std::vector<Table4Row> run_table4();
+
+// ---- Table V: single-core minikab -----------------------------------------
+struct Table5Row {
+    std::string system;
+    double paper_seconds = 0;
+    double model_seconds = 0;
+};
+std::vector<Table5Row> run_table5();
+
+// ---- Figure 1: minikab execution setups on 2 A64FX nodes -------------------
+struct Fig1Point {
+    int cores = 0;
+    int ranks = 0;
+    int threads = 0;
+    bool feasible = false;
+    double runtime_s = 0;
+    double gflops = 0;
+};
+struct Fig1Series {
+    std::string label;
+    std::vector<Fig1Point> points;
+};
+std::vector<Fig1Series> run_fig1();
+
+// ---- Figure 2: minikab strong scaling, A64FX vs Fulhame --------------------
+struct Fig2Point {
+    int nodes = 0;
+    int cores = 0;
+    double runtime_s = 0;
+};
+struct Fig2Series {
+    std::string system;
+    std::string config;
+    std::vector<Fig2Point> points;
+};
+std::vector<Fig2Series> run_fig2();
+
+// ---- Table VI: Nekbone node performance ------------------------------------
+struct Table6Row {
+    std::string system;
+    int cores = 0;
+    double paper_gflops = 0;
+    double model_gflops = 0;
+    double paper_fast = 0;
+    double model_fast = 0;
+};
+std::vector<Table6Row> run_table6();
+
+// ---- Figure 3: Nekbone single-node core scaling ----------------------------
+struct Fig3Series {
+    std::string system;
+    std::vector<int> cores;
+    std::vector<double> mflops;
+};
+std::vector<Fig3Series> run_fig3();
+
+// ---- Table VII: Nekbone inter-node parallel efficiency ---------------------
+struct Table7Row {
+    int nodes = 0;
+    double a64fx_paper = 0, a64fx_model = 0;
+    double fulhame_paper = 0, fulhame_model = 0;
+    double archer_paper = 0, archer_model = 0;
+};
+std::vector<Table7Row> run_table7();
+
+// ---- Figure 4: COSA strong scaling -----------------------------------------
+struct Fig4Point {
+    int nodes = 0;
+    bool feasible = false;
+    double runtime_s = 0;
+};
+struct Fig4Series {
+    std::string system;
+    int ppn = 0;
+    std::vector<Fig4Point> points;
+};
+std::vector<Fig4Series> run_fig4();
+
+// ---- Figure 5 / Table IX: CASTEP -------------------------------------------
+struct Fig5Series {
+    std::string system;
+    std::vector<int> cores;
+    std::vector<double> scf_per_s;
+};
+std::vector<Fig5Series> run_fig5();
+
+struct Table9Row {
+    std::string system;
+    int cores = 0;
+    double paper = 0;
+    double model = 0;
+};
+std::vector<Table9Row> run_table9();
+
+// ---- Table X: OpenSBLI ------------------------------------------------------
+struct Table10Row {
+    std::string system;
+    std::array<double, 4> paper{};
+    std::array<double, 4> model{};
+    std::array<bool, 4> feasible{};
+};
+std::vector<Table10Row> run_table10();
+
+} // namespace armstice::core

@@ -1,0 +1,127 @@
+#pragma once
+// Every measured number reported in the paper's evaluation (Tables III-X;
+// Figures 1-5 carry no numeric axes and are reproduced by shape). These are
+// the ground truth each bench prints beside the model output and the
+// reproduction tests score against.
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace armstice::core::paper {
+
+// Table III — single-node HPCG.
+struct HpcgSingleNode {
+    const char* system;
+    bool optimized;
+    double gflops;
+    double pct_peak;
+};
+inline constexpr std::array<HpcgSingleNode, 7> kTable3 = {{
+    {"A64FX", false, 38.26, 1.1},
+    {"ARCHER", false, 15.65, 3.0},
+    {"Cirrus", false, 17.27, 1.4},
+    {"EPCC NGIO", false, 26.16, 1.4},
+    {"EPCC NGIO", true, 37.61, 2.0},
+    {"Fulhame", false, 23.58, 2.0},
+    {"Fulhame", true, 33.80, 3.0},
+}};
+
+// Table IV — multi-node HPCG GFLOP/s at 1/2/4/8 nodes.
+struct HpcgMultiNode {
+    const char* system;
+    bool optimized;
+    std::array<double, 4> gflops;  // 1, 2, 4, 8 nodes
+};
+inline constexpr std::array<HpcgMultiNode, 5> kTable4 = {{
+    {"A64FX", false, {38.26, 78.94, 157.46, 313.50}},
+    {"ARCHER", false, {15.65, 26.25, 55.63, 110.52}},
+    {"Cirrus", false, {17.27, 34.26, 68.44, 136.06}},
+    {"EPCC NGIO", true, {37.61, 73.90, 147.94, 292.60}},
+    {"Fulhame", true, {33.80, 67.68, 133.29, 261.32}},
+}};
+inline constexpr std::array<int, 4> kTable4Nodes = {1, 2, 4, 8};
+
+// Table V — single-core minikab runtime (seconds).
+struct MinikabSingleCore {
+    const char* system;
+    double seconds;
+};
+inline constexpr std::array<MinikabSingleCore, 3> kTable5 = {{
+    {"A64FX", 1182.0},
+    {"EPCC NGIO", 1269.0},
+    {"Fulhame", 2415.0},
+}};
+
+// Table VI — Nekbone node performance (GFLOP/s), plain -O3 and fast-math.
+struct NekboneNode {
+    const char* system;
+    int cores;
+    double gflops;
+    double ratio;           // to A64FX
+    double gflops_fast;
+    double ratio_fast;
+};
+inline constexpr std::array<NekboneNode, 4> kTable6 = {{
+    {"A64FX", 48, 175.74, 1.00, 312.34, 1.00},
+    {"EPCC NGIO", 48, 127.19, 0.72, 90.37, 0.29},
+    {"Fulhame", 64, 121.63, 0.69, 132.65, 0.42},
+    {"ARCHER", 24, 66.55, 0.40, 68.22, 0.21},
+}};
+
+// Table VII — Nekbone inter-node parallel efficiency.
+struct NekbonePe {
+    int nodes;
+    double a64fx;
+    double fulhame;
+    double archer;
+};
+inline constexpr std::array<NekbonePe, 4> kTable7 = {{
+    {2, 0.99, 0.99, 0.98},
+    {4, 0.97, 0.99, 0.98},
+    {8, 0.97, 0.97, 0.97},
+    {16, 0.96, 0.98, 0.97},
+}};
+
+// Table VIII — COSA processes per node.
+struct CosaPpn {
+    const char* system;
+    int ppn;
+};
+inline constexpr std::array<CosaPpn, 5> kTable8 = {{
+    {"A64FX", 48},
+    {"ARCHER", 24},
+    {"Cirrus", 36},
+    {"Fulhame", 64},
+    {"EPCC NGIO", 48},
+}};
+
+// Table IX — CASTEP TiN best single-node performance.
+struct CastepBest {
+    const char* system;
+    int cores;
+    double scf_cycles_per_s;
+    double ratio;  // to A64FX
+};
+inline constexpr std::array<CastepBest, 5> kTable9 = {{
+    {"A64FX", 48, 0.145, 1.00},
+    {"ARCHER", 24, 0.074, 0.51},
+    {"EPCC NGIO", 48, 0.184, 1.27},
+    {"Cirrus", 32, 0.125, 0.86},
+    {"Fulhame", 64, 0.141, 0.97},
+}};
+
+// Table X — OpenSBLI total runtime (seconds) at 1/2/4/8 nodes.
+struct OpensbliRuntime {
+    const char* system;
+    std::array<double, 4> seconds;
+};
+inline constexpr std::array<OpensbliRuntime, 4> kTable10 = {{
+    {"A64FX", {3.44, 1.89, 1.04, 0.69}},
+    {"Cirrus", {1.90, 0.93, 0.53, 0.35}},
+    {"EPCC NGIO", {1.18, 0.75, 0.46, 0.31}},
+    {"Fulhame", {1.17, 0.74, 0.65, 0.28}},
+}};
+inline constexpr std::array<int, 4> kTable10Nodes = {1, 2, 4, 8};
+
+} // namespace armstice::core::paper

@@ -1,0 +1,375 @@
+#include "core/report.hpp"
+
+#include "arch/system.hpp"
+#include "arch/toolchain.hpp"
+#include "core/paper_data.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/plot.hpp"
+#include "util/str.hpp"
+#include "util/svg.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace armstice::core {
+namespace {
+
+using util::Plot;
+using util::Series;
+using util::Table;
+
+std::string num(double v, int prec = 2) { return Table::num(v, prec); }
+
+std::string opt_name(bool optimized) { return optimized ? "optimised" : "unoptimised"; }
+
+} // namespace
+
+std::string render_system_catalog() {
+    Table t("Table I — Compute node specifications (model inputs)");
+    t.header({"System", "Processor", "Cores", "Clock", "Vector", "Peak DP", "Memory",
+              "Mem BW", "Interconnect"});
+    for (const auto& s : arch::system_catalog()) {
+        t.row({s.name, s.node.cpu.name, std::to_string(s.node.cores()),
+               num(s.node.cpu.freq_hz / 1e9, 1) + " GHz", s.node.cpu.isa.name(),
+               num(s.table_peak_gflops, 1) + " GF",
+               num(s.node.mem_capacity() / 1e9, 0) + " GB",
+               num(s.node.mem_bandwidth() / 1e9, 0) + " GB/s",
+               arch::net_kind_name(s.net)});
+    }
+    std::string out = t.render();
+
+    Table t2("Table II — Toolchains (per system, per application)");
+    t2.header({"System", "App", "Compiler", "Libraries", "vec-quality", "fast-math"});
+    for (const auto& s : arch::system_catalog()) {
+        for (const char* app : arch::kToolchainApps) {
+            const auto tc = arch::toolchain_for(s.name, app);
+            t2.row({s.name, app, tc.compiler, util::join(tc.libraries, ", "),
+                    num(tc.vec_quality, 2), tc.fastmath ? "yes" : "no"});
+        }
+    }
+    return out + "\n" + t2.render();
+}
+
+std::string render_table3(const std::vector<Table3Row>& rows) {
+    Table t("Table III — Single node HPCG performance (paper vs model)");
+    t.header({"System", "Variant", "Paper GF/s", "Model GF/s", "Delta %",
+              "Model % peak"});
+    for (const auto& r : rows) {
+        const double delta = 100.0 * (r.model_gflops - r.paper_gflops) / r.paper_gflops;
+        t.row({r.system, opt_name(r.optimized), num(r.paper_gflops), num(r.model_gflops),
+               num(delta, 1), num(r.model_pct_peak, 1)});
+    }
+    return t.render();
+}
+
+std::string render_table4(const std::vector<Table4Row>& rows) {
+    Table t("Table IV — Multi-node HPCG GFLOP/s (paper | model)");
+    t.header({"System", "Variant", "1 node", "2 nodes", "4 nodes", "8 nodes"});
+    for (const auto& r : rows) {
+        std::vector<std::string> cells{r.system, opt_name(r.optimized)};
+        for (std::size_t i = 0; i < 4; ++i) {
+            cells.push_back(num(r.paper[i], 1) + " | " + num(r.model[i], 1));
+        }
+        t.row(cells);
+    }
+    return t.render();
+}
+
+std::string render_table5(const std::vector<Table5Row>& rows) {
+    Table t("Table V — Single core minikab runtime (seconds)");
+    t.header({"CPU", "Paper (s)", "Model (s)", "Delta %"});
+    for (const auto& r : rows) {
+        t.row({r.system, num(r.paper_seconds, 0), num(r.model_seconds, 0),
+               num(100.0 * (r.model_seconds - r.paper_seconds) / r.paper_seconds, 1)});
+    }
+    return t.render();
+}
+
+std::string render_fig1(const std::vector<Fig1Series>& series) {
+    Table t("Figure 1 — minikab execution setups on 2 A64FX nodes");
+    t.header({"Setup", "Cores", "Ranks x Threads", "Runtime (s)", "GFLOP/s", "Fits?"});
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            t.row({s.label, std::to_string(p.cores),
+                   std::to_string(p.ranks) + " x " + std::to_string(p.threads),
+                   p.feasible ? num(p.runtime_s, 1) : "-",
+                   p.feasible ? num(p.gflops, 1) : "-",
+                   p.feasible ? "yes" : "OOM (32 GB/node)"});
+        }
+    }
+    std::string out = t.render();
+
+    Plot plot("Figure 1 — solver runtime vs cores (2 A64FX nodes)", "cores",
+              "runtime (s)");
+    for (const auto& s : series) {
+        Series ps;
+        ps.label = s.label;
+        for (const auto& p : s.points) {
+            if (!p.feasible) continue;
+            ps.x.push_back(p.cores);
+            ps.y.push_back(p.runtime_s);
+        }
+        if (!ps.x.empty()) plot.add_series(std::move(ps));
+    }
+    return out + "\n" + plot.render();
+}
+
+std::string render_fig2(const std::vector<Fig2Series>& series) {
+    Table t("Figure 2 — minikab strong scaling (Benchmark1)");
+    t.header({"System", "Config", "Nodes", "Cores", "Runtime (s)"});
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            t.row({s.system, s.config, std::to_string(p.nodes), std::to_string(p.cores),
+                   num(p.runtime_s, 1)});
+        }
+    }
+    Plot plot("Figure 2 — minikab runtime vs cores (strong scaling)", "cores",
+              "runtime (s)");
+    for (const auto& s : series) {
+        Series ps;
+        ps.label = s.system;
+        for (const auto& p : s.points) {
+            ps.x.push_back(p.cores);
+            ps.y.push_back(p.runtime_s);
+        }
+        plot.add_series(std::move(ps));
+    }
+    return t.render() + "\n" + plot.render();
+}
+
+std::string render_table6(const std::vector<Table6Row>& rows) {
+    Table t("Table VI — Nekbone node performance (GFLOP/s)");
+    t.header({"System", "Cores", "Paper", "Model", "Paper fast-math", "Model fast-math"});
+    for (const auto& r : rows) {
+        t.row({r.system, std::to_string(r.cores), num(r.paper_gflops), num(r.model_gflops),
+               num(r.paper_fast), num(r.model_fast)});
+    }
+    return t.render();
+}
+
+std::string render_fig3(const std::vector<Fig3Series>& series) {
+    Plot plot("Figure 3 — Nekbone single-node scaling (one MPI rank per core)",
+              "cores", "MFLOP/s");
+    Table t("Figure 3 — data");
+    t.header({"System", "Cores", "MFLOP/s"});
+    for (const auto& s : series) {
+        Series ps;
+        ps.label = s.system;
+        for (std::size_t i = 0; i < s.cores.size(); ++i) {
+            ps.x.push_back(s.cores[i]);
+            ps.y.push_back(s.mflops[i]);
+            t.row({s.system, std::to_string(s.cores[i]), num(s.mflops[i], 0)});
+        }
+        plot.add_series(std::move(ps));
+    }
+    return t.render() + "\n" + plot.log_y().render();
+}
+
+std::string render_table7(const std::vector<Table7Row>& rows) {
+    Table t("Table VII — Nekbone inter-node parallel efficiency (paper | model)");
+    t.header({"Node count", "A64FX PE", "Fulhame PE", "ARCHER PE"});
+    for (const auto& r : rows) {
+        t.row({std::to_string(r.nodes),
+               num(r.a64fx_paper) + " | " + num(r.a64fx_model),
+               num(r.fulhame_paper) + " | " + num(r.fulhame_model),
+               num(r.archer_paper) + " | " + num(r.archer_model)});
+    }
+    return t.render();
+}
+
+std::string render_table8() {
+    Table t("Table VIII — COSA processes per node");
+    t.header({"System", "Processes per node"});
+    for (const auto& p : paper::kTable8) t.row({p.system, std::to_string(p.ppn)});
+    return t.render();
+}
+
+std::string render_fig4(const std::vector<Fig4Series>& series) {
+    Table t("Figure 4 — COSA strong scaling (HB, 800 blocks, 100 iterations)");
+    t.header({"System", "PPN", "Nodes", "Runtime (s)", "Note"});
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            t.row({s.system, std::to_string(s.ppn), std::to_string(p.nodes),
+                   p.feasible ? num(p.runtime_s, 1) : "-",
+                   p.feasible ? "" : "does not fit in node memory"});
+        }
+    }
+    Plot plot("Figure 4 — COSA runtime vs node count", "nodes", "runtime (s)");
+    for (const auto& s : series) {
+        Series ps;
+        ps.label = s.system;
+        for (const auto& p : s.points) {
+            if (!p.feasible) continue;
+            ps.x.push_back(p.nodes);
+            ps.y.push_back(p.runtime_s);
+        }
+        plot.add_series(std::move(ps));
+    }
+    return t.render() + "\n" + plot.log_y().render();
+}
+
+std::string render_fig5(const std::vector<Fig5Series>& series) {
+    Table t("Figure 5 — CASTEP TiN single-node performance vs core count");
+    t.header({"System", "Cores", "SCF cycles/s"});
+    Plot plot("Figure 5 — CASTEP TiN performance", "cores", "SCF cycles/s");
+    for (const auto& s : series) {
+        Series ps;
+        ps.label = s.system;
+        for (std::size_t i = 0; i < s.cores.size(); ++i) {
+            t.row({s.system, std::to_string(s.cores[i]), num(s.scf_per_s[i], 3)});
+            ps.x.push_back(s.cores[i]);
+            ps.y.push_back(s.scf_per_s[i]);
+        }
+        plot.add_series(std::move(ps));
+    }
+    return t.render() + "\n" + plot.render();
+}
+
+std::string render_table9(const std::vector<Table9Row>& rows) {
+    Table t("Table IX — CASTEP TiN best single-node performance (SCF cycles/s)");
+    t.header({"System", "Cores", "Paper", "Model", "Model ratio to A64FX"});
+    double a64_model = 0;
+    for (const auto& r : rows) {
+        if (r.system == "A64FX") a64_model = r.model;
+    }
+    for (const auto& r : rows) {
+        t.row({r.system, std::to_string(r.cores), num(r.paper, 3), num(r.model, 3),
+               a64_model > 0 ? num(r.model / a64_model) : "-"});
+    }
+    return t.render();
+}
+
+std::string render_table10(const std::vector<Table10Row>& rows) {
+    Table t("Table X — OpenSBLI total runtime in seconds (paper | model)");
+    t.header({"System", "1 node", "2 nodes", "4 nodes", "8 nodes"});
+    for (const auto& r : rows) {
+        std::vector<std::string> cells{r.system};
+        for (std::size_t i = 0; i < 4; ++i) {
+            cells.push_back(r.feasible[i]
+                                ? num(r.paper[i]) + " | " + num(r.model[i])
+                                : "-");
+        }
+        t.row(cells);
+    }
+    return t.render();
+}
+
+void write_csv(const std::string& path, const std::string& csv_text) {
+    std::ofstream f(path);
+    if (!f.good()) {
+        util::log_warn("could not write " + path);
+        return;
+    }
+    f << csv_text;
+}
+
+namespace {
+
+void save_chart(util::SvgChart& chart, const util::Csv& csv, const std::string& stem) {
+    try {
+        chart.write(stem + ".svg");
+        csv.write(stem + ".csv");
+        std::printf("(wrote %s.svg and %s.csv)\n", stem.c_str(), stem.c_str());
+    } catch (const util::Error& e) {
+        util::log_warn(std::string("artefact files not written: ") + e.what());
+    }
+}
+
+} // namespace
+
+void save_fig1(const std::vector<Fig1Series>& series, const std::string& stem) {
+    util::SvgChart chart("Fig 1 — minikab setups on 2 A64FX nodes", "cores",
+                         "runtime (s)");
+    util::Csv csv;
+    csv.header({"setup", "cores", "ranks", "threads", "feasible", "runtime_s",
+                "gflops"});
+    for (const auto& s : series) {
+        util::Series ps{s.label, {}, {}};
+        for (const auto& p : s.points) {
+            csv.row({s.label, std::to_string(p.cores), std::to_string(p.ranks),
+                     std::to_string(p.threads), p.feasible ? "1" : "0",
+                     util::fixed(p.runtime_s, 3), util::fixed(p.gflops, 3)});
+            if (!p.feasible) continue;
+            ps.x.push_back(p.cores);
+            ps.y.push_back(p.runtime_s);
+        }
+        if (!ps.x.empty()) chart.add_series(std::move(ps));
+    }
+    save_chart(chart, csv, stem);
+}
+
+void save_fig2(const std::vector<Fig2Series>& series, const std::string& stem) {
+    util::SvgChart chart("Fig 2 — minikab strong scaling", "cores", "runtime (s)");
+    util::Csv csv;
+    csv.header({"system", "config", "nodes", "cores", "runtime_s"});
+    for (const auto& s : series) {
+        util::Series ps{s.system, {}, {}};
+        for (const auto& p : s.points) {
+            csv.row({s.system, s.config, std::to_string(p.nodes),
+                     std::to_string(p.cores), util::fixed(p.runtime_s, 3)});
+            ps.x.push_back(p.cores);
+            ps.y.push_back(p.runtime_s);
+        }
+        chart.add_series(std::move(ps));
+    }
+    save_chart(chart, csv, stem);
+}
+
+void save_fig3(const std::vector<Fig3Series>& series, const std::string& stem) {
+    util::SvgChart chart("Fig 3 — Nekbone single-node core scaling", "cores",
+                         "MFLOP/s");
+    chart.log_y();
+    util::Csv csv;
+    csv.header({"system", "cores", "mflops"});
+    for (const auto& s : series) {
+        util::Series ps{s.system, {}, {}};
+        for (std::size_t i = 0; i < s.cores.size(); ++i) {
+            csv.row({s.system, std::to_string(s.cores[i]), util::fixed(s.mflops[i], 1)});
+            ps.x.push_back(s.cores[i]);
+            ps.y.push_back(s.mflops[i]);
+        }
+        chart.add_series(std::move(ps));
+    }
+    save_chart(chart, csv, stem);
+}
+
+void save_fig4(const std::vector<Fig4Series>& series, const std::string& stem) {
+    util::SvgChart chart("Fig 4 — COSA strong scaling", "nodes", "runtime (s)");
+    chart.log_y();
+    util::Csv csv;
+    csv.header({"system", "ppn", "nodes", "feasible", "runtime_s"});
+    for (const auto& s : series) {
+        util::Series ps{s.system, {}, {}};
+        for (const auto& p : s.points) {
+            csv.row({s.system, std::to_string(s.ppn), std::to_string(p.nodes),
+                     p.feasible ? "1" : "0", util::fixed(p.runtime_s, 3)});
+            if (!p.feasible) continue;
+            ps.x.push_back(p.nodes);
+            ps.y.push_back(p.runtime_s);
+        }
+        if (!ps.x.empty()) chart.add_series(std::move(ps));
+    }
+    save_chart(chart, csv, stem);
+}
+
+void save_fig5(const std::vector<Fig5Series>& series, const std::string& stem) {
+    util::SvgChart chart("Fig 5 — CASTEP TiN single-node performance", "cores",
+                         "SCF cycles/s");
+    util::Csv csv;
+    csv.header({"system", "cores", "scf_cycles_per_s"});
+    for (const auto& s : series) {
+        util::Series ps{s.system, {}, {}};
+        for (std::size_t i = 0; i < s.cores.size(); ++i) {
+            csv.row({s.system, std::to_string(s.cores[i]),
+                     util::fixed(s.scf_per_s[i], 4)});
+            ps.x.push_back(s.cores[i]);
+            ps.y.push_back(s.scf_per_s[i]);
+        }
+        chart.add_series(std::move(ps));
+    }
+    save_chart(chart, csv, stem);
+}
+
+} // namespace armstice::core

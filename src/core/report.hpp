@@ -1,0 +1,41 @@
+#pragma once
+// Rendering of experiment results as paper-style ASCII tables/plots plus CSV
+// dumps. Used by the bench binaries; kept in the library so tests can verify
+// rendering and examples can reuse it.
+
+#include "core/experiments.hpp"
+
+#include <string>
+
+namespace armstice::core {
+
+/// Table I + interconnects + Table II toolchains for every system.
+std::string render_system_catalog();
+
+std::string render_table3(const std::vector<Table3Row>& rows);
+std::string render_table4(const std::vector<Table4Row>& rows);
+std::string render_table5(const std::vector<Table5Row>& rows);
+std::string render_fig1(const std::vector<Fig1Series>& series);
+std::string render_fig2(const std::vector<Fig2Series>& series);
+std::string render_table6(const std::vector<Table6Row>& rows);
+std::string render_fig3(const std::vector<Fig3Series>& series);
+std::string render_table7(const std::vector<Table7Row>& rows);
+std::string render_table8();
+std::string render_fig4(const std::vector<Fig4Series>& series);
+std::string render_fig5(const std::vector<Fig5Series>& series);
+std::string render_table9(const std::vector<Table9Row>& rows);
+std::string render_table10(const std::vector<Table10Row>& rows);
+
+/// Write any artefact's CSV next to the binary (best effort; logs on error).
+void write_csv(const std::string& path, const std::string& csv_text);
+
+/// Write <stem>.svg (publication-style chart) and <stem>.csv (raw data) for
+/// a figure. Best effort: I/O problems are logged, not thrown, so bench
+/// binaries keep working in read-only directories.
+void save_fig1(const std::vector<Fig1Series>& series, const std::string& stem);
+void save_fig2(const std::vector<Fig2Series>& series, const std::string& stem);
+void save_fig3(const std::vector<Fig3Series>& series, const std::string& stem);
+void save_fig4(const std::vector<Fig4Series>& series, const std::string& stem);
+void save_fig5(const std::vector<Fig5Series>& series, const std::string& stem);
+
+} // namespace armstice::core

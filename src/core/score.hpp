@@ -1,0 +1,40 @@
+#pragma once
+// Reproduction scorecard — one aggregate view of how well the model
+// reproduces the paper: per-artefact relative errors over every numeric
+// point the paper published, plus the qualitative shape findings
+// (orderings, crossovers, feasibility limits). Printed by
+// bench/repro_scorecard and asserted in tests/test_score.cpp.
+
+#include <string>
+#include <vector>
+
+namespace armstice::core {
+
+struct ScoreEntry {
+    std::string artefact;      ///< "Table III", "Fig 4", ...
+    int points = 0;            ///< numeric paper values compared
+    int within_5pct = 0;
+    int within_20pct = 0;
+    double geomean_ratio = 1;  ///< geometric mean of model/paper
+    double max_rel_err = 0;    ///< worst |model-paper|/paper
+    bool shape_ok = false;     ///< the artefact's qualitative finding holds
+    std::string shape_note;    ///< what the shape criterion was
+};
+
+struct Scorecard {
+    std::vector<ScoreEntry> entries;
+
+    [[nodiscard]] int total_points() const;
+    [[nodiscard]] int total_within_5pct() const;
+    [[nodiscard]] int shapes_ok() const;
+    [[nodiscard]] int shapes_total() const {
+        return static_cast<int>(entries.size());
+    }
+};
+
+/// Run every experiment and score it (a few seconds of simulation).
+Scorecard compute_scorecard();
+
+std::string render_scorecard(const Scorecard& card);
+
+} // namespace armstice::core

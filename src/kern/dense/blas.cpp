@@ -1,0 +1,139 @@
+#include "kern/dense/blas.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace armstice::kern {
+namespace {
+/// Block edge for the cache-blocked GEMM: 64x64 doubles = 32 KiB per tile,
+/// three tiles fit comfortably in a 256 KiB L2.
+constexpr int kBlock = 64;
+} // namespace
+
+void axpy(double a, std::span<const double> x, std::span<double> y, OpCounts* counts) {
+    ARMSTICE_CHECK(x.size() == y.size(), "axpy size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+    if (counts) {
+        counts->flops += 2.0 * static_cast<double>(x.size());
+        counts->bytes_read += 16.0 * static_cast<double>(x.size());
+        counts->bytes_written += 8.0 * static_cast<double>(x.size());
+    }
+}
+
+void waxpby(double a, std::span<const double> x, double b, std::span<const double> y,
+            std::span<double> w, OpCounts* counts) {
+    ARMSTICE_CHECK(x.size() == y.size() && x.size() == w.size(), "waxpby size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) w[i] = a * x[i] + b * y[i];
+    if (counts) {
+        counts->flops += 3.0 * static_cast<double>(x.size());
+        counts->bytes_read += 16.0 * static_cast<double>(x.size());
+        counts->bytes_written += 8.0 * static_cast<double>(x.size());
+    }
+}
+
+double dot(std::span<const double> x, std::span<const double> y, OpCounts* counts) {
+    ARMSTICE_CHECK(x.size() == y.size(), "dot size mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+    if (counts) {
+        counts->flops += 2.0 * static_cast<double>(x.size());
+        counts->bytes_read += 16.0 * static_cast<double>(x.size());
+    }
+    return sum;
+}
+
+double norm2(std::span<const double> x, OpCounts* counts) {
+    return std::sqrt(dot(x, x, counts));
+}
+
+void gemv(std::span<const double> a, int m, int n, std::span<const double> x,
+          std::span<double> y, OpCounts* counts) {
+    ARMSTICE_CHECK(a.size() == static_cast<std::size_t>(m) * n, "gemv A size mismatch");
+    ARMSTICE_CHECK(x.size() == static_cast<std::size_t>(n), "gemv x size mismatch");
+    ARMSTICE_CHECK(y.size() == static_cast<std::size_t>(m), "gemv y size mismatch");
+    for (int i = 0; i < m; ++i) {
+        double sum = 0.0;
+        const double* row = &a[static_cast<std::size_t>(i) * n];
+        for (int j = 0; j < n; ++j) sum += row[j] * x[static_cast<std::size_t>(j)];
+        y[static_cast<std::size_t>(i)] = sum;
+    }
+    if (counts) {
+        counts->flops += 2.0 * m * n;
+        counts->bytes_read += 8.0 * (static_cast<double>(m) * n + n);
+        counts->bytes_written += 8.0 * m;
+    }
+}
+
+void gemm(std::span<const double> a, std::span<const double> b, std::span<double> c,
+          int m, int k, int n, double beta, OpCounts* counts) {
+    ARMSTICE_CHECK(a.size() == static_cast<std::size_t>(m) * k, "gemm A size mismatch");
+    ARMSTICE_CHECK(b.size() == static_cast<std::size_t>(k) * n, "gemm B size mismatch");
+    ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "gemm C size mismatch");
+    if (beta == 0.0) std::fill(c.begin(), c.end(), 0.0);
+
+    for (int i0 = 0; i0 < m; i0 += kBlock) {
+        const int i1 = std::min(m, i0 + kBlock);
+        for (int p0 = 0; p0 < k; p0 += kBlock) {
+            const int p1 = std::min(k, p0 + kBlock);
+            for (int j0 = 0; j0 < n; j0 += kBlock) {
+                const int j1 = std::min(n, j0 + kBlock);
+                for (int i = i0; i < i1; ++i) {
+                    double* crow = &c[static_cast<std::size_t>(i) * n];
+                    const double* arow = &a[static_cast<std::size_t>(i) * k];
+                    for (int p = p0; p < p1; ++p) {
+                        const double aip = arow[p];
+                        const double* brow = &b[static_cast<std::size_t>(p) * n];
+                        for (int j = j0; j < j1; ++j) crow[j] += aip * brow[j];
+                    }
+                }
+            }
+        }
+    }
+    if (counts) {
+        counts->flops += gemm_flops(m, k, n);
+        counts->bytes_read += 8.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n);
+        counts->bytes_written += 8.0 * static_cast<double>(m) * n;
+    }
+}
+
+void zgemm(std::span<const cplx> a, std::span<const cplx> b, std::span<cplx> c,
+           int m, int k, int n, OpCounts* counts) {
+    ARMSTICE_CHECK(a.size() == static_cast<std::size_t>(m) * k, "zgemm A size mismatch");
+    ARMSTICE_CHECK(b.size() == static_cast<std::size_t>(k) * n, "zgemm B size mismatch");
+    ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "zgemm C size mismatch");
+    std::fill(c.begin(), c.end(), cplx{0.0, 0.0});
+    for (int i = 0; i < m; ++i) {
+        cplx* crow = &c[static_cast<std::size_t>(i) * n];
+        const cplx* arow = &a[static_cast<std::size_t>(i) * k];
+        for (int p = 0; p < k; ++p) {
+            const cplx aip = arow[p];
+            const cplx* brow = &b[static_cast<std::size_t>(p) * n];
+            for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
+    }
+    if (counts) {
+        counts->flops += zgemm_flops(m, k, n);
+        counts->bytes_read +=
+            16.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n);
+        counts->bytes_written += 16.0 * static_cast<double>(m) * n;
+    }
+}
+
+void gemm_naive(std::span<const double> a, std::span<const double> b,
+                std::span<double> c, int m, int k, int n) {
+    ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "gemm_naive C size");
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double sum = 0.0;
+            for (int p = 0; p < k; ++p) {
+                sum += a[static_cast<std::size_t>(i) * k + p] *
+                       b[static_cast<std::size_t>(p) * n + j];
+            }
+            c[static_cast<std::size_t>(i) * n + j] = sum;
+        }
+    }
+}
+
+} // namespace armstice::kern

@@ -1,0 +1,169 @@
+#include "kern/dense/eigen.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace armstice::kern {
+namespace {
+
+double off_diag_norm(const std::vector<double>& a, int n) {
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            const double v = a[static_cast<std::size_t>(i) * n + j];
+            sum += 2.0 * v * v;
+        }
+    }
+    return std::sqrt(sum);
+}
+
+} // namespace
+
+EigenResult eigen_sym(std::span<const double> a_in, int n, double tol, int max_sweeps,
+                      OpCounts* counts) {
+    ARMSTICE_CHECK(n >= 1, "eigen_sym needs n >= 1");
+    ARMSTICE_CHECK(a_in.size() == static_cast<std::size_t>(n) * n, "eigen_sym size");
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < i; ++j) {
+            ARMSTICE_CHECK(std::abs(a_in[static_cast<std::size_t>(i) * n + j] -
+                                    a_in[static_cast<std::size_t>(j) * n + i]) <
+                               1e-10 * (1.0 + std::abs(a_in[static_cast<std::size_t>(i) * n + j])),
+                           "eigen_sym requires a symmetric matrix");
+        }
+    }
+
+    std::vector<double> a(a_in.begin(), a_in.end());
+    std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i) * n + i] = 1.0;
+
+    const double scale = off_diag_norm(a, n) + 1e-300;
+    EigenResult res;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        ++res.sweeps;
+        for (int p = 0; p < n - 1; ++p) {
+            for (int q = p + 1; q < n; ++q) {
+                const double apq = a[static_cast<std::size_t>(p) * n + q];
+                if (std::abs(apq) < 1e-300) continue;
+                const double app = a[static_cast<std::size_t>(p) * n + p];
+                const double aqq = a[static_cast<std::size_t>(q) * n + q];
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                // Rotate rows/columns p and q of A.
+                for (int k = 0; k < n; ++k) {
+                    const double akp = a[static_cast<std::size_t>(k) * n + p];
+                    const double akq = a[static_cast<std::size_t>(k) * n + q];
+                    a[static_cast<std::size_t>(k) * n + p] = c * akp - s * akq;
+                    a[static_cast<std::size_t>(k) * n + q] = s * akp + c * akq;
+                }
+                for (int k = 0; k < n; ++k) {
+                    const double apk = a[static_cast<std::size_t>(p) * n + k];
+                    const double aqk = a[static_cast<std::size_t>(q) * n + k];
+                    a[static_cast<std::size_t>(p) * n + k] = c * apk - s * aqk;
+                    a[static_cast<std::size_t>(q) * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for (int k = 0; k < n; ++k) {
+                    const double vkp = v[static_cast<std::size_t>(k) * n + p];
+                    const double vkq = v[static_cast<std::size_t>(k) * n + q];
+                    v[static_cast<std::size_t>(k) * n + p] = c * vkp - s * vkq;
+                    v[static_cast<std::size_t>(k) * n + q] = s * vkp + c * vkq;
+                }
+                if (counts) {
+                    counts->flops += 18.0 * n;
+                    counts->bytes_read += 48.0 * n;
+                    counts->bytes_written += 48.0 * n;
+                }
+            }
+        }
+        if (off_diag_norm(a, n) < tol * scale) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    // Extract and sort ascending.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int i, int j) {
+        return a[static_cast<std::size_t>(i) * n + i] < a[static_cast<std::size_t>(j) * n + j];
+    });
+    res.values.resize(static_cast<std::size_t>(n));
+    res.vectors.resize(static_cast<std::size_t>(n) * n);
+    for (int j = 0; j < n; ++j) {
+        const int src = order[static_cast<std::size_t>(j)];
+        res.values[static_cast<std::size_t>(j)] =
+            a[static_cast<std::size_t>(src) * n + src];
+        for (int i = 0; i < n; ++i) {
+            res.vectors[static_cast<std::size_t>(j) * n + i] =
+                v[static_cast<std::size_t>(i) * n + src];
+        }
+    }
+    return res;
+}
+
+std::vector<double> cholesky(std::span<const double> a, int n, OpCounts* counts) {
+    ARMSTICE_CHECK(n >= 1, "cholesky needs n >= 1");
+    ARMSTICE_CHECK(a.size() == static_cast<std::size_t>(n) * n, "cholesky size");
+    std::vector<double> l(static_cast<std::size_t>(n) * n, 0.0);
+    for (int j = 0; j < n; ++j) {
+        double diag = a[static_cast<std::size_t>(j) * n + j];
+        for (int k = 0; k < j; ++k) {
+            const double v = l[static_cast<std::size_t>(j) * n + k];
+            diag -= v * v;
+        }
+        ARMSTICE_CHECK(diag > 0.0, "cholesky: matrix not positive definite");
+        const double ljj = std::sqrt(diag);
+        l[static_cast<std::size_t>(j) * n + j] = ljj;
+        for (int i = j + 1; i < n; ++i) {
+            double sum = a[static_cast<std::size_t>(i) * n + j];
+            for (int k = 0; k < j; ++k) {
+                sum -= l[static_cast<std::size_t>(i) * n + k] *
+                       l[static_cast<std::size_t>(j) * n + k];
+            }
+            l[static_cast<std::size_t>(i) * n + j] = sum / ljj;
+        }
+    }
+    if (counts) {
+        const double nd = n;
+        counts->flops += nd * nd * nd / 3.0;
+        counts->bytes_read += 8.0 * nd * nd * nd / 6.0;
+        counts->bytes_written += 8.0 * nd * (nd + 1.0) / 2.0;
+    }
+    return l;
+}
+
+std::vector<double> cholesky_solve(std::span<const double> l, int n,
+                                   std::span<const double> b, OpCounts* counts) {
+    ARMSTICE_CHECK(l.size() == static_cast<std::size_t>(n) * n, "cholesky_solve L size");
+    ARMSTICE_CHECK(b.size() == static_cast<std::size_t>(n), "cholesky_solve b size");
+    std::vector<double> y(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {  // L y = b
+        double sum = b[static_cast<std::size_t>(i)];
+        for (int k = 0; k < i; ++k) {
+            sum -= l[static_cast<std::size_t>(i) * n + k] * y[static_cast<std::size_t>(k)];
+        }
+        y[static_cast<std::size_t>(i)] = sum / l[static_cast<std::size_t>(i) * n + i];
+    }
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int i = n - 1; i >= 0; --i) {  // L^T x = y
+        double sum = y[static_cast<std::size_t>(i)];
+        for (int k = i + 1; k < n; ++k) {
+            sum -= l[static_cast<std::size_t>(k) * n + i] * x[static_cast<std::size_t>(k)];
+        }
+        x[static_cast<std::size_t>(i)] = sum / l[static_cast<std::size_t>(i) * n + i];
+    }
+    if (counts) {
+        counts->flops += 2.0 * static_cast<double>(n) * n;
+        counts->bytes_read += 16.0 * static_cast<double>(n) * n;
+        counts->bytes_written += 16.0 * static_cast<double>(n);
+    }
+    return x;
+}
+
+} // namespace armstice::kern

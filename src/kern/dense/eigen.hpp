@@ -1,0 +1,35 @@
+#pragma once
+// Dense symmetric eigensolver (cyclic Jacobi) and Cholesky factorisation —
+// the subspace-diagonalisation substrate of the CASTEP reference (plane-wave
+// DFT diagonalises the bands x bands subspace Hamiltonian every SCF cycle).
+
+#include "kern/counters.hpp"
+
+#include <span>
+#include <vector>
+
+namespace armstice::kern {
+
+struct EigenResult {
+    std::vector<double> values;   ///< ascending eigenvalues
+    std::vector<double> vectors;  ///< column-major: vectors[j*n + i] = v_j[i]
+    int sweeps = 0;               ///< Jacobi sweeps performed
+    bool converged = false;
+};
+
+/// Eigendecomposition of a symmetric n x n matrix (row-major) by cyclic
+/// Jacobi rotations. Throws util::Error if `a` is not square/symmetric.
+EigenResult eigen_sym(std::span<const double> a, int n, double tol = 1e-12,
+                      int max_sweeps = 30, OpCounts* counts = nullptr);
+
+/// Cholesky factorisation A = L L^T of an SPD matrix (row-major); returns
+/// the lower factor. Throws util::Error when A is not positive definite.
+std::vector<double> cholesky(std::span<const double> a, int n,
+                             OpCounts* counts = nullptr);
+
+/// Solve A x = b given the Cholesky factor L (forward + back substitution).
+std::vector<double> cholesky_solve(std::span<const double> l, int n,
+                                   std::span<const double> b,
+                                   OpCounts* counts = nullptr);
+
+} // namespace armstice::kern

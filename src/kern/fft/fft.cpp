@@ -1,0 +1,185 @@
+#include "kern/fft/fft.hpp"
+
+#include "util/error.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace armstice::kern {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+int log2_int(std::size_t n) {
+    int l = 0;
+    while ((std::size_t{1} << l) < n) ++l;
+    return l;
+}
+
+void fft_impl(std::span<cplx> a, bool inverse) {
+    const std::size_t n = a.size();
+    ARMSTICE_CHECK(is_pow2(n), "fft length must be a power of two");
+    if (n <= 1) return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(a[i], a[j]);
+    }
+
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+        const cplx wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            cplx w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const cplx u = a[i + k];
+                const cplx v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        const double inv = 1.0 / static_cast<double>(n);
+        for (auto& x : a) x *= inv;
+    }
+}
+
+} // namespace
+
+double fft_flops(long n) {
+    if (n <= 1) return 0.0;
+    return 5.0 * static_cast<double>(n) * log2_int(static_cast<std::size_t>(n));
+}
+
+double fft3d_flops(long n) {
+    return 3.0 * static_cast<double>(n) * static_cast<double>(n) * fft_flops(n);
+}
+
+void fft(std::span<cplx> data, OpCounts* counts) {
+    fft_impl(data, false);
+    if (counts) {
+        counts->flops += fft_flops(static_cast<long>(data.size()));
+        // log2(n) passes over the data.
+        const double passes = log2_int(data.size());
+        counts->bytes_read += 16.0 * static_cast<double>(data.size()) * passes;
+        counts->bytes_written += 16.0 * static_cast<double>(data.size()) * passes;
+    }
+}
+
+void ifft(std::span<cplx> data, OpCounts* counts) {
+    fft_impl(data, true);
+    if (counts) {
+        counts->flops += fft_flops(static_cast<long>(data.size())) +
+                         2.0 * static_cast<double>(data.size());
+        const double passes = log2_int(data.size()) + 1.0;
+        counts->bytes_read += 16.0 * static_cast<double>(data.size()) * passes;
+        counts->bytes_written += 16.0 * static_cast<double>(data.size()) * passes;
+    }
+}
+
+std::vector<cplx> dft_naive(std::span<const cplx> data) {
+    const std::size_t n = data.size();
+    std::vector<cplx> out(n, cplx{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                               static_cast<double>(n);
+            out[k] += data[j] * cplx(std::cos(ang), std::sin(ang));
+        }
+    }
+    return out;
+}
+
+void fft_any(std::span<cplx> data, OpCounts* counts) {
+    const std::size_t n = data.size();
+    if (n <= 1) return;
+    if (is_pow2(n)) {
+        fft(data, counts);
+        return;
+    }
+    // Bluestein: x_k * w^(k^2/2) convolved with the conjugate chirp, where
+    // w = exp(-2*pi*i/n). Phases use k^2 mod 2n to stay accurate for large k.
+    const std::size_t m = std::size_t{1} << (log2_int(2 * n - 1));
+    auto chirp = [&](std::size_t k, double sign) {
+        const unsigned long long k2 =
+            (static_cast<unsigned long long>(k) * k) % (2 * n);
+        const double ang = sign * std::numbers::pi * static_cast<double>(k2) /
+                           static_cast<double>(n);
+        return cplx(std::cos(ang), std::sin(ang));
+    };
+
+    std::vector<cplx> a(m, cplx{0, 0}), b(m, cplx{0, 0});
+    for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp(k, -1.0);
+    b[0] = chirp(0, +1.0);
+    for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = chirp(k, +1.0);
+
+    fft(a, counts);
+    fft(b, counts);
+    for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
+    ifft(a, counts);
+    for (std::size_t k = 0; k < n; ++k) data[k] = a[k] * chirp(k, -1.0);
+    if (counts) {
+        counts->flops += 14.0 * static_cast<double>(n) + 6.0 * static_cast<double>(m);
+        counts->bytes_read += 16.0 * 4.0 * static_cast<double>(m);
+        counts->bytes_written += 16.0 * 2.0 * static_cast<double>(m);
+    }
+}
+
+void ifft_any(std::span<cplx> data, OpCounts* counts) {
+    const std::size_t n = data.size();
+    if (n <= 1) return;
+    // DFT^-1(x) = conj(DFT(conj(x))) / n.
+    for (auto& x : data) x = std::conj(x);
+    fft_any(data, counts);
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x = std::conj(x) * inv;
+    if (counts) {
+        counts->flops += 2.0 * static_cast<double>(n);
+        counts->bytes_read += 16.0 * 2.0 * static_cast<double>(n);
+        counts->bytes_written += 16.0 * 2.0 * static_cast<double>(n);
+    }
+}
+
+namespace {
+
+void fft3d_impl(std::span<cplx> data, int n, bool inverse, OpCounts* counts) {
+    ARMSTICE_CHECK(n >= 1 && is_pow2(static_cast<std::size_t>(n)),
+                   "fft3d size must be a power of two");
+    const std::size_t nn = static_cast<std::size_t>(n);
+    ARMSTICE_CHECK(data.size() == nn * nn * nn, "fft3d data size mismatch");
+    auto line = [&](std::size_t base, std::size_t stride, std::span<cplx> buf) {
+        for (std::size_t i = 0; i < nn; ++i) buf[i] = data[base + i * stride];
+        if (inverse) {
+            ifft(buf, counts);
+        } else {
+            fft(buf, counts);
+        }
+        for (std::size_t i = 0; i < nn; ++i) data[base + i * stride] = buf[i];
+    };
+    std::vector<cplx> buf(nn);
+    // x-pencils (contiguous), y-pencils (stride n), z-pencils (stride n^2).
+    for (std::size_t z = 0; z < nn; ++z)
+        for (std::size_t y = 0; y < nn; ++y) line((z * nn + y) * nn, 1, buf);
+    for (std::size_t z = 0; z < nn; ++z)
+        for (std::size_t x = 0; x < nn; ++x) line(z * nn * nn + x, nn, buf);
+    for (std::size_t y = 0; y < nn; ++y)
+        for (std::size_t x = 0; x < nn; ++x) line(y * nn + x, nn * nn, buf);
+}
+
+} // namespace
+
+void fft3d(std::span<cplx> data, int n, OpCounts* counts) {
+    fft3d_impl(data, n, false, counts);
+}
+
+void ifft3d(std::span<cplx> data, int n, OpCounts* counts) {
+    fft3d_impl(data, n, true, counts);
+}
+
+} // namespace armstice::kern

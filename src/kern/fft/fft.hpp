@@ -1,0 +1,38 @@
+#pragma once
+// Complex FFTs — the substrate standing in for FFTW/MKL-DFT/SSL2 in the
+// CASTEP reference application. Iterative radix-2 Cooley-Tukey with exact
+// operation counting (the conventional 5 N log2 N flop convention).
+
+#include "kern/counters.hpp"
+#include "kern/dense/blas.hpp"
+
+#include <span>
+#include <vector>
+
+namespace armstice::kern {
+
+/// In-place forward DFT of power-of-two length.
+void fft(std::span<cplx> data, OpCounts* counts = nullptr);
+/// In-place inverse DFT (normalised by 1/N).
+void ifft(std::span<cplx> data, OpCounts* counts = nullptr);
+
+/// Naive O(N^2) DFT used by tests to validate fft().
+std::vector<cplx> dft_naive(std::span<const cplx> data);
+
+/// Forward/inverse DFT of *arbitrary* length via Bluestein's chirp-z
+/// algorithm (built on the power-of-two FFT). Real plane-wave codes use
+/// non-power-of-two grids (CASTEP's TiN grid is 90^3); this provides them
+/// in O(n log n).
+void fft_any(std::span<cplx> data, OpCounts* counts = nullptr);
+void ifft_any(std::span<cplx> data, OpCounts* counts = nullptr);
+
+/// In-place 3D FFT on an n x n x n cube (n power of two): 1D transforms
+/// along x, then y, then z (strided pencils).
+void fft3d(std::span<cplx> data, int n, OpCounts* counts = nullptr);
+void ifft3d(std::span<cplx> data, int n, OpCounts* counts = nullptr);
+
+/// Conventional flop counts used by the CASTEP skeleton.
+double fft_flops(long n);              ///< 5 n log2 n
+double fft3d_flops(long n);            ///< 3 n^2 pencils of fft_flops(n)
+
+} // namespace armstice::kern

@@ -1,0 +1,52 @@
+#include "kern/mesh/blocks.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace armstice::kern {
+
+BlockDistribution BlockDistribution::round_robin(int blocks, int ranks) {
+    ARMSTICE_CHECK(blocks >= 1 && ranks >= 1, "bad distribution shape");
+    BlockDistribution d;
+    d.blocks = blocks;
+    d.ranks = ranks;
+    d.owner.resize(static_cast<std::size_t>(blocks));
+    d.blocks_of.assign(static_cast<std::size_t>(ranks), 0);
+    for (int b = 0; b < blocks; ++b) {
+        const int r = b % ranks;
+        d.owner[static_cast<std::size_t>(b)] = r;
+        d.blocks_of[static_cast<std::size_t>(r)] += 1;
+    }
+    d.max_blocks_per_rank = *std::max_element(d.blocks_of.begin(), d.blocks_of.end());
+    d.active_ranks = static_cast<int>(
+        std::count_if(d.blocks_of.begin(), d.blocks_of.end(), [](int c) { return c > 0; }));
+    return d;
+}
+
+double BlockDistribution::balance() const {
+    ARMSTICE_CHECK(max_blocks_per_rank > 0, "empty distribution");
+    const double mean = static_cast<double>(blocks) / ranks;
+    return mean / max_blocks_per_rank;
+}
+
+std::vector<long> tile_cells(long nx, long ny, int blocks) {
+    ARMSTICE_CHECK(nx >= 1 && ny >= 1 && blocks >= 1, "bad tiling shape");
+    // Near-square tiling: bx x by tiles with bx*by >= blocks, bx ~ sqrt.
+    int bx = std::max(1, static_cast<int>(std::floor(std::sqrt(static_cast<double>(blocks)))));
+    while (blocks % bx != 0) --bx;
+    const int by = blocks / bx;
+    std::vector<long> cells;
+    cells.reserve(static_cast<std::size_t>(blocks));
+    for (int j = 0; j < by; ++j) {
+        const long rows = ny / by + (j < ny % by ? 1 : 0);
+        for (int i = 0; i < bx; ++i) {
+            const long cols = nx / bx + (i < nx % bx ? 1 : 0);
+            cells.push_back(rows * cols);
+        }
+    }
+    return cells;
+}
+
+} // namespace armstice::kern

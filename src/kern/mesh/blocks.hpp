@@ -1,0 +1,34 @@
+#pragma once
+// Structured block decomposition — COSA's parallelisation unit. The paper's
+// Fig 4 crossover is a load-balance effect of distributing 800 grid blocks
+// over process counts that do not divide 800; this module computes exactly
+// that distribution.
+
+#include <vector>
+
+namespace armstice::kern {
+
+struct BlockDistribution {
+    int blocks = 0;
+    int ranks = 0;
+    std::vector<int> owner;        ///< block -> rank
+    std::vector<int> blocks_of;    ///< rank -> number of blocks
+    int max_blocks_per_rank = 0;   ///< the load-balance bottleneck
+    int active_ranks = 0;          ///< ranks that own >= 1 block
+
+    /// COSA's distribution: blocks dealt round-robin to ranks. With
+    /// blocks < ranks the trailing ranks are idle (Fulhame at 16 nodes:
+    /// 1024 processes, 800 blocks -> 224 idle); with blocks % ranks != 0
+    /// some ranks carry one extra block (A64FX at 16 nodes: 768 processes,
+    /// 32 of them carry 2 blocks).
+    static BlockDistribution round_robin(int blocks, int ranks);
+
+    /// Parallel efficiency of the distribution: mean load / max load.
+    [[nodiscard]] double balance() const;
+};
+
+/// Split an (nx, ny) plane into `blocks` near-square tiles; returns per-block
+/// cell counts (used by the COSA reference at laptop scale).
+std::vector<long> tile_cells(long nx, long ny, int blocks);
+
+} // namespace armstice::kern

@@ -1,0 +1,62 @@
+#pragma once
+// Spectral-element kernels — the real numerics behind the Nekbone reference:
+// Gauss-Lobatto-Legendre quadrature, the GLL differentiation matrix, and the
+// matrix-free `ax` operator (local_grad3 -> geometric factors ->
+// local_grad3^T -> direct-stiffness summation), which is the kernel the
+// paper reports accounts for >75% of Nekbone's runtime.
+
+#include "kern/counters.hpp"
+#include "kern/sparse/cg.hpp"  // CgResult
+
+#include <span>
+#include <vector>
+
+namespace armstice::kern {
+
+/// Gauss-Lobatto-Legendre points (ascending in [-1,1]) and weights for
+/// `n` points (polynomial order n-1).
+void gll_points(int n, std::vector<double>& x, std::vector<double>& w);
+
+/// GLL differentiation matrix D (row-major n x n): (Du)_i = sum_j D_ij u_j.
+std::vector<double> gll_deriv_matrix(int n);
+
+/// A chain of E spectral elements, each nx1^3 GLL points, coupled by shared
+/// faces along x (Nekbone's "linear geometry"). The ax operator applies the
+/// Poisson stiffness with diagonal geometric factors.
+class NekMesh {
+public:
+    NekMesh(int nelems, int nx1);
+
+    [[nodiscard]] int nelems() const { return nelems_; }
+    [[nodiscard]] int nx1() const { return nx1_; }
+    /// Element-local dofs (duplicated at shared faces, Nekbone layout).
+    [[nodiscard]] long local_dofs() const {
+        return static_cast<long>(nelems_) * nx1_ * nx1_ * nx1_;
+    }
+
+    /// w = A u (includes direct-stiffness summation and the Dirichlet mask
+    /// on the first face, which makes A SPD on the masked space).
+    void ax(std::span<const double> u, std::span<double> w,
+            OpCounts* counts = nullptr) const;
+
+    /// Nekbone's solver: CG on A u = f for `iters` iterations (Nekbone runs
+    /// a fixed iteration count rather than to tolerance).
+    CgResult cg(std::span<const double> f, std::span<double> u, int iters) const;
+
+    /// Direct-stiffness summation (gather-scatter over shared faces).
+    void dssum(std::span<double> u, OpCounts* counts = nullptr) const;
+    /// Zero the masked (Dirichlet) dofs: the x=0 face of element 0.
+    void mask(std::span<double> u) const;
+
+    /// Exact analytic flop count of one ax call (cross-checked in tests):
+    /// 12*nx1^4 + 15*nx1^3 per element plus dssum adds.
+    static double ax_flops(int nelems, int nx1);
+
+private:
+    int nelems_;
+    int nx1_;
+    std::vector<double> dmat_;   ///< nx1 x nx1 differentiation matrix
+    std::vector<double> geom_;   ///< diagonal geometric factor per point
+};
+
+} // namespace armstice::kern

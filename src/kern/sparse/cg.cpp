@@ -1,0 +1,103 @@
+#include "kern/sparse/cg.hpp"
+
+#include "kern/dense/blas.hpp"
+#include "util/error.hpp"
+
+#include <cmath>
+
+namespace armstice::kern {
+
+CgResult cg_solve(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                  const CgOptions& opts, const Preconditioner& precond) {
+    ARMSTICE_CHECK(a.rows() == a.cols(), "cg needs a square matrix");
+    const std::size_t n = static_cast<std::size_t>(a.rows());
+    ARMSTICE_CHECK(b.size() == n && x.size() == n, "cg vector size mismatch");
+
+    CgResult res;
+    OpCounts& c = res.counts;
+
+    std::vector<double> r(n), z(n), p(n), ap(n);
+    a.spmv(x, ap, &c);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+    c.flops += static_cast<double>(n);
+
+    const double bnorm = norm2(b, &c);
+    if (bnorm == 0.0) {
+        std::fill(x.begin(), x.end(), 0.0);
+        res.converged = true;
+        return res;
+    }
+
+    auto apply_precond = [&](std::span<const double> rr, std::span<double> zz) {
+        if (precond) {
+            precond(rr, zz, &c);
+        } else {
+            std::copy(rr.begin(), rr.end(), zz.begin());
+        }
+    };
+
+    apply_precond(r, z);
+    std::copy(z.begin(), z.end(), p.begin());
+    double rz = dot(r, z, &c);
+
+    for (int it = 0; it < opts.max_iters; ++it) {
+        a.spmv(p, ap, &c);
+        const double pap = dot(p, ap, &c);
+        ARMSTICE_CHECK(pap > 0.0, "cg: matrix not positive definite");
+        const double alpha = rz / pap;
+        axpy(alpha, p, x, &c);
+        axpy(-alpha, ap, r, &c);
+
+        const double rnorm = norm2(r, &c) / bnorm;
+        res.residuals.push_back(rnorm);
+        res.iterations = it + 1;
+        if (rnorm < opts.rel_tol) {
+            res.converged = true;
+            break;
+        }
+
+        apply_precond(r, z);
+        const double rz_new = dot(r, z, &c);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        // p = z + beta*p
+        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        c.flops += 2.0 * static_cast<double>(n);
+        c.bytes_read += 16.0 * static_cast<double>(n);
+        c.bytes_written += 8.0 * static_cast<double>(n);
+    }
+
+    res.final_residual = res.residuals.empty() ? 0.0 : res.residuals.back();
+    return res;
+}
+
+Preconditioner jacobi_preconditioner(const CsrMatrix& a) {
+    auto diag = a.diagonal();
+    for (double d : diag) {
+        ARMSTICE_CHECK(d != 0.0, "jacobi preconditioner requires nonzero diagonal");
+    }
+    return [diag = std::move(diag)](std::span<const double> r, std::span<double> z,
+                                    OpCounts* counts) {
+        ARMSTICE_CHECK(r.size() == diag.size() && z.size() == diag.size(),
+                       "jacobi size mismatch");
+        for (std::size_t i = 0; i < diag.size(); ++i) z[i] = r[i] / diag[i];
+        if (counts) {
+            counts->flops += static_cast<double>(diag.size());
+            counts->bytes_read += 16.0 * static_cast<double>(diag.size());
+            counts->bytes_written += 8.0 * static_cast<double>(diag.size());
+        }
+    };
+}
+
+double cg_iter_flops(const CsrMatrix& a) {
+    const double n = static_cast<double>(a.rows());
+    // spmv + 2 dots (pAp, r.r via norm) + axpy x2 + p-update.
+    return a.spmv_flops() + 2.0 * (2.0 * n) + 2.0 * (2.0 * n) + 2.0 * n;
+}
+
+double cg_iter_bytes(const CsrMatrix& a) {
+    const double n = static_cast<double>(a.rows());
+    return a.spmv_bytes() + 2.0 * 16.0 * n + 2.0 * 24.0 * n + 24.0 * n;
+}
+
+} // namespace armstice::kern

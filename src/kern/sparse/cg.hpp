@@ -1,0 +1,43 @@
+#pragma once
+// Conjugate-gradient solver — the core of HPCG, minikab, Nekbone and the
+// COSA smoother. Plain CG plus preconditioned CG with a caller-supplied
+// preconditioner (HPCG uses the multigrid V-cycle, minikab runs plain).
+
+#include "kern/sparse/csr.hpp"
+
+#include <functional>
+
+namespace armstice::kern {
+
+struct CgOptions {
+    int max_iters = 500;
+    double rel_tol = 1e-8;
+};
+
+struct CgResult {
+    int iterations = 0;
+    bool converged = false;
+    double final_residual = 0;      ///< ||b - Ax|| / ||b||
+    std::vector<double> residuals;  ///< per-iteration relative residuals
+    OpCounts counts;
+};
+
+/// Preconditioner: z <- M^{-1} r. Identity when empty.
+using Preconditioner =
+    std::function<void(std::span<const double> r, std::span<double> z, OpCounts*)>;
+
+/// Solve A x = b; x holds the initial guess on entry, the solution on exit.
+CgResult cg_solve(const CsrMatrix& a, std::span<const double> b, std::span<double> x,
+                  const CgOptions& opts = {}, const Preconditioner& precond = {});
+
+/// Exact per-iteration counts for plain CG on `a` (skeleton cross-checks):
+/// 1 SpMV + 2 dots + 3 axpy-likes.
+double cg_iter_flops(const CsrMatrix& a);
+double cg_iter_bytes(const CsrMatrix& a);
+
+/// Jacobi (diagonal) preconditioner for `a`: z = D^{-1} r. The matrix must
+/// have nonzero diagonals. The returned callable references `a`'s diagonal
+/// by value and is safe to outlive the call site.
+Preconditioner jacobi_preconditioner(const CsrMatrix& a);
+
+} // namespace armstice::kern

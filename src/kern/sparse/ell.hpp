@@ -1,0 +1,43 @@
+#pragma once
+// ELLPACK sparse format — the padded, vector-friendly layout SIMD/SVE
+// machines prefer for SpMV (and the format the A64FX's own HPCG
+// optimisations use). Provided alongside CSR so the format trade-off the
+// paper's HPCG discussion implies can be studied directly
+// (bench/ext_spmv_formats).
+
+#include "kern/sparse/csr.hpp"
+
+namespace armstice::kern {
+
+class EllMatrix {
+public:
+    /// Convert from CSR; pads every row to the longest row's width.
+    explicit EllMatrix(const CsrMatrix& csr);
+
+    [[nodiscard]] long rows() const { return rows_; }
+    [[nodiscard]] long cols() const { return cols_; }
+    [[nodiscard]] int width() const { return width_; }
+    /// Stored entries including padding.
+    [[nodiscard]] long padded_nnz() const { return rows_ * width_; }
+    /// Real (unpadded) nonzeros.
+    [[nodiscard]] long nnz() const { return nnz_; }
+    /// Padding overhead ratio: padded / real entries (1.0 = no padding).
+    [[nodiscard]] double padding_ratio() const {
+        return nnz_ > 0 ? static_cast<double>(padded_nnz()) / nnz_ : 1.0;
+    }
+
+    /// y = A*x. Column-major (lane-major) storage: entry k of every row is
+    /// contiguous, the layout that vectorises across rows.
+    void spmv(std::span<const double> x, std::span<double> y,
+              OpCounts* counts = nullptr) const;
+
+private:
+    long rows_ = 0;
+    long cols_ = 0;
+    long nnz_ = 0;
+    int width_ = 0;
+    std::vector<int> col_idx_;   ///< rows_ x width_, lane-major, -1 = padding
+    std::vector<double> vals_;
+};
+
+} // namespace armstice::kern

@@ -1,0 +1,91 @@
+#include "kern/sparse/multigrid.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+
+namespace armstice::kern {
+
+Multigrid::Multigrid(int nx, int ny, int nz, int levels) {
+    ARMSTICE_CHECK(levels >= 1, "multigrid needs >=1 level");
+    int cx = nx, cy = ny, cz = nz;
+    for (int l = 0; l < levels; ++l) {
+        ARMSTICE_CHECK(cx >= 2 && cy >= 2 && cz >= 2,
+                       "grid too small for requested multigrid depth");
+        Level lvl{cx, cy, cz, poisson27(cx, cy, cz), {}};
+        grids_.push_back(std::move(lvl));
+        if (l + 1 < levels) {
+            ARMSTICE_CHECK(cx % 2 == 0 && cy % 2 == 0 && cz % 2 == 0,
+                           "grid dims must be divisible by 2 per level");
+            const int fx = cx;
+            const int fy = cy;
+            cx /= 2;
+            cy /= 2;
+            cz /= 2;
+            // Injection map: coarse (x,y,z) -> fine (2x,2y,2z).
+            auto& f2c = grids_.back().f2c;
+            f2c.resize(static_cast<std::size_t>(cx) * cy * cz);
+            for (int z = 0; z < cz; ++z) {
+                for (int y = 0; y < cy; ++y) {
+                    for (int x = 0; x < cx; ++x) {
+                        const long coarse = (static_cast<long>(z) * cy + y) * cx + x;
+                        const long fine =
+                            (static_cast<long>(2 * z) * fy + 2 * y) * fx + 2 * x;
+                        f2c[static_cast<std::size_t>(coarse)] = fine;
+                    }
+                }
+            }
+        }
+    }
+}
+
+const CsrMatrix& Multigrid::matrix(int level) const {
+    ARMSTICE_CHECK(level >= 0 && level < levels(), "level out of range");
+    return grids_[static_cast<std::size_t>(level)].a;
+}
+
+long Multigrid::rows(int level) const { return matrix(level).rows(); }
+
+void Multigrid::vcycle(std::span<const double> r, std::span<double> x,
+                       OpCounts* counts) const {
+    std::fill(x.begin(), x.end(), 0.0);
+    cycle(0, r, x, counts);
+}
+
+void Multigrid::cycle(int level, std::span<const double> r, std::span<double> x,
+                      OpCounts* counts) const {
+    const Level& lvl = grids_[static_cast<std::size_t>(level)];
+    const std::size_t n = static_cast<std::size_t>(lvl.a.rows());
+    ARMSTICE_CHECK(r.size() == n && x.size() == n, "multigrid level size mismatch");
+
+    lvl.a.symgs(r, x, counts);  // pre-smooth (x contains the smoothed guess)
+
+    if (level + 1 < levels()) {
+        // Residual on the fine grid.
+        std::vector<double> ax(n), res(n);
+        lvl.a.spmv(x, ax, counts);
+        for (std::size_t i = 0; i < n; ++i) res[i] = r[i] - ax[i];
+        if (counts) {
+            counts->flops += static_cast<double>(n);
+            counts->bytes_read += 16.0 * static_cast<double>(n);
+            counts->bytes_written += 8.0 * static_cast<double>(n);
+        }
+
+        // Restrict by injection, solve coarse, prolong by injection-add.
+        const Level& coarse = grids_[static_cast<std::size_t>(level) + 1];
+        const std::size_t nc = static_cast<std::size_t>(coarse.a.rows());
+        std::vector<double> rc(nc), xc(nc, 0.0);
+        for (std::size_t i = 0; i < nc; ++i) rc[i] = res[static_cast<std::size_t>(lvl.f2c[i])];
+        cycle(level + 1, rc, xc, counts);
+        for (std::size_t i = 0; i < nc; ++i) x[static_cast<std::size_t>(lvl.f2c[i])] += xc[i];
+        if (counts) {
+            counts->flops += static_cast<double>(nc);
+            counts->bytes_read += 24.0 * static_cast<double>(nc);
+            counts->bytes_written += 16.0 * static_cast<double>(nc);
+        }
+
+        lvl.a.symgs(r, x, counts);  // post-smooth
+    }
+}
+
+} // namespace armstice::kern

@@ -1,0 +1,37 @@
+#pragma once
+// Geometric multigrid on nested 3D grids with SymGS smoothing and injection
+// transfer operators — exactly the HPCG preconditioner structure (4 levels,
+// coarsening by 2 in each dimension).
+
+#include "kern/sparse/csr.hpp"
+
+#include <memory>
+
+namespace armstice::kern {
+
+class Multigrid {
+public:
+    /// Grid dims must be divisible by 2^(levels-1).
+    Multigrid(int nx, int ny, int nz, int levels);
+
+    [[nodiscard]] int levels() const { return static_cast<int>(grids_.size()); }
+    [[nodiscard]] const CsrMatrix& matrix(int level) const;
+    [[nodiscard]] long rows(int level) const;
+
+    /// One V-cycle applying M^{-1} r -> x (x zero-initialised internally);
+    /// usable directly as a kern::Preconditioner.
+    void vcycle(std::span<const double> r, std::span<double> x,
+                OpCounts* counts = nullptr) const;
+
+private:
+    struct Level {
+        int nx, ny, nz;
+        CsrMatrix a;
+        std::vector<long> f2c;  ///< coarse row -> fine row (injection)
+    };
+    void cycle(int level, std::span<const double> r, std::span<double> x,
+               OpCounts* counts) const;
+    std::vector<Level> grids_;
+};
+
+} // namespace armstice::kern

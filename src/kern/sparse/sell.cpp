@@ -1,0 +1,109 @@
+#include "kern/sparse/sell.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace armstice::kern {
+
+SellMatrix::SellMatrix(const CsrMatrix& csr, int chunk, int sigma)
+    : rows_(csr.rows()), cols_(csr.cols()), nnz_(csr.nnz()), chunk_(chunk),
+      sigma_(sigma) {
+    ARMSTICE_CHECK(chunk >= 1, "SELL chunk must be >= 1");
+    ARMSTICE_CHECK(sigma >= chunk && sigma % chunk == 0,
+                   "SELL sigma must be a multiple of the chunk size");
+
+    const auto row_ptr = csr.row_ptr();
+    auto row_len = [&](long r) {
+        return static_cast<int>(row_ptr[static_cast<std::size_t>(r) + 1] -
+                                row_ptr[static_cast<std::size_t>(r)]);
+    };
+
+    // Sort rows by descending length inside each sigma window.
+    perm_.resize(static_cast<std::size_t>(rows_));
+    std::iota(perm_.begin(), perm_.end(), 0L);
+    for (long w = 0; w < rows_; w += sigma_) {
+        const long end = std::min(rows_, w + sigma_);
+        std::sort(perm_.begin() + w, perm_.begin() + end, [&](long a, long b) {
+            return row_len(a) != row_len(b) ? row_len(a) > row_len(b) : a < b;
+        });
+    }
+
+    // Lay out chunks.
+    const long n_chunks = (rows_ + chunk_ - 1) / chunk_;
+    chunk_start_.resize(static_cast<std::size_t>(n_chunks) + 1, 0);
+    chunk_width_.resize(static_cast<std::size_t>(n_chunks), 0);
+    for (long c = 0; c < n_chunks; ++c) {
+        int width = 0;
+        for (int lane = 0; lane < chunk_; ++lane) {
+            const long r = c * chunk_ + lane;
+            if (r < rows_) width = std::max(width, row_len(perm_[static_cast<std::size_t>(r)]));
+        }
+        chunk_width_[static_cast<std::size_t>(c)] = width;
+        chunk_start_[static_cast<std::size_t>(c) + 1] =
+            chunk_start_[static_cast<std::size_t>(c)] +
+            static_cast<long>(width) * chunk_;
+    }
+    padded_nnz_ = chunk_start_[static_cast<std::size_t>(n_chunks)];
+
+    col_idx_.assign(static_cast<std::size_t>(padded_nnz_), -1);
+    vals_.assign(static_cast<std::size_t>(padded_nnz_), 0.0);
+    const auto cols = csr.col_idx();
+    const auto vals = csr.vals();
+    for (long c = 0; c < n_chunks; ++c) {
+        const long base = chunk_start_[static_cast<std::size_t>(c)];
+        for (int lane = 0; lane < chunk_; ++lane) {
+            const long slot = c * chunk_ + lane;
+            if (slot >= rows_) continue;
+            const long src = perm_[static_cast<std::size_t>(slot)];
+            int k = 0;
+            for (long e = row_ptr[static_cast<std::size_t>(src)];
+                 e < row_ptr[static_cast<std::size_t>(src) + 1]; ++e, ++k) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(base + static_cast<long>(k) * chunk_ + lane);
+                col_idx_[idx] = cols[static_cast<std::size_t>(e)];
+                vals_[idx] = vals[static_cast<std::size_t>(e)];
+            }
+        }
+    }
+}
+
+void SellMatrix::spmv(std::span<const double> x, std::span<double> y,
+                      OpCounts* counts) const {
+    ARMSTICE_CHECK(x.size() == static_cast<std::size_t>(cols_), "sell spmv x size");
+    ARMSTICE_CHECK(y.size() == static_cast<std::size_t>(rows_), "sell spmv y size");
+    const long n_chunks = (rows_ + chunk_ - 1) / chunk_;
+    std::vector<double> acc(static_cast<std::size_t>(chunk_));
+    for (long c = 0; c < n_chunks; ++c) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        const long base = chunk_start_[static_cast<std::size_t>(c)];
+        const int width = chunk_width_[static_cast<std::size_t>(c)];
+        for (int k = 0; k < width; ++k) {
+            for (int lane = 0; lane < chunk_; ++lane) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(base + static_cast<long>(k) * chunk_ + lane);
+                const int col = col_idx_[idx];
+                if (col >= 0) {
+                    acc[static_cast<std::size_t>(lane)] +=
+                        vals_[idx] * x[static_cast<std::size_t>(col)];
+                }
+            }
+        }
+        for (int lane = 0; lane < chunk_; ++lane) {
+            const long slot = c * chunk_ + lane;
+            if (slot < rows_) {
+                y[static_cast<std::size_t>(perm_[static_cast<std::size_t>(slot)])] =
+                    acc[static_cast<std::size_t>(lane)];
+            }
+        }
+    }
+    if (counts) {
+        counts->flops += 2.0 * static_cast<double>(nnz_);
+        counts->bytes_read += 12.0 * static_cast<double>(padded_nnz_) +
+                              8.0 * static_cast<double>(rows_);
+        counts->bytes_written += 8.0 * static_cast<double>(rows_);
+    }
+}
+
+} // namespace armstice::kern

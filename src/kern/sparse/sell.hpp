@@ -1,0 +1,48 @@
+#pragma once
+// SELL-C-sigma sparse format (Kreutzer et al., SIAM J. Sci. Comput. 2014) —
+// the sliced-ELLPACK layout designed for wide-SIMD architectures and used by
+// A64FX-optimised sparse kernels: rows are sorted by length inside windows
+// of sigma rows, grouped into chunks of C rows, and each chunk padded only
+// to its own longest row. Compared to plain ELL this bounds padding while
+// keeping the vectorisable chunk-column-major access.
+
+#include "kern/sparse/csr.hpp"
+
+namespace armstice::kern {
+
+class SellMatrix {
+public:
+    /// Build from CSR. `chunk` (C) should match the SIMD width in rows
+    /// (8 for SVE-512 doubles); `sigma` is the sorting-window size in rows
+    /// (a multiple of C; larger windows reduce padding, perturb locality).
+    explicit SellMatrix(const CsrMatrix& csr, int chunk = 8, int sigma = 64);
+
+    [[nodiscard]] long rows() const { return rows_; }
+    [[nodiscard]] long cols() const { return cols_; }
+    [[nodiscard]] int chunk() const { return chunk_; }
+    [[nodiscard]] int sigma() const { return sigma_; }
+    [[nodiscard]] long nnz() const { return nnz_; }
+    [[nodiscard]] long padded_nnz() const { return padded_nnz_; }
+    [[nodiscard]] double padding_ratio() const {
+        return nnz_ > 0 ? static_cast<double>(padded_nnz_) / nnz_ : 1.0;
+    }
+
+    /// y = A*x (handles the internal row permutation transparently).
+    void spmv(std::span<const double> x, std::span<double> y,
+              OpCounts* counts = nullptr) const;
+
+private:
+    long rows_ = 0;
+    long cols_ = 0;
+    long nnz_ = 0;
+    long padded_nnz_ = 0;
+    int chunk_;
+    int sigma_;
+    std::vector<long> perm_;         ///< storage row -> original row
+    std::vector<long> chunk_start_;  ///< chunk -> offset into vals_/col_idx_
+    std::vector<int> chunk_width_;   ///< chunk -> padded row length
+    std::vector<int> col_idx_;       ///< -1 = padding
+    std::vector<double> vals_;
+};
+
+} // namespace armstice::kern

@@ -1,0 +1,105 @@
+#include "net/collectives.hpp"
+
+#include "util/error.hpp"
+
+#include <cmath>
+
+namespace armstice::net {
+namespace {
+
+int ceil_log2(int n) {
+    int stages = 0;
+    int span = 1;
+    while (span < n) {
+        span *= 2;
+        ++stages;
+    }
+    return stages;
+}
+
+/// Payload size at which MPI allreduce implementations switch from
+/// recursive doubling to reduce-scatter + allgather.
+constexpr double kRabenseifnerCutover = 16.0 * 1024.0;
+
+} // namespace
+
+double CollectiveModel::stage_latency() const {
+    const auto& p = net_->params();
+    return p.latency_s + net_->topology().mean_hops() * p.per_hop_s +
+           p.msg_overhead_s;
+}
+
+double CollectiveModel::shm_stage_latency() const {
+    const auto& p = net_->params();
+    return p.shm_latency_s + p.msg_overhead_s;
+}
+
+double CollectiveModel::allreduce(const CommLayout& layout, double bytes) const {
+    ARMSTICE_CHECK(layout.nodes >= 1 && layout.ranks_per_node >= 1,
+                   "bad comm layout");
+    ARMSTICE_CHECK(bytes >= 0, "negative allreduce payload");
+    if (layout.ranks() <= 1) return 0.0;
+
+    // Hierarchical: on-node reduce, inter-node allreduce, on-node bcast.
+    const int shm_stages = 2 * ceil_log2(layout.ranks_per_node);
+    double t = shm_stages * (shm_stage_latency() + bytes / net_->params().shm_bandwidth);
+
+    if (layout.nodes > 1) {
+        const int stages = ceil_log2(layout.nodes);
+        if (bytes <= kRabenseifnerCutover) {
+            // Recursive doubling: every stage moves the full payload.
+            t += 2.0 * stages *
+                 (stage_latency() + bytes / net_->params().bandwidth);
+        } else {
+            // Rabenseifner: reduce-scatter + allgather.
+            const double frac =
+                static_cast<double>(layout.nodes - 1) / layout.nodes;
+            t += 2.0 * stages * stage_latency() +
+                 2.0 * frac * bytes / net_->params().bandwidth;
+        }
+    }
+    return t;
+}
+
+double CollectiveModel::barrier(const CommLayout& layout) const {
+    return allreduce(layout, 8.0);
+}
+
+double CollectiveModel::bcast(const CommLayout& layout, double bytes) const {
+    ARMSTICE_CHECK(bytes >= 0, "negative bcast payload");
+    if (layout.ranks() <= 1) return 0.0;
+    double t = ceil_log2(layout.ranks_per_node) *
+               (shm_stage_latency() + bytes / net_->params().shm_bandwidth);
+    if (layout.nodes > 1) {
+        t += ceil_log2(layout.nodes) *
+             (stage_latency() + bytes / net_->params().bandwidth);
+    }
+    return t;
+}
+
+double CollectiveModel::allgather(const CommLayout& layout, double bytes_each) const {
+    ARMSTICE_CHECK(bytes_each >= 0, "negative allgather payload");
+    const int p = layout.ranks();
+    if (p <= 1) return 0.0;
+    // Ring algorithm: P-1 steps, each forwarding one contribution.
+    const double per_step = (layout.nodes > 1)
+                                ? stage_latency() + bytes_each / net_->params().bandwidth
+                                : shm_stage_latency() +
+                                      bytes_each / net_->params().shm_bandwidth;
+    return (p - 1) * per_step;
+}
+
+double CollectiveModel::alltoall(const CommLayout& layout, double bytes_each) const {
+    ARMSTICE_CHECK(bytes_each >= 0, "negative alltoall payload");
+    const int p = layout.ranks();
+    if (p <= 1) return 0.0;
+    // Pairwise exchange: P-1 rounds; a round is off-node unless all ranks
+    // share a node.
+    const bool on_node = layout.nodes == 1;
+    const double per_round =
+        on_node ? shm_stage_latency() + bytes_each / net_->params().shm_bandwidth
+                : stage_latency() + bytes_each / net_->params().bandwidth;
+    return (p - 1) * per_round;
+}
+
+} // namespace armstice::net

@@ -1,0 +1,49 @@
+#pragma once
+// Algorithm-aware collective cost models. These price the collective
+// operations the six workloads use (allreduce every CG iteration, barriers,
+// gather for output) on a concrete Network with a concrete process layout.
+//
+// Algorithms follow the standard MPI implementations:
+//  * allreduce:  recursive doubling for small payloads (latency term
+//    2*ceil(log2 P) stages), Rabenseifner reduce-scatter + allgather for
+//    large payloads (bandwidth term 2*(P-1)/P * n/B).
+//  * Hierarchical layout: on-node stages use the shared-memory link, only
+//    inter-node stages pay fabric latency (all five systems' MPIs are
+//    hierarchy-aware).
+
+#include "net/network.hpp"
+
+namespace armstice::net {
+
+struct CommLayout {
+    int nodes = 1;           ///< nodes participating
+    int ranks_per_node = 1;  ///< ranks on each node
+    [[nodiscard]] int ranks() const { return nodes * ranks_per_node; }
+};
+
+class CollectiveModel {
+public:
+    explicit CollectiveModel(const Network& network) : net_(&network) {}
+
+    /// MPI_Allreduce of `bytes` per rank.
+    [[nodiscard]] double allreduce(const CommLayout& layout, double bytes) const;
+
+    /// MPI_Barrier.
+    [[nodiscard]] double barrier(const CommLayout& layout) const;
+
+    /// MPI_Bcast of `bytes` from one root.
+    [[nodiscard]] double bcast(const CommLayout& layout, double bytes) const;
+
+    /// MPI_Allgather where each rank contributes `bytes_each`.
+    [[nodiscard]] double allgather(const CommLayout& layout, double bytes_each) const;
+
+    /// MPI_Alltoall with `bytes_each` per pair (pairwise exchange algorithm).
+    [[nodiscard]] double alltoall(const CommLayout& layout, double bytes_each) const;
+
+private:
+    [[nodiscard]] double stage_latency() const;  ///< one inter-node stage
+    [[nodiscard]] double shm_stage_latency() const;
+    const Network* net_;
+};
+
+} // namespace armstice::net

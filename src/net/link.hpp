@@ -1,0 +1,30 @@
+#pragma once
+// Link-level parameters for the five interconnects (LogGP-style): startup
+// latency alpha, per-switch-hop latency, per-link bandwidth beta, node
+// injection bandwidth, per-message software overhead o, plus the intra-node
+// shared-memory path every MPI uses for co-located ranks.
+
+#include "arch/system.hpp"
+
+namespace armstice::net {
+
+struct LinkParams {
+    double latency_s = 1e-6;        ///< alpha: end-to-end 0-hop startup latency
+    double per_hop_s = 0.1e-6;      ///< added latency per switch/router hop
+    double bandwidth = 10e9;        ///< beta: single-pair link bandwidth (B/s)
+    double injection_bw = 10e9;     ///< max aggregate B/s in+out of one node
+    double msg_overhead_s = 0.2e-6; ///< o: per-message CPU overhead (send+recv)
+    double shm_latency_s = 0.25e-6; ///< intra-node (shared memory) latency
+    double shm_bandwidth = 16e9;    ///< intra-node single-pair bandwidth
+};
+
+/// Published/measured-anchored parameters per interconnect family:
+///  * TofuD: 0.49-0.54 us put latency, 6.8 GB/s per link, 6 TNIs per node
+///    (Ajima et al., CLUSTER 2018 — the paper's reference [3]).
+///  * Aries: ~1.2 us MPI latency, ~9 GB/s per direction.
+///  * FDR IB: 56 Gb/s line rate -> ~6.0 GB/s MPI bandwidth.
+///  * OmniPath: 100 Gb/s -> ~11.2 GB/s, slightly higher small-message latency.
+///  * EDR IB: 100 Gb/s -> ~11.5 GB/s, ~0.9 us latency.
+LinkParams link_params(arch::NetKind kind);
+
+} // namespace armstice::net

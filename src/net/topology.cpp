@@ -1,0 +1,143 @@
+#include "net/topology.hpp"
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace armstice::net {
+
+int Topology::diameter() const {
+    int d = 0;
+    for (int a = 0; a < nodes(); ++a)
+        for (int b = a + 1; b < nodes(); ++b) d = std::max(d, hops(a, b));
+    return d;
+}
+
+double Topology::mean_hops() const {
+    const int n = nodes();
+    if (n < 2) return 0.0;
+    double sum = 0.0;
+    long count = 0;
+    for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+            if (a == b) continue;
+            sum += hops(a, b);
+            ++count;
+        }
+    }
+    return sum / static_cast<double>(count);
+}
+
+// ---------------------------------------------------------------- torus ----
+
+TorusTopology::TorusTopology(std::vector<int> dims) : dims_(std::move(dims)) {
+    ARMSTICE_CHECK(!dims_.empty(), "torus needs >=1 dimension");
+    for (int d : dims_) ARMSTICE_CHECK(d >= 1, "torus dims must be >=1");
+}
+
+TorusTopology TorusTopology::fit(int n) {
+    ARMSTICE_CHECK(n >= 1, "torus needs >=1 node");
+    // Near-cubic 3D box with product >= n (TofuD allocations are compact).
+    int x = std::max(1, static_cast<int>(std::floor(std::cbrt(static_cast<double>(n)))));
+    while (x > 1 && n % x != 0) --x;  // prefer exact factors when available
+    const int rest = (n + x - 1) / x;
+    int y = std::max(1, static_cast<int>(std::floor(std::sqrt(static_cast<double>(rest)))));
+    while (y > 1 && rest % y != 0) --y;
+    const int z = (rest + y - 1) / y;
+    return TorusTopology({x, y, z});
+}
+
+std::string TorusTopology::name() const {
+    std::vector<std::string> parts;
+    parts.reserve(dims_.size());
+    for (int d : dims_) parts.push_back(std::to_string(d));
+    return "torus(" + util::join(parts, "x") + ")";
+}
+
+int TorusTopology::nodes() const {
+    int n = 1;
+    for (int d : dims_) n *= d;
+    return n;
+}
+
+std::vector<int> TorusTopology::coords(int node) const {
+    ARMSTICE_CHECK(node >= 0 && node < nodes(), "torus node out of range");
+    std::vector<int> c(dims_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        c[i] = node % dims_[i];
+        node /= dims_[i];
+    }
+    return c;
+}
+
+int TorusTopology::hops(int a, int b) const {
+    if (a == b) return 0;
+    const auto ca = coords(a);
+    const auto cb = coords(b);
+    int h = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        const int d = std::abs(ca[i] - cb[i]);
+        h += std::min(d, dims_[i] - d);  // shortest way around the ring
+    }
+    return std::max(1, h);
+}
+
+// ------------------------------------------------------------- fat tree ----
+
+FatTreeTopology::FatTreeTopology(int n_nodes, int nodes_per_leaf)
+    : n_nodes_(n_nodes), nodes_per_leaf_(nodes_per_leaf) {
+    ARMSTICE_CHECK(n_nodes >= 1, "fat tree needs >=1 node");
+    ARMSTICE_CHECK(nodes_per_leaf >= 1, "fat tree needs >=1 node per leaf");
+}
+
+std::string FatTreeTopology::name() const {
+    return "fat-tree(" + std::to_string(leaves()) + " leaves x " +
+           std::to_string(nodes_per_leaf_) + ")";
+}
+
+int FatTreeTopology::leaves() const {
+    return (n_nodes_ + nodes_per_leaf_ - 1) / nodes_per_leaf_;
+}
+
+int FatTreeTopology::hops(int a, int b) const {
+    ARMSTICE_CHECK(a >= 0 && a < n_nodes_ && b >= 0 && b < n_nodes_,
+                   "fat tree node out of range");
+    if (a == b) return 0;
+    return (a / nodes_per_leaf_ == b / nodes_per_leaf_) ? 1 : 3;
+}
+
+// ------------------------------------------------------------ dragonfly ----
+
+DragonflyTopology::DragonflyTopology(int n_nodes, int nodes_per_router,
+                                     int routers_per_group)
+    : n_nodes_(n_nodes),
+      nodes_per_router_(nodes_per_router),
+      routers_per_group_(routers_per_group) {
+    ARMSTICE_CHECK(n_nodes >= 1, "dragonfly needs >=1 node");
+    ARMSTICE_CHECK(nodes_per_router >= 1 && routers_per_group >= 1,
+                   "dragonfly shape invalid");
+}
+
+std::string DragonflyTopology::name() const {
+    return "dragonfly(" + std::to_string(nodes_per_router_) + "/router, " +
+           std::to_string(routers_per_group_) + " routers/group)";
+}
+
+int DragonflyTopology::hops(int a, int b) const {
+    ARMSTICE_CHECK(a >= 0 && a < n_nodes_ && b >= 0 && b < n_nodes_,
+                   "dragonfly node out of range");
+    if (a == b) return 0;
+    const int ra = a / nodes_per_router_;
+    const int rb = b / nodes_per_router_;
+    if (ra == rb) return 1;  // same Aries router
+    const int ga = ra / routers_per_group_;
+    const int gb = rb / routers_per_group_;
+    if (ga == gb) return 2;  // intra-group all-to-all: one local link
+    // Minimal global route: local hop, global link, local hop (source and
+    // destination routers are generally not the gateway routers).
+    return 4;
+}
+
+} // namespace armstice::net

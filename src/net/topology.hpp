@@ -1,0 +1,78 @@
+#pragma once
+// Topology models — hop counts between nodes for each interconnect family.
+// Hop counts feed the per-hop latency term of Network::p2p_time; bandwidth
+// tapering in the fat tree / dragonfly cases is folded into LinkParams
+// (both ARCHER's Aries and Fulhame's EDR fabric are described by the paper
+// as non-blocking at the scales benchmarked: <= 16 nodes).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace armstice::net {
+
+class Topology {
+public:
+    virtual ~Topology() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual int nodes() const = 0;
+    /// Switch/router hops on the route between two distinct nodes (>= 1).
+    [[nodiscard]] virtual int hops(int a, int b) const = 0;
+    /// Maximum hops over all node pairs.
+    [[nodiscard]] int diameter() const;
+    /// Mean hops over all distinct ordered pairs (used by collective models).
+    [[nodiscard]] double mean_hops() const;
+};
+
+/// K-dimensional torus (models the TofuD 6D mesh/torus: the three "virtual"
+/// axes of a job allocation behave as a 3D torus of node groups).
+class TorusTopology final : public Topology {
+public:
+    explicit TorusTopology(std::vector<int> dims);
+    /// Build a near-cubic torus holding at least n nodes.
+    static TorusTopology fit(int n);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int nodes() const override;
+    [[nodiscard]] int hops(int a, int b) const override;
+    [[nodiscard]] const std::vector<int>& dims() const { return dims_; }
+    [[nodiscard]] std::vector<int> coords(int node) const;
+
+private:
+    std::vector<int> dims_;
+};
+
+/// Two-level fat tree (leaf + spine), non-blocking: 1 hop under the same
+/// leaf, 3 hops across leaves. Models the EDR/FDR IB and OmniPath fabrics.
+class FatTreeTopology final : public Topology {
+public:
+    FatTreeTopology(int n_nodes, int nodes_per_leaf);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int nodes() const override { return n_nodes_; }
+    [[nodiscard]] int hops(int a, int b) const override;
+    [[nodiscard]] int leaves() const;
+
+private:
+    int n_nodes_;
+    int nodes_per_leaf_;
+};
+
+/// Dragonfly (Cray Aries): nodes -> routers (4/router), routers -> groups
+/// (16 routers/group, all-to-all local), groups all-to-all global.
+/// Hops: same router 1; same group <= 2; across groups <= 5.
+class DragonflyTopology final : public Topology {
+public:
+    DragonflyTopology(int n_nodes, int nodes_per_router = 4, int routers_per_group = 16);
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] int nodes() const override { return n_nodes_; }
+    [[nodiscard]] int hops(int a, int b) const override;
+
+private:
+    int n_nodes_;
+    int nodes_per_router_;
+    int routers_per_group_;
+};
+
+} // namespace armstice::net

@@ -1,0 +1,296 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+
+namespace armstice::sim {
+namespace {
+
+struct Message {
+    int src = 0;
+    int tag = 0;
+    double arrival = 0;
+};
+
+enum class BlockKind { none, recv, collective };
+
+/// Deterministic OS-noise stretch for (rank, op): capped Exp(1) sample.
+double noise_sample(int rank, std::size_t op_index) {
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL ^
+                          (static_cast<std::uint64_t>(rank) << 32) ^ op_index;
+    const double u =
+        static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+    return std::min(8.0, -std::log1p(-u));
+}
+
+struct RankState {
+    std::size_t pc = 0;
+    double time = 0;
+    BlockKind blocked = BlockKind::none;
+    int want_src = kAnySource;
+    int want_tag = 0;
+    int coll_count = 0;    ///< collectives this rank has entered
+    std::string mark;      ///< current phase label
+    bool finished = false;
+};
+
+enum class CollKind { none, allreduce, barrier, alltoall };
+
+struct Collective {
+    CollKind kind = CollKind::none;
+    double bytes = 0;
+    int arrived = 0;
+    double max_time = 0;
+    std::vector<int> waiters;
+    double completion = 0;
+};
+
+} // namespace
+
+double RunResult::mean_compute() const {
+    double s = 0;
+    for (const auto& r : ranks) s += r.compute;
+    return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double RunResult::mean_recv_wait() const {
+    double s = 0;
+    for (const auto& r : ranks) s += r.recv_wait;
+    return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+double RunResult::mean_collective_wait() const {
+    double s = 0;
+    for (const auto& r : ranks) s += r.collective_wait;
+    return ranks.empty() ? 0.0 : s / static_cast<double>(ranks.size());
+}
+
+Engine::Engine(const arch::SystemSpec& sys, Placement placement, double vec_quality,
+               arch::ModelKnobs knobs)
+    : sys_(&sys),
+      placement_(std::move(placement)),
+      vec_quality_(vec_quality),
+      cost_(knobs),
+      network_(sys.net, placement_.nodes()) {
+    ARMSTICE_CHECK(vec_quality_ > 0.0 && vec_quality_ <= 1.0,
+                   "vec_quality must be in (0,1]");
+}
+
+RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const {
+    const int n = placement_.ranks();
+    ARMSTICE_CHECK(static_cast<int>(programs.size()) == n,
+                   util::format("programs (%zu) != ranks (%d)", programs.size(), n));
+
+    const net::CollectiveModel coll_model(network_);
+    net::CommLayout layout;
+    layout.nodes = placement_.nodes();
+    layout.ranks_per_node = (n + layout.nodes - 1) / layout.nodes;
+
+    std::vector<RankState> st(static_cast<std::size_t>(n));
+    std::vector<arch::ExecContext> ctx;
+    ctx.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) ctx.push_back(placement_.exec_context(r, vec_quality_));
+
+    RunResult result;
+    result.ranks.assign(static_cast<std::size_t>(n), RankStats{});
+
+    std::vector<std::deque<Message>> mailbox(static_cast<std::size_t>(n));
+    std::vector<Collective> collectives;
+    std::deque<int> runnable;
+    std::vector<char> queued(static_cast<std::size_t>(n), 1);
+    for (int r = 0; r < n; ++r) runnable.push_back(r);
+    int finished = 0;
+
+    auto wake = [&](int r) {
+        if (!queued[static_cast<std::size_t>(r)] && !st[static_cast<std::size_t>(r)].finished) {
+            queued[static_cast<std::size_t>(r)] = 1;
+            runnable.push_back(r);
+        }
+    };
+
+    auto match = [&](int r, const Message& m) {
+        const auto& s = st[static_cast<std::size_t>(r)];
+        return (s.want_src == kAnySource || s.want_src == m.src) && s.want_tag == m.tag;
+    };
+
+    auto try_recv = [&](int r) -> std::optional<Message> {
+        auto& box = mailbox[static_cast<std::size_t>(r)];
+        for (auto it = box.begin(); it != box.end(); ++it) {
+            if (match(r, *it)) {
+                Message m = *it;
+                box.erase(it);
+                return m;
+            }
+        }
+        return std::nullopt;
+    };
+
+    while (finished < n) {
+        if (runnable.empty()) {
+            std::string blocked;
+            for (int r = 0; r < n; ++r) {
+                const auto& s = st[static_cast<std::size_t>(r)];
+                if (!s.finished) {
+                    blocked += util::format(" rank %d (%s at op %zu)", r,
+                                            s.blocked == BlockKind::recv ? "recv"
+                                                                         : "collective",
+                                            s.pc);
+                }
+            }
+            throw util::DeadlockError("no rank can make progress:" + blocked);
+        }
+
+        const int r = runnable.front();
+        runnable.pop_front();
+        queued[static_cast<std::size_t>(r)] = 0;
+        auto& s = st[static_cast<std::size_t>(r)];
+        auto& stats = result.ranks[static_cast<std::size_t>(r)];
+        const Program& prog = programs[static_cast<std::size_t>(r)];
+
+        bool advancing = true;
+        while (advancing && s.pc < prog.ops.size()) {
+            const Op& op = prog.ops[s.pc];
+            if (const auto* c = std::get_if<ComputeOp>(&op)) {
+                double dt = cost_.phase_time(c->phase, ctx[static_cast<std::size_t>(r)]);
+                if (cost_.knobs().os_noise > 0) {
+                    dt *= 1.0 + cost_.knobs().os_noise * noise_sample(r, s.pc);
+                }
+                const std::string& label = s.mark.empty() ? c->phase.label : s.mark;
+                if (trace) {
+                    trace->add({r, SpanKind::compute, label, s.time, s.time + dt});
+                }
+                s.time += dt;
+                stats.compute += dt;
+                result.total_flops += c->phase.flops;
+                result.phase_compute[label] += dt;
+                ++s.pc;
+            } else if (const auto* snd = std::get_if<SendOp>(&op)) {
+                ARMSTICE_CHECK(snd->dst >= 0 && snd->dst < n, "send dst out of range");
+                const int src_node = placement_.loc(r).node;
+                const int dst_node = placement_.loc(snd->dst).node;
+                const double arrival =
+                    s.time + network_.p2p_time(src_node, dst_node, snd->bytes);
+                const double inject = network_.params().msg_overhead_s +
+                                      network_.injection_time(snd->bytes);
+                if (trace) {
+                    trace->add({r, SpanKind::send, "", s.time, s.time + inject});
+                }
+                s.time += inject;
+                stats.injected_bytes += snd->bytes;
+                ++stats.msgs_sent;
+                mailbox[static_cast<std::size_t>(snd->dst)].push_back(
+                    Message{r, snd->tag, arrival});
+                if (st[static_cast<std::size_t>(snd->dst)].blocked == BlockKind::recv) {
+                    wake(snd->dst);
+                }
+                ++s.pc;
+            } else if (const auto* rcv = std::get_if<RecvOp>(&op)) {
+                s.want_src = rcv->src;
+                s.want_tag = rcv->tag;
+                if (auto m = try_recv(r)) {
+                    if (m->arrival > s.time) {
+                        if (trace) {
+                            trace->add({r, SpanKind::recv_wait, "", s.time, m->arrival});
+                        }
+                        stats.recv_wait += m->arrival - s.time;
+                        s.time = m->arrival;
+                    }
+                    ++stats.msgs_received;
+                    s.blocked = BlockKind::none;
+                    ++s.pc;
+                } else {
+                    s.blocked = BlockKind::recv;
+                    advancing = false;
+                }
+            } else if (std::get_if<AllreduceOp>(&op) || std::get_if<BarrierOp>(&op) ||
+                       std::get_if<AlltoallOp>(&op)) {
+                CollKind kind = CollKind::barrier;
+                double bytes = 8.0;
+                if (const auto* ar = std::get_if<AllreduceOp>(&op)) {
+                    kind = CollKind::allreduce;
+                    bytes = ar->bytes;
+                } else if (const auto* aa = std::get_if<AlltoallOp>(&op)) {
+                    kind = CollKind::alltoall;
+                    bytes = aa->bytes_each;
+                }
+
+                const int ord = s.coll_count;
+                if (ord >= static_cast<int>(collectives.size())) {
+                    collectives.resize(static_cast<std::size_t>(ord) + 1);
+                    collectives[static_cast<std::size_t>(ord)].kind = kind;
+                    collectives[static_cast<std::size_t>(ord)].bytes = bytes;
+                }
+                auto& coll = collectives[static_cast<std::size_t>(ord)];
+                ARMSTICE_CHECK(coll.kind == kind && coll.bytes == bytes,
+                               "collective mismatch: ranks disagree on op " +
+                                   std::to_string(ord));
+                ++s.coll_count;
+                coll.max_time = std::max(coll.max_time, s.time);
+                ++coll.arrived;
+                if (coll.arrived == n) {
+                    double cost = 0.0;
+                    switch (kind) {
+                        case CollKind::allreduce:
+                            cost = coll_model.allreduce(layout, bytes);
+                            break;
+                        case CollKind::barrier:
+                            cost = coll_model.barrier(layout);
+                            break;
+                        case CollKind::alltoall:
+                            cost = coll_model.alltoall(layout, bytes);
+                            break;
+                        case CollKind::none: break;
+                    }
+                    coll.completion = coll.max_time + cost;
+                    // Resume everyone (this rank inline, peers via queue).
+                    for (int w : coll.waiters) {
+                        auto& ws = st[static_cast<std::size_t>(w)];
+                        if (trace) {
+                            trace->add({w, SpanKind::collective, "", ws.time,
+                                        coll.completion});
+                        }
+                        result.ranks[static_cast<std::size_t>(w)].collective_wait +=
+                            coll.completion - ws.time;
+                        ws.time = coll.completion;
+                        ws.blocked = BlockKind::none;
+                        ++ws.pc;
+                        wake(w);
+                    }
+                    if (trace) {
+                        trace->add({r, SpanKind::collective, "", s.time,
+                                    coll.completion});
+                    }
+                    stats.collective_wait += coll.completion - s.time;
+                    s.time = coll.completion;
+                    ++s.pc;
+                } else {
+                    coll.waiters.push_back(r);
+                    s.blocked = BlockKind::collective;
+                    advancing = false;
+                }
+            } else if (const auto* m = std::get_if<MarkOp>(&op)) {
+                s.mark = m->label;
+                ++s.pc;
+            }
+        }
+
+        if (s.pc >= prog.ops.size() && !s.finished) {
+            s.finished = true;
+            stats.finish = s.time;
+            ++finished;
+        }
+    }
+
+    for (const auto& stats : result.ranks) {
+        result.makespan = std::max(result.makespan, stats.finish);
+    }
+    return result;
+}
+
+} // namespace armstice::sim

@@ -1,0 +1,77 @@
+#pragma once
+// Engine — the discrete-event simulator. Executes one Program per rank with
+// blocking-MPI semantics: eager sends, FIFO tag matching on receives, and
+// synchronising collectives priced by net::CollectiveModel. Compute ops are
+// priced by arch::CostModel under the placement's contention context.
+//
+// The engine is process-oriented: it advances each runnable rank's virtual
+// clock until the rank blocks (receive with no matching message, collective
+// with absent peers) or finishes, unblocking peers as messages/collectives
+// complete. If no rank can make progress the engine throws
+// util::DeadlockError naming the blocked ranks.
+
+#include "arch/cost_model.hpp"
+#include "arch/system.hpp"
+#include "net/collectives.hpp"
+#include "sim/placement.hpp"
+#include "sim/program.hpp"
+#include "sim/trace.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace armstice::sim {
+
+struct RankStats {
+    double finish = 0;          ///< virtual time the rank's program completed
+    double compute = 0;         ///< seconds in ComputeOps
+    double recv_wait = 0;       ///< seconds blocked waiting for messages
+    double collective_wait = 0; ///< seconds in collectives (sync + transfer)
+    double injected_bytes = 0;
+    int msgs_sent = 0;
+    int msgs_received = 0;
+};
+
+struct RunResult {
+    double makespan = 0;      ///< max rank finish time
+    double total_flops = 0;   ///< counted FLOPs over all ranks
+    std::vector<RankStats> ranks;
+    /// Compute seconds per MarkOp label, summed over ranks (divide by ranks
+    /// for the SPMD per-rank view).
+    std::map<std::string, double> phase_compute;
+
+    [[nodiscard]] double gflops() const {
+        return makespan > 0 ? total_flops / 1e9 / makespan : 0.0;
+    }
+    [[nodiscard]] double mean_compute() const;
+    [[nodiscard]] double mean_recv_wait() const;
+    [[nodiscard]] double mean_collective_wait() const;
+};
+
+class Engine {
+public:
+    /// `nodes` sizes the interconnect; `vec_quality` comes from the
+    /// experiment's Toolchain.
+    Engine(const arch::SystemSpec& sys, Placement placement, double vec_quality,
+           arch::ModelKnobs knobs = {});
+
+    /// Execute one program per rank (programs.size() must equal
+    /// placement.ranks()). Deterministic; reusable. When `trace` is non-null
+    /// every per-rank span (compute, sends, waits, collectives) is recorded
+    /// for timeline export (sim/trace.hpp).
+    [[nodiscard]] RunResult run(const std::vector<Program>& programs,
+                                Trace* trace = nullptr) const;
+
+    [[nodiscard]] const Placement& placement() const { return placement_; }
+    [[nodiscard]] const net::Network& network() const { return network_; }
+
+private:
+    const arch::SystemSpec* sys_;
+    Placement placement_;
+    double vec_quality_;
+    arch::CostModel cost_;
+    net::Network network_;
+};
+
+} // namespace armstice::sim

@@ -1,0 +1,128 @@
+#include "sim/placement.hpp"
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace armstice::sim {
+
+Placement Placement::build(const arch::NodeSpec& node, int nodes, int ranks,
+                           int threads_per_rank,
+                           const std::function<std::pair<int, int>(int)>& assign) {
+    ARMSTICE_CHECK(nodes >= 1, "placement needs >=1 node");
+    ARMSTICE_CHECK(ranks >= 1, "placement needs >=1 rank");
+    ARMSTICE_CHECK(threads_per_rank >= 1, "placement needs >=1 thread per rank");
+    node.validate();
+
+    Placement p;
+    p.node_ = &node;
+    p.nodes_ = nodes;
+    p.threads_ = threads_per_rank;
+    p.locs_.resize(static_cast<std::size_t>(ranks));
+    p.streams_.assign(static_cast<std::size_t>(nodes),
+                      std::vector<int>(static_cast<std::size_t>(node.mem_domains()), 0));
+
+    const int cores_per_node = node.cores();
+    const int cpd = node.cores_per_domain();
+    // Core occupancy per node: reject overlapping or out-of-range pinnings.
+    std::vector<std::vector<char>> used(
+        static_cast<std::size_t>(nodes),
+        std::vector<char>(static_cast<std::size_t>(cores_per_node), 0));
+    for (int r = 0; r < ranks; ++r) {
+        const auto [n, first_core] = assign(r);
+        ARMSTICE_CHECK(n >= 0 && n < nodes, "placement node out of range");
+        ARMSTICE_CHECK(first_core >= 0 &&
+                           first_core + threads_per_rank <= cores_per_node,
+                       util::format("placement oversubscribes cores: rank %d at core"
+                                    " %d x %d threads on %d-core nodes",
+                                    r, first_core, threads_per_rank, cores_per_node));
+        RankLoc loc;
+        loc.node = n;
+        loc.first_core = first_core;
+        loc.first_domain = loc.first_core / cpd;
+        const int last_domain = (loc.first_core + threads_per_rank - 1) / cpd;
+        loc.domains_spanned = last_domain - loc.first_domain + 1;
+        p.locs_[static_cast<std::size_t>(r)] = loc;
+        for (int t = 0; t < threads_per_rank; ++t) {
+            const int core = loc.first_core + t;
+            auto& cell = used[static_cast<std::size_t>(n)][static_cast<std::size_t>(core)];
+            ARMSTICE_CHECK(!cell, util::format("placement pins two ranks to node %d"
+                                               " core %d", n, core));
+            cell = 1;
+            p.streams_[static_cast<std::size_t>(loc.node)]
+                      [static_cast<std::size_t>(core / cpd)] += 1;
+        }
+    }
+    return p;
+}
+
+Placement Placement::block(const arch::NodeSpec& node, int nodes, int ranks,
+                           int threads_per_rank) {
+    ARMSTICE_CHECK(nodes >= 1, "placement needs >=1 node");
+    const int ranks_per_node = (ranks + nodes - 1) / nodes;
+    return build(node, nodes, ranks, threads_per_rank, [&](int r) {
+        return std::pair<int, int>{r / ranks_per_node,
+                                   (r % ranks_per_node) * threads_per_rank};
+    });
+}
+
+Placement Placement::round_robin(const arch::NodeSpec& node, int nodes, int ranks,
+                                 int threads_per_rank) {
+    ARMSTICE_CHECK(nodes >= 1, "placement needs >=1 node");
+    const int domains = node.mem_domains();
+    const int cpd = node.cores_per_domain();
+    return build(node, nodes, ranks, threads_per_rank, [&](int r) {
+        const int i = r / nodes;  // i-th rank on its node
+        const int first_core = (i % domains) * cpd + (i / domains) * threads_per_rank;
+        return std::pair<int, int>{r % nodes, first_core};
+    });
+}
+
+const RankLoc& Placement::loc(int rank) const {
+    ARMSTICE_CHECK(rank >= 0 && rank < ranks(), "rank out of range");
+    return locs_[static_cast<std::size_t>(rank)];
+}
+
+int Placement::ranks_on_node(int node) const {
+    ARMSTICE_CHECK(node >= 0 && node < nodes_, "node out of range");
+    int count = 0;
+    for (const auto& l : locs_) count += (l.node == node) ? 1 : 0;
+    return count;
+}
+
+int Placement::streams_on_domain(int node, int domain) const {
+    ARMSTICE_CHECK(node >= 0 && node < nodes_, "node out of range");
+    ARMSTICE_CHECK(domain >= 0 && domain < node_->mem_domains(), "domain out of range");
+    return streams_[static_cast<std::size_t>(node)][static_cast<std::size_t>(domain)];
+}
+
+arch::ExecContext Placement::exec_context(int rank, double vec_quality) const {
+    const RankLoc& l = loc(rank);
+    arch::ExecContext ctx;
+    ctx.cpu = &node_->cpu;
+    ctx.vec_quality = vec_quality;
+    ctx.threads = threads_;
+    ctx.domains_spanned = l.domains_spanned;
+    // Use the rank's first domain as representative; with block placement all
+    // domains a rank spans carry the same stream count.
+    ctx.streams_on_domain = std::max(1, streams_on_domain(l.node, l.first_domain));
+    return ctx;
+}
+
+void Placement::check_capacity(double bytes_per_rank) const {
+    ARMSTICE_CHECK(bytes_per_rank >= 0, "negative footprint");
+    const double cap = node_->mem_capacity();
+    for (int n = 0; n < nodes_; ++n) {
+        const double used = bytes_per_rank * ranks_on_node(n);
+        if (used > cap) {
+            throw util::CapacityError(util::format(
+                "node %d needs %.2f GB but has %.2f GB (%d ranks x %.2f GB)", n,
+                used / 1e9, cap / 1e9, ranks_on_node(n), bytes_per_rank / 1e9));
+        }
+    }
+}
+
+} // namespace armstice::sim

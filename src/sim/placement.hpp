@@ -1,0 +1,69 @@
+#pragma once
+// Placement — maps MPI ranks (each with a fixed OpenMP thread count) onto
+// nodes, memory domains and cores. Reproduces the paper's §III.a pinning
+// methodology: processes and threads are pinned; a rank's threads occupy
+// consecutive cores starting at its base core.
+
+#include "arch/cost_model.hpp"
+#include "arch/processor.hpp"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace armstice::sim {
+
+struct RankLoc {
+    int node = 0;
+    int first_core = 0;    ///< node-local core index of the rank's first thread
+    int first_domain = 0;  ///< memory domain of the first core
+    int domains_spanned = 1;
+};
+
+class Placement {
+public:
+    /// Block placement: ranks fill node 0 first (ranks_per_node ranks, each
+    /// `threads` consecutive cores), then node 1, etc. Throws util::Error if
+    /// a node's cores are oversubscribed.
+    static Placement block(const arch::NodeSpec& node, int nodes, int ranks,
+                           int threads_per_rank);
+
+    /// Round-robin (scatter) placement: rank r lands on node r % nodes.
+    /// Spreads under-populated jobs across nodes — the opposite memory-
+    /// contention regime to block placement (bench/ext_placement).
+    static Placement round_robin(const arch::NodeSpec& node, int nodes, int ranks,
+                                 int threads_per_rank);
+
+    [[nodiscard]] int ranks() const { return static_cast<int>(locs_.size()); }
+    [[nodiscard]] int threads() const { return threads_; }
+    [[nodiscard]] int nodes() const { return nodes_; }
+    [[nodiscard]] const arch::NodeSpec& node_spec() const { return *node_; }
+    [[nodiscard]] const RankLoc& loc(int rank) const;
+
+    /// Ranks resident on a node.
+    [[nodiscard]] int ranks_on_node(int node) const;
+    /// Hardware streams (rank threads) active on a (node, domain) pair —
+    /// the contention input of DESIGN.md §4.4.
+    [[nodiscard]] int streams_on_domain(int node, int domain) const;
+
+    /// Cost-model context for one rank (vec_quality supplied by caller).
+    [[nodiscard]] arch::ExecContext exec_context(int rank, double vec_quality) const;
+
+    /// Throws util::CapacityError when `bytes_per_rank` summed per node
+    /// exceeds node memory (DESIGN.md §4.5).
+    void check_capacity(double bytes_per_rank) const;
+
+private:
+    Placement() = default;
+    /// Shared construction given a rank -> (node, slot-on-node) assignment.
+    static Placement build(const arch::NodeSpec& node, int nodes, int ranks,
+                           int threads_per_rank,
+                           const std::function<std::pair<int, int>(int)>& assign);
+    const arch::NodeSpec* node_ = nullptr;
+    int nodes_ = 0;
+    int threads_ = 1;
+    std::vector<RankLoc> locs_;
+    std::vector<std::vector<int>> streams_;  ///< [node][domain] -> stream count
+};
+
+} // namespace armstice::sim

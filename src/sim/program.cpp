@@ -1,0 +1,21 @@
+#include "sim/program.hpp"
+
+namespace armstice::sim {
+
+double Program::total_flops() const {
+    double sum = 0.0;
+    for (const auto& op : ops) {
+        if (const auto* c = std::get_if<ComputeOp>(&op)) sum += c->phase.flops;
+    }
+    return sum;
+}
+
+double Program::total_main_bytes() const {
+    double sum = 0.0;
+    for (const auto& op : ops) {
+        if (const auto* c = std::get_if<ComputeOp>(&op)) sum += c->phase.main_bytes;
+    }
+    return sum;
+}
+
+} // namespace armstice::sim

@@ -1,0 +1,96 @@
+#pragma once
+// Per-rank operation programs — the instruction set the discrete-event
+// engine executes. Application skeletons build one Program per rank
+// (usually via the simmpi::MiniMpi facade) out of counted compute phases
+// and MPI-shaped communication operations.
+
+#include "arch/phase.hpp"
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace armstice::sim {
+
+/// Wildcard source for RecvOp (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+
+struct ComputeOp {
+    arch::ComputePhase phase;
+};
+
+/// Eager non-blocking send (MPI_Isend followed by an eventual wait that the
+/// engine folds into injection time).
+struct SendOp {
+    int dst = 0;
+    double bytes = 0;
+    int tag = 0;
+};
+
+/// Blocking receive with FIFO (src, tag) matching.
+struct RecvOp {
+    int src = kAnySource;
+    int tag = 0;
+};
+
+/// World allreduce of `bytes` per rank (the engine prices it with
+/// net::CollectiveModel and synchronises all ranks).
+struct AllreduceOp {
+    double bytes = 8;
+};
+
+struct BarrierOp {};
+
+/// World all-to-all with `bytes_each` per rank pair (pairwise exchange;
+/// used by the distributed-FFT transposes in the CASTEP model).
+struct AlltoallOp {
+    double bytes_each = 0;
+};
+
+/// Labels subsequent work for per-phase metrics (no time cost).
+struct MarkOp {
+    std::string label;
+};
+
+using Op =
+    std::variant<ComputeOp, SendOp, RecvOp, AllreduceOp, BarrierOp, AlltoallOp, MarkOp>;
+
+struct Program {
+    std::vector<Op> ops;
+
+    Program& compute(arch::ComputePhase phase) {
+        ops.emplace_back(ComputeOp{std::move(phase)});
+        return *this;
+    }
+    Program& send(int dst, double bytes, int tag = 0) {
+        ops.emplace_back(SendOp{dst, bytes, tag});
+        return *this;
+    }
+    Program& recv(int src = kAnySource, int tag = 0) {
+        ops.emplace_back(RecvOp{src, tag});
+        return *this;
+    }
+    Program& allreduce(double bytes = 8) {
+        ops.emplace_back(AllreduceOp{bytes});
+        return *this;
+    }
+    Program& barrier() {
+        ops.emplace_back(BarrierOp{});
+        return *this;
+    }
+    Program& alltoall(double bytes_each) {
+        ops.emplace_back(AlltoallOp{bytes_each});
+        return *this;
+    }
+    Program& mark(std::string label) {
+        ops.emplace_back(MarkOp{std::move(label)});
+        return *this;
+    }
+
+    /// Total counted FLOPs in this program.
+    [[nodiscard]] double total_flops() const;
+    /// Total counted main-memory bytes.
+    [[nodiscard]] double total_main_bytes() const;
+};
+
+} // namespace armstice::sim

@@ -1,0 +1,63 @@
+#include "sim/trace.hpp"
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+#include <fstream>
+
+namespace armstice::sim {
+
+const char* span_kind_name(SpanKind k) {
+    switch (k) {
+        case SpanKind::compute: return "compute";
+        case SpanKind::send: return "send";
+        case SpanKind::recv_wait: return "recv-wait";
+        case SpanKind::collective: return "collective";
+    }
+    return "?";
+}
+
+void Trace::add(Span span) {
+    ARMSTICE_CHECK(span.end >= span.begin, "span ends before it begins");
+    spans_.push_back(std::move(span));
+}
+
+double Trace::total_seconds(SpanKind kind) const {
+    double sum = 0;
+    for (const auto& s : spans_) {
+        if (s.kind == kind) sum += s.end - s.begin;
+    }
+    return sum;
+}
+
+std::string Trace::to_chrome_json() const {
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto& s : spans_) {
+        if (!first) out += ",\n";
+        first = false;
+        std::string name = s.label.empty() ? span_kind_name(s.kind) : s.label;
+        // Escape the minimal set for our labels (no control chars expected).
+        std::string escaped;
+        for (char c : name) {
+            if (c == '"' || c == '\\') escaped += '\\';
+            escaped += c;
+        }
+        out += util::format(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+            "\"ts\":%.3f,\"dur\":%.3f}",
+            escaped.c_str(), span_kind_name(s.kind), s.rank, s.begin * 1e6,
+            (s.end - s.begin) * 1e6);
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void Trace::write_chrome_json(const std::string& path) const {
+    std::ofstream f(path);
+    ARMSTICE_CHECK(f.good(), "cannot open " + path);
+    f << to_chrome_json();
+    ARMSTICE_CHECK(f.good(), "write failed for " + path);
+}
+
+} // namespace armstice::sim

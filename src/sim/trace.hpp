@@ -1,0 +1,49 @@
+#pragma once
+// Execution traces — optional per-rank span recording for simulated runs,
+// exportable as Chrome-tracing JSON (load in chrome://tracing or Perfetto).
+// This is the "what was every rank doing when" view HPC profilers give on
+// real machines, produced here for simulated ones.
+
+#include <string>
+#include <vector>
+
+namespace armstice::sim {
+
+enum class SpanKind {
+    compute,     ///< a ComputeOp
+    send,        ///< injection of an outgoing message
+    recv_wait,   ///< blocked waiting for a message
+    collective,  ///< inside a collective (sync + transfer)
+};
+
+const char* span_kind_name(SpanKind k);
+
+struct Span {
+    int rank = 0;
+    SpanKind kind = SpanKind::compute;
+    std::string label;
+    double begin = 0;  ///< simulated seconds
+    double end = 0;
+};
+
+class Trace {
+public:
+    void add(Span span);
+    [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+    [[nodiscard]] std::size_t size() const { return spans_.size(); }
+
+    /// Total span seconds per kind (summed over ranks).
+    [[nodiscard]] double total_seconds(SpanKind kind) const;
+
+    /// Chrome-tracing "trace event" JSON: one complete ('X') event per span,
+    /// pid 0, tid = rank, microsecond timestamps.
+    [[nodiscard]] std::string to_chrome_json() const;
+
+    /// Write to file; throws util::Error on I/O failure.
+    void write_chrome_json(const std::string& path) const;
+
+private:
+    std::vector<Span> spans_;
+};
+
+} // namespace armstice::sim

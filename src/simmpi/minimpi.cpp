@@ -1,0 +1,172 @@
+#include "simmpi/minimpi.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+
+namespace armstice::simmpi {
+
+ProgramSet::ProgramSet(int ranks) {
+    ARMSTICE_CHECK(ranks >= 1, "ProgramSet needs >=1 rank");
+    programs_.resize(static_cast<std::size_t>(ranks));
+}
+
+sim::Program& ProgramSet::at(int rank) {
+    ARMSTICE_CHECK(rank >= 0 && rank < ranks(), "rank out of range");
+    return programs_[static_cast<std::size_t>(rank)];
+}
+
+ProgramSet& ProgramSet::compute(const arch::ComputePhase& phase) {
+    for (auto& p : programs_) p.compute(phase);
+    return *this;
+}
+
+ProgramSet& ProgramSet::allreduce(double bytes) {
+    for (auto& p : programs_) p.allreduce(bytes);
+    return *this;
+}
+
+ProgramSet& ProgramSet::barrier() {
+    for (auto& p : programs_) p.barrier();
+    return *this;
+}
+
+ProgramSet& ProgramSet::alltoall(double bytes_each) {
+    for (auto& p : programs_) p.alltoall(bytes_each);
+    return *this;
+}
+
+ProgramSet& ProgramSet::mark(const std::string& label) {
+    for (auto& p : programs_) p.mark(label);
+    return *this;
+}
+
+ProgramSet& ProgramSet::halo_exchange(const std::vector<std::vector<int>>& neighbors,
+                                      const std::vector<std::vector<double>>& bytes,
+                                      int tag) {
+    ARMSTICE_CHECK(static_cast<int>(neighbors.size()) == ranks(),
+                   "neighbor lists must cover all ranks");
+    ARMSTICE_CHECK(bytes.size() == neighbors.size(), "bytes lists must match");
+    // All sends first.
+    for (int r = 0; r < ranks(); ++r) {
+        const auto& nb = neighbors[static_cast<std::size_t>(r)];
+        const auto& by = bytes[static_cast<std::size_t>(r)];
+        ARMSTICE_CHECK(nb.size() == by.size(), "neighbor/bytes length mismatch");
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+            ARMSTICE_CHECK(nb[i] >= 0 && nb[i] < ranks(), "neighbor out of range");
+            at(r).send(nb[i], by[i], tag);
+        }
+    }
+    // Then matching receives (one per inbound edge).
+    for (int r = 0; r < ranks(); ++r) {
+        for (int nb : neighbors[static_cast<std::size_t>(r)]) {
+            // Exchange symmetry: we receive from everyone we send to. The
+            // apps in this repo all use symmetric halo graphs; assert it.
+            const auto& back = neighbors[static_cast<std::size_t>(nb)];
+            ARMSTICE_CHECK(std::find(back.begin(), back.end(), r) != back.end(),
+                           "halo graph must be symmetric");
+            at(r).recv(nb, tag);
+        }
+    }
+    return *this;
+}
+
+ProgramSet& ProgramSet::halo_exchange(const std::vector<std::vector<int>>& neighbors,
+                                      double bytes_per_neighbor, int tag) {
+    std::vector<std::vector<double>> bytes(neighbors.size());
+    for (std::size_t r = 0; r < neighbors.size(); ++r) {
+        bytes[r].assign(neighbors[r].size(), bytes_per_neighbor);
+    }
+    return halo_exchange(neighbors, bytes, tag);
+}
+
+std::vector<sim::Program> ProgramSet::take() { return std::move(programs_); }
+
+long chunk_size(long n, int p, int i) {
+    ARMSTICE_CHECK(p >= 1 && i >= 0 && i < p, "bad chunk index");
+    const long base = n / p;
+    return base + (i < n % p ? 1 : 0);
+}
+
+long chunk_begin(long n, int p, int i) {
+    ARMSTICE_CHECK(p >= 1 && i >= 0 && i < p, "bad chunk index");
+    const long base = n / p;
+    const long extra = n % p;
+    return i * base + std::min<long>(i, extra);
+}
+
+std::vector<int> dims_create(int p, int ndims) {
+    ARMSTICE_CHECK(p >= 1 && ndims >= 1, "bad dims_create input");
+    std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+    // Collect prime factors, then greedily assign the largest remaining
+    // factor to the smallest dimension (MPI_Dims_create's balanced shape:
+    // 48 -> 4x4x3, not 6x4x2).
+    std::vector<int> factors;
+    int rest = p;
+    for (int f = 2; rest > 1;) {
+        if (rest % f == 0) {
+            factors.push_back(f);
+            rest /= f;
+        } else {
+            ++f;
+        }
+    }
+    std::sort(factors.begin(), factors.end(), std::greater<int>());
+    for (int f : factors) {
+        *std::min_element(dims.begin(), dims.end()) *= f;
+    }
+    std::sort(dims.begin(), dims.end(), std::greater<int>());
+    return dims;
+}
+
+std::vector<std::vector<int>> cart_neighbors(const std::vector<int>& dims,
+                                             bool periodic) {
+    int p = 1;
+    for (int d : dims) {
+        ARMSTICE_CHECK(d >= 1, "bad cart dims");
+        p *= d;
+    }
+    const int nd = static_cast<int>(dims.size());
+    auto coords = [&](int rank) {
+        std::vector<int> c(static_cast<std::size_t>(nd));
+        for (int i = 0; i < nd; ++i) {
+            c[static_cast<std::size_t>(i)] = rank % dims[static_cast<std::size_t>(i)];
+            rank /= dims[static_cast<std::size_t>(i)];
+        }
+        return c;
+    };
+    auto rank_of = [&](const std::vector<int>& c) {
+        int rank = 0;
+        for (int i = nd - 1; i >= 0; --i) {
+            rank = rank * dims[static_cast<std::size_t>(i)] + c[static_cast<std::size_t>(i)];
+        }
+        return rank;
+    };
+
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+        const auto c = coords(r);
+        for (int i = 0; i < nd; ++i) {
+            const int d = dims[static_cast<std::size_t>(i)];
+            if (d == 1) continue;
+            for (int dir : {-1, +1}) {
+                auto cc = c;
+                int v = cc[static_cast<std::size_t>(i)] + dir;
+                if (v < 0 || v >= d) {
+                    if (!periodic) continue;
+                    v = (v + d) % d;
+                }
+                cc[static_cast<std::size_t>(i)] = v;
+                const int nb = rank_of(cc);
+                if (nb != r) out[static_cast<std::size_t>(r)].push_back(nb);
+            }
+        }
+        // Periodic dims of size 2 produce the same neighbour twice; dedupe.
+        auto& v = out[static_cast<std::size_t>(r)];
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    return out;
+}
+
+} // namespace armstice::simmpi

@@ -1,0 +1,67 @@
+#pragma once
+// MiniMpi — the program-builder facade application skeletons use to express
+// their communication structure. It looks like a tiny MPI: SPMD helpers emit
+// the same op into every rank's Program; halo_exchange emits the
+// sends-before-receives ordering that is deadlock-free under the engine's
+// eager-send semantics (mirroring nonblocking-irecv/isend/waitall codes).
+
+#include "arch/phase.hpp"
+#include "sim/program.hpp"
+
+#include <vector>
+
+namespace armstice::simmpi {
+
+class ProgramSet {
+public:
+    explicit ProgramSet(int ranks);
+
+    [[nodiscard]] int ranks() const { return static_cast<int>(programs_.size()); }
+    [[nodiscard]] sim::Program& at(int rank);
+
+    /// SPMD: every rank executes `phase`.
+    ProgramSet& compute(const arch::ComputePhase& phase);
+    /// SPMD: rank-dependent phases (callable rank -> ComputePhase).
+    template <typename F>
+    ProgramSet& compute_by_rank(F&& make_phase) {
+        for (int r = 0; r < ranks(); ++r) at(r).compute(make_phase(r));
+        return *this;
+    }
+    ProgramSet& allreduce(double bytes = 8);
+    ProgramSet& barrier();
+    ProgramSet& alltoall(double bytes_each);
+    ProgramSet& mark(const std::string& label);
+
+    /// Neighbour (halo) exchange: rank r sends `bytes[r][i]` to
+    /// `neighbors[r][i]` and receives from each of its neighbours. Posts all
+    /// sends first, then the receives (deadlock-free with eager sends).
+    ProgramSet& halo_exchange(const std::vector<std::vector<int>>& neighbors,
+                              const std::vector<std::vector<double>>& bytes,
+                              int tag = 0);
+    /// Uniform-size convenience overload.
+    ProgramSet& halo_exchange(const std::vector<std::vector<int>>& neighbors,
+                              double bytes_per_neighbor, int tag = 0);
+
+    /// Move the built programs out (ProgramSet is then empty).
+    [[nodiscard]] std::vector<sim::Program> take();
+
+private:
+    std::vector<sim::Program> programs_;
+};
+
+/// Split n items over p parts as evenly as possible; part i gets
+/// chunk_size(n,p,i) items (the first n%p parts get one extra).
+long chunk_size(long n, int p, int i);
+/// First item of part i under the same split.
+long chunk_begin(long n, int p, int i);
+
+/// Near-cubic process grid for p ranks in `ndims` dimensions
+/// (MPI_Dims_create semantics: factors sorted descending).
+std::vector<int> dims_create(int p, int ndims);
+
+/// Neighbour lists for a Cartesian decomposition: 2*ndims face neighbours
+/// per rank (non-periodic boundaries drop the missing side).
+std::vector<std::vector<int>> cart_neighbors(const std::vector<int>& dims,
+                                             bool periodic);
+
+} // namespace armstice::simmpi

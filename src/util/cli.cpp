@@ -1,0 +1,109 @@
+#include "util/cli.hpp"
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+#include <cstdlib>
+
+namespace armstice::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::flag(const std::string& name, const std::string& help) {
+    declared_.emplace_back(name, Opt{help, "", true});
+    return *this;
+}
+
+Cli& Cli::option(const std::string& name, const std::string& help,
+                 const std::string& default_value) {
+    declared_.emplace_back(name, Opt{help, default_value, false});
+    if (!default_value.empty()) values_[name] = default_value;
+    return *this;
+}
+
+Cli& Cli::positional(const std::string& name, const std::string& help) {
+    positional_decl_.emplace_back(name, help);
+    return *this;
+}
+
+const Cli::Opt* Cli::find(const std::string& name) const {
+    for (const auto& [n, opt] : declared_) {
+        if (n == name) return &opt;
+    }
+    return nullptr;
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionals_given_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        if (const auto eq = arg.find('='); eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        const Opt* opt = find(arg);
+        ARMSTICE_CHECK(opt != nullptr, "unknown option --" + arg + "\n" + usage());
+        if (opt->is_flag) {
+            ARMSTICE_CHECK(!has_value, "flag --" + arg + " takes no value");
+            values_[arg] = "true";
+        } else if (has_value) {
+            values_[arg] = value;
+        } else {
+            ARMSTICE_CHECK(i + 1 < argc, "option --" + arg + " needs a value");
+            values_[arg] = argv[++i];
+        }
+    }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name) const {
+    const auto it = values_.find(name);
+    ARMSTICE_CHECK(it != values_.end(), "option --" + name + " not provided");
+    return it->second;
+}
+
+long Cli::get_long(const std::string& name) const {
+    const std::string v = get(name);
+    char* end = nullptr;
+    const long out = std::strtol(v.c_str(), &end, 10);
+    ARMSTICE_CHECK(end != nullptr && *end == '\0',
+                   "option --" + name + " expects an integer, got '" + v + "'");
+    return out;
+}
+
+double Cli::get_double(const std::string& name) const {
+    const std::string v = get(name);
+    char* end = nullptr;
+    const double out = std::strtod(v.c_str(), &end);
+    ARMSTICE_CHECK(end != nullptr && *end == '\0',
+                   "option --" + name + " expects a number, got '" + v + "'");
+    return out;
+}
+
+std::string Cli::usage() const {
+    std::string out = "usage: " + program_;
+    for (const auto& [name, help] : positional_decl_) out += " <" + name + ">";
+    if (!declared_.empty()) out += " [options]";
+    out += "\n  " + description_ + "\n";
+    for (const auto& [name, help] : positional_decl_) {
+        out += format("  %-22s %s\n", ("<" + name + ">").c_str(), help.c_str());
+    }
+    for (const auto& [name, opt] : declared_) {
+        std::string left = "--" + name + (opt.is_flag ? "" : " <v>");
+        std::string right = opt.help;
+        if (!opt.default_value.empty()) right += " (default: " + opt.default_value + ")";
+        out += format("  %-22s %s\n", left.c_str(), right.c_str());
+    }
+    return out;
+}
+
+} // namespace armstice::util

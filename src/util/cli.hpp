@@ -1,0 +1,51 @@
+#pragma once
+// Tiny command-line parser for the example/driver binaries: GNU-style
+// --flag, --key=value and --key value options plus positionals, with typed
+// accessors and a generated usage string.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace armstice::util {
+
+class Cli {
+public:
+    Cli(std::string program, std::string description);
+
+    /// Declare options (for the usage text and validation).
+    Cli& flag(const std::string& name, const std::string& help);
+    Cli& option(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+    Cli& positional(const std::string& name, const std::string& help);
+
+    /// Parse argv; throws util::Error on unknown options or missing values.
+    void parse(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& name) const;
+    [[nodiscard]] std::string get(const std::string& name) const;
+    [[nodiscard]] long get_long(const std::string& name) const;
+    [[nodiscard]] double get_double(const std::string& name) const;
+    [[nodiscard]] const std::vector<std::string>& positionals() const {
+        return positionals_given_;
+    }
+
+    [[nodiscard]] std::string usage() const;
+
+private:
+    struct Opt {
+        std::string help;
+        std::string default_value;
+        bool is_flag = false;
+    };
+    std::string program_;
+    std::string description_;
+    std::vector<std::pair<std::string, Opt>> declared_;
+    std::vector<std::pair<std::string, std::string>> positional_decl_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positionals_given_;
+
+    [[nodiscard]] const Opt* find(const std::string& name) const;
+};
+
+} // namespace armstice::util

@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+#include <fstream>
+
+namespace armstice::util {
+
+Csv& Csv::header(std::vector<std::string> cols) {
+    header_ = std::move(cols);
+    return *this;
+}
+
+Csv& Csv::row(std::vector<std::string> cells) {
+    ARMSTICE_CHECK(header_.empty() || cells.size() == header_.size(),
+                   "csv row width mismatch");
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string Csv::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+    }
+    return out + "\"";
+}
+
+std::string Csv::render() const {
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i != 0) out += ',';
+            out += escape(cells[i]);
+        }
+        out += '\n';
+    };
+    if (!header_.empty()) emit(header_);
+    for (const auto& r : rows_) emit(r);
+    return out;
+}
+
+void Csv::write(const std::string& path) const {
+    std::ofstream f(path);
+    ARMSTICE_CHECK(f.good(), "cannot open " + path);
+    f << render();
+    ARMSTICE_CHECK(f.good(), "write failed for " + path);
+}
+
+} // namespace armstice::util

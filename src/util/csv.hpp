@@ -1,0 +1,25 @@
+#pragma once
+// CSV writer — every bench can dump machine-readable results next to the
+// ASCII artefacts so downstream plotting is possible.
+
+#include <string>
+#include <vector>
+
+namespace armstice::util {
+
+class Csv {
+public:
+    Csv& header(std::vector<std::string> cols);
+    Csv& row(std::vector<std::string> cells);
+
+    [[nodiscard]] std::string render() const;
+    /// Write to a file; throws util::Error on I/O failure.
+    void write(const std::string& path) const;
+
+private:
+    static std::string escape(const std::string& cell);
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace armstice::util

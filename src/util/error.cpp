@@ -1,0 +1,9 @@
+#include "util/error.hpp"
+
+namespace armstice::util {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+    throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+} // namespace armstice::util

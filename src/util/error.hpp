@@ -1,0 +1,44 @@
+#pragma once
+// Error handling for armstice: a single exception type carrying a formatted
+// message, plus CHECK macros used at API boundaries and for internal
+// invariants. Guideline: throw on violated preconditions; never abort.
+
+#include <stdexcept>
+#include <string>
+
+namespace armstice::util {
+
+/// Exception thrown on any armstice precondition or invariant violation.
+class Error : public std::runtime_error {
+public:
+    explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Thrown when a requested placement does not fit in node memory
+/// (see DESIGN.md §4.5); callers frequently want to catch this specifically
+/// to mark a configuration "infeasible" rather than fail the whole sweep.
+class CapacityError : public Error {
+public:
+    explicit CapacityError(std::string what) : Error(std::move(what)) {}
+};
+
+/// Thrown when the discrete-event engine detects that no rank can make
+/// progress (mismatched sends/recvs or collective membership).
+class DeadlockError : public Error {
+public:
+    explicit DeadlockError(std::string what) : Error(std::move(what)) {}
+};
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+
+} // namespace armstice::util
+
+/// Precondition/invariant check; throws util::Error with location context.
+#define ARMSTICE_CHECK(cond, msg)                                              \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::armstice::util::throw_error(__FILE__, __LINE__,                  \
+                                          std::string("check failed: ") +      \
+                                              #cond + " — " + (msg));          \
+        }                                                                      \
+    } while (false)

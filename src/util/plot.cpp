@@ -1,0 +1,88 @@
+#include "util/plot.hpp"
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace armstice::util {
+namespace {
+constexpr const char* kMarkers = "*o+x#@%&";
+}
+
+Plot::Plot(std::string title, std::string xlabel, std::string ylabel)
+    : title_(std::move(title)), xlabel_(std::move(xlabel)), ylabel_(std::move(ylabel)) {}
+
+Plot& Plot::add_series(Series s) {
+    ARMSTICE_CHECK(s.x.size() == s.y.size(), "series x/y size mismatch");
+    ARMSTICE_CHECK(!s.x.empty(), "empty series");
+    series_.push_back(std::move(s));
+    return *this;
+}
+
+Plot& Plot::size(int width, int height) {
+    ARMSTICE_CHECK(width >= 20 && height >= 5, "plot too small");
+    width_ = width;
+    height_ = height;
+    return *this;
+}
+
+std::string Plot::render() const {
+    ARMSTICE_CHECK(!series_.empty(), "no series to plot");
+
+    auto tx = [&](double v) { return log_x_ ? std::log10(v) : v; };
+    auto ty = [&](double v) { return log_y_ ? std::log10(v) : v; };
+
+    double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+    double ymin = xmin, ymax = -xmin;
+    for (const auto& s : series_) {
+        for (double v : s.x) { xmin = std::min(xmin, tx(v)); xmax = std::max(xmax, tx(v)); }
+        for (double v : s.y) { ymin = std::min(ymin, ty(v)); ymax = std::max(ymax, ty(v)); }
+    }
+    if (xmax == xmin) xmax = xmin + 1.0;
+    if (ymax == ymin) ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                  std::string(static_cast<std::size_t>(width_), ' '));
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        const char mark = kMarkers[si % 8];
+        const auto& s = series_[si];
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            const double fx = (tx(s.x[i]) - xmin) / (xmax - xmin);
+            const double fy = (ty(s.y[i]) - ymin) / (ymax - ymin);
+            const int cx = static_cast<int>(std::lround(fx * (width_ - 1)));
+            const int cy = (height_ - 1) - static_cast<int>(std::lround(fy * (height_ - 1)));
+            grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = mark;
+        }
+    }
+
+    auto inv_y = [&](double f) { const double v = ymin + f * (ymax - ymin); return log_y_ ? std::pow(10.0, v) : v; };
+    auto inv_x = [&](double f) { const double v = xmin + f * (xmax - xmin); return log_x_ ? std::pow(10.0, v) : v; };
+
+    std::string out;
+    if (!title_.empty()) out += title_ + "\n";
+    for (int r = 0; r < height_; ++r) {
+        const double f = 1.0 - static_cast<double>(r) / (height_ - 1);
+        std::string label = (r == 0 || r == height_ - 1 || r == height_ / 2)
+                                ? format("%10.3g", inv_y(f))
+                                : std::string(10, ' ');
+        out += label + " |" + grid[static_cast<std::size_t>(r)] + "\n";
+    }
+    out += std::string(11, ' ') + "+" + std::string(static_cast<std::size_t>(width_), '-') + "\n";
+    out += std::string(11, ' ') + format(" %-10.3g", inv_x(0.0)) +
+           std::string(static_cast<std::size_t>(std::max(0, width_ - 24)), ' ') +
+           format("%10.3g", inv_x(1.0)) + "\n";
+    out += std::string(11, ' ') + " x: " + xlabel_ + "   y: " + ylabel_ +
+           (log_y_ ? " (log)" : "") + "\n";
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        out += format("  %c %s\n", kMarkers[si % 8], series_[si].label.c_str());
+    }
+    return out;
+}
+
+void Plot::print() const { std::fputs(render().c_str(), stdout); }
+
+} // namespace armstice::util

@@ -1,0 +1,38 @@
+#pragma once
+// ASCII line/scatter plot used by the figure benches (Figs 1-5). Renders
+// multiple labelled series onto a character grid, with optional log axes
+// (Fig 3 in the paper is log-scale MFLOP/s).
+
+#include <string>
+#include <vector>
+
+namespace armstice::util {
+
+struct Series {
+    std::string label;
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+class Plot {
+public:
+    Plot(std::string title, std::string xlabel, std::string ylabel);
+
+    Plot& add_series(Series s);
+    Plot& log_y(bool on = true) { log_y_ = on; return *this; }
+    Plot& log_x(bool on = true) { log_x_ = on; return *this; }
+    Plot& size(int width, int height);
+
+    [[nodiscard]] std::string render() const;
+    void print() const;
+
+private:
+    std::string title_, xlabel_, ylabel_;
+    std::vector<Series> series_;
+    bool log_x_ = false;
+    bool log_y_ = false;
+    int width_ = 72;
+    int height_ = 20;
+};
+
+} // namespace armstice::util

@@ -1,0 +1,58 @@
+#pragma once
+// Deterministic random number generation (xoshiro256** seeded via splitmix64).
+// The simulator is fully deterministic; RNG is used only by workload
+// generators and property tests, and every use takes an explicit seed so runs
+// are reproducible — mirroring the paper's reproducibility methodology (§III.a).
+
+#include <cstdint>
+
+namespace armstice::util {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, deterministic across platforms.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+    /// Uniform integer in [0, n) for n > 0.
+    std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t state_[4]{};
+};
+
+} // namespace armstice::util

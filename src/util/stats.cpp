@@ -1,0 +1,68 @@
+#include "util/stats.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace armstice::util {
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) {
+    ARMSTICE_CHECK(!xs.empty(), "mean of empty vector");
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+    RunningStats rs;
+    for (double x : xs) rs.add(x);
+    return rs.stddev();
+}
+
+double median(std::vector<double> xs) {
+    ARMSTICE_CHECK(!xs.empty(), "median of empty vector");
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2 == 1) return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double relative_spread(const std::vector<double>& xs) {
+    ARMSTICE_CHECK(!xs.empty(), "relative_spread of empty vector");
+    const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    ARMSTICE_CHECK(*lo > 0.0, "relative_spread needs positive values");
+    return *hi / *lo - 1.0;
+}
+
+double geomean(const std::vector<double>& xs) {
+    ARMSTICE_CHECK(!xs.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        ARMSTICE_CHECK(x > 0.0, "geomean needs positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace armstice::util

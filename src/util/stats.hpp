@@ -1,0 +1,39 @@
+#pragma once
+// Summary statistics used by the harness (the paper reports averages over
+// three runs and flags >5% variation; `Summary` carries exactly that).
+
+#include <cstddef>
+#include <vector>
+
+namespace armstice::util {
+
+/// Online mean/variance/min/max accumulator (Welford).
+class RunningStats {
+public:
+    void add(double x);
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return mean_; }
+    [[nodiscard]] double variance() const;   ///< sample variance (n-1)
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);  ///< by value: sorts a copy
+
+/// Relative spread max/min - 1; the paper's ">5% of average" variation flag.
+double relative_spread(const std::vector<double>& xs);
+
+/// Geometric mean (used when aggregating speedups across experiments).
+double geomean(const std::vector<double>& xs);
+
+} // namespace armstice::util

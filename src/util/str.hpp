@@ -1,0 +1,43 @@
+#pragma once
+// Small string formatting helpers (GCC 12 lacks std::format).
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace armstice::util {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] inline std::string format(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+/// Fixed-precision double → string ("12.34").
+inline std::string fixed(double v, int prec = 2) {
+    return format("%.*f", prec, v);
+}
+
+/// Join strings with a separator.
+inline std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace armstice::util

@@ -1,0 +1,172 @@
+#include "util/svg.hpp"
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace armstice::util {
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                                    "#9467bd", "#8c564b", "#17becf", "#7f7f7f"};
+
+std::string escape_xml(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+/// "Nice" tick values covering [lo, hi].
+std::vector<double> ticks(double lo, double hi, int target = 5) {
+    std::vector<double> out;
+    if (hi <= lo) return {lo};
+    const double raw = (hi - lo) / target;
+    const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+    double step = mag;
+    for (double m : {1.0, 2.0, 5.0, 10.0}) {
+        if (raw <= m * mag) {
+            step = m * mag;
+            break;
+        }
+    }
+    for (double v = std::ceil(lo / step) * step; v <= hi + 1e-12 * step; v += step) {
+        out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace
+
+SvgChart::SvgChart(std::string title, std::string xlabel, std::string ylabel)
+    : title_(std::move(title)), xlabel_(std::move(xlabel)), ylabel_(std::move(ylabel)) {}
+
+SvgChart& SvgChart::add_series(Series s) {
+    ARMSTICE_CHECK(s.x.size() == s.y.size() && !s.x.empty(), "bad series");
+    series_.push_back(std::move(s));
+    return *this;
+}
+
+SvgChart& SvgChart::size(int width, int height) {
+    ARMSTICE_CHECK(width >= 160 && height >= 120, "svg too small");
+    width_ = width;
+    height_ = height;
+    return *this;
+}
+
+std::string SvgChart::render() const {
+    ARMSTICE_CHECK(!series_.empty(), "no series to render");
+    if (log_y_) {
+        for (const auto& s : series_) {
+            for (double v : s.y) {
+                ARMSTICE_CHECK(v > 0, "log axis needs positive values");
+            }
+        }
+    }
+    const double ml = 64, mr = 150, mt = 40, mb = 48;  // margins (legend right)
+    const double pw = width_ - ml - mr;
+    const double ph = height_ - mt - mb;
+
+    auto ty = [&](double v) { return log_y_ ? std::log10(v) : v; };
+    double xmin = std::numeric_limits<double>::max(), xmax = -xmin;
+    double ymin = xmin, ymax = -xmin;
+    for (const auto& s : series_) {
+        for (double v : s.x) { xmin = std::min(xmin, v); xmax = std::max(xmax, v); }
+        for (double v : s.y) { ymin = std::min(ymin, ty(v)); ymax = std::max(ymax, ty(v)); }
+    }
+    if (xmax == xmin) xmax = xmin + 1;
+    if (ymax == ymin) ymax = ymin + 1;
+
+    auto px = [&](double v) { return ml + (v - xmin) / (xmax - xmin) * pw; };
+    auto py = [&](double v) { return mt + ph - (ty(v) - ymin) / (ymax - ymin) * ph; };
+
+    std::string svg = format(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+        "viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n",
+        width_, height_, width_, height_);
+    svg += format("<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n", width_, height_);
+    svg += format("<text x=\"%.0f\" y=\"24\" font-size=\"15\" font-weight=\"bold\">"
+                  "%s</text>\n",
+                  ml, escape_xml(title_).c_str());
+
+    // Axes frame.
+    svg += format("<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+                  "fill=\"none\" stroke=\"#444\"/>\n",
+                  ml, mt, pw, ph);
+
+    // Y ticks/gridlines.
+    for (double v : ticks(ymin, ymax)) {
+        const double y = mt + ph - (v - ymin) / (ymax - ymin) * ph;
+        const double shown = log_y_ ? std::pow(10.0, v) : v;
+        svg += format("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                      "stroke=\"#ddd\"/>\n",
+                      ml, y, ml + pw, y);
+        svg += format("<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                      "text-anchor=\"end\">%.3g</text>\n",
+                      ml - 6, y + 4, shown);
+    }
+    // X ticks.
+    for (double v : ticks(xmin, xmax)) {
+        const double x = px(v);
+        svg += format("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                      "stroke=\"#ddd\"/>\n",
+                      x, mt, x, mt + ph);
+        svg += format("<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                      "text-anchor=\"middle\">%.3g</text>\n",
+                      x, mt + ph + 16, v);
+    }
+    // Axis labels.
+    svg += format("<text x=\"%.1f\" y=\"%.1f\" font-size=\"12\" "
+                  "text-anchor=\"middle\">%s</text>\n",
+                  ml + pw / 2, mt + ph + 36, escape_xml(xlabel_).c_str());
+    svg += format("<text x=\"16\" y=\"%.1f\" font-size=\"12\" text-anchor=\"middle\" "
+                  "transform=\"rotate(-90 16 %.1f)\">%s%s</text>\n",
+                  mt + ph / 2, mt + ph / 2, escape_xml(ylabel_).c_str(),
+                  log_y_ ? " (log)" : "");
+
+    // Series polylines + markers + legend.
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        const char* color = kPalette[i % 8];
+        const auto& s = series_[i];
+        std::string pts;
+        for (std::size_t k = 0; k < s.x.size(); ++k) {
+            pts += format("%.1f,%.1f ", px(s.x[k]), py(s.y[k]));
+        }
+        svg += format("<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+                      "stroke-width=\"2\"/>\n",
+                      pts.c_str(), color);
+        for (std::size_t k = 0; k < s.x.size(); ++k) {
+            svg += format("<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3\" fill=\"%s\"/>\n",
+                          px(s.x[k]), py(s.y[k]), color);
+        }
+        const double ly = mt + 14 + 18.0 * static_cast<double>(i);
+        svg += format("<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                      "stroke=\"%s\" stroke-width=\"2\"/>\n",
+                      ml + pw + 10, ly, ml + pw + 30, ly, color);
+        svg += format("<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\">%s</text>\n",
+                      ml + pw + 36, ly + 4, escape_xml(s.label).c_str());
+    }
+
+    svg += "</svg>\n";
+    return svg;
+}
+
+void SvgChart::write(const std::string& path) const {
+    std::ofstream f(path);
+    ARMSTICE_CHECK(f.good(), "cannot open " + path);
+    f << render();
+    ARMSTICE_CHECK(f.good(), "write failed for " + path);
+}
+
+} // namespace armstice::util

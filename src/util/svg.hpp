@@ -1,0 +1,32 @@
+#pragma once
+// SVG line charts — publication-style output for the figure benches, next
+// to the ASCII plots (same Series input as util::Plot). Self-contained SVG
+// 1.1, no external fonts or scripts.
+
+#include "util/plot.hpp"
+
+#include <string>
+
+namespace armstice::util {
+
+class SvgChart {
+public:
+    SvgChart(std::string title, std::string xlabel, std::string ylabel);
+
+    SvgChart& add_series(Series s);
+    SvgChart& log_y(bool on = true) { log_y_ = on; return *this; }
+    SvgChart& size(int width, int height);
+
+    [[nodiscard]] std::string render() const;
+    /// Write to a file; throws util::Error on I/O failure.
+    void write(const std::string& path) const;
+
+private:
+    std::string title_, xlabel_, ylabel_;
+    std::vector<Series> series_;
+    bool log_y_ = false;
+    int width_ = 640;
+    int height_ = 420;
+};
+
+} // namespace armstice::util

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace armstice::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> cols) {
+    ARMSTICE_CHECK(rows_.empty(), "header must be set before rows");
+    header_ = std::move(cols);
+    return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+    ARMSTICE_CHECK(!header_.empty(), "set header before adding rows");
+    ARMSTICE_CHECK(cells.size() == header_.size(),
+                   "row width " + std::to_string(cells.size()) + " != header width " +
+                       std::to_string(header_.size()));
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string Table::num(double v, int prec) { return fixed(v, prec); }
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+
+    auto rule = [&] {
+        std::string line = "+";
+        for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+        return line + "\n";
+    };
+    auto fmt_row = [&](const std::vector<std::string>& cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!title_.empty()) out += title_ + "\n";
+    out += rule();
+    out += fmt_row(header_);
+    out += rule();
+    for (const auto& r : rows_) out += fmt_row(r);
+    out += rule();
+    return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+} // namespace armstice::util

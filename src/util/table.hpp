@@ -1,0 +1,34 @@
+#pragma once
+// ASCII table renderer used by every bench binary to print paper-style
+// tables (paper value vs model value side by side).
+
+#include <string>
+#include <vector>
+
+namespace armstice::util {
+
+class Table {
+public:
+    explicit Table(std::string title = "");
+
+    /// Set the header row. Must be called before adding rows.
+    Table& header(std::vector<std::string> cols);
+
+    /// Append a row; must match header width (checked).
+    Table& row(std::vector<std::string> cells);
+
+    /// Convenience: number cells are formatted with `prec` decimals.
+    static std::string num(double v, int prec = 2);
+
+    [[nodiscard]] std::string render() const;
+    void print() const;  ///< render to stdout
+
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace armstice::util

@@ -1,0 +1,35 @@
+#pragma once
+// Unit helpers. armstice uses SI base units throughout: seconds, bytes,
+// FLOPs, Hz. These constexpr factors make call sites self-documenting
+// (e.g. `32 * GiB`, `2.2 * GHz`, `6.8 * GB_per_s`).
+
+namespace armstice::util {
+
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+inline constexpr double KHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+inline constexpr double GB_per_s = 1e9;  // bytes/second
+inline constexpr double MB_per_s = 1e6;
+
+inline constexpr double GFLOP = 1e9;
+inline constexpr double MFLOP = 1e6;
+
+inline constexpr double usec = 1e-6;
+inline constexpr double nsec = 1e-9;
+inline constexpr double msec = 1e-3;
+
+/// Bytes of one cache line on every modelled architecture (A64FX uses 256 B
+/// lines in HBM sectors but presents 64 B coherence granules; we model 64 B
+/// lines uniformly and fold the difference into calibration).
+inline constexpr double cache_line = 64.0;
+
+} // namespace armstice::util

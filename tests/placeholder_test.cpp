@@ -1,0 +1,2 @@
+#include <gtest/gtest.h>
+TEST(Placeholder, Builds) { EXPECT_TRUE(true); }

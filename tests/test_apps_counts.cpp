@@ -1,0 +1,143 @@
+// Skeleton-vs-reference count cross-checks (DESIGN.md §5): the analytic
+// counts the simulator prices must equal the instrumented counts of the real
+// kernels at matching sizes.
+
+#include "apps/castep/castep.hpp"
+#include "apps/cosa/cosa.hpp"
+#include "apps/hpcg/hpcg.hpp"
+#include "apps/minikab/minikab.hpp"
+#include "apps/nekbone/nekbone.hpp"
+#include "apps/opensbli/opensbli.hpp"
+#include "kern/fft/fft.hpp"
+#include "kern/nek/spectral.hpp"
+#include "kern/sparse/csr.hpp"
+#include "kern/stencil/taylor_green.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ap = armstice::apps;
+namespace ak = armstice::kern;
+
+class Nnz27Formula : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Nnz27Formula, MatchesRealMatrixBuilder) {
+    const auto [nx, ny, nz] = GetParam();
+    const auto a = ak::poisson27(nx, ny, nz);
+    EXPECT_DOUBLE_EQ(ap::nnz_27pt(nx, ny, nz), static_cast<double>(a.nnz()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, Nnz27Formula,
+                         ::testing::Values(std::tuple{2, 2, 2}, std::tuple{4, 4, 4},
+                                           std::tuple{3, 5, 7}, std::tuple{8, 8, 8},
+                                           std::tuple{10, 6, 4}));
+
+class NekAxFormula : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(NekAxFormula, MatchesInstrumentedAx) {
+    const auto [elems, nx1] = GetParam();
+    const ak::NekMesh mesh(elems, nx1);
+    std::vector<double> u(static_cast<std::size_t>(mesh.local_dofs()), 1.0), w(u.size());
+    ak::OpCounts c;
+    mesh.ax(u, w, &c);
+    EXPECT_DOUBLE_EQ(ak::NekMesh::ax_flops(elems, nx1), c.flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, NekAxFormula,
+                         ::testing::Values(std::tuple{1, 6}, std::tuple{4, 8},
+                                           std::tuple{2, 16}, std::tuple{8, 4}));
+
+TEST(TgvCounts, StepFormulaMatchesInstrumented) {
+    for (int n : {8, 16}) {
+        ak::TaylorGreen tg(n);
+        ak::OpCounts c;
+        tg.step(tg.stable_dt(), &c);
+        const double pts = static_cast<double>(n) * n * n;
+        EXPECT_DOUBLE_EQ(c.flops, ak::TaylorGreen::step_flops_per_point() * pts) << n;
+    }
+}
+
+TEST(CastepCounts, ReferenceFftFlopsMatchConvention) {
+    // castep_reference runs `bands` FFT round trips + 1 ZGEMM; its counted
+    // flops must decompose into the analytic formulas the skeleton uses.
+    const int grid = 16;
+    const int bands = 3;
+    const auto c = ap::castep_reference(grid, bands);
+    const double n3 = static_cast<double>(grid) * grid * grid;
+    const int npw = std::max(8, grid * grid / 4);
+    const double fft_part =
+        bands * (2.0 * ak::fft3d_flops(grid) + 2.0 * n3 + 6.0 * n3);
+    //        forward + inverse           potential   ifft 1/N scaling
+    //                                                (2 flops x 3 pencil passes)
+    const double gemm_part = ak::zgemm_flops(bands, npw, bands);
+    // The reference also runs the Jacobi subspace diagonalisation, whose
+    // flop count depends on the sweeps taken: bracket it.
+    const double eigen_upper = 30.0 * 18.0 * bands * bands * bands;
+    EXPECT_GE(c.flops, fft_part + gemm_part);
+    EXPECT_LE(c.flops, fft_part + gemm_part + eigen_upper);
+}
+
+TEST(HpcgCounts, SkeletonFlopsTrackOfficialCounting) {
+    // Per CG iteration HPCG counts: spmv(2 nnz) + mg(~4.5 nnz-equivalents)
+    // + blas1. Run the skeleton and check counted flops per iteration per
+    // rank sit in that window.
+    ap::HpcgConfig cfg;
+    cfg.iters = 2;
+    const auto out = ap::run_hpcg(armstice::arch::a64fx(), 1, cfg);
+    ASSERT_TRUE(out.res.feasible);
+    const double nnz = ap::nnz_27pt(80, 80, 80);
+    const double per_rank_iter = out.res.run.total_flops / 48.0 / 2.0;
+    EXPECT_GT(per_rank_iter, 2.0 * nnz + 4.0 * nnz);   // spmv + 2 symgs at L0
+    EXPECT_LT(per_rank_iter, 2.0 * nnz + 12.0 * nnz);  // bounded by full hierarchy
+}
+
+TEST(MinikabCounts, SkeletonMatchesCgIterationArithmetic) {
+    ap::MinikabConfig cfg;
+    cfg.iterations = 1;
+    const auto out = ap::run_minikab(armstice::arch::ngio(), cfg);
+    ASSERT_TRUE(out.feasible);
+    // 2 nnz (spmv) + 10 n (blas1).
+    const double expect = 2.0 * cfg.nnz + 10.0 * static_cast<double>(cfg.rows);
+    EXPECT_NEAR(out.run.total_flops, expect, 1e-6 * expect);
+}
+
+TEST(NekboneCounts, SkeletonUsesExactAxFlops) {
+    ap::NekboneConfig cfg;
+    cfg.ranks = 1;
+    cfg.cg_iters = 1;
+    const auto out = ap::run_nekbone(armstice::arch::a64fx(), cfg);
+    ASSERT_TRUE(out.feasible);
+    const double n = 200.0 * 16 * 16 * 16;
+    const double expect = ak::NekMesh::ax_flops(200, 16) + 13.0 * n;
+    EXPECT_NEAR(out.run.total_flops, expect, 1e-9 * expect);
+}
+
+TEST(OpensbliCounts, SkeletonUsesRealStepCounts) {
+    ap::OpensbliConfig cfg;
+    cfg.steps = 1;
+    cfg.nodes = 1;
+    const auto out = ap::run_opensbli(armstice::arch::ngio(), cfg);
+    ASSERT_TRUE(out.feasible);
+    const double expect =
+        ak::TaylorGreen::step_flops_per_point() * 64.0 * 64.0 * 64.0;
+    EXPECT_NEAR(out.run.total_flops, expect, 1e-9 * expect);
+}
+
+TEST(FootprintModels, MatchPaperMemoryNarrative) {
+    // HPCG 80^3 x 48 ranks fits in 32 GB (the size was chosen to fit).
+    ap::HpcgConfig hpcg;
+    EXPECT_LT(48.0 * ap::hpcg_bytes_per_rank(hpcg), 32e9);
+
+    // COSA: ~60 GB total -> max-loaded rank at 1 A64FX node over 32 GB.
+    ap::CosaConfig cosa;
+    const auto d = ap::cosa_distribution(cosa, 48);
+    EXPECT_GT(48.0 * ap::cosa_bytes_per_rank(cosa, d.max_blocks_per_rank), 32e9);
+
+    // minikab: 24 plain-MPI ranks/node fit, 25+ do not (Fig 1).
+    ap::MinikabConfig mk;
+    mk.ranks = 48;
+    EXPECT_LE(24.0 * ap::minikab_bytes_per_rank(mk), 34.36e9);
+    mk.ranks = 50;
+    EXPECT_GT(25.0 * ap::minikab_bytes_per_rank(mk), 34.36e9);
+}

@@ -1,0 +1,278 @@
+// Behavioural tests of the six application models: feasibility rules,
+// configuration handling, and reference numerics.
+
+#include "apps/castep/castep.hpp"
+#include "apps/cosa/cosa.hpp"
+#include "apps/hpcg/hpcg.hpp"
+#include "apps/minikab/minikab.hpp"
+#include "apps/nekbone/nekbone.hpp"
+#include "apps/opensbli/opensbli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ap = armstice::apps;
+namespace aa = armstice::arch;
+
+// ---- HPCG -------------------------------------------------------------------
+
+TEST(HpcgModel, RunsOnEverySystem) {
+    for (const auto& sys : aa::system_catalog()) {
+        ap::HpcgConfig cfg;
+        cfg.iters = 2;
+        const auto out = ap::run_hpcg(sys, 1, cfg);
+        EXPECT_TRUE(out.res.feasible) << sys.name;
+        EXPECT_GT(out.res.gflops, 1.0) << sys.name;
+        EXPECT_GT(out.pct_peak, 0.0) << sys.name;
+    }
+}
+
+TEST(HpcgModel, OptimizedVariantOnlyWhereItExisted) {
+    ap::HpcgConfig cfg;
+    cfg.optimized = true;
+    cfg.iters = 1;
+    EXPECT_NO_THROW((void)ap::run_hpcg(aa::ngio(), 1, cfg));
+    EXPECT_THROW((void)ap::run_hpcg(aa::a64fx(), 1, cfg), armstice::util::Error);
+}
+
+TEST(HpcgModel, CommWaitGrowsWithNodes) {
+    ap::HpcgConfig cfg;
+    cfg.iters = 3;
+    const auto one = ap::run_hpcg(aa::fulhame(), 1, cfg);
+    const auto four = ap::run_hpcg(aa::fulhame(), 4, cfg);
+    const double wait1 = one.res.run.mean_recv_wait() + one.res.run.mean_collective_wait();
+    const double wait4 =
+        four.res.run.mean_recv_wait() + four.res.run.mean_collective_wait();
+    EXPECT_GT(wait4, wait1);
+}
+
+TEST(HpcgModel, ReferenceNumericsConverge) {
+    const auto res = ap::hpcg_reference(16, 3, 40);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GT(res.counts.flops, 0.0);
+}
+
+// ---- minikab ----------------------------------------------------------------
+
+TEST(MinikabModel, PlainMpiMemoryCeilingAt48On2Nodes) {
+    // The Fig 1 observation: 48 plain-MPI processes fit two A64FX nodes,
+    // 96 do not.
+    ap::MinikabConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks = 48;
+    EXPECT_TRUE(ap::run_minikab(aa::a64fx(), cfg).feasible);
+    cfg.ranks = 96;
+    const auto out = ap::run_minikab(aa::a64fx(), cfg);
+    EXPECT_FALSE(out.feasible);
+    EXPECT_NE(out.note.find("GB"), std::string::npos);
+}
+
+TEST(MinikabModel, HybridUsesAllCores) {
+    ap::MinikabConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks = 8;
+    cfg.threads = 12;
+    const auto out = ap::run_minikab(aa::a64fx(), cfg);
+    EXPECT_TRUE(out.feasible);
+    EXPECT_GT(out.gflops, 0.0);
+}
+
+TEST(MinikabModel, ThreadsSpeedUpFixedRankCount) {
+    ap::MinikabConfig cfg;
+    cfg.nodes = 2;
+    cfg.ranks = 8;
+    cfg.threads = 1;
+    const double t1 = ap::run_minikab(aa::a64fx(), cfg).seconds;
+    cfg.threads = 12;
+    const double t12 = ap::run_minikab(aa::a64fx(), cfg).seconds;
+    EXPECT_LT(t12, t1 / 4.0);
+}
+
+TEST(MinikabModel, ReferenceCgConverges) {
+    const auto res = ap::minikab_reference(400, 5, 500);
+    EXPECT_TRUE(res.converged);
+}
+
+TEST(MinikabModel, JacobiPreconditioningReducesIterations) {
+    // The real solvers back the skeleton's iteration-factor assumption.
+    // Structural FEM matrices are badly scaled (stiff elements next to soft
+    // ones); build such a system directly — Jacobi fixes the scaling.
+    const long n = 400;
+    std::vector<armstice::kern::Triplet> trip;
+    for (long i = 0; i < n; ++i) {
+        // Geometrically spread stiffness over four decades (a continuum of
+        // eigenvalues, so unpreconditioned CG cannot exploit clustering);
+        // diagonal scaling collapses the spread.
+        const double d = std::pow(10.0, 4.0 * static_cast<double>(i) / n);
+        trip.push_back({i, i, d});
+        if (i + 1 < n) {
+            trip.push_back({i, i + 1, -0.45});
+            trip.push_back({i + 1, i, -0.45});
+        }
+    }
+    const armstice::kern::CsrMatrix a(n, n, std::move(trip));
+    std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+    std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+    const auto plain = armstice::kern::cg_solve(
+        a, b, x1, {.max_iters = 2000, .rel_tol = 1e-10});
+    const auto pcg = armstice::kern::cg_solve(
+        a, b, x2, {.max_iters = 2000, .rel_tol = 1e-10},
+        armstice::kern::jacobi_preconditioner(a));
+    ASSERT_TRUE(plain.converged);
+    ASSERT_TRUE(pcg.converged);
+    EXPECT_LT(pcg.iterations, plain.iterations / 2);
+}
+
+TEST(MinikabModel, PipelinedCgHalvesReductionPoints) {
+    // At scale the pipelined variant's single allreduce shows up as lower
+    // collective wait for the same per-iteration compute.
+    ap::MinikabConfig cfg;
+    cfg.nodes = 32;
+    cfg.ranks = 128;
+    cfg.threads = 12;
+    cfg.solver = ap::MinikabSolver::cg;
+    const auto plain = ap::run_minikab(aa::a64fx(), cfg);
+    cfg.solver = ap::MinikabSolver::pipelined_cg;
+    const auto piped = ap::run_minikab(aa::a64fx(), cfg);
+    ASSERT_TRUE(plain.feasible && piped.feasible);
+    EXPECT_LT(piped.run.mean_collective_wait(), plain.run.mean_collective_wait());
+}
+
+TEST(MinikabModel, SolverNamesStable) {
+    EXPECT_STREQ(ap::minikab_solver_name(ap::MinikabSolver::cg), "cg");
+    EXPECT_STREQ(ap::minikab_solver_name(ap::MinikabSolver::jacobi_pcg), "jacobi-pcg");
+    EXPECT_STREQ(ap::minikab_solver_name(ap::MinikabSolver::pipelined_cg),
+                 "pipelined-cg");
+}
+
+// ---- Nekbone ------------------------------------------------------------------
+
+TEST(NekboneModel, FastmathDirectionPerSystem) {
+    // -Kfast helps the A64FX and hurts NGIO (Table VI).
+    const auto& a64 = aa::a64fx();
+    const double a64_plain =
+        ap::run_nekbone(a64, ap::nekbone_node_config(a64, 1, false)).gflops;
+    const double a64_fast =
+        ap::run_nekbone(a64, ap::nekbone_node_config(a64, 1, true)).gflops;
+    EXPECT_GT(a64_fast, 1.5 * a64_plain);
+
+    const auto& ngio = aa::ngio();
+    const double ngio_plain =
+        ap::run_nekbone(ngio, ap::nekbone_node_config(ngio, 1, false)).gflops;
+    const double ngio_fast =
+        ap::run_nekbone(ngio, ap::nekbone_node_config(ngio, 1, true)).gflops;
+    EXPECT_LT(ngio_fast, ngio_plain);
+}
+
+TEST(NekboneModel, WeakScalingKeepsPerRankWork) {
+    const auto& sys = aa::archer();
+    const auto one = ap::run_nekbone(sys, ap::nekbone_node_config(sys, 1, false));
+    const auto four = ap::run_nekbone(sys, ap::nekbone_node_config(sys, 4, false));
+    EXPECT_NEAR(four.run.total_flops / one.run.total_flops, 4.0, 0.01);
+    EXPECT_LT(four.seconds, 1.1 * one.seconds);  // weak scaling: ~constant time
+}
+
+TEST(NekboneModel, ReferenceCgRuns) {
+    const auto res = ap::nekbone_reference(4, 6, 80);
+    EXPECT_EQ(res.iterations, 80);
+    EXPECT_LT(res.final_residual, 1.0);
+}
+
+// ---- COSA ----------------------------------------------------------------------
+
+TEST(CosaModel, OneA64fxNodeInfeasibleTwoFeasible) {
+    ap::CosaConfig cfg;
+    cfg.nodes = 1;
+    EXPECT_FALSE(ap::run_cosa(aa::a64fx(), cfg).feasible);
+    cfg.nodes = 2;
+    EXPECT_TRUE(ap::run_cosa(aa::a64fx(), cfg).feasible);
+}
+
+TEST(CosaModel, OtherSystemsFitOneNode) {
+    ap::CosaConfig cfg;
+    cfg.nodes = 1;
+    for (const char* name : {"ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"}) {
+        EXPECT_TRUE(ap::run_cosa(aa::system_by_name(name), cfg).feasible) << name;
+    }
+}
+
+TEST(CosaModel, IdleRanksStillSynchronise) {
+    // 1024 ranks, 800 blocks: the idle 224 must pass through the per-
+    // iteration allreduce without deadlock.
+    ap::CosaConfig cfg;
+    cfg.nodes = 16;
+    cfg.iterations = 3;
+    EXPECT_NO_THROW((void)ap::run_cosa(aa::fulhame(), cfg));
+}
+
+TEST(CosaModel, SnapshotArithmetic) {
+    ap::CosaConfig cfg;
+    EXPECT_EQ(ap::cosa_snapshots(cfg), 9);  // 2*4+1
+    cfg.harmonics = 1;
+    EXPECT_EQ(ap::cosa_snapshots(cfg), 3);
+}
+
+TEST(CosaModel, FootprintNearSixtyGB) {
+    ap::CosaConfig cfg;
+    const double total = 800.0 * ap::cosa_bytes_per_rank(cfg, 1) - 800.0 * 30e6;
+    EXPECT_NEAR(total, 60e9, 1.5e9);
+}
+
+// ---- CASTEP ----------------------------------------------------------------------
+
+TEST(CastepModel, MpiOnlyBeatsHybridOnFullNode) {
+    // The paper: best performance was MPI-only on all systems (Fig 5).
+    ap::CastepConfig mpi;
+    mpi.ranks = 48;
+    const auto t_mpi = ap::run_castep(aa::ngio(), mpi);
+    ap::CastepConfig hybrid;
+    hybrid.ranks = 8;
+    hybrid.threads = 6;
+    const auto t_hybrid = ap::run_castep(aa::ngio(), hybrid);
+    EXPECT_GT(t_mpi.scf_cycles_per_s, t_hybrid.scf_cycles_per_s);
+}
+
+TEST(CastepModel, PerformanceRisesWithCores) {
+    double prev = 0;
+    for (int cores : {8, 16, 32, 48}) {
+        ap::CastepConfig cfg;
+        cfg.ranks = cores;
+        const auto out = ap::run_castep(aa::a64fx(), cfg);
+        EXPECT_GT(out.scf_cycles_per_s, prev);
+        prev = out.scf_cycles_per_s;
+    }
+}
+
+TEST(CastepModel, ReferenceProducesCounts) {
+    const auto c = ap::castep_reference(8, 2);
+    EXPECT_GT(c.flops, 0.0);
+    EXPECT_GT(c.bytes(), 0.0);
+}
+
+// ---- OpenSBLI ----------------------------------------------------------------------
+
+TEST(OpensbliModel, DefaultsToFullNodeRanks) {
+    ap::OpensbliConfig cfg;
+    cfg.steps = 2;
+    const auto out = ap::run_opensbli(aa::fulhame(), cfg);
+    ASSERT_TRUE(out.feasible);
+    EXPECT_EQ(static_cast<int>(out.run.ranks.size()), 64);
+}
+
+TEST(OpensbliModel, StrongScalingReducesRuntime) {
+    ap::OpensbliConfig cfg;
+    cfg.steps = 30;
+    const double t1 = ap::run_opensbli(aa::ngio(), cfg).seconds;
+    cfg.nodes = 4;
+    const double t4 = ap::run_opensbli(aa::ngio(), cfg).seconds;
+    EXPECT_LT(t4, t1);
+    EXPECT_GT(t4, t1 / 4.5);  // sub-linear: overhead + halos
+}
+
+TEST(OpensbliModel, ReferenceConservesMass) {
+    const auto ref = ap::opensbli_reference(16, 5);
+    EXPECT_LT(ref.mass_drift, 1e-12);
+    EXPECT_GT(ref.ke_initial, 0.0);
+    EXPECT_NEAR(ref.ke_final, ref.ke_initial, 0.05 * ref.ke_initial);
+}

@@ -1,0 +1,136 @@
+// Deep tests of the blas-lite kernels.
+
+#include "kern/dense/blas.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ak = armstice::kern;
+
+TEST(Blas1, AxpyAndWaxpby) {
+    std::vector<double> x{1, 2, 3}, y{10, 20, 30}, w(3);
+    ak::axpy(2.0, x, y);
+    EXPECT_DOUBLE_EQ(y[2], 36.0);
+    ak::waxpby(1.0, x, -1.0, y, w);
+    EXPECT_DOUBLE_EQ(w[0], 1.0 - 12.0);
+}
+
+TEST(Blas1, DotAndNorm) {
+    std::vector<double> x{3, 4};
+    EXPECT_DOUBLE_EQ(ak::dot(x, x), 25.0);
+    EXPECT_DOUBLE_EQ(ak::norm2(x), 5.0);
+}
+
+TEST(Blas1, SizeMismatchThrows) {
+    std::vector<double> a(3), b(4);
+    EXPECT_THROW(ak::axpy(1.0, a, b), armstice::util::Error);
+    EXPECT_THROW((void)ak::dot(a, b), armstice::util::Error);
+}
+
+TEST(Blas1, CountsExact) {
+    std::vector<double> x(100, 1.0), y(100, 2.0);
+    ak::OpCounts c;
+    (void)ak::dot(x, y, &c);
+    EXPECT_DOUBLE_EQ(c.flops, 200.0);
+    EXPECT_DOUBLE_EQ(c.bytes_read, 1600.0);
+    ak::axpy(1.5, x, y, &c);
+    EXPECT_DOUBLE_EQ(c.flops, 400.0);
+    EXPECT_DOUBLE_EQ(c.bytes_written, 800.0);
+}
+
+TEST(Gemv, MatchesManual) {
+    // A = [[1,2],[3,4],[5,6]], x = [1,-1].
+    std::vector<double> a{1, 2, 3, 4, 5, 6}, x{1, -1}, y(3);
+    ak::gemv(a, 3, 2, x, y);
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+struct GemmShape {
+    int m, k, n;
+};
+
+class GemmVsNaive : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmVsNaive, BlockedMatchesNaive) {
+    const auto [m, k, n] = GetParam();
+    armstice::util::Rng rng(static_cast<unsigned long>(m * 1000 + k * 10 + n));
+    std::vector<double> a(static_cast<std::size_t>(m) * k);
+    std::vector<double> b(static_cast<std::size_t>(k) * n);
+    for (auto& v : a) v = rng.uniform(-1, 1);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    std::vector<double> c_blocked(static_cast<std::size_t>(m) * n);
+    std::vector<double> c_naive(c_blocked.size());
+    ak::gemm(a, b, c_blocked, m, k, n);
+    ak::gemm_naive(a, b, c_naive, m, k, n);
+    for (std::size_t i = 0; i < c_naive.size(); ++i) {
+        EXPECT_NEAR(c_blocked[i], c_naive[i], 1e-10 * k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmVsNaive,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{3, 5, 7}, GemmShape{16, 16, 16},
+                      GemmShape{64, 64, 64}, GemmShape{65, 63, 2},
+                      GemmShape{128, 17, 70}, GemmShape{1, 200, 1}));
+
+TEST(Gemm, BetaAccumulates) {
+    std::vector<double> a{1, 0, 0, 1};  // identity
+    std::vector<double> b{5, 6, 7, 8};
+    std::vector<double> c{1, 1, 1, 1};
+    ak::gemm(a, b, c, 2, 2, 2, /*beta=*/1.0);
+    EXPECT_DOUBLE_EQ(c[0], 6.0);
+    EXPECT_DOUBLE_EQ(c[3], 9.0);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+    std::vector<double> a(6), b(6), c(5);
+    EXPECT_THROW(ak::gemm(a, b, c, 2, 3, 2), armstice::util::Error);
+}
+
+TEST(Gemm, FlopCountFormula) {
+    EXPECT_DOUBLE_EQ(ak::gemm_flops(10, 20, 30), 12000.0);
+    std::vector<double> a(200), b(600), c(300);
+    ak::OpCounts cnt;
+    ak::gemm(a, b, c, 10, 20, 30, 0.0, &cnt);
+    EXPECT_DOUBLE_EQ(cnt.flops, 12000.0);
+}
+
+TEST(Zgemm, MatchesManualSmall) {
+    using ak::cplx;
+    // (1+i) * (2-i) = 3 + i.
+    std::vector<cplx> a{cplx(1, 1)}, b{cplx(2, -1)}, c(1);
+    ak::zgemm(a, b, c, 1, 1, 1);
+    EXPECT_DOUBLE_EQ(c[0].real(), 3.0);
+    EXPECT_DOUBLE_EQ(c[0].imag(), 1.0);
+}
+
+TEST(Zgemm, AgainstRealGemmOnRealInputs) {
+    const int m = 7, k = 9, n = 5;
+    armstice::util::Rng rng(4);
+    std::vector<double> ar(static_cast<std::size_t>(m) * k),
+        br(static_cast<std::size_t>(k) * n), cr(static_cast<std::size_t>(m) * n);
+    std::vector<ak::cplx> az(ar.size()), bz(br.size()), cz(cr.size());
+    for (std::size_t i = 0; i < ar.size(); ++i) {
+        ar[i] = rng.uniform(-1, 1);
+        az[i] = ar[i];
+    }
+    for (std::size_t i = 0; i < br.size(); ++i) {
+        br[i] = rng.uniform(-1, 1);
+        bz[i] = br[i];
+    }
+    ak::gemm_naive(ar, br, cr, m, k, n);
+    ak::zgemm(az, bz, cz, m, k, n);
+    for (std::size_t i = 0; i < cr.size(); ++i) {
+        EXPECT_NEAR(cz[i].real(), cr[i], 1e-10);
+        EXPECT_NEAR(cz[i].imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Zgemm, FlopConvention) {
+    EXPECT_DOUBLE_EQ(ak::zgemm_flops(2, 3, 4), 8.0 * 24.0);
+}

@@ -1,0 +1,172 @@
+// Tests of the dense symmetric eigensolver and Cholesky factorisation.
+
+#include "kern/dense/blas.hpp"
+#include "kern/dense/eigen.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ak = armstice::kern;
+
+namespace {
+
+std::vector<double> random_symmetric(int n, unsigned long seed) {
+    armstice::util::Rng rng(seed);
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j <= i; ++j) {
+            const double v = rng.uniform(-1, 1);
+            a[static_cast<std::size_t>(i) * n + j] = v;
+            a[static_cast<std::size_t>(j) * n + i] = v;
+        }
+    }
+    return a;
+}
+
+std::vector<double> random_spd_dense(int n, unsigned long seed) {
+    // A = B^T B + n*I.
+    armstice::util::Rng rng(seed);
+    std::vector<double> b(static_cast<std::size_t>(n) * n);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double s = 0;
+            for (int k = 0; k < n; ++k) {
+                s += b[static_cast<std::size_t>(k) * n + i] *
+                     b[static_cast<std::size_t>(k) * n + j];
+            }
+            a[static_cast<std::size_t>(i) * n + j] = s + (i == j ? n : 0.0);
+        }
+    }
+    return a;
+}
+
+} // namespace
+
+TEST(EigenSym, DiagonalMatrixTrivial) {
+    const std::vector<double> a{3, 0, 0, 0, 1, 0, 0, 0, 2};
+    const auto res = ak::eigen_sym(a, 3);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(res.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(res.values[2], 3.0, 1e-12);
+}
+
+TEST(EigenSym, KnownTwoByTwo) {
+    // [[2,1],[1,2]] has eigenvalues 1 and 3.
+    const std::vector<double> a{2, 1, 1, 2};
+    const auto res = ak::eigen_sym(a, 2);
+    EXPECT_NEAR(res.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(res.values[1], 3.0, 1e-12);
+}
+
+class EigenRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenRandom, ReconstructsMatrix) {
+    const int n = GetParam();
+    const auto a = random_symmetric(n, 7u + static_cast<unsigned long>(n));
+    const auto res = ak::eigen_sym(a, n);
+    ASSERT_TRUE(res.converged);
+    // Check A v_j = lambda_j v_j for every eigenpair.
+    for (int j = 0; j < n; ++j) {
+        const double* vj = &res.vectors[static_cast<std::size_t>(j) * n];
+        for (int i = 0; i < n; ++i) {
+            double av = 0;
+            for (int k = 0; k < n; ++k) {
+                av += a[static_cast<std::size_t>(i) * n + k] * vj[k];
+            }
+            EXPECT_NEAR(av, res.values[static_cast<std::size_t>(j)] * vj[i], 1e-8)
+                << "pair " << j;
+        }
+    }
+}
+
+TEST_P(EigenRandom, VectorsOrthonormal) {
+    const int n = GetParam();
+    const auto a = random_symmetric(n, 19u + static_cast<unsigned long>(n));
+    const auto res = ak::eigen_sym(a, n);
+    for (int j1 = 0; j1 < n; ++j1) {
+        for (int j2 = 0; j2 <= j1; ++j2) {
+            double d = 0;
+            for (int i = 0; i < n; ++i) {
+                d += res.vectors[static_cast<std::size_t>(j1) * n + i] *
+                     res.vectors[static_cast<std::size_t>(j2) * n + i];
+            }
+            EXPECT_NEAR(d, j1 == j2 ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+TEST_P(EigenRandom, TraceEqualsEigenvalueSum) {
+    const int n = GetParam();
+    const auto a = random_symmetric(n, 23u + static_cast<unsigned long>(n));
+    const auto res = ak::eigen_sym(a, n);
+    double trace = 0, sum = 0;
+    for (int i = 0; i < n; ++i) {
+        trace += a[static_cast<std::size_t>(i) * n + i];
+        sum += res.values[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(sum, trace, 1e-9 * (1.0 + std::abs(trace)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenRandom, ::testing::Values(2, 3, 5, 10, 24));
+
+TEST(EigenSym, RejectsAsymmetric) {
+    const std::vector<double> a{1, 2, 3, 4};
+    EXPECT_THROW((void)ak::eigen_sym(a, 2), armstice::util::Error);
+}
+
+TEST(Cholesky, FactorReproducesMatrix) {
+    const int n = 12;
+    const auto a = random_spd_dense(n, 5);
+    const auto l = ak::cholesky(a, n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double s = 0;
+            for (int k = 0; k < n; ++k) {
+                s += l[static_cast<std::size_t>(i) * n + k] *
+                     l[static_cast<std::size_t>(j) * n + k];
+            }
+            EXPECT_NEAR(s, a[static_cast<std::size_t>(i) * n + j], 1e-9);
+        }
+    }
+}
+
+TEST(Cholesky, SolveRecoversSolution) {
+    const int n = 20;
+    const auto a = random_spd_dense(n, 9);
+    armstice::util::Rng rng(4);
+    std::vector<double> x_true(static_cast<std::size_t>(n));
+    for (auto& v : x_true) v = rng.uniform(-3, 3);
+    std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            b[static_cast<std::size_t>(i)] +=
+                a[static_cast<std::size_t>(i) * n + j] * x_true[static_cast<std::size_t>(j)];
+        }
+    }
+    const auto l = ak::cholesky(a, n);
+    const auto x = ak::cholesky_solve(l, n, b);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)],
+                    1e-8);
+    }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+    const std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+    EXPECT_THROW((void)ak::cholesky(a, 2), armstice::util::Error);
+}
+
+TEST(Cholesky, CountsCubicScaling) {
+    const auto a8 = random_spd_dense(8, 1);
+    const auto a16 = random_spd_dense(16, 2);
+    ak::OpCounts c8, c16;
+    (void)ak::cholesky(a8, 8, &c8);
+    (void)ak::cholesky(a16, 16, &c16);
+    EXPECT_NEAR(c16.flops / c8.flops, 8.0, 0.01);
+}

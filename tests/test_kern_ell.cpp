@@ -1,0 +1,66 @@
+// Tests of the ELLPACK sparse format.
+
+#include "kern/sparse/ell.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ak = armstice::kern;
+
+class EllVsCsr : public ::testing::TestWithParam<long> {};
+
+TEST_P(EllVsCsr, SpmvMatchesCsr) {
+    const long n = GetParam();
+    const auto csr = ak::random_spd(n, 4, 31u + static_cast<unsigned long>(n));
+    const ak::EllMatrix ell(csr);
+    armstice::util::Rng rng(2);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    std::vector<double> y_csr(x.size()), y_ell(x.size());
+    csr.spmv(x, y_csr);
+    ell.spmv(x, y_ell);
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y_ell[i], y_csr[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EllVsCsr, ::testing::Values(5L, 32L, 100L, 333L));
+
+TEST(Ell, WidthIsMaxRowLength) {
+    // Row 0 has 3 entries, row 1 has 1.
+    const ak::CsrMatrix csr(2, 3, {{0, 0, 1.0}, {0, 1, 2.0}, {0, 2, 3.0}, {1, 1, 4.0}});
+    const ak::EllMatrix ell(csr);
+    EXPECT_EQ(ell.width(), 3);
+    EXPECT_EQ(ell.nnz(), 4);
+    EXPECT_EQ(ell.padded_nnz(), 6);
+    EXPECT_DOUBLE_EQ(ell.padding_ratio(), 1.5);
+}
+
+TEST(Ell, UniformStencilHasNoPaddingInterior) {
+    // 27-point operator on a periodic-free grid: corner rows are shortest,
+    // interior rows longest (27), so padding ratio is modest but > 1.
+    const auto csr = ak::poisson27(6, 6, 6);
+    const ak::EllMatrix ell(csr);
+    EXPECT_EQ(ell.width(), 27);
+    EXPECT_GT(ell.padding_ratio(), 1.0);
+    EXPECT_LT(ell.padding_ratio(), 1.5);
+}
+
+TEST(Ell, CountsChargePadding) {
+    const auto csr = ak::poisson27(4, 4, 4);
+    const ak::EllMatrix ell(csr);
+    std::vector<double> x(static_cast<std::size_t>(csr.rows()), 1.0), y(x.size());
+    ak::OpCounts c_ell, c_csr;
+    ell.spmv(x, y, &c_ell);
+    csr.spmv(x, y, &c_csr);
+    EXPECT_DOUBLE_EQ(c_ell.flops, c_csr.flops);        // same useful work
+    EXPECT_GT(c_ell.bytes_read, c_csr.bytes_read);     // padding traffic
+}
+
+TEST(Ell, EmptyRowsHandled) {
+    const ak::CsrMatrix csr(3, 3, {{0, 0, 2.0}});  // rows 1,2 empty
+    const ak::EllMatrix ell(csr);
+    std::vector<double> x{1, 1, 1}, y(3);
+    ell.spmv(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+    EXPECT_DOUBLE_EQ(y[2], 0.0);
+}

@@ -1,0 +1,166 @@
+// Deep tests of the FFT kernels: correctness against the naive DFT,
+// classical transform identities, 3D behaviour, and count conventions.
+
+#include "kern/fft/fft.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace ak = armstice::kern;
+using ak::cplx;
+
+namespace {
+
+std::vector<cplx> random_signal(std::size_t n, unsigned long seed) {
+    armstice::util::Rng rng(seed);
+    std::vector<cplx> v(n);
+    for (auto& x : v) x = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    return v;
+}
+
+double max_err(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace
+
+class FftVsDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsDft, MatchesNaiveDft) {
+    auto data = random_signal(GetParam(), GetParam());
+    const auto expect = ak::dft_naive(data);
+    ak::fft(data);
+    EXPECT_LT(max_err(data, expect), 1e-9 * static_cast<double>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2Sizes, FftVsDft,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(Fft, RoundTripIdentity) {
+    auto data = random_signal(64, 7);
+    const auto orig = data;
+    ak::fft(data);
+    ak::ifft(data);
+    EXPECT_LT(max_err(data, orig), 1e-12);
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+    std::vector<cplx> data(12);
+    EXPECT_THROW(ak::fft(data), armstice::util::Error);
+}
+
+TEST(Fft, Linearity) {
+    auto a = random_signal(32, 1);
+    auto b = random_signal(32, 2);
+    std::vector<cplx> sum(32);
+    for (std::size_t i = 0; i < 32; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+    ak::fft(a);
+    ak::fft(b);
+    ak::fft(sum);
+    for (std::size_t i = 0; i < 32; ++i) {
+        EXPECT_LT(std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])), 1e-10);
+    }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+    auto data = random_signal(128, 3);
+    double time_energy = 0;
+    for (const auto& x : data) time_energy += std::norm(x);
+    ak::fft(data);
+    double freq_energy = 0;
+    for (const auto& x : data) freq_energy += std::norm(x);
+    EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-9 * time_energy);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+    std::vector<cplx> data(16, cplx(0, 0));
+    data[0] = cplx(1, 0);
+    ak::fft(data);
+    for (const auto& x : data) {
+        EXPECT_NEAR(x.real(), 1.0, 1e-12);
+        EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+    const std::size_t n = 64;
+    const int k = 5;
+    std::vector<cplx> data(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double ang = 2.0 * std::numbers::pi * k * static_cast<double>(j) / n;
+        data[j] = cplx(std::cos(ang), std::sin(ang));
+    }
+    ak::fft(data);
+    for (std::size_t j = 0; j < n; ++j) {
+        if (j == static_cast<std::size_t>(k)) {
+            EXPECT_NEAR(data[j].real(), static_cast<double>(n), 1e-9);
+        } else {
+            EXPECT_LT(std::abs(data[j]), 1e-9);
+        }
+    }
+}
+
+TEST(Fft3d, RoundTripIdentity) {
+    const int n = 8;
+    auto data = random_signal(static_cast<std::size_t>(n) * n * n, 9);
+    const auto orig = data;
+    ak::fft3d(data, n);
+    ak::ifft3d(data, n);
+    EXPECT_LT(max_err(data, orig), 1e-11);
+}
+
+TEST(Fft3d, PlaneWaveSingleCoefficient) {
+    const int n = 8;
+    const std::size_t nn = static_cast<std::size_t>(n) * n * n;
+    std::vector<cplx> data(nn);
+    const int kx = 2, ky = 1, kz = 3;
+    for (int z = 0; z < n; ++z) {
+        for (int y = 0; y < n; ++y) {
+            for (int x = 0; x < n; ++x) {
+                const double ang = 2.0 * std::numbers::pi *
+                                   (kx * x + ky * y + kz * z) / static_cast<double>(n);
+                data[(static_cast<std::size_t>(z) * n + y) * n +
+                     static_cast<std::size_t>(x)] = cplx(std::cos(ang), std::sin(ang));
+            }
+        }
+    }
+    ak::fft3d(data, n);
+    const std::size_t peak = (static_cast<std::size_t>(kz) * n + ky) * n +
+                             static_cast<std::size_t>(kx);
+    EXPECT_NEAR(data[peak].real(), static_cast<double>(nn), 1e-7);
+    double rest = 0;
+    for (std::size_t i = 0; i < nn; ++i) {
+        if (i != peak) rest = std::max(rest, std::abs(data[i]));
+    }
+    EXPECT_LT(rest, 1e-7);
+}
+
+TEST(Fft3d, SizeMismatchThrows) {
+    std::vector<cplx> data(100);
+    EXPECT_THROW(ak::fft3d(data, 8), armstice::util::Error);
+    std::vector<cplx> data12(12 * 12 * 12);
+    EXPECT_THROW(ak::fft3d(data12, 12), armstice::util::Error);  // not pow2
+}
+
+TEST(FftCounts, FiveNLogN) {
+    EXPECT_DOUBLE_EQ(ak::fft_flops(8), 5.0 * 8 * 3);
+    EXPECT_DOUBLE_EQ(ak::fft_flops(1), 0.0);
+    EXPECT_DOUBLE_EQ(ak::fft3d_flops(8), 3.0 * 64 * ak::fft_flops(8));
+}
+
+TEST(FftCounts, InstrumentedMatchesConvention) {
+    std::vector<cplx> data = random_signal(64, 11);
+    ak::OpCounts c;
+    ak::fft(data, &c);
+    EXPECT_DOUBLE_EQ(c.flops, ak::fft_flops(64));
+    ak::OpCounts c3;
+    std::vector<cplx> cube = random_signal(8 * 8 * 8, 12);
+    ak::fft3d(cube, 8, &c3);
+    EXPECT_DOUBLE_EQ(c3.flops, ak::fft3d_flops(8));
+}

@@ -1,0 +1,83 @@
+// Tests of the block-decomposition substrate behind the COSA model.
+
+#include "kern/mesh/blocks.hpp"
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ak = armstice::kern;
+
+TEST(BlockDistribution, OwnershipCoversAllBlocks) {
+    const auto d = ak::BlockDistribution::round_robin(10, 3);
+    EXPECT_EQ(d.owner.size(), 10u);
+    int total = std::accumulate(d.blocks_of.begin(), d.blocks_of.end(), 0);
+    EXPECT_EQ(total, 10);
+    EXPECT_EQ(d.max_blocks_per_rank, 4);  // rank 0: blocks 0,3,6,9
+    EXPECT_EQ(d.active_ranks, 3);
+}
+
+TEST(BlockDistribution, ExactDivisionIsBalanced) {
+    const auto d = ak::BlockDistribution::round_robin(800, 800);
+    EXPECT_EQ(d.max_blocks_per_rank, 1);
+    EXPECT_DOUBLE_EQ(d.balance(), 1.0);
+}
+
+TEST(BlockDistribution, MoreRanksThanBlocksLeavesIdle) {
+    const auto d = ak::BlockDistribution::round_robin(5, 8);
+    EXPECT_EQ(d.active_ranks, 5);
+    EXPECT_EQ(d.blocks_of[7], 0);
+    EXPECT_EQ(d.max_blocks_per_rank, 1);
+}
+
+class PaperDistributions
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PaperDistributions, MatchesPaperArithmetic) {
+    // (ranks, expected max, expected active, expected ranks-with-max).
+    const auto [ranks, max, active, with_max] = GetParam();
+    const auto d = ak::BlockDistribution::round_robin(800, ranks);
+    EXPECT_EQ(d.max_blocks_per_rank, max);
+    EXPECT_EQ(d.active_ranks, active);
+    const int count_max = static_cast<int>(std::count(
+        d.blocks_of.begin(), d.blocks_of.end(), d.max_blocks_per_rank));
+    EXPECT_EQ(count_max, with_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, PaperDistributions,
+    ::testing::Values(
+        // A64FX 16 nodes: 768 procs -> "32 processes with 2 blocks" (§VII.A.3)
+        std::tuple{768, 2, 768, 32},
+        // Fulhame 16 nodes: 1024 procs -> only 800 do work ("13 of the nodes")
+        std::tuple{1024, 1, 800, 800},
+        // ARCHER 16 nodes: 384 procs -> 800 = 2*384 + 32.
+        std::tuple{384, 3, 384, 32},
+        // 800 ranks exactly.
+        std::tuple{800, 1, 800, 800}));
+
+TEST(BlockDistribution, BalanceDefinition) {
+    const auto d = ak::BlockDistribution::round_robin(800, 768);
+    EXPECT_NEAR(d.balance(), (800.0 / 768.0) / 2.0, 1e-12);
+}
+
+TEST(BlockDistribution, BadShapesThrow) {
+    EXPECT_THROW(ak::BlockDistribution::round_robin(0, 4), armstice::util::Error);
+    EXPECT_THROW(ak::BlockDistribution::round_robin(4, 0), armstice::util::Error);
+}
+
+TEST(TileCells, SumsToGridSize) {
+    for (int blocks : {1, 4, 9, 10, 25}) {
+        const auto cells = ak::tile_cells(100, 80, blocks);
+        EXPECT_EQ(static_cast<int>(cells.size()), blocks);
+        long total = std::accumulate(cells.begin(), cells.end(), 0L);
+        EXPECT_EQ(total, 100L * 80);
+    }
+}
+
+TEST(TileCells, TilesNearUniform) {
+    const auto cells = ak::tile_cells(96, 96, 16);
+    const auto [lo, hi] = std::minmax_element(cells.begin(), cells.end());
+    EXPECT_LT(static_cast<double>(*hi) / static_cast<double>(*lo), 1.3);
+}

@@ -1,0 +1,234 @@
+// Deep tests of the spectral-element kernels: GLL quadrature, the
+// differentiation matrix, the ax operator and Nekbone-style CG.
+
+#include "kern/nek/spectral.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ak = armstice::kern;
+
+class GllOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllOrder, PointsSymmetricWithEndpoints) {
+    std::vector<double> x, w;
+    ak::gll_points(GetParam(), x, w);
+    const int n = GetParam();
+    EXPECT_DOUBLE_EQ(x.front(), -1.0);
+    EXPECT_DOUBLE_EQ(x.back(), 1.0);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                    -x[static_cast<std::size_t>(n - 1 - i)], 1e-12);
+        EXPECT_GT(w[static_cast<std::size_t>(i)], 0.0);
+    }
+    // Strictly increasing.
+    for (int i = 0; i + 1 < n; ++i) {
+        EXPECT_LT(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(i) + 1]);
+    }
+}
+
+TEST_P(GllOrder, WeightsSumToTwo) {
+    std::vector<double> x, w;
+    ak::gll_points(GetParam(), x, w);
+    double sum = 0;
+    for (double v : w) sum += v;
+    EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST_P(GllOrder, QuadratureExactForPolynomials) {
+    // GLL with n points integrates polynomials up to degree 2n-3 exactly.
+    const int n = GetParam();
+    std::vector<double> x, w;
+    ak::gll_points(n, x, w);
+    for (int deg = 0; deg <= 2 * n - 3; ++deg) {
+        double q = 0;
+        for (int i = 0; i < n; ++i) {
+            q += w[static_cast<std::size_t>(i)] *
+                 std::pow(x[static_cast<std::size_t>(i)], deg);
+        }
+        const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+        EXPECT_NEAR(q, exact, 1e-10) << "degree " << deg;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GllOrder, ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+class DerivMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(DerivMatrix, DifferentiatesPolynomialsExactly) {
+    const int n = GetParam();
+    std::vector<double> x, w;
+    ak::gll_points(n, x, w);
+    const auto d = ak::gll_deriv_matrix(n);
+    // D applied to x^k must give k x^(k-1) for k < n.
+    for (int k = 0; k < n; ++k) {
+        for (int i = 0; i < n; ++i) {
+            double du = 0;
+            for (int j = 0; j < n; ++j) {
+                du += d[static_cast<std::size_t>(i) * n + j] *
+                      std::pow(x[static_cast<std::size_t>(j)], k);
+            }
+            const double exact =
+                k == 0 ? 0.0 : k * std::pow(x[static_cast<std::size_t>(i)], k - 1);
+            EXPECT_NEAR(du, exact, 1e-8) << "k=" << k << " i=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DerivMatrix, ::testing::Values(2, 4, 8, 16));
+
+TEST(DerivMatrix, RowSumsVanish) {
+    // Derivative of a constant is zero: every row of D sums to 0.
+    const int n = 10;
+    const auto d = ak::gll_deriv_matrix(n);
+    for (int i = 0; i < n; ++i) {
+        double s = 0;
+        for (int j = 0; j < n; ++j) s += d[static_cast<std::size_t>(i) * n + j];
+        EXPECT_NEAR(s, 0.0, 1e-10);
+    }
+}
+
+namespace {
+
+/// Random vector that is continuous across shared faces and masked.
+std::vector<double> continuous_masked(const ak::NekMesh& mesh, unsigned long seed) {
+    armstice::util::Rng rng(seed);
+    std::vector<double> v(static_cast<std::size_t>(mesh.local_dofs()));
+    for (auto& x : v) x = rng.uniform(-1, 1);
+    // Make shared faces equal by sum-then-halve.
+    mesh.dssum(v);
+    const int n = mesh.nx1();
+    const std::size_t epts = static_cast<std::size_t>(n) * n * n;
+    for (int e = 0; e + 1 < mesh.nelems(); ++e) {
+        for (int k = 0; k < n; ++k) {
+            for (int j = 0; j < n; ++j) {
+                v[static_cast<std::size_t>(e) * epts +
+                  (static_cast<std::size_t>(k) * n + j) * n + static_cast<std::size_t>(n - 1)] *= 0.5;
+                v[(static_cast<std::size_t>(e) + 1) * epts +
+                  (static_cast<std::size_t>(k) * n + j) * n] *= 0.5;
+            }
+        }
+    }
+    mesh.mask(v);
+    return v;
+}
+
+double wdot(const ak::NekMesh& mesh, const std::vector<double>& a,
+            const std::vector<double>& b) {
+    const int n = mesh.nx1();
+    const std::size_t epts = static_cast<std::size_t>(n) * n * n;
+    std::vector<double> vm(a.size(), 1.0);
+    for (int e = 0; e + 1 < mesh.nelems(); ++e) {
+        for (int k = 0; k < n; ++k) {
+            for (int j = 0; j < n; ++j) {
+                vm[static_cast<std::size_t>(e) * epts +
+                   (static_cast<std::size_t>(k) * n + j) * n + static_cast<std::size_t>(n - 1)] = 0.5;
+                vm[(static_cast<std::size_t>(e) + 1) * epts +
+                   (static_cast<std::size_t>(k) * n + j) * n] = 0.5;
+            }
+        }
+    }
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i] * vm[i];
+    return s;
+}
+
+} // namespace
+
+class AxOperator : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AxOperator, SymmetricOnContinuousSpace) {
+    const auto [elems, nx1] = GetParam();
+    const ak::NekMesh mesh(elems, nx1);
+    const auto u = continuous_masked(mesh, 1);
+    const auto v = continuous_masked(mesh, 2);
+    std::vector<double> au(u.size()), av(v.size());
+    mesh.ax(u, au);
+    mesh.ax(v, av);
+    const double vau = wdot(mesh, v, au);
+    const double uav = wdot(mesh, u, av);
+    EXPECT_NEAR(vau, uav, 1e-9 * std::max(1.0, std::abs(vau)));
+}
+
+TEST_P(AxOperator, PositiveDefiniteOnMaskedSpace) {
+    const auto [elems, nx1] = GetParam();
+    const ak::NekMesh mesh(elems, nx1);
+    const auto u = continuous_masked(mesh, 3);
+    std::vector<double> au(u.size());
+    mesh.ax(u, au);
+    EXPECT_GT(wdot(mesh, u, au), 0.0);
+}
+
+TEST_P(AxOperator, FlopFormulaMatchesInstrumented) {
+    const auto [elems, nx1] = GetParam();
+    const ak::NekMesh mesh(elems, nx1);
+    std::vector<double> u(static_cast<std::size_t>(mesh.local_dofs()), 1.0);
+    std::vector<double> w(u.size());
+    ak::OpCounts c;
+    mesh.ax(u, w, &c);
+    EXPECT_DOUBLE_EQ(c.flops, ak::NekMesh::ax_flops(elems, nx1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AxOperator,
+                         ::testing::Values(std::tuple{1, 4}, std::tuple{2, 6},
+                                           std::tuple{4, 8}, std::tuple{3, 12}));
+
+TEST(AxOperator, KillsConstantsUpToMask) {
+    // The Poisson operator annihilates constants; only the Dirichlet mask
+    // face contributes.
+    const ak::NekMesh mesh(2, 6);
+    std::vector<double> u(static_cast<std::size_t>(mesh.local_dofs()), 1.0);
+    mesh.mask(u);  // constant away from the masked face
+    std::vector<double> w(u.size());
+    mesh.ax(u, w);
+    // Interior of element 1 (away from the mask) must be ~0.
+    const int n = mesh.nx1();
+    const std::size_t epts = static_cast<std::size_t>(n) * n * n;
+    const std::size_t probe = epts + (static_cast<std::size_t>(n / 2) * n + n / 2) * n +
+                              static_cast<std::size_t>(n / 2);
+    EXPECT_NEAR(w[probe], 0.0, 1e-9);
+}
+
+TEST(Dssum, SumsSharedFaces) {
+    const ak::NekMesh mesh(2, 4);
+    std::vector<double> u(static_cast<std::size_t>(mesh.local_dofs()), 1.0);
+    mesh.dssum(u);
+    const int n = 4;
+    const std::size_t epts = 64;
+    // Shared face entries became 2, interiors stayed 1.
+    EXPECT_DOUBLE_EQ(u[static_cast<std::size_t>(n - 1)], 2.0);  // e0 face point
+    EXPECT_DOUBLE_EQ(u[epts], 2.0);                              // e1 face point
+    EXPECT_DOUBLE_EQ(u[1], 1.0);
+}
+
+TEST(NekCg, FixedIterationResidualDrops) {
+    const ak::NekMesh mesh(3, 6);
+    std::vector<double> f(static_cast<std::size_t>(mesh.local_dofs()), 1.0);
+    mesh.mask(f);
+    std::vector<double> u(f.size(), 0.0);
+    const auto res = mesh.cg(f, u, 150);
+    EXPECT_EQ(res.iterations, 150);
+    EXPECT_LT(res.final_residual, 1e-4);
+}
+
+TEST(NekCg, SolutionSatisfiesEquation) {
+    const ak::NekMesh mesh(2, 6);
+    const auto u_true = continuous_masked(mesh, 8);
+    std::vector<double> f(u_true.size());
+    mesh.ax(u_true, f);
+    std::vector<double> u(u_true.size(), 0.0);
+    (void)mesh.cg(f, u, 400);
+    std::vector<double> au(u.size());
+    mesh.ax(u, au);
+    double err = 0;
+    for (std::size_t i = 0; i < f.size(); ++i) err = std::max(err, std::abs(au[i] - f[i]));
+    EXPECT_LT(err, 1e-5);
+}
+
+TEST(NekMesh, BadConfigThrows) {
+    EXPECT_THROW(ak::NekMesh(0, 8), armstice::util::Error);
+    EXPECT_THROW(ak::NekMesh(4, 1), armstice::util::Error);
+}

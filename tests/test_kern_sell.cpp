@@ -1,0 +1,88 @@
+// Tests of the SELL-C-sigma format.
+
+#include "kern/sparse/ell.hpp"
+#include "kern/sparse/sell.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ak = armstice::kern;
+
+class SellVsCsr : public ::testing::TestWithParam<std::tuple<long, int, int>> {};
+
+TEST_P(SellVsCsr, SpmvMatchesCsr) {
+    const auto [n, chunk, sigma] = GetParam();
+    const auto csr = ak::random_spd(n, 5, 77u + static_cast<unsigned long>(n));
+    const ak::SellMatrix sell(csr, chunk, sigma);
+    armstice::util::Rng rng(6);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = rng.uniform(-1, 1);
+    std::vector<double> y_csr(x.size()), y_sell(x.size());
+    csr.spmv(x, y_csr);
+    sell.spmv(x, y_sell);
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y_sell[i], y_csr[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SellVsCsr,
+    ::testing::Values(std::tuple{10L, 4, 4}, std::tuple{100L, 8, 64},
+                      std::tuple{333L, 8, 8}, std::tuple{257L, 16, 32},
+                      std::tuple{64L, 8, 64}));
+
+TEST(Sell, LessPaddingThanEll) {
+    // The HPCG operator has short boundary rows; sigma-window sorting keeps
+    // them out of the interior chunks.
+    const auto csr = ak::poisson27(8, 8, 8);
+    const ak::EllMatrix ell(csr);
+    const ak::SellMatrix sell(csr, 8, 64);
+    EXPECT_LT(sell.padding_ratio(), ell.padding_ratio());
+    EXPECT_GE(sell.padding_ratio(), 1.0);
+    EXPECT_EQ(sell.nnz(), csr.nnz());
+}
+
+TEST(Sell, LargerSigmaNeverIncreasesPadding) {
+    const auto csr = ak::poisson27(10, 10, 10);
+    double prev = 1e9;
+    for (int sigma : {8, 32, 128, 1024}) {
+        const ak::SellMatrix sell(csr, 8, sigma);
+        EXPECT_LE(sell.padding_ratio(), prev + 1e-12) << sigma;
+        prev = sell.padding_ratio();
+    }
+}
+
+TEST(Sell, ChunkOfOneIsPaddingFree) {
+    // C = 1 degenerates to CSR-like storage: no padding at all.
+    const auto csr = ak::random_spd(50, 3, 5);
+    const ak::SellMatrix sell(csr, 1, 1);
+    EXPECT_DOUBLE_EQ(sell.padding_ratio(), 1.0);
+}
+
+TEST(Sell, InvalidShapeRejected) {
+    const auto csr = ak::poisson7(4, 4, 4);
+    EXPECT_THROW(ak::SellMatrix(csr, 8, 4), armstice::util::Error);   // sigma < C
+    EXPECT_THROW(ak::SellMatrix(csr, 8, 12), armstice::util::Error);  // not multiple
+    EXPECT_THROW(ak::SellMatrix(csr, 0, 8), armstice::util::Error);
+}
+
+TEST(Sell, CountsChargePaddedTraffic) {
+    const auto csr = ak::poisson27(6, 6, 6);
+    const ak::SellMatrix sell(csr, 8, 48);
+    std::vector<double> x(static_cast<std::size_t>(csr.rows()), 1.0), y(x.size());
+    ak::OpCounts c;
+    sell.spmv(x, y, &c);
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * static_cast<double>(csr.nnz()));
+    EXPECT_GT(c.bytes_read, 12.0 * static_cast<double>(csr.nnz()));
+}
+
+TEST(Sell, RowsNotMultipleOfChunkHandled) {
+    const auto csr = ak::random_spd(13, 2, 3);  // 13 rows, chunk 8
+    const ak::SellMatrix sell(csr, 8, 8);
+    std::vector<double> x(13, 1.0), y_sell(13), y_csr(13);
+    sell.spmv(x, y_sell);
+    csr.spmv(x, y_csr);
+    for (int i = 0; i < 13; ++i) {
+        EXPECT_NEAR(y_sell[static_cast<std::size_t>(i)],
+                    y_csr[static_cast<std::size_t>(i)], 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+// Deep tests of the compressible Taylor-Green solver (the OpenSBLI
+// reference numerics).
+
+#include "kern/stencil/taylor_green.hpp"
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace ak = armstice::kern;
+
+class TgvGrids : public ::testing::TestWithParam<int> {};
+
+TEST_P(TgvGrids, MassExactlyConserved) {
+    // Central differences in flux form telescope over a periodic domain, so
+    // total mass is conserved to round-off.
+    ak::TaylorGreen tg(GetParam());
+    const double m0 = tg.total_mass();
+    for (int s = 0; s < 10; ++s) tg.step(tg.stable_dt());
+    EXPECT_NEAR(tg.total_mass(), m0, 1e-10 * std::abs(m0));
+}
+
+TEST_P(TgvGrids, InitialMassMatchesDomain) {
+    ak::TaylorGreen tg(GetParam());
+    // rho0 = 1 over (2*pi)^3.
+    EXPECT_NEAR(tg.total_mass(), std::pow(2.0 * std::numbers::pi, 3), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, TgvGrids, ::testing::Values(8, 12, 16, 24));
+
+TEST(TaylorGreen, InitialKineticEnergyMatchesAnalytic) {
+    // KE = rho V0^2/2 * integral(sin^2 x cos^2 y cos^2 z + cos^2 x sin^2 y
+    // cos^2 z) = rho V0^2 (2*pi)^3 / 8.
+    ak::TaylorGreen tg(32, 0.1);
+    const double expect = 0.01 * std::pow(2.0 * std::numbers::pi, 3) / 8.0;
+    EXPECT_NEAR(tg.kinetic_energy(), expect, 0.01 * expect);
+}
+
+TEST(TaylorGreen, MaxSpeedIsMach) {
+    ak::TaylorGreen tg(16, 0.1);
+    EXPECT_NEAR(tg.max_speed(), 0.1, 0.01);
+}
+
+TEST(TaylorGreen, EnergyStaysBoundedInviscid) {
+    // Inviscid Euler with central differences: KE should stay near its
+    // initial value over a short horizon (no shocks at Mach 0.1).
+    ak::TaylorGreen tg(16);
+    const double ke0 = tg.kinetic_energy();
+    for (int s = 0; s < 20; ++s) tg.step(tg.stable_dt());
+    EXPECT_NEAR(tg.kinetic_energy(), ke0, 0.05 * ke0);
+}
+
+TEST(TaylorGreen, WMomentumStaysZeroBySymmetry) {
+    // The classic TGV initialisation has w = 0 everywhere and the z-symmetry
+    // keeps vertical momentum tiny at early times.
+    ak::TaylorGreen tg(16);
+    for (int s = 0; s < 5; ++s) tg.step(tg.stable_dt());
+    EXPECT_LT(tg.max_speed(), 0.2);  // no blow-up
+}
+
+TEST(TaylorGreen, StableDtPositiveAndCflLike) {
+    ak::TaylorGreen tg(32);
+    const double dt = tg.stable_dt();
+    EXPECT_GT(dt, 0.0);
+    EXPECT_LT(dt, 2.0 * std::numbers::pi / 32.0);  // below h/c
+}
+
+TEST(TaylorGreen, RejectsBadConfig) {
+    EXPECT_THROW(ak::TaylorGreen(4), armstice::util::Error);        // too small
+    EXPECT_THROW(ak::TaylorGreen(16, 0.9), armstice::util::Error);  // transonic
+    ak::TaylorGreen tg(8);
+    EXPECT_THROW(tg.step(0.0), armstice::util::Error);
+}
+
+TEST(TaylorGreen, CountsMatchAnalyticPerPoint) {
+    const int n = 8;
+    ak::TaylorGreen tg(n);
+    ak::OpCounts c;
+    tg.step(tg.stable_dt(), &c);
+    const double pts = static_cast<double>(n) * n * n;
+    EXPECT_DOUBLE_EQ(c.flops, ak::TaylorGreen::step_flops_per_point() * pts);
+}
+
+TEST(TaylorGreen, DeterministicEvolution) {
+    ak::TaylorGreen a(12), b(12);
+    for (int s = 0; s < 3; ++s) {
+        a.step(0.01);
+        b.step(0.01);
+    }
+    EXPECT_DOUBLE_EQ(a.kinetic_energy(), b.kinetic_energy());
+    EXPECT_DOUBLE_EQ(a.total_mass(), b.total_mass());
+}
+
+TEST(TaylorGreen, ViscousDecayMatchesAnalyticRate) {
+    // For the single-mode TGV field, nabla^2(u) = -3u, so with momentum
+    // diffusion nu the kinetic energy decays as exp(-6 nu t) before
+    // nonlinear transfer kicks in. Integrate to t=0.5 and compare.
+    const double nu = 0.02;
+    ak::TaylorGreen tg(16, 0.1, nu);
+    const double ke0 = tg.kinetic_energy();
+    const double t_end = 0.5;
+    double t = 0;
+    while (t < t_end) {
+        const double dt = std::min(tg.stable_dt(), t_end - t);
+        tg.step(dt);
+        t += dt;
+    }
+    const double expect = ke0 * std::exp(-6.0 * nu * t_end);
+    EXPECT_NEAR(tg.kinetic_energy(), expect, 0.02 * ke0);
+}
+
+TEST(TaylorGreen, ViscosityStillConservesMass) {
+    ak::TaylorGreen tg(12, 0.1, 0.05);
+    const double m0 = tg.total_mass();
+    for (int s = 0; s < 10; ++s) tg.step(tg.stable_dt());
+    EXPECT_NEAR(tg.total_mass(), m0, 1e-10 * std::abs(m0));
+}
+
+TEST(TaylorGreen, ViscousDtRespectsDiffusionLimit) {
+    ak::TaylorGreen inviscid(16, 0.1, 0.0);
+    ak::TaylorGreen viscous(16, 0.1, 1.0);  // huge nu
+    EXPECT_LT(viscous.stable_dt(), inviscid.stable_dt());
+    EXPECT_THROW(ak::TaylorGreen(16, 0.1, -0.1), armstice::util::Error);
+}
+
+TEST(TaylorGreen, FinerGridLowersDispersionError) {
+    // KE drift over the same physical time shrinks as the grid refines.
+    auto drift = [](int n) {
+        ak::TaylorGreen tg(n);
+        const double ke0 = tg.kinetic_energy();
+        const double t_end = 0.2;
+        double t = 0;
+        while (t < t_end) {
+            const double dt = std::min(tg.stable_dt(), t_end - t);
+            tg.step(dt);
+            t += dt;
+        }
+        return std::abs(tg.kinetic_energy() - ke0) / ke0;
+    };
+    EXPECT_LE(drift(16), drift(8) + 1e-12);
+}

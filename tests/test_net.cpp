@@ -1,0 +1,210 @@
+// Tests of the network substrate: topologies, link parameters, point-to-point
+// costs and collective models.
+
+#include "net/collectives.hpp"
+#include "net/network.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace an = armstice::net;
+using armstice::arch::NetKind;
+
+// ---- topologies -------------------------------------------------------------
+
+class TorusSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(TorusSize, FitCoversRequestedNodes) {
+    const auto t = an::TorusTopology::fit(GetParam());
+    EXPECT_GE(t.nodes(), GetParam());
+    EXPECT_LE(t.nodes(), 2 * GetParam() + 8);  // no absurd overshoot
+}
+
+TEST_P(TorusSize, HopsSymmetricSelfZero) {
+    const auto t = an::TorusTopology::fit(GetParam());
+    armstice::util::Rng rng(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        const int a = static_cast<int>(rng.next_below(t.nodes()));
+        const int b = static_cast<int>(rng.next_below(t.nodes()));
+        EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+        if (a != b) {
+            EXPECT_GE(t.hops(a, b), 1);
+        }
+    }
+    EXPECT_EQ(t.hops(0, 0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TorusSize,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 27, 48, 100));
+
+TEST(Torus, HopsMatchManhattanWithWraparound) {
+    const an::TorusTopology t({4, 4, 1});
+    // node ids: x + 4*y.
+    EXPECT_EQ(t.hops(0, 3), 1);   // wraparound in x: 0 -> 3 is one step back
+    EXPECT_EQ(t.hops(0, 2), 2);
+    EXPECT_EQ(t.hops(0, 15), 2);  // (0,0) -> (3,3): 1 + 1 via wrap
+    EXPECT_EQ(t.diameter(), 4);   // (2,2) away
+}
+
+TEST(Torus, CoordsRoundTrip) {
+    const an::TorusTopology t({3, 4, 5});
+    for (int n = 0; n < t.nodes(); ++n) {
+        const auto c = t.coords(n);
+        EXPECT_EQ(static_cast<int>(c.size()), 3);
+        const int back = c[0] + 3 * (c[1] + 4 * c[2]);
+        EXPECT_EQ(back, n);
+    }
+}
+
+TEST(Torus, RejectsBadDims) {
+    EXPECT_THROW(an::TorusTopology({}), armstice::util::Error);
+    EXPECT_THROW(an::TorusTopology({2, 0}), armstice::util::Error);
+}
+
+TEST(FatTree, HopClassesAreOneAndThree) {
+    const an::FatTreeTopology t(36, 18);
+    EXPECT_EQ(t.leaves(), 2);
+    EXPECT_EQ(t.hops(0, 17), 1);   // same leaf
+    EXPECT_EQ(t.hops(0, 18), 3);   // across leaves
+    EXPECT_EQ(t.hops(5, 5), 0);
+    EXPECT_EQ(t.diameter(), 3);
+}
+
+TEST(FatTree, SingleLeafNeverExceedsOneHop) {
+    const an::FatTreeTopology t(10, 18);
+    EXPECT_EQ(t.diameter(), 1);
+}
+
+TEST(Dragonfly, HopClasses) {
+    const an::DragonflyTopology t(256, 4, 16);
+    EXPECT_EQ(t.hops(0, 3), 1);    // same router
+    EXPECT_EQ(t.hops(0, 4), 2);    // same group, different router
+    EXPECT_EQ(t.hops(0, 255), 4);  // cross-group
+    EXPECT_EQ(t.hops(9, 9), 0);
+}
+
+TEST(Topology, MeanHopsBetweenOneAndDiameter) {
+    for (NetKind kind : {NetKind::tofud, NetKind::aries, NetKind::fdr_ib,
+                         NetKind::omnipath, NetKind::edr_ib}) {
+        const auto topo = an::make_topology(kind, 16);
+        const double mean = topo->mean_hops();
+        EXPECT_GE(mean, 1.0) << topo->name();
+        EXPECT_LE(mean, topo->diameter()) << topo->name();
+    }
+}
+
+// ---- link parameters & p2p ---------------------------------------------------
+
+TEST(Link, ParamsArePlausiblePerFamily) {
+    const auto tofud = an::link_params(NetKind::tofud);
+    const auto edr = an::link_params(NetKind::edr_ib);
+    const auto fdr = an::link_params(NetKind::fdr_ib);
+    EXPECT_LT(tofud.latency_s, 2e-6);
+    EXPECT_GT(edr.bandwidth, fdr.bandwidth);  // 100 vs 56 Gb/s
+    EXPECT_GT(tofud.injection_bw, tofud.bandwidth);  // 6 TNIs
+}
+
+TEST(Network, SameNodeUsesSharedMemoryPath) {
+    const an::Network net(NetKind::edr_ib, 4);
+    const double shm = net.p2p_time(2, 2, 1e6);
+    const double fabric = net.p2p_time(0, 1, 1e6);
+    EXPECT_LT(shm, fabric);
+}
+
+TEST(Network, P2pLatencyPlusBandwidthForm) {
+    const an::Network net(NetKind::tofud, 8);
+    const double t_small = net.p2p_time(0, 1, 8);
+    const double t_big = net.p2p_time(0, 1, 8e6);
+    EXPECT_GT(t_small, 0.9e-6);               // latency floor
+    EXPECT_NEAR(t_big - t_small, 8e6 / net.params().bandwidth, 1e-7);
+}
+
+TEST(Network, MoreHopsCostMore) {
+    const an::Network net(NetKind::edr_ib, 64);  // multiple leaves
+    const double near = net.p2p_time(0, 1, 0);
+    const double far = net.p2p_time(0, 63, 0);
+    EXPECT_GT(far, near);
+}
+
+TEST(Network, NegativeBytesRejected) {
+    const an::Network net(NetKind::edr_ib, 2);
+    EXPECT_THROW((void)net.p2p_time(0, 1, -1.0), armstice::util::Error);
+}
+
+// ---- collectives --------------------------------------------------------------
+
+TEST(Collectives, SingleRankIsFree) {
+    const an::Network net(NetKind::tofud, 1);
+    const an::CollectiveModel coll(net);
+    EXPECT_DOUBLE_EQ(coll.allreduce({1, 1}, 8), 0.0);
+    EXPECT_DOUBLE_EQ(coll.barrier({1, 1}), 0.0);
+    EXPECT_DOUBLE_EQ(coll.allgather({1, 1}, 100), 0.0);
+    EXPECT_DOUBLE_EQ(coll.alltoall({1, 1}, 100), 0.0);
+}
+
+TEST(Collectives, AllreduceGrowsWithNodesAndBytes) {
+    const an::Network net16(NetKind::tofud, 16);
+    const an::CollectiveModel coll(net16);
+    const double t2 = coll.allreduce({2, 48}, 8);
+    const double t16 = coll.allreduce({16, 48}, 8);
+    EXPECT_GT(t16, t2);
+    EXPECT_GT(coll.allreduce({16, 48}, 1e6), coll.allreduce({16, 48}, 8));
+}
+
+TEST(Collectives, RabenseifnerBeatsNaiveForLargePayloads) {
+    // Large allreduce must cost ~2n/B, not 2 log2(P) n/B.
+    const an::Network net(NetKind::edr_ib, 16);
+    const an::CollectiveModel coll(net);
+    const double n = 64e6;
+    const double t = coll.allreduce({16, 1}, n);
+    const double naive = 2.0 * 4.0 * n / net.params().bandwidth;  // 2*log2(16)*n/B
+    EXPECT_LT(t, naive);
+}
+
+TEST(Collectives, HierarchyMakesOnNodeCheap) {
+    const an::Network net(NetKind::omnipath, 16);
+    const an::CollectiveModel coll(net);
+    const double on_node = coll.allreduce({1, 48}, 8);
+    const double off_node = coll.allreduce({16, 3}, 8);
+    EXPECT_LT(on_node, off_node);
+}
+
+TEST(Collectives, BarrierEqualsTinyAllreduce) {
+    const an::Network net(NetKind::aries, 8);
+    const an::CollectiveModel coll(net);
+    EXPECT_DOUBLE_EQ(coll.barrier({8, 24}), coll.allreduce({8, 24}, 8));
+}
+
+TEST(Collectives, AllgatherLinearInRanks) {
+    const an::Network net(NetKind::edr_ib, 8);
+    const an::CollectiveModel coll(net);
+    const double t4 = coll.allgather({4, 1}, 1e3);
+    const double t8 = coll.allgather({8, 1}, 1e3);
+    EXPECT_NEAR(t8 / t4, 7.0 / 3.0, 0.01);  // (P-1) steps
+}
+
+TEST(Collectives, RejectsBadInput) {
+    const an::Network net(NetKind::edr_ib, 4);
+    const an::CollectiveModel coll(net);
+    EXPECT_THROW((void)coll.allreduce({0, 1}, 8), armstice::util::Error);
+    EXPECT_THROW((void)coll.allreduce({2, 2}, -1), armstice::util::Error);
+}
+
+class CollectiveFamilies : public ::testing::TestWithParam<NetKind> {};
+
+TEST_P(CollectiveFamilies, AllOperationsPositiveForMultiNode) {
+    const an::Network net(GetParam(), 8);
+    const an::CollectiveModel coll(net);
+    const an::CommLayout layout{8, 4};
+    EXPECT_GT(coll.allreduce(layout, 8), 0.0);
+    EXPECT_GT(coll.barrier(layout), 0.0);
+    EXPECT_GT(coll.bcast(layout, 1e3), 0.0);
+    EXPECT_GT(coll.allgather(layout, 1e3), 0.0);
+    EXPECT_GT(coll.alltoall(layout, 1e3), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CollectiveFamilies,
+                         ::testing::Values(NetKind::tofud, NetKind::aries,
+                                           NetKind::fdr_ib, NetKind::omnipath,
+                                           NetKind::edr_ib));

@@ -1,0 +1,61 @@
+// Tests of the report renderers used by the bench binaries.
+
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ac = armstice::core;
+
+TEST(Report, SystemCatalogListsAllSystemsAndToolchains) {
+    const std::string s = ac::render_system_catalog();
+    for (const char* name : {"A64FX", "ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"}) {
+        EXPECT_NE(s.find(name), std::string::npos) << name;
+    }
+    EXPECT_NE(s.find("Fujitsu TofuD"), std::string::npos);
+    EXPECT_NE(s.find("Fujitsu 1.2.24"), std::string::npos);
+    EXPECT_NE(s.find("Intel MKL"), std::string::npos);
+}
+
+TEST(Report, Table3RendersPaperAndModelColumns) {
+    std::vector<ac::Table3Row> rows{{"A64FX", false, 38.26, 38.20, 1.1}};
+    const std::string s = ac::render_table3(rows);
+    EXPECT_NE(s.find("38.26"), std::string::npos);
+    EXPECT_NE(s.find("38.20"), std::string::npos);
+    EXPECT_NE(s.find("unoptimised"), std::string::npos);
+}
+
+TEST(Report, Fig1MarksInfeasibleConfigs) {
+    std::vector<ac::Fig1Series> series(1);
+    series[0].label = "plain MPI";
+    series[0].points.push_back({48, 48, 1, true, 100.0, 10.0});
+    series[0].points.push_back({96, 96, 1, false, 0.0, 0.0});
+    const std::string s = ac::render_fig1(series);
+    EXPECT_NE(s.find("OOM"), std::string::npos);
+    EXPECT_NE(s.find("plain MPI"), std::string::npos);
+}
+
+TEST(Report, Fig4MarksCapacityFailures) {
+    std::vector<ac::Fig4Series> series(1);
+    series[0].system = "A64FX";
+    series[0].ppn = 48;
+    series[0].points.push_back({1, false, 0.0});
+    series[0].points.push_back({2, true, 12.0});
+    const std::string s = ac::render_fig4(series);
+    EXPECT_NE(s.find("does not fit"), std::string::npos);
+}
+
+TEST(Report, Table8IsStaticPaperData) {
+    const std::string s = ac::render_table8();
+    EXPECT_NE(s.find("64"), std::string::npos);  // Fulhame ppn
+    EXPECT_NE(s.find("COSA"), std::string::npos);
+}
+
+TEST(Report, Table10RendersPairs) {
+    std::vector<ac::Table10Row> rows(1);
+    rows[0].system = "A64FX";
+    rows[0].paper = {3.44, 1.89, 1.04, 0.69};
+    rows[0].model = {3.40, 1.90, 1.05, 0.70};
+    rows[0].feasible = {true, true, true, true};
+    const std::string s = ac::render_table10(rows);
+    EXPECT_NE(s.find("3.44 | 3.40"), std::string::npos);
+}

@@ -1,0 +1,289 @@
+// End-to-end reproduction tests: the shape criteria of DESIGN.md §3, scored
+// on the same experiment drivers the bench binaries print. These tests are
+// the contract for "the paper's findings hold in the model".
+
+#include "core/experiments.hpp"
+#include "core/paper_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ac = armstice::core;
+
+namespace {
+
+double pct_err(double model, double paper) {
+    return std::abs(model - paper) / paper * 100.0;
+}
+
+} // namespace
+
+// Criterion 1 — Table III: every single-node HPCG number within 5% of the
+// paper (these rows are the calibration anchors), ordering preserved.
+TEST(Reproduction, Table3WithinTolerance) {
+    const auto rows = ac::run_table3();
+    ASSERT_EQ(rows.size(), 7u);
+    std::map<std::string, double> unopt;
+    for (const auto& r : rows) {
+        EXPECT_LT(pct_err(r.model_gflops, r.paper_gflops), 5.0)
+            << r.system << (r.optimized ? " opt" : "");
+        if (!r.optimized) unopt[r.system] = r.model_gflops;
+    }
+    EXPECT_GT(unopt["A64FX"], unopt["EPCC NGIO"]);
+    EXPECT_GT(unopt["EPCC NGIO"], unopt["Fulhame"]);
+    EXPECT_GT(unopt["Fulhame"], unopt["Cirrus"]);
+    EXPECT_GT(unopt["Cirrus"], unopt["ARCHER"]);
+}
+
+// Criterion 1b — Table IV: A64FX leads at every node count; scaling within
+// 10% of the paper's multi-node values (which are predictions, not anchors).
+TEST(Reproduction, Table4ScalingShape) {
+    const auto rows = ac::run_table4();
+    const auto* a64 = &rows[0];
+    ASSERT_EQ(a64->system, "A64FX");
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (const auto& r : rows) {
+            if (r.system == "A64FX") continue;
+            EXPECT_GT(a64->model[i], r.model[i])
+                << r.system << " at " << ac::paper::kTable4Nodes[i] << " nodes";
+        }
+    }
+    // Prediction quality (skip ARCHER, whose measured 2-node point is the
+    // paper's own outlier: 26.25 GF/s is only a 1.68x step from 1 node).
+    for (const auto& r : rows) {
+        if (r.system == "ARCHER") continue;
+        for (std::size_t i = 1; i < 4; ++i) {
+            EXPECT_LT(pct_err(r.model[i], r.paper[i]), 10.0)
+                << r.system << " nodes=" << ac::paper::kTable4Nodes[i];
+        }
+    }
+}
+
+// Criterion 2 — Table V: single-core minikab within 3% and ordered
+// A64FX < NGIO < Fulhame; the A64FX/NGIO gap is small (~7%) while
+// ThunderX2 is about 2x slower.
+TEST(Reproduction, Table5SingleCore) {
+    const auto rows = ac::run_table5();
+    ASSERT_EQ(rows.size(), 3u);
+    std::map<std::string, double> t;
+    for (const auto& r : rows) {
+        EXPECT_LT(pct_err(r.model_seconds, r.paper_seconds), 3.0) << r.system;
+        t[r.system] = r.model_seconds;
+    }
+    EXPECT_LT(t["A64FX"], t["EPCC NGIO"]);
+    EXPECT_LT(t["EPCC NGIO"], t["Fulhame"]);
+    EXPECT_NEAR(t["EPCC NGIO"] / t["A64FX"], 1.07, 0.04);
+    EXPECT_NEAR(t["Fulhame"] / t["A64FX"], 2.04, 0.1);
+}
+
+// Criterion 3 — Fig 1: plain MPI cannot exceed 48 processes on two nodes;
+// with all 96 cores the hybrid setups cluster together and beat every
+// partial-node configuration.
+TEST(Reproduction, Fig1ConfigLandscape) {
+    const auto series = ac::run_fig1();
+    double best_full = 1e30, worst_full = 0;
+    double best_partial = 1e30;
+    bool plain_96_infeasible = false;
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            if (s.label == "plain MPI" && p.cores == 96) {
+                plain_96_infeasible = !p.feasible;
+            }
+            if (!p.feasible) continue;
+            if (p.cores == 96) {
+                best_full = std::min(best_full, p.runtime_s);
+                worst_full = std::max(worst_full, p.runtime_s);
+            } else {
+                best_partial = std::min(best_partial, p.runtime_s);
+            }
+        }
+    }
+    EXPECT_TRUE(plain_96_infeasible);
+    EXPECT_LT(best_full, best_partial);       // use all the cores
+    EXPECT_LT(worst_full / best_full, 1.15);  // full-node configs cluster
+}
+
+// Criterion 4 — Fig 2: A64FX faster than Fulhame at matched core counts;
+// Fulhame's strong-scaling efficiency is at least as good.
+TEST(Reproduction, Fig2StrongScaling) {
+    const auto series = ac::run_fig2();
+    ASSERT_EQ(series.size(), 2u);
+    const auto& a64 = series[0];
+    const auto& ful = series[1];
+    // Matched core counts: 192 and 384.
+    auto at_cores = [](const ac::Fig2Series& s, int cores) {
+        for (const auto& p : s.points) {
+            if (p.cores == cores) return p.runtime_s;
+        }
+        return -1.0;
+    };
+    for (int cores : {192, 384}) {
+        const double ta = at_cores(a64, cores);
+        const double tf = at_cores(ful, cores);
+        ASSERT_GT(ta, 0);
+        ASSERT_GT(tf, 0);
+        EXPECT_LT(ta, tf) << cores;
+    }
+    // Scaling efficiency over each system's own range.
+    const double pe_a64 = a64.points.front().runtime_s * a64.points.front().nodes /
+                          (a64.points.back().runtime_s * a64.points.back().nodes);
+    const double pe_ful = ful.points.front().runtime_s * ful.points.front().nodes /
+                          (ful.points.back().runtime_s * ful.points.back().nodes);
+    EXPECT_GE(pe_ful, pe_a64 - 0.02);
+}
+
+// Criterion 5 — Table VI: O3 ordering A64FX > NGIO > Fulhame > ARCHER within
+// 5% each; fast-math helps A64FX ~1.8x, hurts NGIO, and the fast column is
+// ordered A64FX > Fulhame > NGIO.
+TEST(Reproduction, Table6NekboneNode) {
+    const auto rows = ac::run_table6();
+    std::map<std::string, const ac::Table6Row*> by;
+    for (const auto& r : rows) {
+        EXPECT_LT(pct_err(r.model_gflops, r.paper_gflops), 5.0) << r.system;
+        EXPECT_LT(pct_err(r.model_fast, r.paper_fast), 5.0) << r.system;
+        by[r.system] = &r;
+    }
+    EXPECT_GT(by["A64FX"]->model_gflops, by["EPCC NGIO"]->model_gflops);
+    EXPECT_GT(by["EPCC NGIO"]->model_gflops, by["Fulhame"]->model_gflops);
+    EXPECT_GT(by["Fulhame"]->model_gflops, by["ARCHER"]->model_gflops);
+    EXPECT_NEAR(by["A64FX"]->model_fast / by["A64FX"]->model_gflops, 1.78, 0.05);
+    EXPECT_LT(by["EPCC NGIO"]->model_fast, by["EPCC NGIO"]->model_gflops);
+    EXPECT_GT(by["A64FX"]->model_fast, by["Fulhame"]->model_fast);
+    EXPECT_GT(by["Fulhame"]->model_fast, by["EPCC NGIO"]->model_fast);
+}
+
+// Criterion 6 — Fig 3: IvyBridge saturates beyond ~4 cores per socket while
+// the A64FX and ThunderX2 keep scaling to high core counts.
+TEST(Reproduction, Fig3CoreScalingShapes) {
+    const auto series = ac::run_fig3();
+    std::map<std::string, const ac::Fig3Series*> by;
+    for (const auto& s : series) by[s.system] = &s;
+
+    auto mflops_at = [](const ac::Fig3Series& s, int cores) {
+        for (std::size_t i = 0; i < s.cores.size(); ++i) {
+            if (s.cores[i] == cores) return s.mflops[i];
+        }
+        return -1.0;
+    };
+
+    // ARCHER: strong start, early flattening (paper: "significant relative
+    // performance decrease beyond four cores").
+    const auto& archer = *by["ARCHER"];
+    EXPECT_GT(mflops_at(archer, 4) / mflops_at(archer, 1), 3.0);
+    EXPECT_LT(mflops_at(archer, 12) / mflops_at(archer, 4), 2.0);
+
+    // A64FX: near-linear scaling across the node.
+    const auto& a64 = *by["A64FX"];
+    EXPECT_GT(mflops_at(a64, 48) / mflops_at(a64, 12), 3.0);
+
+    // ThunderX2 keeps gaining all the way to 64 cores.
+    const auto& ful = *by["Fulhame"];
+    EXPECT_GT(mflops_at(ful, 64), mflops_at(ful, 48));
+    EXPECT_GT(mflops_at(ful, 64) / mflops_at(ful, 32), 1.5);
+
+    // At 24 cores the ThunderX2 is comparable to IvyBridge (paper §VI.B.1).
+    EXPECT_NEAR(mflops_at(ful, 24) / mflops_at(archer, 24), 1.0, 0.6);
+}
+
+// Criterion 7 — Table VII: all parallel efficiencies at least 0.95 and
+// decreasing with node count.
+TEST(Reproduction, Table7ParallelEfficiencies) {
+    const auto rows = ac::run_table7();
+    ASSERT_EQ(rows.size(), 4u);
+    for (const auto& r : rows) {
+        for (double pe : {r.a64fx_model, r.fulhame_model, r.archer_model}) {
+            EXPECT_GE(pe, 0.95) << r.nodes;
+            EXPECT_LE(pe, 1.005) << r.nodes;
+        }
+    }
+    EXPECT_LE(rows.back().a64fx_model, rows.front().a64fx_model);
+}
+
+// Criterion 8 — Fig 4: A64FX infeasible on one node, fastest from 2-8 nodes,
+// overtaken by Fulhame at 16 nodes.
+TEST(Reproduction, Fig4CosaCrossover) {
+    const auto series = ac::run_fig4();
+    std::map<std::string, const ac::Fig4Series*> by;
+    for (const auto& s : series) by[s.system] = &s;
+
+    auto at_nodes = [](const ac::Fig4Series& s, int nodes) -> const ac::Fig4Point* {
+        for (const auto& p : s.points) {
+            if (p.nodes == nodes) return &p;
+        }
+        return nullptr;
+    };
+
+    EXPECT_FALSE(at_nodes(*by["A64FX"], 1)->feasible);
+    for (int nodes : {2, 4, 8}) {
+        const double a64 = at_nodes(*by["A64FX"], nodes)->runtime_s;
+        for (const char* other : {"ARCHER", "Cirrus", "EPCC NGIO", "Fulhame"}) {
+            EXPECT_LT(a64, at_nodes(*by[other], nodes)->runtime_s)
+                << other << " at " << nodes;
+        }
+    }
+    EXPECT_LT(at_nodes(*by["Fulhame"], 16)->runtime_s,
+              at_nodes(*by["A64FX"], 16)->runtime_s);
+}
+
+// Criterion 9 — Table IX / Fig 5: CASTEP within 5% of every paper value;
+// ordering NGIO > A64FX > Fulhame > Cirrus > ARCHER; ratios near the paper's.
+TEST(Reproduction, Table9CastepBest) {
+    const auto rows = ac::run_table9();
+    std::map<std::string, double> perf;
+    for (const auto& r : rows) {
+        EXPECT_LT(pct_err(r.model, r.paper), 5.0) << r.system;
+        perf[r.system] = r.model;
+    }
+    EXPECT_GT(perf["EPCC NGIO"], perf["A64FX"]);
+    EXPECT_GT(perf["A64FX"], perf["Fulhame"]);
+    EXPECT_GT(perf["Fulhame"], perf["Cirrus"]);
+    EXPECT_GT(perf["Cirrus"], perf["ARCHER"]);
+    EXPECT_NEAR(perf["EPCC NGIO"] / perf["A64FX"], 1.27, 0.08);
+    EXPECT_NEAR(perf["ARCHER"] / perf["A64FX"], 0.51, 0.05);
+}
+
+TEST(Reproduction, Fig5MpiSweepRisesToFullNode) {
+    const auto series = ac::run_fig5();
+    for (const auto& s : series) {
+        ASSERT_GE(s.cores.size(), 2u) << s.system;
+        EXPECT_GT(s.scf_per_s.back(), s.scf_per_s.front()) << s.system;
+        // Monotone non-decreasing within 2% tolerance.
+        for (std::size_t i = 1; i < s.scf_per_s.size(); ++i) {
+            EXPECT_GT(s.scf_per_s[i], 0.98 * s.scf_per_s[i - 1]) << s.system;
+        }
+    }
+}
+
+// Criterion 10 — Table X: A64FX slowest everywhere (~3x Fulhame on one
+// node); every system scales to 8 nodes; values within 20% of the paper.
+TEST(Reproduction, Table10Opensbli) {
+    const auto rows = ac::run_table10();
+    std::map<std::string, const ac::Table10Row*> by;
+    for (const auto& r : rows) by[r.system] = &r;
+
+    const auto& a64 = *by["A64FX"];
+    const auto& ful = *by["Fulhame"];
+    EXPECT_NEAR(a64.model[0] / ful.model[0], 2.9, 0.5);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (const auto& r : rows) {
+            EXPECT_TRUE(r.feasible[i]) << r.system;
+            if (r.system != "A64FX") {
+                EXPECT_LT(r.model[i], a64.model[i]) << r.system << " col " << i;
+            }
+        }
+    }
+    for (const auto& r : rows) {
+        EXPECT_LT(r.model[3], r.model[0]) << r.system;  // scales to 8 nodes
+        for (std::size_t i = 0; i < 4; ++i) {
+            // Exempt Fulhame at 4 nodes: the paper's 0.65 s is its own
+            // outlier (barely faster than 2 nodes at 0.74 s, then a
+            // super-linear drop to 0.28 s at 8) — see EXPERIMENTS.md.
+            if (r.system == "Fulhame" && i == 2) continue;
+            EXPECT_LT(pct_err(r.model[i], r.paper[i]), 20.0)
+                << r.system << " col " << i;
+        }
+    }
+}

@@ -1,0 +1,148 @@
+// Tests of rank/thread placement and the memory-capacity model.
+
+#include "arch/system.hpp"
+#include "sim/placement.hpp"
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace as = armstice::sim;
+namespace aa = armstice::arch;
+
+TEST(Placement, BlockFillsNodesInOrder) {
+    const auto p = as::Placement::block(aa::a64fx().node, 2, 96, 1);
+    EXPECT_EQ(p.ranks(), 96);
+    EXPECT_EQ(p.nodes(), 2);
+    EXPECT_EQ(p.loc(0).node, 0);
+    EXPECT_EQ(p.loc(47).node, 0);
+    EXPECT_EQ(p.loc(48).node, 1);
+    EXPECT_EQ(p.ranks_on_node(0), 48);
+    EXPECT_EQ(p.ranks_on_node(1), 48);
+}
+
+TEST(Placement, DomainsFollowCmgBoundaries) {
+    // A64FX: 4 CMGs x 12 cores.
+    const auto p = as::Placement::block(aa::a64fx().node, 1, 48, 1);
+    EXPECT_EQ(p.loc(0).first_domain, 0);
+    EXPECT_EQ(p.loc(11).first_domain, 0);
+    EXPECT_EQ(p.loc(12).first_domain, 1);
+    EXPECT_EQ(p.loc(47).first_domain, 3);
+    for (int d = 0; d < 4; ++d) EXPECT_EQ(p.streams_on_domain(0, d), 12);
+}
+
+TEST(Placement, ThreadsOccupyConsecutiveCores) {
+    const auto p = as::Placement::block(aa::a64fx().node, 1, 4, 12);
+    // Each rank owns one whole CMG.
+    for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(p.loc(r).first_domain, r);
+        EXPECT_EQ(p.loc(r).domains_spanned, 1);
+    }
+}
+
+TEST(Placement, WideRanksSpanDomains) {
+    const auto p = as::Placement::block(aa::a64fx().node, 1, 2, 24);
+    EXPECT_EQ(p.loc(0).domains_spanned, 2);
+    EXPECT_EQ(p.loc(1).first_domain, 2);
+    EXPECT_EQ(p.streams_on_domain(0, 0), 12);
+}
+
+TEST(Placement, OversubscriptionThrows) {
+    EXPECT_THROW(as::Placement::block(aa::a64fx().node, 1, 49, 1),
+                 armstice::util::Error);
+    EXPECT_THROW(as::Placement::block(aa::a64fx().node, 2, 10, 12),
+                 armstice::util::Error);  // 5 ranks x 12 threads > 48 cores
+}
+
+TEST(Placement, UnderPopulationAllowed) {
+    const auto p = as::Placement::block(aa::fulhame().node, 2, 48, 1);
+    EXPECT_EQ(p.ranks_on_node(0), 24);
+    EXPECT_EQ(p.streams_on_domain(0, 0), 24);  // block fill: socket 0 first
+    EXPECT_EQ(p.streams_on_domain(0, 1), 0);
+}
+
+TEST(Placement, ExecContextCarriesContention) {
+    const auto p = as::Placement::block(aa::ngio().node, 1, 48, 1);
+    const auto ctx = p.exec_context(0, 0.8);
+    EXPECT_EQ(ctx.streams_on_domain, 24);
+    EXPECT_EQ(ctx.threads, 1);
+    EXPECT_DOUBLE_EQ(ctx.vec_quality, 0.8);
+    EXPECT_EQ(ctx.cpu, &aa::ngio().node.cpu);
+}
+
+TEST(Placement, CapacityAcceptsAndRejects) {
+    const auto p = as::Placement::block(aa::a64fx().node, 1, 48, 1);
+    EXPECT_NO_THROW(p.check_capacity(0.5e9));  // 24 GB total
+    EXPECT_THROW(p.check_capacity(1.0e9), armstice::util::CapacityError);  // 48 GB
+}
+
+TEST(Placement, CapacityErrorIsDescriptive) {
+    const auto p = as::Placement::block(aa::a64fx().node, 1, 48, 1);
+    try {
+        p.check_capacity(1.0e9);
+        FAIL();
+    } catch (const armstice::util::CapacityError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("48 ranks"), std::string::npos);
+        EXPECT_NE(msg.find("GB"), std::string::npos);
+    }
+}
+
+TEST(Placement, BadArgumentsThrow) {
+    EXPECT_THROW(as::Placement::block(aa::a64fx().node, 0, 1, 1), armstice::util::Error);
+    EXPECT_THROW(as::Placement::block(aa::a64fx().node, 1, 0, 1), armstice::util::Error);
+    EXPECT_THROW(as::Placement::block(aa::a64fx().node, 1, 1, 0), armstice::util::Error);
+    const auto p = as::Placement::block(aa::a64fx().node, 1, 4, 1);
+    EXPECT_THROW((void)p.loc(4), armstice::util::Error);
+    EXPECT_THROW((void)p.loc(-1), armstice::util::Error);
+    EXPECT_THROW((void)p.ranks_on_node(1), armstice::util::Error);
+    EXPECT_THROW(p.check_capacity(-1.0), armstice::util::Error);
+}
+
+TEST(Placement, RoundRobinScattersAcrossNodesAndDomains) {
+    const auto p = as::Placement::round_robin(aa::a64fx().node, 2, 8, 1);
+    // Ranks alternate nodes; within a node they cycle the 4 CMGs.
+    EXPECT_EQ(p.loc(0).node, 0);
+    EXPECT_EQ(p.loc(1).node, 1);
+    EXPECT_EQ(p.ranks_on_node(0), 4);
+    EXPECT_EQ(p.ranks_on_node(1), 4);
+    for (int d = 0; d < 4; ++d) EXPECT_EQ(p.streams_on_domain(0, d), 1);
+}
+
+TEST(Placement, RoundRobinReducesContentionVsBlock) {
+    // 6 ranks on one A64FX node: block packs them on CMG 0; scatter gives
+    // at most 2 per CMG.
+    const auto block = as::Placement::block(aa::a64fx().node, 1, 6, 1);
+    const auto scatter = as::Placement::round_robin(aa::a64fx().node, 1, 6, 1);
+    EXPECT_EQ(block.streams_on_domain(0, 0), 6);
+    EXPECT_EQ(scatter.streams_on_domain(0, 0), 2);
+    EXPECT_EQ(scatter.streams_on_domain(0, 3), 1);
+}
+
+TEST(Placement, RoundRobinOversubscriptionThrows) {
+    EXPECT_THROW(as::Placement::round_robin(aa::a64fx().node, 2, 97, 1),
+                 armstice::util::Error);
+    // Thread blocks that straddle a CMG boundary collide under scatter.
+    EXPECT_NO_THROW(as::Placement::round_robin(aa::a64fx().node, 1, 8, 6));
+}
+
+class PlacementSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PlacementSweep, StreamsSumToRanksTimesThreads) {
+    const auto [nodes, ranks, threads] = GetParam();
+    const auto& node = aa::fulhame().node;
+    if ((ranks + nodes - 1) / nodes * threads > node.cores()) GTEST_SKIP();
+    const auto p = as::Placement::block(node, nodes, ranks, threads);
+    int total = 0;
+    for (int n = 0; n < nodes; ++n) {
+        for (int d = 0; d < node.mem_domains(); ++d) {
+            total += p.streams_on_domain(n, d);
+        }
+    }
+    EXPECT_EQ(total, ranks * threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlacementSweep,
+    ::testing::Values(std::tuple{1, 64, 1}, std::tuple{1, 32, 2}, std::tuple{2, 64, 2},
+                      std::tuple{4, 256, 1}, std::tuple{3, 7, 5}, std::tuple{2, 2, 32},
+                      std::tuple{1, 1, 64}));

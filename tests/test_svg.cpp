@@ -1,0 +1,62 @@
+// Tests of the SVG chart renderer.
+
+#include "util/error.hpp"
+#include "util/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace au = armstice::util;
+
+TEST(Svg, RendersWellFormedDocument) {
+    au::SvgChart chart("Title & <stuff>", "x", "y");
+    chart.add_series({"series \"a\"", {1, 2, 3}, {10, 20, 15}});
+    chart.add_series({"b", {1, 2, 3}, {5, 6, 7}});
+    const std::string svg = chart.render();
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    // Escaped XML specials.
+    EXPECT_NE(svg.find("Title &amp; &lt;stuff&gt;"), std::string::npos);
+    EXPECT_NE(svg.find("series &quot;a&quot;"), std::string::npos);
+    // One polyline per series.
+    std::size_t count = 0;
+    for (std::size_t pos = 0; (pos = svg.find("<polyline", pos)) != std::string::npos;
+         ++pos) {
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(Svg, LogAxisRejectsNonPositive) {
+    au::SvgChart chart("t", "x", "y");
+    chart.add_series({"s", {1, 2}, {0.0, 5.0}});
+    chart.log_y();
+    EXPECT_THROW((void)chart.render(), au::Error);
+}
+
+TEST(Svg, LogAxisRendersDecades) {
+    au::SvgChart chart("t", "x", "y");
+    chart.add_series({"s", {1, 2, 3}, {1.0, 100.0, 10000.0}});
+    const std::string svg = chart.log_y().render();
+    EXPECT_NE(svg.find("1e+04"), std::string::npos);  // decade tick label
+}
+
+TEST(Svg, InvalidInputsThrow) {
+    au::SvgChart chart("t", "x", "y");
+    EXPECT_THROW(chart.add_series({"s", {1, 2}, {1}}), au::Error);
+    EXPECT_THROW((void)chart.render(), au::Error);  // no series
+    EXPECT_THROW(chart.size(10, 10), au::Error);
+}
+
+TEST(Svg, MarkersMatchPointCount) {
+    au::SvgChart chart("t", "x", "y");
+    chart.add_series({"s", {1, 2, 3, 4}, {1, 2, 3, 4}});
+    const std::string svg = chart.render();
+    std::size_t count = 0;
+    for (std::size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+         ++pos) {
+        ++count;
+    }
+    EXPECT_EQ(count, 4u);
+}
