@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_energy_efficiency.dir/ext_energy_efficiency.cpp.o"
+  "CMakeFiles/ext_energy_efficiency.dir/ext_energy_efficiency.cpp.o.d"
+  "ext_energy_efficiency"
+  "ext_energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

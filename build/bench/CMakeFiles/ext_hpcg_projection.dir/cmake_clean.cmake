@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hpcg_projection.dir/ext_hpcg_projection.cpp.o"
+  "CMakeFiles/ext_hpcg_projection.dir/ext_hpcg_projection.cpp.o.d"
+  "ext_hpcg_projection"
+  "ext_hpcg_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hpcg_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

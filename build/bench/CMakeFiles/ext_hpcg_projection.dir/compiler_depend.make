@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_hpcg_projection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_minikab_solvers.dir/ext_minikab_solvers.cpp.o"
+  "CMakeFiles/ext_minikab_solvers.dir/ext_minikab_solvers.cpp.o.d"
+  "ext_minikab_solvers"
+  "ext_minikab_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_minikab_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

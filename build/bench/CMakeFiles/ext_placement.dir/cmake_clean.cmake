@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_placement.dir/ext_placement.cpp.o"
+  "CMakeFiles/ext_placement.dir/ext_placement.cpp.o.d"
+  "ext_placement"
+  "ext_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spmv_formats.dir/ext_spmv_formats.cpp.o"
+  "CMakeFiles/ext_spmv_formats.dir/ext_spmv_formats.cpp.o.d"
+  "ext_spmv_formats"
+  "ext_spmv_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spmv_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

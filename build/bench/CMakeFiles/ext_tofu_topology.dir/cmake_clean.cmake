@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tofu_topology.dir/ext_tofu_topology.cpp.o"
+  "CMakeFiles/ext_tofu_topology.dir/ext_tofu_topology.cpp.o.d"
+  "ext_tofu_topology"
+  "ext_tofu_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tofu_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_minikab_configs.dir/fig1_minikab_configs.cpp.o"
+  "CMakeFiles/fig1_minikab_configs.dir/fig1_minikab_configs.cpp.o.d"
+  "fig1_minikab_configs"
+  "fig1_minikab_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_minikab_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

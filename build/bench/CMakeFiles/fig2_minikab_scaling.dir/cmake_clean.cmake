@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_minikab_scaling.dir/fig2_minikab_scaling.cpp.o"
+  "CMakeFiles/fig2_minikab_scaling.dir/fig2_minikab_scaling.cpp.o.d"
+  "fig2_minikab_scaling"
+  "fig2_minikab_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_minikab_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nekbone_cores.dir/fig3_nekbone_cores.cpp.o"
+  "CMakeFiles/fig3_nekbone_cores.dir/fig3_nekbone_cores.cpp.o.d"
+  "fig3_nekbone_cores"
+  "fig3_nekbone_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nekbone_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cosa_scaling.dir/fig4_cosa_scaling.cpp.o"
+  "CMakeFiles/fig4_cosa_scaling.dir/fig4_cosa_scaling.cpp.o.d"
+  "fig4_cosa_scaling"
+  "fig4_cosa_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cosa_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

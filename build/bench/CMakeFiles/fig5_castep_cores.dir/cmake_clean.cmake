@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_castep_cores.dir/fig5_castep_cores.cpp.o"
+  "CMakeFiles/fig5_castep_cores.dir/fig5_castep_cores.cpp.o.d"
+  "fig5_castep_cores"
+  "fig5_castep_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_castep_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_scorecard.dir/repro_scorecard.cpp.o"
+  "CMakeFiles/repro_scorecard.dir/repro_scorecard.cpp.o.d"
+  "repro_scorecard"
+  "repro_scorecard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

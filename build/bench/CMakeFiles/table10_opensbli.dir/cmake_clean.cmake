@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_opensbli.dir/table10_opensbli.cpp.o"
+  "CMakeFiles/table10_opensbli.dir/table10_opensbli.cpp.o.d"
+  "table10_opensbli"
+  "table10_opensbli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_opensbli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

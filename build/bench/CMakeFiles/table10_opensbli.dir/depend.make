@@ -1,0 +1,2 @@
+# Empty dependencies file for table10_opensbli.
+# This may be replaced when dependencies are built.

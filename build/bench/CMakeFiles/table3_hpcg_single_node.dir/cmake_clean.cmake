@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hpcg_single_node.dir/table3_hpcg_single_node.cpp.o"
+  "CMakeFiles/table3_hpcg_single_node.dir/table3_hpcg_single_node.cpp.o.d"
+  "table3_hpcg_single_node"
+  "table3_hpcg_single_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hpcg_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hpcg_multi_node.dir/table4_hpcg_multi_node.cpp.o"
+  "CMakeFiles/table4_hpcg_multi_node.dir/table4_hpcg_multi_node.cpp.o.d"
+  "table4_hpcg_multi_node"
+  "table4_hpcg_multi_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hpcg_multi_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

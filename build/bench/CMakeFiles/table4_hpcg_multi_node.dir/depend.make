@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_hpcg_multi_node.
+# This may be replaced when dependencies are built.

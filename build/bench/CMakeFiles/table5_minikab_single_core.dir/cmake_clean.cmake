@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_minikab_single_core.dir/table5_minikab_single_core.cpp.o"
+  "CMakeFiles/table5_minikab_single_core.dir/table5_minikab_single_core.cpp.o.d"
+  "table5_minikab_single_core"
+  "table5_minikab_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_minikab_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

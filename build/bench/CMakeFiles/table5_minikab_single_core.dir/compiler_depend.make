@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table5_minikab_single_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_minikab_single_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_nekbone_node.dir/table6_nekbone_node.cpp.o"
+  "CMakeFiles/table6_nekbone_node.dir/table6_nekbone_node.cpp.o.d"
+  "table6_nekbone_node"
+  "table6_nekbone_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_nekbone_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

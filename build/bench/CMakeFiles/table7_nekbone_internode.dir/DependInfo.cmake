@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table7_nekbone_internode.cpp" "bench/CMakeFiles/table7_nekbone_internode.dir/table7_nekbone_internode.cpp.o" "gcc" "bench/CMakeFiles/table7_nekbone_internode.dir/table7_nekbone_internode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/armstice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

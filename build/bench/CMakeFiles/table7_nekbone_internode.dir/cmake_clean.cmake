@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_nekbone_internode.dir/table7_nekbone_internode.cpp.o"
+  "CMakeFiles/table7_nekbone_internode.dir/table7_nekbone_internode.cpp.o.d"
+  "table7_nekbone_internode"
+  "table7_nekbone_internode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_nekbone_internode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

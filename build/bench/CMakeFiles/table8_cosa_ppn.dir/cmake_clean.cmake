@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_cosa_ppn.dir/table8_cosa_ppn.cpp.o"
+  "CMakeFiles/table8_cosa_ppn.dir/table8_cosa_ppn.cpp.o.d"
+  "table8_cosa_ppn"
+  "table8_cosa_ppn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_cosa_ppn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_castep_best.dir/table9_castep_best.cpp.o"
+  "CMakeFiles/table9_castep_best.dir/table9_castep_best.cpp.o.d"
+  "table9_castep_best"
+  "table9_castep_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_castep_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

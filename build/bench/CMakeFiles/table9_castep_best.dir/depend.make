@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_castep_best.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_armstice_cli.dir/armstice_cli.cpp.o"
+  "CMakeFiles/example_armstice_cli.dir/armstice_cli.cpp.o.d"
+  "example_armstice_cli"
+  "example_armstice_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_armstice_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

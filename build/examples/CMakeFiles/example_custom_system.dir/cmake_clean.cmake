@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_system.dir/custom_system.cpp.o"
+  "CMakeFiles/example_custom_system.dir/custom_system.cpp.o.d"
+  "example_custom_system"
+  "example_custom_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_port_an_application.dir/port_an_application.cpp.o"
+  "CMakeFiles/example_port_an_application.dir/port_an_application.cpp.o.d"
+  "example_port_an_application"
+  "example_port_an_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_port_an_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

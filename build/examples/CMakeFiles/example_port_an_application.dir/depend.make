@@ -1,0 +1,2 @@
+# Empty dependencies file for example_port_an_application.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_real_kernels.dir/real_kernels.cpp.o"
+  "CMakeFiles/example_real_kernels.dir/real_kernels.cpp.o.d"
+  "example_real_kernels"
+  "example_real_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_real_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/castep/castep.cpp" "src/CMakeFiles/armstice_apps.dir/apps/castep/castep.cpp.o" "gcc" "src/CMakeFiles/armstice_apps.dir/apps/castep/castep.cpp.o.d"
+  "/root/repo/src/apps/common.cpp" "src/CMakeFiles/armstice_apps.dir/apps/common.cpp.o" "gcc" "src/CMakeFiles/armstice_apps.dir/apps/common.cpp.o.d"
+  "/root/repo/src/apps/cosa/cosa.cpp" "src/CMakeFiles/armstice_apps.dir/apps/cosa/cosa.cpp.o" "gcc" "src/CMakeFiles/armstice_apps.dir/apps/cosa/cosa.cpp.o.d"
+  "/root/repo/src/apps/hpcg/hpcg.cpp" "src/CMakeFiles/armstice_apps.dir/apps/hpcg/hpcg.cpp.o" "gcc" "src/CMakeFiles/armstice_apps.dir/apps/hpcg/hpcg.cpp.o.d"
+  "/root/repo/src/apps/minikab/minikab.cpp" "src/CMakeFiles/armstice_apps.dir/apps/minikab/minikab.cpp.o" "gcc" "src/CMakeFiles/armstice_apps.dir/apps/minikab/minikab.cpp.o.d"
+  "/root/repo/src/apps/nekbone/nekbone.cpp" "src/CMakeFiles/armstice_apps.dir/apps/nekbone/nekbone.cpp.o" "gcc" "src/CMakeFiles/armstice_apps.dir/apps/nekbone/nekbone.cpp.o.d"
+  "/root/repo/src/apps/opensbli/opensbli.cpp" "src/CMakeFiles/armstice_apps.dir/apps/opensbli/opensbli.cpp.o" "gcc" "src/CMakeFiles/armstice_apps.dir/apps/opensbli/opensbli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/armstice_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

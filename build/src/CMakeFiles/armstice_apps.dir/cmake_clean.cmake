@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_apps.dir/apps/castep/castep.cpp.o"
+  "CMakeFiles/armstice_apps.dir/apps/castep/castep.cpp.o.d"
+  "CMakeFiles/armstice_apps.dir/apps/common.cpp.o"
+  "CMakeFiles/armstice_apps.dir/apps/common.cpp.o.d"
+  "CMakeFiles/armstice_apps.dir/apps/cosa/cosa.cpp.o"
+  "CMakeFiles/armstice_apps.dir/apps/cosa/cosa.cpp.o.d"
+  "CMakeFiles/armstice_apps.dir/apps/hpcg/hpcg.cpp.o"
+  "CMakeFiles/armstice_apps.dir/apps/hpcg/hpcg.cpp.o.d"
+  "CMakeFiles/armstice_apps.dir/apps/minikab/minikab.cpp.o"
+  "CMakeFiles/armstice_apps.dir/apps/minikab/minikab.cpp.o.d"
+  "CMakeFiles/armstice_apps.dir/apps/nekbone/nekbone.cpp.o"
+  "CMakeFiles/armstice_apps.dir/apps/nekbone/nekbone.cpp.o.d"
+  "CMakeFiles/armstice_apps.dir/apps/opensbli/opensbli.cpp.o"
+  "CMakeFiles/armstice_apps.dir/apps/opensbli/opensbli.cpp.o.d"
+  "libarmstice_apps.a"
+  "libarmstice_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

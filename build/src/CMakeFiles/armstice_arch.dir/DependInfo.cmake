@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/calibration.cpp" "src/CMakeFiles/armstice_arch.dir/arch/calibration.cpp.o" "gcc" "src/CMakeFiles/armstice_arch.dir/arch/calibration.cpp.o.d"
+  "/root/repo/src/arch/cost_model.cpp" "src/CMakeFiles/armstice_arch.dir/arch/cost_model.cpp.o" "gcc" "src/CMakeFiles/armstice_arch.dir/arch/cost_model.cpp.o.d"
+  "/root/repo/src/arch/power.cpp" "src/CMakeFiles/armstice_arch.dir/arch/power.cpp.o" "gcc" "src/CMakeFiles/armstice_arch.dir/arch/power.cpp.o.d"
+  "/root/repo/src/arch/system_catalog.cpp" "src/CMakeFiles/armstice_arch.dir/arch/system_catalog.cpp.o" "gcc" "src/CMakeFiles/armstice_arch.dir/arch/system_catalog.cpp.o.d"
+  "/root/repo/src/arch/toolchain.cpp" "src/CMakeFiles/armstice_arch.dir/arch/toolchain.cpp.o" "gcc" "src/CMakeFiles/armstice_arch.dir/arch/toolchain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/armstice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_arch.dir/arch/calibration.cpp.o"
+  "CMakeFiles/armstice_arch.dir/arch/calibration.cpp.o.d"
+  "CMakeFiles/armstice_arch.dir/arch/cost_model.cpp.o"
+  "CMakeFiles/armstice_arch.dir/arch/cost_model.cpp.o.d"
+  "CMakeFiles/armstice_arch.dir/arch/power.cpp.o"
+  "CMakeFiles/armstice_arch.dir/arch/power.cpp.o.d"
+  "CMakeFiles/armstice_arch.dir/arch/system_catalog.cpp.o"
+  "CMakeFiles/armstice_arch.dir/arch/system_catalog.cpp.o.d"
+  "CMakeFiles/armstice_arch.dir/arch/toolchain.cpp.o"
+  "CMakeFiles/armstice_arch.dir/arch/toolchain.cpp.o.d"
+  "libarmstice_arch.a"
+  "libarmstice_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_core.dir/core/experiments.cpp.o"
+  "CMakeFiles/armstice_core.dir/core/experiments.cpp.o.d"
+  "CMakeFiles/armstice_core.dir/core/report.cpp.o"
+  "CMakeFiles/armstice_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/armstice_core.dir/core/score.cpp.o"
+  "CMakeFiles/armstice_core.dir/core/score.cpp.o.d"
+  "libarmstice_core.a"
+  "libarmstice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

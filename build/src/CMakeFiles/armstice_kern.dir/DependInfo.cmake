@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/dense/blas.cpp" "src/CMakeFiles/armstice_kern.dir/kern/dense/blas.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/dense/blas.cpp.o.d"
+  "/root/repo/src/kern/dense/eigen.cpp" "src/CMakeFiles/armstice_kern.dir/kern/dense/eigen.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/dense/eigen.cpp.o.d"
+  "/root/repo/src/kern/fft/fft.cpp" "src/CMakeFiles/armstice_kern.dir/kern/fft/fft.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/fft/fft.cpp.o.d"
+  "/root/repo/src/kern/mesh/blocks.cpp" "src/CMakeFiles/armstice_kern.dir/kern/mesh/blocks.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/mesh/blocks.cpp.o.d"
+  "/root/repo/src/kern/nek/spectral.cpp" "src/CMakeFiles/armstice_kern.dir/kern/nek/spectral.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/nek/spectral.cpp.o.d"
+  "/root/repo/src/kern/sparse/cg.cpp" "src/CMakeFiles/armstice_kern.dir/kern/sparse/cg.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/sparse/cg.cpp.o.d"
+  "/root/repo/src/kern/sparse/csr.cpp" "src/CMakeFiles/armstice_kern.dir/kern/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/sparse/csr.cpp.o.d"
+  "/root/repo/src/kern/sparse/ell.cpp" "src/CMakeFiles/armstice_kern.dir/kern/sparse/ell.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/sparse/ell.cpp.o.d"
+  "/root/repo/src/kern/sparse/multigrid.cpp" "src/CMakeFiles/armstice_kern.dir/kern/sparse/multigrid.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/sparse/multigrid.cpp.o.d"
+  "/root/repo/src/kern/sparse/sell.cpp" "src/CMakeFiles/armstice_kern.dir/kern/sparse/sell.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/sparse/sell.cpp.o.d"
+  "/root/repo/src/kern/stencil/taylor_green.cpp" "src/CMakeFiles/armstice_kern.dir/kern/stencil/taylor_green.cpp.o" "gcc" "src/CMakeFiles/armstice_kern.dir/kern/stencil/taylor_green.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/armstice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

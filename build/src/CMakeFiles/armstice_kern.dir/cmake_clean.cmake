@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_kern.dir/kern/dense/blas.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/dense/blas.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/dense/eigen.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/dense/eigen.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/fft/fft.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/fft/fft.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/mesh/blocks.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/mesh/blocks.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/nek/spectral.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/nek/spectral.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/cg.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/cg.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/csr.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/csr.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/ell.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/ell.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/multigrid.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/multigrid.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/sell.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/sparse/sell.cpp.o.d"
+  "CMakeFiles/armstice_kern.dir/kern/stencil/taylor_green.cpp.o"
+  "CMakeFiles/armstice_kern.dir/kern/stencil/taylor_green.cpp.o.d"
+  "libarmstice_kern.a"
+  "libarmstice_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

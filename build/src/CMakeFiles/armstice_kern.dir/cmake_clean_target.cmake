@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarmstice_kern.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for armstice_kern.
+# This may be replaced when dependencies are built.

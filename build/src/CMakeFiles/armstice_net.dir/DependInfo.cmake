@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/collectives.cpp" "src/CMakeFiles/armstice_net.dir/net/collectives.cpp.o" "gcc" "src/CMakeFiles/armstice_net.dir/net/collectives.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/armstice_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/armstice_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/armstice_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/armstice_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/armstice_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

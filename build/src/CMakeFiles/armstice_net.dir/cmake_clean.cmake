@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_net.dir/net/collectives.cpp.o"
+  "CMakeFiles/armstice_net.dir/net/collectives.cpp.o.d"
+  "CMakeFiles/armstice_net.dir/net/network.cpp.o"
+  "CMakeFiles/armstice_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/armstice_net.dir/net/topology.cpp.o"
+  "CMakeFiles/armstice_net.dir/net/topology.cpp.o.d"
+  "libarmstice_net.a"
+  "libarmstice_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/armstice_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/armstice_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/placement.cpp" "src/CMakeFiles/armstice_sim.dir/sim/placement.cpp.o" "gcc" "src/CMakeFiles/armstice_sim.dir/sim/placement.cpp.o.d"
+  "/root/repo/src/sim/program.cpp" "src/CMakeFiles/armstice_sim.dir/sim/program.cpp.o" "gcc" "src/CMakeFiles/armstice_sim.dir/sim/program.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/armstice_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/armstice_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/armstice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/armstice_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/armstice_sim.dir/sim/placement.cpp.o"
+  "CMakeFiles/armstice_sim.dir/sim/placement.cpp.o.d"
+  "CMakeFiles/armstice_sim.dir/sim/program.cpp.o"
+  "CMakeFiles/armstice_sim.dir/sim/program.cpp.o.d"
+  "CMakeFiles/armstice_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/armstice_sim.dir/sim/trace.cpp.o.d"
+  "libarmstice_sim.a"
+  "libarmstice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

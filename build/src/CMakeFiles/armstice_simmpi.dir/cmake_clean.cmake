@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_simmpi.dir/simmpi/minimpi.cpp.o"
+  "CMakeFiles/armstice_simmpi.dir/simmpi/minimpi.cpp.o.d"
+  "libarmstice_simmpi.a"
+  "libarmstice_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/armstice_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/armstice_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/armstice_util.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/armstice_util.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/plot.cpp" "src/CMakeFiles/armstice_util.dir/util/plot.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/plot.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/armstice_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/svg.cpp" "src/CMakeFiles/armstice_util.dir/util/svg.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/svg.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/armstice_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/armstice_util.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

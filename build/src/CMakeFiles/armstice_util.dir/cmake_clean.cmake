@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armstice_util.dir/util/cli.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/armstice_util.dir/util/csv.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/armstice_util.dir/util/error.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/armstice_util.dir/util/log.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/armstice_util.dir/util/plot.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/plot.cpp.o.d"
+  "CMakeFiles/armstice_util.dir/util/stats.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/armstice_util.dir/util/svg.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/svg.cpp.o.d"
+  "CMakeFiles/armstice_util.dir/util/table.cpp.o"
+  "CMakeFiles/armstice_util.dir/util/table.cpp.o.d"
+  "libarmstice_util.a"
+  "libarmstice_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armstice_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/placeholder_test.cpp" "tests/CMakeFiles/armstice_tests.dir/placeholder_test.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/placeholder_test.cpp.o.d"
+  "/root/repo/tests/test_apps_counts.cpp" "tests/CMakeFiles/armstice_tests.dir/test_apps_counts.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_apps_counts.cpp.o.d"
+  "/root/repo/tests/test_apps_models.cpp" "tests/CMakeFiles/armstice_tests.dir/test_apps_models.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_apps_models.cpp.o.d"
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/armstice_tests.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/armstice_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/armstice_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/armstice_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_kern_dense.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_dense.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_dense.cpp.o.d"
+  "/root/repo/tests/test_kern_eigen.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_eigen.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_eigen.cpp.o.d"
+  "/root/repo/tests/test_kern_ell.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_ell.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_ell.cpp.o.d"
+  "/root/repo/tests/test_kern_fft.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_fft.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_fft.cpp.o.d"
+  "/root/repo/tests/test_kern_mesh.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_mesh.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_mesh.cpp.o.d"
+  "/root/repo/tests/test_kern_nek.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_nek.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_nek.cpp.o.d"
+  "/root/repo/tests/test_kern_sell.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_sell.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_sell.cpp.o.d"
+  "/root/repo/tests/test_kern_smoke.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_smoke.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_smoke.cpp.o.d"
+  "/root/repo/tests/test_kern_sparse.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_sparse.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_sparse.cpp.o.d"
+  "/root/repo/tests/test_kern_stencil.cpp" "tests/CMakeFiles/armstice_tests.dir/test_kern_stencil.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_kern_stencil.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/armstice_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/armstice_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_reproduction.cpp" "tests/CMakeFiles/armstice_tests.dir/test_reproduction.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_reproduction.cpp.o.d"
+  "/root/repo/tests/test_score.cpp" "tests/CMakeFiles/armstice_tests.dir/test_score.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_score.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/armstice_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_sim_fuzz.cpp" "tests/CMakeFiles/armstice_tests.dir/test_sim_fuzz.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_sim_fuzz.cpp.o.d"
+  "/root/repo/tests/test_sim_placement.cpp" "tests/CMakeFiles/armstice_tests.dir/test_sim_placement.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_sim_placement.cpp.o.d"
+  "/root/repo/tests/test_simmpi.cpp" "tests/CMakeFiles/armstice_tests.dir/test_simmpi.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_simmpi.cpp.o.d"
+  "/root/repo/tests/test_svg.cpp" "tests/CMakeFiles/armstice_tests.dir/test_svg.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_svg.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/armstice_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/armstice_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/armstice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/armstice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
