@@ -118,4 +118,6 @@ BENCHMARK(BM_AblationHpcg)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-int main(int argc, char** argv) { return armstice::benchx::run(argc, argv, ablate()); }
+int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
+    return armstice::benchx::run(argc, argv, ablate()); }

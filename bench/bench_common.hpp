@@ -3,18 +3,42 @@
 // (a) prints its paper table/figure with paper-vs-model values, (b) dumps a
 // CSV next to the binary, and (c) runs google-benchmark microbenchmarks of
 // the kernels/simulator that produce the artefact.
+//
+// Sweep execution is parallel: call init() first in main() — it consumes
+// `--jobs N` (or ARMSTICE_JOBS) and installs the pool size used by every
+// core::SweepRunner behind the artefact functions. run() appends a footer
+// with the pool size, point count and memo-cache hit rate. Results are
+// ordered by point index, so --jobs 8 output is byte-identical to --jobs 1.
 
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace armstice::benchx {
 
-/// Print the artefact then hand over to google-benchmark.
+/// Parse and strip sweep-execution options before the artefact sweeps run.
+/// Must be the first statement of every bench main(). Exits with a short
+/// message on a malformed --jobs instead of an uncaught-exception abort.
+inline void init(int& argc, char** argv) {
+    try {
+        core::set_default_jobs(
+            util::jobs_from_args(argc, argv, core::default_jobs()));
+    } catch (const util::Error& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        std::exit(2);
+    }
+}
+
+/// Print the artefact, hand over to google-benchmark, then report how the
+/// sweeps behind the artefact executed.
 inline int run(int argc, char** argv, const std::string& artefact_text) {
     std::fputs(artefact_text.c_str(), stdout);
     std::fputs("\n--- microbenchmarks of the code behind this artefact ---\n", stdout);
@@ -22,6 +46,7 @@ inline int run(int argc, char** argv, const std::string& artefact_text) {
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    std::fputs(core::sweep_footer().c_str(), stdout);
     return 0;
 }
 

@@ -20,16 +20,37 @@ std::string energy_report() {
     Table t("Extension — modelled energy efficiency, single node");
     t.header({"System", "Node peak W", "HPCG GF/s", "HPCG GF/W",
               "Nekbone GF/s", "Nekbone GF/W"});
-    for (const auto& sys : armstice::arch::system_catalog()) {
-        const auto power = armstice::arch::power_spec(sys);
+    const auto& catalog = armstice::arch::system_catalog();
 
-        const auto hpcg = armstice::apps::run_hpcg(sys, 1);
+    std::vector<armstice::core::SweepPoint> hpcg_pts;
+    std::vector<armstice::core::SweepPoint> nek_pts;
+    for (const auto& sys : catalog) {
+        hpcg_pts.push_back(armstice::core::sweep_point("ext-energy-hpcg", sys.name,
+                                                       1, 0, 1, "default"));
+        nek_pts.push_back(armstice::core::sweep_point("ext-energy-nekbone", sys.name,
+                                                      1, 0, 1, "node-config"));
+    }
+    armstice::core::SweepRunner runner;
+    const auto hpcgs = runner.run<armstice::apps::HpcgOutcome>(
+        hpcg_pts, [](const armstice::core::SweepPoint& pt, std::size_t) {
+            return armstice::apps::run_hpcg(armstice::arch::system_by_name(pt.system),
+                                            1);
+        });
+    const auto neks = runner.run<armstice::apps::AppResult>(
+        nek_pts, [](const armstice::core::SweepPoint& pt, std::size_t) {
+            const auto& sys = armstice::arch::system_by_name(pt.system);
+            return armstice::apps::run_nekbone(
+                sys, armstice::apps::nekbone_node_config(sys, 1, false));
+        });
+
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const auto& sys = catalog[i];
+        const auto power = armstice::arch::power_spec(sys);
+        const auto& hpcg = hpcgs[i];
+        const auto& nek = neks[i];
         const double hpcg_gfw = armstice::arch::gflops_per_watt(
             sys, hpcg.res.run.total_flops, hpcg.res.run.mean_compute(),
             hpcg.res.seconds, 1);
-
-        const auto nek = armstice::apps::run_nekbone(
-            sys, armstice::apps::nekbone_node_config(sys, 1, false));
         const double nek_gfw = armstice::arch::gflops_per_watt(
             sys, nek.run.total_flops, nek.run.mean_compute(), nek.seconds, 1);
 
@@ -56,5 +77,6 @@ BENCHMARK(BM_EnergyModel);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(argc, argv, energy_report());
 }

@@ -37,12 +37,21 @@ std::string projection_report() {
     {
         Table t("Extension — HPCG scaled to the full 48-node A64FX system");
         t.header({"Nodes", "GFLOP/s", "Parallel efficiency"});
-        double g1 = 0;
-        for (int nodes : {1, 2, 4, 8, 16, 32, 48}) {
-            const auto out_n = armstice::apps::run_hpcg(armstice::arch::a64fx(), nodes);
-            if (nodes == 1) g1 = out_n.res.gflops;
-            t.row({std::to_string(nodes), Table::num(out_n.res.gflops),
-                   Table::num(out_n.res.gflops / (g1 * nodes), 3)});
+        const std::vector<int> node_counts = {1, 2, 4, 8, 16, 32, 48};
+        std::vector<armstice::core::SweepPoint> pts;
+        for (int nodes : node_counts) {
+            pts.push_back(armstice::core::sweep_point("ext-hpcg-projection", "A64FX",
+                                                      nodes, 0, 1, "default"));
+        }
+        const auto outs =
+            armstice::core::SweepRunner().run<armstice::apps::HpcgOutcome>(
+                pts, [](const armstice::core::SweepPoint& pt, std::size_t) {
+                    return armstice::apps::run_hpcg(armstice::arch::a64fx(), pt.nodes);
+                });
+        const double g1 = outs[0].res.gflops;
+        for (std::size_t i = 0; i < node_counts.size(); ++i) {
+            t.row({std::to_string(node_counts[i]), Table::num(outs[i].res.gflops),
+                   Table::num(outs[i].res.gflops / (g1 * node_counts[i]), 3)});
         }
         out += t.render();
     }
@@ -64,5 +73,6 @@ BENCHMARK(BM_Hpcg48Nodes)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(argc, argv, projection_report());
 }

@@ -19,19 +19,36 @@ std::string solver_report() {
     Table t("Extension — minikab solver variants, best A64FX setup (model)");
     t.header({"Solver", "2 nodes (s)", "8 nodes (s)", "32 nodes (s)",
               "reduction points/iter"});
-    for (MinikabSolver solver : {MinikabSolver::cg, MinikabSolver::jacobi_pcg,
-                                 MinikabSolver::pipelined_cg}) {
-        std::vector<std::string> cells{armstice::apps::minikab_solver_name(solver)};
-        for (int nodes : {2, 8, 32}) {
+    const std::vector<MinikabSolver> solvers = {
+        MinikabSolver::cg, MinikabSolver::jacobi_pcg, MinikabSolver::pipelined_cg};
+    const std::vector<int> node_counts = {2, 8, 32};
+
+    std::vector<armstice::core::SweepPoint> pts;
+    std::vector<armstice::apps::MinikabConfig> cfgs;
+    for (MinikabSolver solver : solvers) {
+        for (int nodes : node_counts) {
             armstice::apps::MinikabConfig cfg;
             cfg.nodes = nodes;
             cfg.ranks = 4 * nodes;  // one process per CMG
             cfg.threads = 12;
             cfg.solver = solver;
-            const auto out = armstice::apps::run_minikab(armstice::arch::a64fx(), cfg);
-            cells.push_back(Table::num(out.seconds, 2));
+            pts.push_back(armstice::core::sweep_point(
+                "ext-minikab-solvers", "A64FX", cfg.nodes, cfg.ranks, cfg.threads,
+                "solver=" + std::to_string(static_cast<int>(solver))));
+            cfgs.push_back(cfg);
         }
-        cells.push_back(solver == MinikabSolver::pipelined_cg ? "1" : "2");
+    }
+    const auto outs = armstice::core::SweepRunner().run<armstice::apps::AppResult>(
+        pts, [&cfgs](const armstice::core::SweepPoint&, std::size_t i) {
+            return armstice::apps::run_minikab(armstice::arch::a64fx(), cfgs[i]);
+        });
+
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+        std::vector<std::string> cells{armstice::apps::minikab_solver_name(solvers[s])};
+        for (std::size_t k = 0; k < node_counts.size(); ++k) {
+            cells.push_back(Table::num(outs[s * node_counts.size() + k].seconds, 2));
+        }
+        cells.push_back(solvers[s] == MinikabSolver::pipelined_cg ? "1" : "2");
         t.row(cells);
     }
     return t.render() +
@@ -55,5 +72,6 @@ BENCHMARK(BM_JacobiPcgReference)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(argc, argv, solver_report());
 }

@@ -32,17 +32,32 @@ double run_with(const armstice::sim::Placement& placement,
 std::string placement_report() {
     Table t("Extension — block vs scatter placement, 6-rank STREAM-like job");
     t.header({"System", "Nodes", "Block (s)", "Scatter (s)", "Scatter speedup"});
-    for (const auto& sys : armstice::arch::system_catalog()) {
-        const int ranks = 6;
-        const int nodes = 1;
-        const auto block =
-            armstice::sim::Placement::block(sys.node, nodes, ranks, 1);
-        const auto scatter =
-            armstice::sim::Placement::round_robin(sys.node, nodes, ranks, 1);
-        const double tb = run_with(block, sys, ranks);
-        const double ts = run_with(scatter, sys, ranks);
-        t.row({sys.name, std::to_string(nodes), Table::num(tb, 3), Table::num(ts, 3),
-               Table::num(tb / ts)});
+    const int ranks = 6;
+    const int nodes = 1;
+    const auto& catalog = armstice::arch::system_catalog();
+
+    std::vector<armstice::core::SweepPoint> pts;
+    for (const auto& sys : catalog) {
+        for (const char* mode : {"block", "scatter"}) {
+            pts.push_back(armstice::core::sweep_point("ext-placement", sys.name,
+                                                      nodes, ranks, 1, mode));
+        }
+    }
+    const auto times = armstice::core::SweepRunner().run<double>(
+        pts, [&](const armstice::core::SweepPoint& pt, std::size_t) {
+            const auto& sys = armstice::arch::system_by_name(pt.system);
+            const auto placement =
+                pt.config == "block"
+                    ? armstice::sim::Placement::block(sys.node, nodes, ranks, 1)
+                    : armstice::sim::Placement::round_robin(sys.node, nodes, ranks, 1);
+            return run_with(placement, sys, ranks);
+        });
+
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const double tb = times[2 * i];
+        const double ts = times[2 * i + 1];
+        t.row({catalog[i].name, std::to_string(nodes), Table::num(tb, 3),
+               Table::num(ts, 3), Table::num(tb / ts)});
     }
     return t.render() +
            "\nScatter placement cycles the ranks across the node's memory domains\n"
@@ -64,5 +79,6 @@ BENCHMARK(BM_PlacementBuild);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(argc, argv, placement_report());
 }

@@ -82,5 +82,6 @@ BENCHMARK(BM_SpmvEll);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(argc, argv, format_report());
 }

@@ -67,5 +67,6 @@ BENCHMARK(BM_TorusDiameter)->Arg(4)->Arg(12);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(argc, argv, topology_report());
 }

@@ -23,6 +23,7 @@ BENCHMARK(BM_SimulateHybridMinikab)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto series = armstice::core::run_fig1();
     armstice::core::save_fig1(series, "fig1");
     return armstice::benchx::run(argc, argv, armstice::core::render_fig1(series));

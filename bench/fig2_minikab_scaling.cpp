@@ -20,6 +20,7 @@ BENCHMARK(BM_SimulateMinikabScale)->Arg(1)->Arg(6)->Unit(benchmark::kMillisecond
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto series = armstice::core::run_fig2();
     armstice::core::save_fig2(series, "fig2");
     return armstice::benchx::run(argc, argv, armstice::core::render_fig2(series));

@@ -22,6 +22,7 @@ BENCHMARK(BM_SimulateNekboneCoreSweep)->Arg(1)->Arg(48)->Unit(benchmark::kMillis
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto series = armstice::core::run_fig3();
     armstice::core::save_fig3(series, "fig3");
     return armstice::benchx::run(argc, argv, armstice::core::render_fig3(series));

@@ -21,6 +21,7 @@ BENCHMARK(BM_SimulateCosa)->Arg(2)->Arg(16)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto series = armstice::core::run_fig4();
     armstice::core::save_fig4(series, "fig4");
     return armstice::benchx::run(argc, argv, armstice::core::render_fig4(series));

@@ -39,6 +39,7 @@ BENCHMARK(BM_Zgemm)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto series = armstice::core::run_fig5();
     armstice::core::save_fig5(series, "fig5");
     return armstice::benchx::run(argc, argv, armstice::core::render_fig5(series));

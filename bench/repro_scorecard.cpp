@@ -20,6 +20,7 @@ BENCHMARK(BM_FullScorecard)->Unit(benchmark::kMillisecond)->Iterations(1);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto card = armstice::core::compute_scorecard();
     return armstice::benchx::run(argc, argv, armstice::core::render_scorecard(card));
 }

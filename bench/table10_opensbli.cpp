@@ -24,6 +24,7 @@ BENCHMARK(BM_TaylorGreenStep)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto rows = armstice::core::run_table10();
     return armstice::benchx::run(argc, argv, armstice::core::render_table10(rows));
 }

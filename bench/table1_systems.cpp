@@ -37,5 +37,6 @@ BENCHMARK(BM_TorusMeanHops)->Arg(8)->Arg(48);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(argc, argv, armstice::core::render_system_catalog());
 }

@@ -49,6 +49,7 @@ BENCHMARK(BM_MgVcycle)->Arg(16)->Arg(32);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto rows = armstice::core::run_table3();
     return armstice::benchx::run(argc, argv, armstice::core::render_table3(rows));
 }

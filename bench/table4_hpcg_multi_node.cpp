@@ -20,6 +20,7 @@ BENCHMARK(BM_SimulateHpcg)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto rows = armstice::core::run_table4();
     return armstice::benchx::run(argc, argv, armstice::core::render_table4(rows));
 }

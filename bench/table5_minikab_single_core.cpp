@@ -20,6 +20,7 @@ BENCHMARK(BM_MinikabReferenceCg)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillis
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto rows = armstice::core::run_table5();
     return armstice::benchx::run(argc, argv, armstice::core::render_table5(rows));
 }

@@ -36,6 +36,7 @@ BENCHMARK(BM_GllSetup)->Arg(8)->Arg(16);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto rows = armstice::core::run_table6();
     return armstice::benchx::run(argc, argv, armstice::core::render_table6(rows));
 }

@@ -31,6 +31,7 @@ BENCHMARK(BM_SimulateNekbone16Nodes)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto rows = armstice::core::run_table7();
     return armstice::benchx::run(argc, argv, armstice::core::render_table7(rows));
 }

@@ -36,6 +36,7 @@ BENCHMARK(BM_BlockDistribution)->Arg(768)->Arg(1024);
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     return armstice::benchx::run(
         argc, argv, armstice::core::render_table8() + "\n" + render_distributions());
 }

@@ -20,6 +20,7 @@ BENCHMARK(BM_SimulateCastepNode)->Arg(8)->Arg(48)->Unit(benchmark::kMillisecond)
 } // namespace
 
 int main(int argc, char** argv) {
+    armstice::benchx::init(argc, argv);
     const auto rows = armstice::core::run_table9();
     return armstice::benchx::run(argc, argv, armstice::core::render_table9(rows));
 }

@@ -7,9 +7,12 @@
 #include "apps/nekbone/nekbone.hpp"
 #include "apps/opensbli/opensbli.hpp"
 #include "core/paper_data.hpp"
+#include "core/runner.hpp"
 #include "util/error.hpp"
+#include "util/str.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace armstice::core {
 namespace {
@@ -18,15 +21,174 @@ const arch::SystemSpec& sys(const std::string& name) {
     return arch::system_by_name(name);
 }
 
+// ---- sweep plumbing --------------------------------------------------------
+// Every experiment routes its (system x nodes x ranks x threads x config)
+// loop through SweepRunner: points evaluate concurrently on the --jobs pool
+// and repeated points (within an artefact, across artefacts in one process,
+// across google-benchmark iterations) are served from the memo cache. The
+// sig_* helpers serialize *every* config field into the point key so two
+// points collide only when they really are the same simulation.
+
+std::string sig_knobs(const arch::ModelKnobs& k) {
+    return util::format("k%d%d%d%d%d:%g", k.contention, k.core_bw_cap,
+                        k.gather_penalty, k.cache_model, k.amdahl, k.os_noise);
+}
+
+std::string sig_hpcg(const apps::HpcgConfig& c) {
+    return util::format("g%dx%dx%d;l%d;i%d;opt%d;%s", c.nx, c.ny, c.nz, c.levels,
+                        c.iters, c.optimized, sig_knobs(c.knobs).c_str());
+}
+
+std::string sig_minikab(const apps::MinikabConfig& c) {
+    return util::format("rows%ld;nnz%.0f;i%d;s%d;%s", c.rows, c.nnz, c.iterations,
+                        static_cast<int>(c.solver), sig_knobs(c.knobs).c_str());
+}
+
+std::string sig_nekbone(const apps::NekboneConfig& c) {
+    return util::format("e%d;nx%d;i%d;fm%d;%s", c.elems_per_rank, c.nx1, c.cg_iters,
+                        c.fastmath, sig_knobs(c.knobs).c_str());
+}
+
+std::string sig_cosa(const apps::CosaConfig& c) {
+    return util::format("b%d;c%ld;h%d;i%d;%s", c.blocks, c.total_cells, c.harmonics,
+                        c.iterations, sig_knobs(c.knobs).c_str());
+}
+
+std::string sig_castep(const apps::CastepConfig& c) {
+    return util::format("g%d;b%d;h%d;s%d;scf%d;%s", c.grid, c.bands, c.h_apps,
+                        c.subspace_ops, c.scf_cycles, sig_knobs(c.knobs).c_str());
+}
+
+std::string sig_opensbli(const apps::OpensbliConfig& c) {
+    return util::format("g%d;s%d;k%d;%s", c.grid, c.steps, c.kernels_per_step,
+                        sig_knobs(c.knobs).c_str());
+}
+
+struct HpcgJob {
+    std::string system;
+    int nodes = 1;
+    apps::HpcgConfig cfg;
+};
+
+std::vector<apps::HpcgOutcome> sweep(const std::vector<HpcgJob>& jobs) {
+    std::vector<SweepPoint> pts;
+    pts.reserve(jobs.size());
+    for (const auto& j : jobs) {
+        pts.push_back(sweep_point("hpcg", j.system, j.nodes, 0, 1, sig_hpcg(j.cfg)));
+    }
+    return SweepRunner().run<apps::HpcgOutcome>(
+        pts, [&jobs](const SweepPoint& pt, std::size_t i) {
+            return apps::run_hpcg(sys(pt.system), jobs[i].nodes, jobs[i].cfg);
+        });
+}
+
+struct MinikabJob {
+    std::string system;
+    apps::MinikabConfig cfg;
+};
+
+std::vector<apps::AppResult> sweep(const std::vector<MinikabJob>& jobs) {
+    std::vector<SweepPoint> pts;
+    pts.reserve(jobs.size());
+    for (const auto& j : jobs) {
+        pts.push_back(sweep_point("minikab", j.system, j.cfg.nodes, j.cfg.ranks,
+                                  j.cfg.threads, sig_minikab(j.cfg)));
+    }
+    return SweepRunner().run<apps::AppResult>(
+        pts, [&jobs](const SweepPoint& pt, std::size_t i) {
+            return apps::run_minikab(sys(pt.system), jobs[i].cfg);
+        });
+}
+
+struct NekboneJob {
+    std::string system;
+    apps::NekboneConfig cfg;
+};
+
+std::vector<apps::AppResult> sweep(const std::vector<NekboneJob>& jobs) {
+    std::vector<SweepPoint> pts;
+    pts.reserve(jobs.size());
+    for (const auto& j : jobs) {
+        pts.push_back(sweep_point("nekbone", j.system, j.cfg.nodes, j.cfg.ranks, 1,
+                                  sig_nekbone(j.cfg)));
+    }
+    return SweepRunner().run<apps::AppResult>(
+        pts, [&jobs](const SweepPoint& pt, std::size_t i) {
+            return apps::run_nekbone(sys(pt.system), jobs[i].cfg);
+        });
+}
+
+struct CosaJob {
+    std::string system;
+    apps::CosaConfig cfg;
+};
+
+std::vector<apps::AppResult> sweep(const std::vector<CosaJob>& jobs) {
+    std::vector<SweepPoint> pts;
+    pts.reserve(jobs.size());
+    for (const auto& j : jobs) {
+        pts.push_back(sweep_point("cosa", j.system, j.cfg.nodes, j.cfg.ranks_per_node,
+                                  1, sig_cosa(j.cfg)));
+    }
+    return SweepRunner().run<apps::AppResult>(
+        pts, [&jobs](const SweepPoint& pt, std::size_t i) {
+            return apps::run_cosa(sys(pt.system), jobs[i].cfg);
+        });
+}
+
+struct CastepJob {
+    std::string system;
+    apps::CastepConfig cfg;
+};
+
+std::vector<apps::CastepOutcome> sweep(const std::vector<CastepJob>& jobs) {
+    std::vector<SweepPoint> pts;
+    pts.reserve(jobs.size());
+    for (const auto& j : jobs) {
+        pts.push_back(sweep_point("castep", j.system, j.cfg.nodes, j.cfg.ranks,
+                                  j.cfg.threads, sig_castep(j.cfg)));
+    }
+    return SweepRunner().run<apps::CastepOutcome>(
+        pts, [&jobs](const SweepPoint& pt, std::size_t i) {
+            return apps::run_castep(sys(pt.system), jobs[i].cfg);
+        });
+}
+
+struct OpensbliJob {
+    std::string system;
+    apps::OpensbliConfig cfg;
+};
+
+std::vector<apps::AppResult> sweep(const std::vector<OpensbliJob>& jobs) {
+    std::vector<SweepPoint> pts;
+    pts.reserve(jobs.size());
+    for (const auto& j : jobs) {
+        pts.push_back(sweep_point("opensbli", j.system, j.cfg.nodes, j.cfg.ranks, 1,
+                                  sig_opensbli(j.cfg)));
+    }
+    return SweepRunner().run<apps::AppResult>(
+        pts, [&jobs](const SweepPoint& pt, std::size_t i) {
+            return apps::run_opensbli(sys(pt.system), jobs[i].cfg);
+        });
+}
+
 } // namespace
 
 // ---------------------------------------------------------------- Table III
 std::vector<Table3Row> run_table3() {
-    std::vector<Table3Row> rows;
+    std::vector<HpcgJob> jobs;
     for (const auto& p : paper::kTable3) {
-        apps::HpcgConfig cfg;
-        cfg.optimized = p.optimized;
-        const auto out = apps::run_hpcg(sys(p.system), 1, cfg);
+        HpcgJob j;
+        j.system = p.system;
+        j.cfg.optimized = p.optimized;
+        jobs.push_back(std::move(j));
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Table3Row> rows;
+    for (std::size_t i = 0; i < paper::kTable3.size(); ++i) {
+        const auto& p = paper::kTable3[i];
+        const auto& out = outs[i];
         Table3Row row;
         row.system = p.system;
         row.optimized = p.optimized;
@@ -40,16 +202,28 @@ std::vector<Table3Row> run_table3() {
 
 // ----------------------------------------------------------------- Table IV
 std::vector<Table4Row> run_table4() {
-    std::vector<Table4Row> rows;
+    const std::size_t ncols = paper::kTable4Nodes.size();
+    std::vector<HpcgJob> jobs;
     for (const auto& p : paper::kTable4) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            HpcgJob j;
+            j.system = p.system;
+            j.nodes = paper::kTable4Nodes[i];
+            j.cfg.optimized = p.optimized;
+            jobs.push_back(std::move(j));
+        }
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Table4Row> rows;
+    for (std::size_t r = 0; r < paper::kTable4.size(); ++r) {
+        const auto& p = paper::kTable4[r];
         Table4Row row;
         row.system = p.system;
         row.optimized = p.optimized;
         row.paper = p.gflops;
-        for (std::size_t i = 0; i < paper::kTable4Nodes.size(); ++i) {
-            apps::HpcgConfig cfg;
-            cfg.optimized = p.optimized;
-            const auto out = apps::run_hpcg(sys(p.system), paper::kTable4Nodes[i], cfg);
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const auto& out = outs[r * ncols + i];
             row.model[i] = out.res.feasible ? out.res.gflops : 0.0;
         }
         rows.push_back(row);
@@ -59,18 +233,23 @@ std::vector<Table4Row> run_table4() {
 
 // ------------------------------------------------------------------ Table V
 std::vector<Table5Row> run_table5() {
-    std::vector<Table5Row> rows;
+    std::vector<MinikabJob> jobs;
     for (const auto& p : paper::kTable5) {
-        apps::MinikabConfig cfg;  // 1 node, 1 rank, 1 thread
-        const auto out = apps::run_minikab(sys(p.system), cfg);
-        rows.push_back({p.system, p.seconds, out.feasible ? out.seconds : 0.0});
+        jobs.push_back({p.system, apps::MinikabConfig{}});  // 1 node/rank/thread
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Table5Row> rows;
+    for (std::size_t i = 0; i < paper::kTable5.size(); ++i) {
+        const auto& out = outs[i];
+        rows.push_back({paper::kTable5[i].system, paper::kTable5[i].seconds,
+                        out.feasible ? out.seconds : 0.0});
     }
     return rows;
 }
 
 // ----------------------------------------------------------------- Figure 1
 std::vector<Fig1Series> run_fig1() {
-    const auto& a64 = arch::a64fx();
     struct Setup {
         const char* label;
         int threads;
@@ -86,62 +265,82 @@ std::vector<Fig1Series> run_fig1() {
         {"16 ranks x 6 thr", 6, {24, 48, 96}},
         {"32 ranks x 3 thr", 3, {24, 48, 96}},
     };
-    std::vector<Fig1Series> series;
-    for (const auto& s : setups) {
-        Fig1Series fs;
-        fs.label = s.label;
-        for (int cores : s.cores) {
-            if (cores % s.threads != 0) continue;
-            apps::MinikabConfig cfg;
-            cfg.nodes = 2;
-            cfg.threads = s.threads;
-            cfg.ranks = cores / s.threads;
-            const auto out = apps::run_minikab(a64, cfg);
-            Fig1Point pt;
-            pt.cores = cores;
-            pt.ranks = cfg.ranks;
-            pt.threads = s.threads;
-            pt.feasible = out.feasible;
-            pt.runtime_s = out.seconds;
-            pt.gflops = out.gflops;
-            fs.points.push_back(pt);
+
+    std::vector<MinikabJob> jobs;
+    std::vector<std::pair<std::size_t, int>> meta;  // (series index, cores)
+    for (std::size_t s = 0; s < setups.size(); ++s) {
+        for (int cores : setups[s].cores) {
+            if (cores % setups[s].threads != 0) continue;
+            MinikabJob j;
+            j.system = "A64FX";
+            j.cfg.nodes = 2;
+            j.cfg.threads = setups[s].threads;
+            j.cfg.ranks = cores / setups[s].threads;
+            jobs.push_back(std::move(j));
+            meta.emplace_back(s, cores);
         }
-        series.push_back(std::move(fs));
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Fig1Series> series(setups.size());
+    for (std::size_t s = 0; s < setups.size(); ++s) series[s].label = setups[s].label;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto& out = outs[i];
+        Fig1Point pt;
+        pt.cores = meta[i].second;
+        pt.ranks = jobs[i].cfg.ranks;
+        pt.threads = jobs[i].cfg.threads;
+        pt.feasible = out.feasible;
+        pt.runtime_s = out.seconds;
+        pt.gflops = out.gflops;
+        series[meta[i].first].points.push_back(pt);
     }
     return series;
 }
 
 // ----------------------------------------------------------------- Figure 2
 std::vector<Fig2Series> run_fig2() {
-    std::vector<Fig2Series> series;
-
     // A64FX: best setup from Fig 1 — 4 processes/node x 12 threads.
+    // Fulhame: plain MPI, fully populated (memory is no concern there).
+    const std::vector<int> a64_nodes = {2, 4, 6, 8};
+    const std::vector<int> ful_nodes = {1, 2, 3, 4, 5, 6};
+
+    std::vector<MinikabJob> jobs;
+    for (int nodes : a64_nodes) {
+        MinikabJob j;
+        j.system = "A64FX";
+        j.cfg.nodes = nodes;
+        j.cfg.ranks = 4 * nodes;
+        j.cfg.threads = 12;
+        jobs.push_back(std::move(j));
+    }
+    for (int nodes : ful_nodes) {
+        MinikabJob j;
+        j.system = "Fulhame";
+        j.cfg.nodes = nodes;
+        j.cfg.ranks = 64 * nodes;
+        j.cfg.threads = 1;
+        jobs.push_back(std::move(j));
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Fig2Series> series;
     {
         Fig2Series fs;
         fs.system = "A64FX";
         fs.config = "4 ranks/node x 12 threads";
-        for (int nodes : {2, 4, 6, 8}) {
-            apps::MinikabConfig cfg;
-            cfg.nodes = nodes;
-            cfg.ranks = 4 * nodes;
-            cfg.threads = 12;
-            const auto out = apps::run_minikab(arch::a64fx(), cfg);
-            fs.points.push_back({nodes, nodes * 48, out.seconds});
+        for (std::size_t i = 0; i < a64_nodes.size(); ++i) {
+            fs.points.push_back({a64_nodes[i], a64_nodes[i] * 48, outs[i].seconds});
         }
         series.push_back(std::move(fs));
     }
-    // Fulhame: plain MPI, fully populated (memory is no concern there).
     {
         Fig2Series fs;
         fs.system = "Fulhame";
         fs.config = "plain MPI, 64 ranks/node";
-        for (int nodes : {1, 2, 3, 4, 5, 6}) {
-            apps::MinikabConfig cfg;
-            cfg.nodes = nodes;
-            cfg.ranks = 64 * nodes;
-            cfg.threads = 1;
-            const auto out = apps::run_minikab(arch::fulhame(), cfg);
-            fs.points.push_back({nodes, nodes * 64, out.seconds});
+        for (std::size_t i = 0; i < ful_nodes.size(); ++i) {
+            fs.points.push_back({ful_nodes[i], ful_nodes[i] * 64,
+                                 outs[a64_nodes.size() + i].seconds});
         }
         series.push_back(std::move(fs));
     }
@@ -150,11 +349,19 @@ std::vector<Fig2Series> run_fig2() {
 
 // ----------------------------------------------------------------- Table VI
 std::vector<Table6Row> run_table6() {
-    std::vector<Table6Row> rows;
+    std::vector<NekboneJob> jobs;
     for (const auto& p : paper::kTable6) {
         const auto& s = sys(p.system);
-        const auto plain = apps::run_nekbone(s, apps::nekbone_node_config(s, 1, false));
-        const auto fast = apps::run_nekbone(s, apps::nekbone_node_config(s, 1, true));
+        jobs.push_back({p.system, apps::nekbone_node_config(s, 1, false)});
+        jobs.push_back({p.system, apps::nekbone_node_config(s, 1, true)});
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Table6Row> rows;
+    for (std::size_t i = 0; i < paper::kTable6.size(); ++i) {
+        const auto& p = paper::kTable6[i];
+        const auto& plain = outs[2 * i];
+        const auto& fast = outs[2 * i + 1];
         Table6Row row;
         row.system = p.system;
         row.cores = p.cores;
@@ -169,43 +376,53 @@ std::vector<Table6Row> run_table6() {
 
 // ----------------------------------------------------------------- Figure 3
 std::vector<Fig3Series> run_fig3() {
-    std::vector<Fig3Series> series;
-    for (const auto& s : arch::system_catalog()) {
-        Fig3Series fs;
-        fs.system = s.name;
+    std::vector<NekboneJob> jobs;
+    std::vector<std::pair<std::size_t, int>> meta;  // (series index, cores)
+    const auto& catalog = arch::system_catalog();
+    for (std::size_t s = 0; s < catalog.size(); ++s) {
         for (int cores : {1, 2, 4, 8, 12, 16, 24, 32, 48, 64}) {
-            if (cores > s.node.cores()) break;
-            apps::NekboneConfig cfg;
-            cfg.nodes = 1;
-            cfg.ranks = cores;
-            const auto out = apps::run_nekbone(s, cfg);
-            fs.cores.push_back(cores);
-            fs.mflops.push_back(out.gflops * 1000.0);
+            if (cores > catalog[s].node.cores()) break;
+            NekboneJob j;
+            j.system = catalog[s].name;
+            j.cfg.nodes = 1;
+            j.cfg.ranks = cores;
+            jobs.push_back(std::move(j));
+            meta.emplace_back(s, cores);
         }
-        series.push_back(std::move(fs));
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Fig3Series> series(catalog.size());
+    for (std::size_t s = 0; s < catalog.size(); ++s) series[s].system = catalog[s].name;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        series[meta[i].first].cores.push_back(meta[i].second);
+        series[meta[i].first].mflops.push_back(outs[i].gflops * 1000.0);
     }
     return series;
 }
 
 // ---------------------------------------------------------------- Table VII
 std::vector<Table7Row> run_table7() {
-    auto pe_curve = [](const arch::SystemSpec& s) {
-        std::vector<double> pe;
-        double t1 = 0;
-        for (int nodes : {1, 2, 4, 8, 16}) {
-            const auto out =
-                apps::run_nekbone(s, apps::nekbone_node_config(s, nodes, false));
-            if (nodes == 1) {
-                t1 = out.seconds;
-            } else {
-                pe.push_back(apps::parallel_efficiency_weak(t1, out.seconds));
-            }
+    const std::vector<int> node_counts = {1, 2, 4, 8, 16};
+    const std::vector<std::string> systems = {"A64FX", "Fulhame", "ARCHER"};
+
+    std::vector<NekboneJob> jobs;
+    for (const auto& name : systems) {
+        for (int nodes : node_counts) {
+            jobs.push_back({name, apps::nekbone_node_config(sys(name), nodes, false)});
         }
-        return pe;
-    };
-    const auto a64 = pe_curve(arch::a64fx());
-    const auto ful = pe_curve(arch::fulhame());
-    const auto arc = pe_curve(arch::archer());
+    }
+    const auto outs = sweep(jobs);
+
+    // Weak-scaling parallel efficiency per system: PE(n) = t1 / tn.
+    std::vector<std::vector<double>> pe(systems.size());
+    for (std::size_t s = 0; s < systems.size(); ++s) {
+        const double t1 = outs[s * node_counts.size()].seconds;
+        for (std::size_t k = 1; k < node_counts.size(); ++k) {
+            pe[s].push_back(apps::parallel_efficiency_weak(
+                t1, outs[s * node_counts.size() + k].seconds));
+        }
+    }
 
     std::vector<Table7Row> rows;
     for (std::size_t i = 0; i < paper::kTable7.size(); ++i) {
@@ -213,11 +430,11 @@ std::vector<Table7Row> run_table7() {
         Table7Row row;
         row.nodes = p.nodes;
         row.a64fx_paper = p.a64fx;
-        row.a64fx_model = a64[i];
+        row.a64fx_model = pe[0][i];
         row.fulhame_paper = p.fulhame;
-        row.fulhame_model = ful[i];
+        row.fulhame_model = pe[1][i];
         row.archer_paper = p.archer;
-        row.archer_model = arc[i];
+        row.archer_model = pe[2][i];
         rows.push_back(row);
     }
     return rows;
@@ -225,17 +442,27 @@ std::vector<Table7Row> run_table7() {
 
 // ----------------------------------------------------------------- Figure 4
 std::vector<Fig4Series> run_fig4() {
-    std::vector<Fig4Series> series;
+    const std::vector<int> node_counts = {1, 2, 4, 8, 16};
+    std::vector<CosaJob> jobs;
     for (const auto& p : paper::kTable8) {
-        const auto& s = sys(p.system);
+        for (int nodes : node_counts) {
+            CosaJob j;
+            j.system = p.system;
+            j.cfg.nodes = nodes;
+            j.cfg.ranks_per_node = p.ppn;
+            jobs.push_back(std::move(j));
+        }
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Fig4Series> series;
+    std::size_t i = 0;
+    for (const auto& p : paper::kTable8) {
         Fig4Series fs;
         fs.system = p.system;
         fs.ppn = p.ppn;
-        for (int nodes : {1, 2, 4, 8, 16}) {
-            apps::CosaConfig cfg;
-            cfg.nodes = nodes;
-            cfg.ranks_per_node = p.ppn;
-            const auto out = apps::run_cosa(s, cfg);
+        for (int nodes : node_counts) {
+            const auto& out = outs[i++];
             fs.points.push_back({nodes, out.feasible, out.seconds});
         }
         series.push_back(std::move(fs));
@@ -257,46 +484,72 @@ std::vector<int> castep_core_counts(const arch::SystemSpec& s) {
 } // namespace
 
 std::vector<Fig5Series> run_fig5() {
-    std::vector<Fig5Series> series;
-    for (const auto& s : arch::system_catalog()) {
-        Fig5Series fs;
-        fs.system = s.name;
-        for (int cores : castep_core_counts(s)) {
-            apps::CastepConfig cfg;
-            cfg.nodes = 1;
-            cfg.ranks = cores;
-            const auto out = apps::run_castep(s, cfg);
-            fs.cores.push_back(cores);
-            fs.scf_per_s.push_back(out.scf_cycles_per_s);
+    std::vector<CastepJob> jobs;
+    std::vector<std::pair<std::size_t, int>> meta;  // (series index, cores)
+    const auto& catalog = arch::system_catalog();
+    for (std::size_t s = 0; s < catalog.size(); ++s) {
+        for (int cores : castep_core_counts(catalog[s])) {
+            CastepJob j;
+            j.system = catalog[s].name;
+            j.cfg.nodes = 1;
+            j.cfg.ranks = cores;
+            jobs.push_back(std::move(j));
+            meta.emplace_back(s, cores);
         }
-        series.push_back(std::move(fs));
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Fig5Series> series(catalog.size());
+    for (std::size_t s = 0; s < catalog.size(); ++s) series[s].system = catalog[s].name;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        series[meta[i].first].cores.push_back(meta[i].second);
+        series[meta[i].first].scf_per_s.push_back(outs[i].scf_cycles_per_s);
     }
     return series;
 }
 
 std::vector<Table9Row> run_table9() {
-    std::vector<Table9Row> rows;
+    std::vector<CastepJob> jobs;
     for (const auto& p : paper::kTable9) {
-        apps::CastepConfig cfg;
-        cfg.nodes = 1;
-        cfg.ranks = p.cores;
-        const auto out = apps::run_castep(sys(p.system), cfg);
-        rows.push_back({p.system, p.cores, p.scf_cycles_per_s, out.scf_cycles_per_s});
+        CastepJob j;
+        j.system = p.system;
+        j.cfg.nodes = 1;
+        j.cfg.ranks = p.cores;
+        jobs.push_back(std::move(j));
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Table9Row> rows;
+    for (std::size_t i = 0; i < paper::kTable9.size(); ++i) {
+        const auto& p = paper::kTable9[i];
+        rows.push_back({p.system, p.cores, p.scf_cycles_per_s,
+                        outs[i].scf_cycles_per_s});
     }
     return rows;
 }
 
 // ------------------------------------------------------------------ Table X
 std::vector<Table10Row> run_table10() {
-    std::vector<Table10Row> rows;
+    const std::size_t ncols = paper::kTable10Nodes.size();
+    std::vector<OpensbliJob> jobs;
     for (const auto& p : paper::kTable10) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            OpensbliJob j;
+            j.system = p.system;
+            j.cfg.nodes = paper::kTable10Nodes[i];
+            jobs.push_back(std::move(j));
+        }
+    }
+    const auto outs = sweep(jobs);
+
+    std::vector<Table10Row> rows;
+    for (std::size_t r = 0; r < paper::kTable10.size(); ++r) {
+        const auto& p = paper::kTable10[r];
         Table10Row row;
         row.system = p.system;
         row.paper = p.seconds;
-        for (std::size_t i = 0; i < paper::kTable10Nodes.size(); ++i) {
-            apps::OpensbliConfig cfg;
-            cfg.nodes = paper::kTable10Nodes[i];
-            const auto out = apps::run_opensbli(sys(p.system), cfg);
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const auto& out = outs[r * ncols + i];
             row.model[i] = out.seconds;
             row.feasible[i] = out.feasible;
         }

@@ -1,0 +1,186 @@
+#include "core/runner.hpp"
+
+#include "util/str.hpp"
+#include "util/threadpool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace armstice::core {
+namespace {
+
+// Cache values are shared_ptr so concurrent readers can hold a hit while an
+// unrelated insert rehashes the map. One mutex guards map + stats + default
+// jobs; all critical sections are O(points), never O(simulation).
+std::mutex g_mu;
+std::unordered_map<std::string, std::shared_ptr<const std::any>>& cache() {
+    static std::unordered_map<std::string, std::shared_ptr<const std::any>> c;
+    return c;
+}
+SweepStats g_stats;
+int g_default_jobs = 0;  // 0 = unset -> consult ARMSTICE_JOBS, else serial
+
+int env_jobs() {
+    const char* env = std::getenv("ARMSTICE_JOBS");
+    if (env == nullptr || *env == '\0') return 0;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 1 ? static_cast<int>(v) : 0;
+}
+
+} // namespace
+
+std::string SweepPoint::key() const {
+    return util::format("%s|%s|n%d|r%d|t%d|%s", app.c_str(), system.c_str(), nodes,
+                        ranks, threads, config.c_str());
+}
+
+SweepPoint sweep_point(std::string app, std::string system, int nodes, int ranks,
+                       int threads, std::string config) {
+    SweepPoint p;
+    p.app = std::move(app);
+    p.system = std::move(system);
+    p.nodes = nodes;
+    p.ranks = ranks;
+    p.threads = threads;
+    p.config = std::move(config);
+    return p;
+}
+
+int default_jobs() {
+    {
+        std::lock_guard<std::mutex> lock(g_mu);
+        if (g_default_jobs >= 1) return g_default_jobs;
+    }
+    const int env = env_jobs();
+    return env >= 1 ? env : 1;
+}
+
+void set_default_jobs(int jobs) {
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_default_jobs = jobs >= 1 ? jobs : 0;
+}
+
+SweepStats sweep_stats() {
+    std::lock_guard<std::mutex> lock(g_mu);
+    return g_stats;
+}
+
+std::string sweep_footer() {
+    const SweepStats s = sweep_stats();
+    return util::format(
+        "[sweep] pool=%d jobs | %ld points (%ld evaluated, %ld cache hits, "
+        "%.1f%% hit rate) | eval %.2fs across workers, %.2fs wall\n",
+        s.jobs, s.points, s.misses, s.hits, 100.0 * s.hit_rate(), s.eval_wall_s,
+        s.batch_wall_s);
+}
+
+void reset_sweep_cache() {
+    std::lock_guard<std::mutex> lock(g_mu);
+    cache().clear();
+    g_stats = SweepStats{};
+}
+
+namespace detail {
+
+void run_points(const std::vector<std::string>& keys,
+                const std::function<std::any(std::size_t)>& eval,
+                std::vector<std::any>& results, int jobs) {
+    const std::size_t n = keys.size();
+    results.resize(n);
+
+    // Partition under the lock: cached points resolve immediately; the first
+    // occurrence of each uncached key becomes a task, later occurrences
+    // alias its slot.
+    std::vector<std::shared_ptr<const std::any>> hit(n);
+    std::vector<std::size_t> owner(n);  // index whose evaluation serves point i
+    std::vector<std::size_t> reps;      // representative indices to evaluate
+    {
+        std::lock_guard<std::mutex> lock(g_mu);
+        std::unordered_map<std::string, std::size_t> first;
+        long hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            owner[i] = i;
+            const auto it = cache().find(keys[i]);
+            if (it != cache().end()) {
+                hit[i] = it->second;
+                ++hits;
+                continue;
+            }
+            const auto [f, inserted] = first.emplace(keys[i], i);
+            if (inserted) {
+                reps.push_back(i);
+            } else {
+                owner[i] = f->second;
+                ++hits;
+            }
+        }
+        g_stats.points += static_cast<long>(n);
+        g_stats.hits += hits;
+        g_stats.misses += static_cast<long>(reps.size());
+        g_stats.jobs = jobs;
+    }
+
+    std::vector<std::shared_ptr<const std::any>> fresh(n);
+    std::vector<std::exception_ptr> errors(reps.size());
+    double eval_s = 0;
+    std::mutex eval_mu;
+    const auto batch_start = std::chrono::steady_clock::now();
+
+    auto eval_one = [&](std::size_t j) {
+        const std::size_t i = reps[j];
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            fresh[i] = std::make_shared<const std::any>(eval(i));
+        } catch (...) {
+            errors[j] = std::current_exception();
+        }
+        const double dt =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        std::lock_guard<std::mutex> lock(eval_mu);
+        eval_s += dt;
+    };
+
+    if (!reps.empty()) {
+        if (jobs <= 1 || reps.size() == 1) {
+            for (std::size_t j = 0; j < reps.size(); ++j) eval_one(j);
+        } else {
+            util::ThreadPool pool(
+                static_cast<int>(std::min<std::size_t>(reps.size(),
+                                                       static_cast<std::size_t>(jobs))));
+            for (std::size_t j = 0; j < reps.size(); ++j) {
+                pool.submit([&eval_one, j] { eval_one(j); });
+            }
+            pool.wait_idle();
+        }
+    }
+
+    const double batch_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_start)
+            .count();
+    {
+        std::lock_guard<std::mutex> lock(g_mu);
+        g_stats.eval_wall_s += eval_s;
+        g_stats.batch_wall_s += batch_s;
+        for (std::size_t i : reps) {
+            if (fresh[i]) cache()[keys[i]] = fresh[i];
+        }
+    }
+    for (const auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& slot = hit[i] ? hit[i] : fresh[owner[i]];
+        results[i] = *slot;
+    }
+}
+
+} // namespace detail
+
+} // namespace armstice::core

@@ -1,0 +1,115 @@
+#pragma once
+// SweepRunner — parallel experiment execution with a memoizing point cache.
+//
+// Every experiment in this repo is a sweep: evaluate a pure function of a
+// (system, nodes, ranks, threads, app-config) point for many points. The
+// engine stack is side-effect-free (`Engine::run` is const; see the
+// thread-safety note in sim/engine.hpp), so points can run concurrently.
+// SweepRunner executes a vector of points on a fixed-size util::ThreadPool
+// with *deterministic result ordering*: results land by point index, never
+// by completion order, so `--jobs 8` output is byte-identical to `--jobs 1`.
+//
+// Repeated points are computed once. The process-global memo cache is keyed
+// by the result type plus SweepPoint::key(); the bench binaries that rerun
+// overlapping sweeps (the scorecard reruns every artefact, google-benchmark
+// reruns sweeps per iteration) hit the cache instead of re-simulating.
+// Cache and execution counters are surfaced in every bench footer
+// (sweep_footer()).
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+namespace armstice::core {
+
+/// Stable descriptor of one sweep point. `config` must canonically encode
+/// every app parameter that can affect the result — the cache key is built
+/// from all fields plus the result type, and two points with equal keys are
+/// assumed interchangeable.
+struct SweepPoint {
+    std::string app;     ///< model family tag, e.g. "minikab"
+    std::string system;  ///< arch::SystemSpec name
+    int nodes = 1;
+    int ranks = 0;  ///< 0 when the app derives ranks itself (e.g. per-core)
+    int threads = 1;
+    std::string config;  ///< canonical app-specific parameters
+
+    [[nodiscard]] std::string key() const;
+};
+
+/// Convenience builder used by experiment/bench sweep loops.
+SweepPoint sweep_point(std::string app, std::string system, int nodes, int ranks,
+                       int threads, std::string config);
+
+/// Process-wide execution and cache counters (all SweepRunner instances).
+struct SweepStats {
+    long points = 0;        ///< points requested through SweepRunner::run
+    long hits = 0;          ///< served from the memo cache (incl. in-batch dups)
+    long misses = 0;        ///< points actually evaluated
+    double eval_wall_s = 0; ///< per-point evaluation wall time, summed
+    double batch_wall_s = 0;///< elapsed wall time of the run() batches
+    int jobs = 1;           ///< pool size of the most recent run
+
+    [[nodiscard]] double hit_rate() const {
+        return points > 0 ? static_cast<double>(hits) / static_cast<double>(points)
+                          : 0.0;
+    }
+};
+
+/// Default pool size for new SweepRunners: the value installed by
+/// set_default_jobs (bench `--jobs N`), else the ARMSTICE_JOBS environment
+/// variable, else 1 (serial — callers never pay thread startup unasked).
+int default_jobs();
+void set_default_jobs(int jobs);
+
+SweepStats sweep_stats();
+/// One-line human-readable summary of sweep_stats() for bench footers.
+std::string sweep_footer();
+/// Drop the memo cache and zero the counters (tests).
+void reset_sweep_cache();
+
+namespace detail {
+/// Type-erased core: fills results[i] for every i, evaluating each unique
+/// uncached key exactly once on a pool of `jobs` threads.
+void run_points(const std::vector<std::string>& keys,
+                const std::function<std::any(std::size_t)>& eval,
+                std::vector<std::any>& results, int jobs);
+} // namespace detail
+
+class SweepRunner {
+public:
+    explicit SweepRunner(int jobs = default_jobs()) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+    [[nodiscard]] int jobs() const { return jobs_; }
+
+    /// Evaluate every point, concurrently on up to jobs() pool threads.
+    /// `eval` is called as eval(points[i], i) and must be thread-safe and a
+    /// pure function of that point (the index only selects pre-built
+    /// configs). Results land by index; exceptions from evaluations are
+    /// rethrown after the batch drains.
+    template <class R>
+    std::vector<R> run(const std::vector<SweepPoint>& points,
+                       const std::function<R(const SweepPoint&, std::size_t)>& eval) const {
+        std::vector<std::string> keys;
+        keys.reserve(points.size());
+        for (const auto& p : points) {
+            keys.push_back(std::string(typeid(R).name()) + '|' + p.key());
+        }
+        std::vector<std::any> raw(points.size());
+        detail::run_points(
+            keys, [&](std::size_t i) { return std::any(eval(points[i], i)); }, raw,
+            jobs_);
+        std::vector<R> out;
+        out.reserve(points.size());
+        for (auto& v : raw) out.push_back(std::any_cast<R>(std::move(v)));
+        return out;
+    }
+
+private:
+    int jobs_;
+};
+
+} // namespace armstice::core

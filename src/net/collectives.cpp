@@ -2,6 +2,7 @@
 
 #include "util/error.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace armstice::net {
@@ -21,6 +22,19 @@ int ceil_log2(int n) {
 /// recursive doubling to reduce-scatter + allgather.
 constexpr double kRabenseifnerCutover = 16.0 * 1024.0;
 
+void check_layout(const CommLayout& layout) {
+    ARMSTICE_CHECK(layout.nodes >= 1 && layout.ranks_per_node >= 1,
+                   "bad comm layout");
+    ARMSTICE_CHECK(layout.total_ranks >= 0, "negative total_ranks");
+    if (layout.total_ranks > 0) {
+        // Max occupancy times node count bounds the total from above; one
+        // rank per occupied node bounds it from below.
+        ARMSTICE_CHECK(layout.total_ranks <= layout.nodes * layout.ranks_per_node &&
+                           layout.total_ranks >= layout.nodes,
+                       "comm layout total_ranks inconsistent with occupancy");
+    }
+}
+
 } // namespace
 
 double CollectiveModel::stage_latency() const {
@@ -35,8 +49,7 @@ double CollectiveModel::shm_stage_latency() const {
 }
 
 double CollectiveModel::allreduce(const CommLayout& layout, double bytes) const {
-    ARMSTICE_CHECK(layout.nodes >= 1 && layout.ranks_per_node >= 1,
-                   "bad comm layout");
+    check_layout(layout);
     ARMSTICE_CHECK(bytes >= 0, "negative allreduce payload");
     if (layout.ranks() <= 1) return 0.0;
 
@@ -66,6 +79,7 @@ double CollectiveModel::barrier(const CommLayout& layout) const {
 }
 
 double CollectiveModel::bcast(const CommLayout& layout, double bytes) const {
+    check_layout(layout);
     ARMSTICE_CHECK(bytes >= 0, "negative bcast payload");
     if (layout.ranks() <= 1) return 0.0;
     double t = ceil_log2(layout.ranks_per_node) *
@@ -78,28 +92,38 @@ double CollectiveModel::bcast(const CommLayout& layout, double bytes) const {
 }
 
 double CollectiveModel::allgather(const CommLayout& layout, double bytes_each) const {
+    check_layout(layout);
     ARMSTICE_CHECK(bytes_each >= 0, "negative allgather payload");
     const int p = layout.ranks();
     if (p <= 1) return 0.0;
-    // Ring algorithm: P-1 steps, each forwarding one contribution.
-    const double per_step = (layout.nodes > 1)
-                                ? stage_latency() + bytes_each / net_->params().bandwidth
-                                : shm_stage_latency() +
-                                      bytes_each / net_->params().shm_bandwidth;
-    return (p - 1) * per_step;
+    // Ring algorithm: P-1 steps, each forwarding one contribution to the
+    // next rank. With a hierarchy-aware (blockwise) ring ordering, each full
+    // traversal crosses a node boundary once per node; the remaining
+    // neighbours are co-resident and use the shared-memory link. Every step
+    // off-node was the old behaviour — it overpriced e.g. 48 ranks on 2
+    // nodes by ~20x in latency.
+    const int off_steps = layout.nodes > 1 ? std::min(p - 1, layout.nodes) : 0;
+    const int shm_steps = (p - 1) - off_steps;
+    return off_steps * (stage_latency() + bytes_each / net_->params().bandwidth) +
+           shm_steps *
+               (shm_stage_latency() + bytes_each / net_->params().shm_bandwidth);
 }
 
 double CollectiveModel::alltoall(const CommLayout& layout, double bytes_each) const {
+    check_layout(layout);
     ARMSTICE_CHECK(bytes_each >= 0, "negative alltoall payload");
     const int p = layout.ranks();
     if (p <= 1) return 0.0;
-    // Pairwise exchange: P-1 rounds; a round is off-node unless all ranks
-    // share a node.
-    const bool on_node = layout.nodes == 1;
-    const double per_round =
-        on_node ? shm_stage_latency() + bytes_each / net_->params().shm_bandwidth
-                : stage_latency() + bytes_each / net_->params().bandwidth;
-    return (p - 1) * per_round;
+    // Pairwise exchange: P-1 rounds, round k pairing rank i with rank i^k
+    // (block layout). Rounds whose partner offset stays inside a node run
+    // over shared memory — at most ranks_per_node-1 of them; the rest cross
+    // the fabric.
+    const int shm_rounds =
+        layout.nodes > 1 ? std::min(p - 1, layout.ranks_per_node - 1) : p - 1;
+    const int off_rounds = (p - 1) - shm_rounds;
+    return shm_rounds *
+               (shm_stage_latency() + bytes_each / net_->params().shm_bandwidth) +
+           off_rounds * (stage_latency() + bytes_each / net_->params().bandwidth);
 }
 
 } // namespace armstice::net

@@ -15,10 +15,20 @@
 
 namespace armstice::net {
 
+/// Process layout a collective runs over. Derived from the actual Placement
+/// occupancy (sim/engine.cpp): `nodes` counts nodes with at least one
+/// resident rank (not the job's allocation) and `ranks_per_node` is the
+/// *maximum* occupancy of any node (the critical path of on-node stages).
+/// `total_ranks` carries the true rank count so non-divisible layouts
+/// (e.g. 48 ranks on 5 nodes) are not priced as nodes*ranks_per_node
+/// phantom ranks; 0 means "evenly divided", i.e. nodes * ranks_per_node.
 struct CommLayout {
-    int nodes = 1;           ///< nodes participating
-    int ranks_per_node = 1;  ///< ranks on each node
-    [[nodiscard]] int ranks() const { return nodes * ranks_per_node; }
+    int nodes = 1;           ///< nodes with >= 1 resident rank
+    int ranks_per_node = 1;  ///< max ranks resident on any single node
+    int total_ranks = 0;     ///< true participant count; 0 -> nodes * ranks_per_node
+    [[nodiscard]] int ranks() const {
+        return total_ranks > 0 ? total_ranks : nodes * ranks_per_node;
+    }
 };
 
 class CollectiveModel {

@@ -88,9 +88,21 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
                    util::format("programs (%zu) != ranks (%d)", programs.size(), n));
 
     const net::CollectiveModel coll_model(network_);
+    // Collective layout from the *actual* placement occupancy. Ceiling
+    // division (the old derivation) priced 48 ranks on 5 nodes as 5x10=50
+    // ranks — phantom allgather/alltoall rounds — and counted allocated-but-
+    // empty nodes as collective participants.
     net::CommLayout layout;
-    layout.nodes = placement_.nodes();
-    layout.ranks_per_node = (n + layout.nodes - 1) / layout.nodes;
+    layout.total_ranks = n;
+    int occupied = 0;
+    int max_on_node = 0;
+    for (int node = 0; node < placement_.nodes(); ++node) {
+        const int on = placement_.ranks_on_node(node);
+        if (on > 0) ++occupied;
+        max_on_node = std::max(max_on_node, on);
+    }
+    layout.nodes = std::max(1, occupied);
+    layout.ranks_per_node = std::max(1, max_on_node);
 
     std::vector<RankState> st(static_cast<std::size_t>(n));
     std::vector<arch::ExecContext> ctx;

@@ -9,6 +9,14 @@
 // with absent peers) or finishes, unblocking peers as messages/collectives
 // complete. If no rank can make progress the engine throws
 // util::DeadlockError naming the blocked ranks.
+//
+// Thread-safety: `run` is const and uses only local state — Placement,
+// CostModel and Network are read-only after construction, the noise samples
+// are pure functions of (rank, op), and the arch catalog/calibration tables
+// are immutable function-local statics. Concurrent `run` calls on one
+// Engine (core::SweepRunner executes sweep points on a thread pool) are
+// sound and return bit-identical results; asserted by
+// tests/test_sim_engine.cpp ConcurrentRunsAreBitIdentical.
 
 #include "arch/cost_model.hpp"
 #include "arch/system.hpp"

@@ -89,6 +89,40 @@ double Cli::get_double(const std::string& name) const {
     return out;
 }
 
+int jobs_from_args(int& argc, char** argv, int fallback) {
+    auto parse_jobs = [](const std::string& v) {
+        char* end = nullptr;
+        const long jobs = std::strtol(v.c_str(), &end, 10);
+        ARMSTICE_CHECK(end != nullptr && *end == '\0' && !v.empty() && jobs >= 1,
+                       "--jobs expects a positive integer, got '" + v + "'");
+        return static_cast<int>(jobs);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        int consumed = 0;
+        if (arg == "--jobs") {
+            ARMSTICE_CHECK(i + 1 < argc, "option --jobs needs a value");
+            value = argv[i + 1];
+            consumed = 2;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+            consumed = 1;
+        } else {
+            continue;
+        }
+        for (int j = i + consumed; j < argc; ++j) argv[j - consumed] = argv[j];
+        argc -= consumed;
+        argv[argc] = nullptr;
+        return parse_jobs(value);
+    }
+
+    const char* env = std::getenv("ARMSTICE_JOBS");
+    if (env != nullptr && *env != '\0') return parse_jobs(env);
+    return fallback;
+}
+
 std::string Cli::usage() const {
     std::string out = "usage: " + program_;
     for (const auto& [name, help] : positional_decl_) out += " <" + name + ">";

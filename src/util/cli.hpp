@@ -48,4 +48,11 @@ private:
     [[nodiscard]] const Opt* find(const std::string& name) const;
 };
 
+/// Extract a `--jobs N` / `--jobs=N` option from anywhere in argv, removing
+/// it so downstream parsers (google-benchmark) never see it. When the flag
+/// is absent, falls back to the ARMSTICE_JOBS environment variable, then to
+/// `fallback`. Throws util::Error on a missing or non-positive value. Used
+/// by every bench binary to size core::SweepRunner's thread pool.
+int jobs_from_args(int& argc, char** argv, int fallback = 1);
+
 } // namespace armstice::util

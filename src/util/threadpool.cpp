@@ -1,0 +1,61 @@
+#include "util/threadpool.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+
+namespace armstice::util {
+
+ThreadPool::ThreadPool(int threads) {
+    const int n = std::max(1, threads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    ARMSTICE_CHECK(task != nullptr, "null task submitted to thread pool");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ARMSTICE_CHECK(!stop_, "submit on a stopping thread pool");
+        queue_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stop_ set and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --in_flight_;
+            if (in_flight_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace armstice::util

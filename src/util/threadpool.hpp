@@ -1,0 +1,49 @@
+#pragma once
+// Fixed-size thread pool backing core::SweepRunner. Deliberately simple —
+// one mutex-guarded FIFO work queue, no work stealing: sweep points are
+// coarse (each is a full discrete-event simulation, milliseconds to
+// seconds), so queue contention is negligible and the simple design keeps
+// the shutdown and wait-for-drain semantics easy to reason about.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace armstice::util {
+
+class ThreadPool {
+public:
+    /// Spawn `threads` workers (clamped to >= 1).
+    explicit ThreadPool(int threads);
+    /// Finishes all queued work, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+    /// Enqueue one task. Tasks must not throw — catch inside the task and
+    /// report through captured state (SweepRunner stores exception_ptrs).
+    void submit(std::function<void()> task);
+
+    /// Block until every submitted task has finished executing.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< workers sleep here for tasks
+    std::condition_variable idle_cv_;  ///< wait_idle sleeps here for drain
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_flight_ = 0;  ///< queued + currently executing tasks
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace armstice::util

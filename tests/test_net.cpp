@@ -191,6 +191,71 @@ TEST(Collectives, RejectsBadInput) {
     EXPECT_THROW((void)coll.allreduce({2, 2}, -1), armstice::util::Error);
 }
 
+TEST(Collectives, NonDivisibleLayoutPricesTrueRankCount) {
+    // Regression: 48 ranks block-placed on 5 nodes (10,10,10,10,8) used to be
+    // priced as nodes * ranks_per_node = 50 ranks — two phantom ranks adding
+    // steps to every allgather/alltoall ring. total_ranks must win.
+    const an::Network net(NetKind::edr_ib, 5);
+    const an::CollectiveModel coll(net);
+    const an::CommLayout actual{5, 10, 48};
+    const an::CommLayout phantom{5, 10, 50};
+    EXPECT_EQ(actual.ranks(), 48);
+    EXPECT_EQ(phantom.ranks(), 50);
+    EXPECT_LT(coll.allgather(actual, 1e3), coll.allgather(phantom, 1e3));
+    EXPECT_LT(coll.alltoall(actual, 1e3), coll.alltoall(phantom, 1e3));
+}
+
+TEST(Collectives, LayoutRanksPrefersTotalOverProduct) {
+    const an::CommLayout legacy{4, 12};  // old two-field initialisation
+    EXPECT_EQ(legacy.ranks(), 48);
+    const an::CommLayout exact{5, 10, 48};
+    EXPECT_EQ(exact.ranks(), 48);
+}
+
+TEST(Collectives, LayoutRejectsInconsistentTotals) {
+    const an::Network net(NetKind::edr_ib, 8);
+    const an::CollectiveModel coll(net);
+    // More total ranks than nodes * ranks_per_node can hold.
+    EXPECT_THROW((void)coll.allgather({2, 4, 9}, 8), armstice::util::Error);
+    // Fewer total ranks than occupied nodes.
+    EXPECT_THROW((void)coll.allgather({4, 4, 3}, 8), armstice::util::Error);
+}
+
+TEST(Collectives, AllgatherMonotoneInNodesAtFixedRanks) {
+    // 48 total ranks spread over more nodes converts shared-memory ring steps
+    // into fabric steps; cost must not decrease.
+    const an::Network net(NetKind::tofud, 8);
+    const an::CollectiveModel coll(net);
+    double prev_ag = 0.0;
+    double prev_a2a = 0.0;
+    for (const an::CommLayout layout :
+         {an::CommLayout{1, 48, 48}, an::CommLayout{2, 24, 48},
+          an::CommLayout{4, 12, 48}, an::CommLayout{8, 6, 48}}) {
+        const double ag = coll.allgather(layout, 4e3);
+        const double a2a = coll.alltoall(layout, 4e3);
+        EXPECT_GE(ag, prev_ag) << "allgather at nodes=" << layout.nodes;
+        EXPECT_GE(a2a, prev_a2a) << "alltoall at nodes=" << layout.nodes;
+        prev_ag = ag;
+        prev_a2a = a2a;
+    }
+}
+
+TEST(Collectives, MultiNodeRingMixesOnAndOffNodeSteps) {
+    // With p ranks on n nodes, a ring allgather crosses the fabric ~n times;
+    // the other p-1-n steps stay in shared memory. The cost must therefore sit
+    // strictly between the all-shm and all-fabric extremes.
+    const an::Network net(NetKind::edr_ib, 4);
+    const an::CollectiveModel coll(net);
+    const double bytes = 4e3;
+    const double mixed = coll.allgather({4, 12, 48}, bytes);
+    const double all_shm = coll.allgather({1, 48, 48}, bytes);
+    const an::Network net48(NetKind::edr_ib, 48);
+    const an::CollectiveModel coll48(net48);
+    const double all_fabric = coll48.allgather({48, 1, 48}, bytes);
+    EXPECT_GT(mixed, all_shm);
+    EXPECT_LT(mixed, all_fabric);
+}
+
 class CollectiveFamilies : public ::testing::TestWithParam<NetKind> {};
 
 TEST_P(CollectiveFamilies, AllOperationsPositiveForMultiNode) {

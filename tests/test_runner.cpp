@@ -1,0 +1,311 @@
+// Tests of the parallel sweep subsystem: util::ThreadPool and
+// core::SweepRunner (deterministic ordering, memo cache, stats, jobs knob)
+// plus the bench-facing --jobs extraction in util::jobs_from_args.
+
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ac = armstice::core;
+namespace au = armstice::util;
+
+// ---- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+    au::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrain) {
+    au::ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 8);  // nothing still running after wait_idle
+}
+
+TEST(ThreadPool, DestructorFinishesQueuedWork) {
+    std::atomic<int> count{0};
+    {
+        au::ThreadPool pool(1);
+        for (int i = 0; i < 20; ++i) {
+            pool.submit([&count] { count.fetch_add(1); });
+        }
+    }  // destructor joins after draining
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, RunsTasksOnMultipleThreads) {
+    au::ThreadPool pool(4);
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    std::atomic<int> rendezvous{0};
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([&] {
+            rendezvous.fetch_add(1);
+            // Hold until all four tasks run at once — forces distinct threads.
+            while (rendezvous.load() < 4) std::this_thread::yield();
+            std::lock_guard<std::mutex> lock(mu);
+            ids.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ThreadPool, ClampsSizeToAtLeastOne) {
+    au::ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait_idle();
+    EXPECT_TRUE(ran.load());
+}
+
+// ---- SweepPoint / SweepRunner ----------------------------------------------
+
+namespace {
+
+ac::SweepPoint pt(const std::string& config, int nodes = 1) {
+    return ac::sweep_point("test-app", "A64FX", nodes, 4 * nodes, 12, config);
+}
+
+} // namespace
+
+TEST(SweepRunner, KeyEncodesEveryField) {
+    const auto a = ac::sweep_point("app", "sys", 2, 8, 12, "cfg");
+    EXPECT_NE(a.key(), ac::sweep_point("app2", "sys", 2, 8, 12, "cfg").key());
+    EXPECT_NE(a.key(), ac::sweep_point("app", "sys2", 2, 8, 12, "cfg").key());
+    EXPECT_NE(a.key(), ac::sweep_point("app", "sys", 3, 8, 12, "cfg").key());
+    EXPECT_NE(a.key(), ac::sweep_point("app", "sys", 2, 9, 12, "cfg").key());
+    EXPECT_NE(a.key(), ac::sweep_point("app", "sys", 2, 8, 13, "cfg").key());
+    EXPECT_NE(a.key(), ac::sweep_point("app", "sys", 2, 8, 12, "cfg2").key());
+    EXPECT_EQ(a.key(), ac::sweep_point("app", "sys", 2, 8, 12, "cfg").key());
+}
+
+TEST(SweepRunner, ResultsLandByIndexRegardlessOfCompletionOrder) {
+    ac::reset_sweep_cache();
+    std::vector<ac::SweepPoint> points;
+    points.reserve(16);
+    for (int i = 0; i < 16; ++i) points.push_back(pt("p" + std::to_string(i)));
+    const ac::SweepRunner runner(8);
+    const auto out = runner.run<int>(
+        points, [](const ac::SweepPoint& p, std::size_t i) {
+            // Early indices sleep longest so completion order inverts index
+            // order; results must still land by index.
+            std::this_thread::sleep_for(std::chrono::milliseconds(16 - static_cast<long>(i)));
+            return static_cast<int>(i) * 10 + static_cast<int>(p.config.size());
+        });
+    ASSERT_EQ(out.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+        const int cfg_len = static_cast<int>(points[static_cast<std::size_t>(i)].config.size());
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 10 + cfg_len);
+    }
+}
+
+TEST(SweepRunner, ParallelMatchesSerial) {
+    ac::reset_sweep_cache();
+    std::vector<ac::SweepPoint> points;
+    for (int n : {1, 2, 4, 8}) points.push_back(pt("scale", n));
+    const auto eval = [](const ac::SweepPoint& p, std::size_t) {
+        return 1.0 / p.nodes;
+    };
+    const auto serial = ac::SweepRunner(1).run<double>(points, eval);
+    ac::reset_sweep_cache();
+    const auto parallel = ac::SweepRunner(8).run<double>(points, eval);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial[i], parallel[i]);
+    }
+}
+
+TEST(SweepRunner, DuplicatePointsEvaluateOnce) {
+    ac::reset_sweep_cache();
+    std::atomic<int> evals{0};
+    std::vector<ac::SweepPoint> points(10, pt("dup"));
+    const auto out = ac::SweepRunner(4).run<int>(
+        points, [&evals](const ac::SweepPoint&, std::size_t) {
+            return evals.fetch_add(1) + 42;
+        });
+    EXPECT_EQ(evals.load(), 1);
+    for (const int v : out) EXPECT_EQ(v, 42);
+    const auto stats = ac::sweep_stats();
+    EXPECT_EQ(stats.points, 10);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.hits, 9);
+}
+
+TEST(SweepRunner, CacheSpansRunnerInstances) {
+    ac::reset_sweep_cache();
+    std::atomic<int> evals{0};
+    const std::vector<ac::SweepPoint> points{pt("memo-a"), pt("memo-b")};
+    const auto eval = [&evals](const ac::SweepPoint&, std::size_t i) {
+        evals.fetch_add(1);
+        return static_cast<long>(i) + 7;
+    };
+    const auto first = ac::SweepRunner(2).run<long>(points, eval);
+    const auto second = ac::SweepRunner(1).run<long>(points, eval);  // all hits
+    EXPECT_EQ(evals.load(), 2);
+    EXPECT_EQ(first, second);
+    const auto stats = ac::sweep_stats();
+    EXPECT_EQ(stats.points, 4);
+    EXPECT_EQ(stats.hits, 2);
+    EXPECT_EQ(stats.misses, 2);
+    EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(SweepRunner, CacheIsResultTypeAware) {
+    // Identical points with different result types must not alias.
+    ac::reset_sweep_cache();
+    const std::vector<ac::SweepPoint> points{pt("typed")};
+    const auto ints = ac::SweepRunner(1).run<int>(
+        points, [](const ac::SweepPoint&, std::size_t) { return 3; });
+    const auto doubles = ac::SweepRunner(1).run<double>(
+        points, [](const ac::SweepPoint&, std::size_t) { return 2.5; });
+    EXPECT_EQ(ints[0], 3);
+    EXPECT_DOUBLE_EQ(doubles[0], 2.5);
+    EXPECT_EQ(ac::sweep_stats().misses, 2);  // second run was not a hit
+}
+
+TEST(SweepRunner, ExceptionsPropagateAfterBatch) {
+    ac::reset_sweep_cache();
+    const std::vector<ac::SweepPoint> points{pt("ok"), pt("boom"), pt("ok2")};
+    EXPECT_THROW(
+        (void)ac::SweepRunner(2).run<int>(
+            points, [](const ac::SweepPoint& p, std::size_t) {
+                if (p.config == "boom") throw au::Error("sweep point failed");
+                return 1;
+            }),
+        au::Error);
+    // A failed point must not poison the cache with a phantom result.
+    std::atomic<int> evals{0};
+    const auto out = ac::SweepRunner(1).run<int>(
+        {pt("boom")}, [&evals](const ac::SweepPoint&, std::size_t) {
+            evals.fetch_add(1);
+            return 5;
+        });
+    EXPECT_EQ(evals.load(), 1);
+    EXPECT_EQ(out[0], 5);
+}
+
+TEST(SweepRunner, EmptyBatchIsANoop) {
+    ac::reset_sweep_cache();
+    const auto out = ac::SweepRunner(4).run<int>(
+        {}, [](const ac::SweepPoint&, std::size_t) { return 0; });
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(ac::sweep_stats().points, 0);
+}
+
+TEST(SweepRunner, JobsDefaultAndOverride) {
+    EXPECT_GE(ac::SweepRunner().jobs(), 1);
+    EXPECT_EQ(ac::SweepRunner(6).jobs(), 6);
+    EXPECT_EQ(ac::SweepRunner(-3).jobs(), 1);  // clamped
+    const int saved = ac::default_jobs();
+    ac::set_default_jobs(5);
+    EXPECT_EQ(ac::default_jobs(), 5);
+    EXPECT_EQ(ac::SweepRunner().jobs(), 5);
+    ac::set_default_jobs(saved);
+}
+
+TEST(SweepRunner, FooterReportsPoolPointsAndHitRate) {
+    ac::reset_sweep_cache();
+    std::vector<ac::SweepPoint> points(4, pt("footer"));
+    (void)ac::SweepRunner(2).run<int>(
+        points, [](const ac::SweepPoint&, std::size_t) { return 0; });
+    const std::string footer = ac::sweep_footer();
+    EXPECT_NE(footer.find("[sweep]"), std::string::npos);
+    EXPECT_NE(footer.find("pool=2"), std::string::npos);
+    EXPECT_NE(footer.find("4 points"), std::string::npos);
+    EXPECT_NE(footer.find("hit rate"), std::string::npos);
+}
+
+// ---- jobs_from_args ---------------------------------------------------------
+
+namespace {
+
+/// Mutable argv for jobs_from_args (which rewrites it in place).
+struct Argv {
+    explicit Argv(std::initializer_list<const char*> args) {
+        for (const char* a : args) storage.emplace_back(a);
+        for (auto& s : storage) ptrs.push_back(s.data());
+        ptrs.push_back(nullptr);
+        argc = static_cast<int>(storage.size());
+    }
+    std::vector<std::string> storage;
+    std::vector<char*> ptrs;
+    int argc = 0;
+};
+
+} // namespace
+
+TEST(JobsFromArgs, SpaceAndEqualsSyntaxBothConsume) {
+    Argv a{"bench", "--jobs", "8", "--other"};
+    EXPECT_EQ(au::jobs_from_args(a.argc, a.ptrs.data(), 1), 8);
+    EXPECT_EQ(a.argc, 2);
+    EXPECT_STREQ(a.ptrs[0], "bench");
+    EXPECT_STREQ(a.ptrs[1], "--other");
+    EXPECT_EQ(a.ptrs[2], nullptr);
+
+    Argv b{"bench", "--jobs=3"};
+    EXPECT_EQ(au::jobs_from_args(b.argc, b.ptrs.data(), 1), 3);
+    EXPECT_EQ(b.argc, 1);
+}
+
+TEST(JobsFromArgs, FallbackWhenAbsent) {
+    unsetenv("ARMSTICE_JOBS");
+    Argv a{"bench", "--benchmark_filter=x"};
+    EXPECT_EQ(au::jobs_from_args(a.argc, a.ptrs.data(), 7), 7);
+    EXPECT_EQ(a.argc, 2);  // untouched
+}
+
+TEST(JobsFromArgs, EnvironmentBeatsFallback) {
+    setenv("ARMSTICE_JOBS", "4", 1);
+    Argv a{"bench"};
+    EXPECT_EQ(au::jobs_from_args(a.argc, a.ptrs.data(), 1), 4);
+    unsetenv("ARMSTICE_JOBS");
+}
+
+TEST(JobsFromArgs, FlagBeatsEnvironment) {
+    setenv("ARMSTICE_JOBS", "4", 1);
+    Argv a{"bench", "--jobs", "2"};
+    EXPECT_EQ(au::jobs_from_args(a.argc, a.ptrs.data(), 1), 2);
+    unsetenv("ARMSTICE_JOBS");
+}
+
+TEST(JobsFromArgs, RejectsBadValues) {
+    {
+        Argv a{"bench", "--jobs"};
+        EXPECT_THROW((void)au::jobs_from_args(a.argc, a.ptrs.data(), 1), au::Error);
+    }
+    {
+        Argv a{"bench", "--jobs", "0"};
+        EXPECT_THROW((void)au::jobs_from_args(a.argc, a.ptrs.data(), 1), au::Error);
+    }
+    {
+        Argv a{"bench", "--jobs=nope"};
+        EXPECT_THROW((void)au::jobs_from_args(a.argc, a.ptrs.data(), 1), au::Error);
+    }
+}

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace as = armstice::sim;
 namespace aa = armstice::arch;
 
@@ -230,6 +232,83 @@ TEST(Engine, CrossNodeMessagesSlowerThanShm) {
     progs[0].send(1, 1e6);
     progs[1].recv(0);
     EXPECT_GT(cross.run(progs).makespan, local.run(progs).makespan);
+}
+
+TEST(Engine, CollectiveLayoutUsesTrueOccupancy) {
+    // Regression: 48 ranks block-placed on 5 nodes (10,10,10,10,8) were
+    // priced via ceil(48/5) = 10 ranks/node on 5 nodes = 50 ranks. The layout
+    // must carry the true total so alltoall runs 47 rounds, not 49.
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    auto placement = as::Placement::block(aa::fulhame().node, 5, 48, 1);
+    const as::Engine engine(aa::fulhame(), std::move(placement), 0.8, knobs);
+    std::vector<as::Program> progs(48);
+    const double bytes = 2e3;
+    for (auto& p : progs) p.alltoall(bytes);
+    const auto res = engine.run(progs);
+
+    const armstice::net::CollectiveModel coll(engine.network());
+    EXPECT_DOUBLE_EQ(res.makespan, coll.alltoall({5, 10, 48}, bytes));
+    EXPECT_LT(res.makespan, coll.alltoall({5, 10, 50}, bytes));
+}
+
+TEST(Engine, EmptyNodesDoNotAddCollectiveStages) {
+    // 4 ranks block-placed onto 5 nodes leave the fifth node empty; the
+    // collective layout must see 4 occupied nodes, making the run identical
+    // to an honest 4-node job (same fat-tree class on Fulhame at this size).
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    auto sparse = as::Placement::block(aa::fulhame().node, 5, 4, 1);
+    auto dense = as::Placement::block(aa::fulhame().node, 4, 4, 1);
+    const as::Engine e_sparse(aa::fulhame(), std::move(sparse), 0.8, knobs);
+    const as::Engine e_dense(aa::fulhame(), std::move(dense), 0.8, knobs);
+    std::vector<as::Program> progs(4);
+    for (auto& p : progs) p.allreduce(64).alltoall(1e3);
+    EXPECT_DOUBLE_EQ(e_sparse.run(progs).makespan, e_dense.run(progs).makespan);
+}
+
+TEST(Engine, ConcurrentRunsAreBitIdentical) {
+    // SweepRunner calls Engine::run from pool threads; the same engine run
+    // concurrently from 8 threads must produce bit-identical results (noise
+    // ON — the samples are pure functions of (rank, op), not shared state).
+    aa::ModelKnobs knobs;  // default noise
+    auto placement = as::Placement::block(aa::a64fx().node, 2, 96, 1);
+    const as::Engine engine(aa::a64fx(), std::move(placement), 0.6, knobs);
+    std::vector<as::Program> progs(96);
+    for (int r = 0; r < 96; ++r) {
+        progs[static_cast<std::size_t>(r)]
+            .compute(work(1e9 * (1 + r % 3)))
+            .allreduce(8)
+            .send((r + 1) % 96, 1e3)
+            .recv((r + 95) % 96)
+            .alltoall(256);
+    }
+    const auto baseline = engine.run(progs);
+
+    constexpr int kThreads = 8;
+    std::vector<as::RunResult> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&engine, &progs, &results, t] {
+            results[static_cast<std::size_t>(t)] = engine.run(progs);
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    for (const auto& res : results) {
+        ASSERT_EQ(res.ranks.size(), baseline.ranks.size());
+        EXPECT_DOUBLE_EQ(res.makespan, baseline.makespan);
+        EXPECT_DOUBLE_EQ(res.total_flops, baseline.total_flops);
+        for (std::size_t r = 0; r < res.ranks.size(); ++r) {
+            EXPECT_DOUBLE_EQ(res.ranks[r].finish, baseline.ranks[r].finish);
+            EXPECT_DOUBLE_EQ(res.ranks[r].compute, baseline.ranks[r].compute);
+            EXPECT_DOUBLE_EQ(res.ranks[r].recv_wait, baseline.ranks[r].recv_wait);
+            EXPECT_DOUBLE_EQ(res.ranks[r].collective_wait,
+                             baseline.ranks[r].collective_wait);
+        }
+        EXPECT_EQ(res.phase_compute, baseline.phase_compute);
+    }
 }
 
 TEST(Engine, RecvWaitZeroWhenMessageEarly) {
