@@ -6,10 +6,16 @@
 //
 // Sweep execution is parallel: call init() first in main() — it consumes
 // `--jobs N` (or ARMSTICE_JOBS) and installs the pool size used by every
-// core::SweepRunner behind the artefact functions. run() appends a footer
-// with the pool size, point count and memo-cache hit rate. Results are
-// ordered by point index, so --jobs 8 output is byte-identical to --jobs 1.
+// core::SweepRunner behind the artefact functions, and it consumes
+// `--cache-dir DIR` (or ARMSTICE_CACHE) to install the persistent on-disk
+// sweep cache shared across bench processes. run() appends a footer with
+// the pool size, point count and memo/disk cache hit rates. Results are
+// ordered by point index, so --jobs 8 output is byte-identical to --jobs 1,
+// and cached results are byte-identical to evaluated ones (doubles persist
+// bit-exact).
 
+#include "core/app_codecs.hpp"
+#include "core/cache.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
@@ -26,11 +32,13 @@ namespace armstice::benchx {
 
 /// Parse and strip sweep-execution options before the artefact sweeps run.
 /// Must be the first statement of every bench main(). Exits with a short
-/// message on a malformed --jobs instead of an uncaught-exception abort.
+/// message on a malformed --jobs/--cache-dir instead of an
+/// uncaught-exception abort.
 inline void init(int& argc, char** argv) {
     try {
         core::set_default_jobs(
             util::jobs_from_args(argc, argv, core::default_jobs()));
+        core::set_cache_dir(util::cache_dir_from_args(argc, argv));
     } catch (const util::Error& e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
         std::exit(2);

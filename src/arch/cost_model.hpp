@@ -8,7 +8,17 @@
 #include "arch/phase.hpp"
 #include "arch/processor.hpp"
 
+#include <cstdint>
+
 namespace armstice::arch {
+
+/// Version stamp of the calibrated performance model. Bump this whenever
+/// cost-model constants, calibration values (calibration.cpp), the collective
+/// model, or any ModelKnobs default changes: the stamp is written into every
+/// persistent sweep-cache entry (core/cache.hpp) and a mismatch turns the
+/// entry into a miss, so stale results can never leak into regenerated
+/// artefacts.
+inline constexpr std::uint32_t kModelVersion = 1;
 
 /// Model-component switches for the ablation bench (DESIGN.md §4.6).
 struct ModelKnobs {

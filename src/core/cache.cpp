@@ -1,0 +1,134 @@
+#include "core/cache.hpp"
+
+#include "arch/cost_model.hpp"
+#include "util/fileio.hpp"
+#include "util/log.hpp"
+#include "util/serialize.hpp"
+#include "util/str.hpp"
+
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace armstice::core {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'R', 'M', 'C'};
+
+// The global store is swapped atomically under its own mutex; SweepRunner
+// grabs the pointer once per batch. Stores are kept alive (leaked into this
+// vector) for the process lifetime so a concurrent batch never races a
+// set_cache_dir teardown.
+std::mutex g_store_mu;
+CacheStore* g_store = nullptr;
+std::vector<std::unique_ptr<CacheStore>>& retired_stores() {
+    static std::vector<std::unique_ptr<CacheStore>> v;
+    return v;
+}
+
+} // namespace
+
+CacheStore::CacheStore(std::string dir, std::uint32_t model_version)
+    : dir_(std::move(dir)), model_version_(model_version) {}
+
+std::string CacheStore::path_for(const std::string& key) const {
+    return dir_ + "/" + util::format("%016llx",
+                                     static_cast<unsigned long long>(util::fnv1a(key))) +
+           ".armc";
+}
+
+std::optional<std::string> CacheStore::load(const std::string& key) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.probes;
+    }
+    const std::string path = path_for(key);
+    const auto bytes = util::read_file(path);
+    if (!bytes) return std::nullopt;  // plain miss: no entry on disk
+
+    // Every validation failure from here on is a *damaged or stale* entry:
+    // log it, count it, miss.
+    const auto reject = [&](const char* why) -> std::optional<std::string> {
+        util::log_warn(util::format("cache: ignoring %s (%s)", path.c_str(), why));
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rejected;
+        return std::nullopt;
+    };
+
+    util::ByteReader r(*bytes);
+    char magic[4] = {};
+    for (char& c : magic) c = static_cast<char>(r.u8());
+    if (!r.ok() || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+        return reject("bad magic");
+    }
+    if (r.u32() != kFormatVersion) return reject("cache format version mismatch");
+    if (r.u32() != model_version_) return reject("model version mismatch");
+    const std::string stored_key = r.str();
+    if (!r.ok()) return reject("truncated header");
+    if (stored_key != key) return reject("key mismatch (hash collision or wrong type)");
+    const std::uint64_t checksum = r.u64();
+    std::string payload = r.str();
+    if (!r.ok() || !r.at_end()) return reject("truncated or oversized payload");
+    if (util::fnv1a(payload) != checksum) return reject("payload checksum mismatch");
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    return payload;
+}
+
+bool CacheStore::store(const std::string& key, const std::string& payload) {
+    util::ByteWriter w;
+    for (const char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kFormatVersion);
+    w.u32(model_version_);
+    w.str(key);
+    w.u64(util::fnv1a(payload));
+    w.str(payload);
+
+    const std::string path = path_for(key);
+    const bool ok = util::write_file_atomic(path, w.data());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+        ++stats_.stores;
+    } else {
+        ++stats_.store_failures;
+        util::log_warn("cache: could not write " + path);
+    }
+    return ok;
+}
+
+CacheStoreStats CacheStore::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void set_cache_dir(const std::string& dir) {
+    std::lock_guard<std::mutex> lock(g_store_mu);
+    if (dir.empty()) {
+        g_store = nullptr;
+        return;
+    }
+    if (!util::ensure_dir(dir)) {
+        util::log_warn("cache: cannot create cache dir " + dir +
+                       "; disk caching disabled");
+        g_store = nullptr;
+        return;
+    }
+    // Old stores stay alive in retired_stores(): a concurrent sweep batch may
+    // still hold the previous pointer.
+    retired_stores().push_back(std::make_unique<CacheStore>(dir, arch::kModelVersion));
+    g_store = retired_stores().back().get();
+}
+
+std::string cache_dir() {
+    std::lock_guard<std::mutex> lock(g_store_mu);
+    return g_store != nullptr ? g_store->dir() : std::string();
+}
+
+CacheStore* cache_store() {
+    std::lock_guard<std::mutex> lock(g_store_mu);
+    return g_store;
+}
+
+} // namespace armstice::core

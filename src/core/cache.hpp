@@ -1,0 +1,88 @@
+#pragma once
+// CacheStore — the persistent on-disk sweep-result cache.
+//
+// One file per cache entry, named by the FNV-1a hash of the full cache key
+// (`<result tag>|<SweepPoint::key()>`), in a flat directory chosen via
+// `--cache-dir` / ARMSTICE_CACHE. Each file carries, in order: a magic,
+// a cache *format* version, the arch::kModelVersion *model* stamp, the full
+// key (hash collisions and wrong-type lookups verify against it), and a
+// checksummed payload produced by the result type's codec
+// (core/cache_codec.hpp).
+//
+// Robustness contract (tested by tests/cache/test_cache_corruption.cpp):
+// a load can fail for any reason — missing file, truncation, garbage bytes,
+// stale format/model version, key/type mismatch, bad checksum — and every
+// failure is a cache MISS with a logged warning, never an exception and
+// never a wrong result. Writes go through util::write_file_atomic (unique
+// temp file + rename), so any number of concurrent bench processes can share
+// one cache directory: readers observe complete files only, and concurrent
+// writers of the same key write identical bytes (results are deterministic),
+// making last-writer-wins harmless.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace armstice::core {
+
+/// Per-store disk-cache counters (all monotone).
+struct CacheStoreStats {
+    long probes = 0;    ///< load() calls
+    long hits = 0;      ///< loads that returned a payload
+    long rejected = 0;  ///< files present but unreadable/corrupt/stale
+    long stores = 0;    ///< entries written
+    long store_failures = 0;
+
+    [[nodiscard]] double hit_rate() const {
+        return probes > 0 ? static_cast<double>(hits) / static_cast<double>(probes)
+                          : 0.0;
+    }
+};
+
+class CacheStore {
+public:
+    /// `model_version` defaults to arch::kModelVersion at the call site
+    /// (core/runner.cpp); tests inject other stamps to exercise invalidation.
+    CacheStore(std::string dir, std::uint32_t model_version);
+
+    [[nodiscard]] const std::string& dir() const { return dir_; }
+    [[nodiscard]] std::uint32_t model_version() const { return model_version_; }
+
+    /// Load the payload stored under `key`; nullopt on any miss. Damaged or
+    /// stale files are logged at warn level and reported as misses.
+    [[nodiscard]] std::optional<std::string> load(const std::string& key);
+
+    /// Atomically persist `payload` under `key`. Returns false (logged) on
+    /// I/O failure — callers treat the store as best-effort.
+    bool store(const std::string& key, const std::string& payload);
+
+    /// Full path of the entry file a key maps to (exposed for tests that
+    /// corrupt entries in place).
+    [[nodiscard]] std::string path_for(const std::string& key) const;
+
+    [[nodiscard]] CacheStoreStats stats() const;
+
+    /// On-disk format version; bump when the entry layout changes.
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+private:
+    std::string dir_;
+    std::uint32_t model_version_;
+    mutable std::mutex mu_;
+    CacheStoreStats stats_;
+};
+
+/// Install / clear the process-global store used by SweepRunner. An empty
+/// dir disables disk caching; a dir that cannot be created logs a warning
+/// and disables it. Thread-safe; typically called once from benchx::init.
+void set_cache_dir(const std::string& dir);
+
+/// Directory of the installed store ("" when disk caching is off).
+std::string cache_dir();
+
+/// The installed store, or nullptr when disk caching is off. The pointer
+/// stays valid until the next set_cache_dir call.
+CacheStore* cache_store();
+
+} // namespace armstice::core

@@ -1,0 +1,88 @@
+#pragma once
+// Stable result-type tags and binary codecs for the sweep memo cache.
+//
+// The memo cache (core/runner.hpp) and the persistent on-disk cache
+// (core/cache.hpp) key every entry by *result type* plus SweepPoint::key().
+// typeid(R).name() is useless for an on-disk format — it is mangled,
+// compiler-specific and allowed to change between toolchains — so every
+// result type R that flows through SweepRunner::run<R> declares a
+// ResultTraits<R> specialisation with a short, hand-picked, never-reused
+// `tag` string. Types that additionally provide encode/decode (the
+// DiskCacheable concept) get persisted by CacheStore; tag-only types stay
+// memory-cached.
+//
+// Codec contract: decode(encode(x)) == x field-for-field (doubles bit-exact
+// via util::ByteWriter::f64), and decode of a damaged buffer leaves the
+// reader's fail flag set rather than throwing — the cache loader turns that
+// into a miss. Bump the tag (e.g. "res" -> "res2") when a struct's layout
+// changes; old entries then simply stop matching.
+//
+// Specialisations for the apps::* result structs live in core/app_codecs.hpp
+// (this header stays app-independent so lower layers can use it).
+
+#include "util/serialize.hpp"
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+namespace armstice::core {
+
+/// Primary template — intentionally undefined. Specialise for every result
+/// type handed to SweepRunner::run<R>:
+///
+///   template <> struct ResultTraits<MyResult> {
+///       static constexpr const char* tag = "myresult";
+///       static void encode(util::ByteWriter& w, const MyResult& v);  // optional
+///       static MyResult decode(util::ByteReader& r);                 // optional
+///   };
+template <class R>
+struct ResultTraits;
+
+/// Result types whose traits also provide a binary codec; only these are
+/// eligible for the persistent on-disk cache.
+template <class R>
+concept DiskCacheable = requires(util::ByteWriter& w, util::ByteReader& r, const R& v) {
+    { ResultTraits<R>::encode(w, v) };
+    { ResultTraits<R>::decode(r) } -> std::same_as<R>;
+};
+
+/// Result types with at least a stable tag (the minimum to run a sweep).
+template <class R>
+concept TaggedResult = requires {
+    { ResultTraits<R>::tag } -> std::convertible_to<const char*>;
+};
+
+// ---- built-in scalar/string codecs (tests, ext benches) --------------------
+
+template <>
+struct ResultTraits<int> {
+    static constexpr const char* tag = "i32";
+    static void encode(util::ByteWriter& w, int v) { w.i32(v); }
+    static int decode(util::ByteReader& r) { return r.i32(); }
+};
+
+template <>
+struct ResultTraits<long> {
+    static constexpr const char* tag = "i64";
+    static void encode(util::ByteWriter& w, long v) {
+        w.i64(static_cast<std::int64_t>(v));
+    }
+    static long decode(util::ByteReader& r) { return static_cast<long>(r.i64()); }
+};
+
+template <>
+struct ResultTraits<double> {
+    static constexpr const char* tag = "f64";
+    static void encode(util::ByteWriter& w, double v) { w.f64(v); }
+    static double decode(util::ByteReader& r) { return r.f64(); }
+};
+
+template <>
+struct ResultTraits<std::string> {
+    static constexpr const char* tag = "str";
+    static void encode(util::ByteWriter& w, const std::string& v) { w.str(v); }
+    static std::string decode(util::ByteReader& r) { return r.str(); }
+};
+
+} // namespace armstice::core

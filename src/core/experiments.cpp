@@ -6,6 +6,7 @@
 #include "apps/minikab/minikab.hpp"
 #include "apps/nekbone/nekbone.hpp"
 #include "apps/opensbli/opensbli.hpp"
+#include "core/app_codecs.hpp"
 #include "core/paper_data.hpp"
 #include "core/runner.hpp"
 #include "util/error.hpp"

@@ -277,99 +277,158 @@ void save_chart(util::SvgChart& chart, const util::Csv& csv, const std::string& 
     }
 }
 
-} // namespace
+// CSV builders shared by save_figN (file output) and figN_csv (golden-file
+// regression tests) so the two can never drift apart.
 
-void save_fig1(const std::vector<Fig1Series>& series, const std::string& stem) {
-    util::SvgChart chart("Fig 1 — minikab setups on 2 A64FX nodes", "cores",
-                         "runtime (s)");
+util::Csv build_fig1_csv(const std::vector<Fig1Series>& series) {
     util::Csv csv;
     csv.header({"setup", "cores", "ranks", "threads", "feasible", "runtime_s",
                 "gflops"});
     for (const auto& s : series) {
-        util::Series ps{s.label, {}, {}};
         for (const auto& p : s.points) {
             csv.row({s.label, std::to_string(p.cores), std::to_string(p.ranks),
                      std::to_string(p.threads), p.feasible ? "1" : "0",
                      util::fixed(p.runtime_s, 3), util::fixed(p.gflops, 3)});
+        }
+    }
+    return csv;
+}
+
+util::Csv build_fig2_csv(const std::vector<Fig2Series>& series) {
+    util::Csv csv;
+    csv.header({"system", "config", "nodes", "cores", "runtime_s"});
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            csv.row({s.system, s.config, std::to_string(p.nodes),
+                     std::to_string(p.cores), util::fixed(p.runtime_s, 3)});
+        }
+    }
+    return csv;
+}
+
+util::Csv build_fig3_csv(const std::vector<Fig3Series>& series) {
+    util::Csv csv;
+    csv.header({"system", "cores", "mflops"});
+    for (const auto& s : series) {
+        for (std::size_t i = 0; i < s.cores.size(); ++i) {
+            csv.row({s.system, std::to_string(s.cores[i]), util::fixed(s.mflops[i], 1)});
+        }
+    }
+    return csv;
+}
+
+util::Csv build_fig4_csv(const std::vector<Fig4Series>& series) {
+    util::Csv csv;
+    csv.header({"system", "ppn", "nodes", "feasible", "runtime_s"});
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            csv.row({s.system, std::to_string(s.ppn), std::to_string(p.nodes),
+                     p.feasible ? "1" : "0", util::fixed(p.runtime_s, 3)});
+        }
+    }
+    return csv;
+}
+
+util::Csv build_fig5_csv(const std::vector<Fig5Series>& series) {
+    util::Csv csv;
+    csv.header({"system", "cores", "scf_cycles_per_s"});
+    for (const auto& s : series) {
+        for (std::size_t i = 0; i < s.cores.size(); ++i) {
+            csv.row({s.system, std::to_string(s.cores[i]),
+                     util::fixed(s.scf_per_s[i], 4)});
+        }
+    }
+    return csv;
+}
+
+} // namespace
+
+std::string fig1_csv(const std::vector<Fig1Series>& series) {
+    return build_fig1_csv(series).render();
+}
+std::string fig2_csv(const std::vector<Fig2Series>& series) {
+    return build_fig2_csv(series).render();
+}
+std::string fig3_csv(const std::vector<Fig3Series>& series) {
+    return build_fig3_csv(series).render();
+}
+std::string fig4_csv(const std::vector<Fig4Series>& series) {
+    return build_fig4_csv(series).render();
+}
+std::string fig5_csv(const std::vector<Fig5Series>& series) {
+    return build_fig5_csv(series).render();
+}
+
+void save_fig1(const std::vector<Fig1Series>& series, const std::string& stem) {
+    util::SvgChart chart("Fig 1 — minikab setups on 2 A64FX nodes", "cores",
+                         "runtime (s)");
+    for (const auto& s : series) {
+        util::Series ps{s.label, {}, {}};
+        for (const auto& p : s.points) {
             if (!p.feasible) continue;
             ps.x.push_back(p.cores);
             ps.y.push_back(p.runtime_s);
         }
         if (!ps.x.empty()) chart.add_series(std::move(ps));
     }
-    save_chart(chart, csv, stem);
+    save_chart(chart, build_fig1_csv(series), stem);
 }
 
 void save_fig2(const std::vector<Fig2Series>& series, const std::string& stem) {
     util::SvgChart chart("Fig 2 — minikab strong scaling", "cores", "runtime (s)");
-    util::Csv csv;
-    csv.header({"system", "config", "nodes", "cores", "runtime_s"});
     for (const auto& s : series) {
         util::Series ps{s.system, {}, {}};
         for (const auto& p : s.points) {
-            csv.row({s.system, s.config, std::to_string(p.nodes),
-                     std::to_string(p.cores), util::fixed(p.runtime_s, 3)});
             ps.x.push_back(p.cores);
             ps.y.push_back(p.runtime_s);
         }
         chart.add_series(std::move(ps));
     }
-    save_chart(chart, csv, stem);
+    save_chart(chart, build_fig2_csv(series), stem);
 }
 
 void save_fig3(const std::vector<Fig3Series>& series, const std::string& stem) {
     util::SvgChart chart("Fig 3 — Nekbone single-node core scaling", "cores",
                          "MFLOP/s");
     chart.log_y();
-    util::Csv csv;
-    csv.header({"system", "cores", "mflops"});
     for (const auto& s : series) {
         util::Series ps{s.system, {}, {}};
         for (std::size_t i = 0; i < s.cores.size(); ++i) {
-            csv.row({s.system, std::to_string(s.cores[i]), util::fixed(s.mflops[i], 1)});
             ps.x.push_back(s.cores[i]);
             ps.y.push_back(s.mflops[i]);
         }
         chart.add_series(std::move(ps));
     }
-    save_chart(chart, csv, stem);
+    save_chart(chart, build_fig3_csv(series), stem);
 }
 
 void save_fig4(const std::vector<Fig4Series>& series, const std::string& stem) {
     util::SvgChart chart("Fig 4 — COSA strong scaling", "nodes", "runtime (s)");
     chart.log_y();
-    util::Csv csv;
-    csv.header({"system", "ppn", "nodes", "feasible", "runtime_s"});
     for (const auto& s : series) {
         util::Series ps{s.system, {}, {}};
         for (const auto& p : s.points) {
-            csv.row({s.system, std::to_string(s.ppn), std::to_string(p.nodes),
-                     p.feasible ? "1" : "0", util::fixed(p.runtime_s, 3)});
             if (!p.feasible) continue;
             ps.x.push_back(p.nodes);
             ps.y.push_back(p.runtime_s);
         }
         if (!ps.x.empty()) chart.add_series(std::move(ps));
     }
-    save_chart(chart, csv, stem);
+    save_chart(chart, build_fig4_csv(series), stem);
 }
 
 void save_fig5(const std::vector<Fig5Series>& series, const std::string& stem) {
     util::SvgChart chart("Fig 5 — CASTEP TiN single-node performance", "cores",
                          "SCF cycles/s");
-    util::Csv csv;
-    csv.header({"system", "cores", "scf_cycles_per_s"});
     for (const auto& s : series) {
         util::Series ps{s.system, {}, {}};
         for (std::size_t i = 0; i < s.cores.size(); ++i) {
-            csv.row({s.system, std::to_string(s.cores[i]),
-                     util::fixed(s.scf_per_s[i], 4)});
             ps.x.push_back(s.cores[i]);
             ps.y.push_back(s.scf_per_s[i]);
         }
         chart.add_series(std::move(ps));
     }
-    save_chart(chart, csv, stem);
+    save_chart(chart, build_fig5_csv(series), stem);
 }
 
 } // namespace armstice::core

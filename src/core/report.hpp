@@ -29,6 +29,16 @@ std::string render_table10(const std::vector<Table10Row>& rows);
 /// Write any artefact's CSV next to the binary (best effort; logs on error).
 void write_csv(const std::string& path, const std::string& csv_text);
 
+/// Exact text of each figure's CSV artefact — the same bytes save_figN
+/// writes to <stem>.csv. Exposed so the golden-figure regression tests
+/// (tests/cache/test_golden_figures.cpp) can diff a freshly computed figure
+/// against the CSVs committed at the repo root without touching the disk.
+std::string fig1_csv(const std::vector<Fig1Series>& series);
+std::string fig2_csv(const std::vector<Fig2Series>& series);
+std::string fig3_csv(const std::vector<Fig3Series>& series);
+std::string fig4_csv(const std::vector<Fig4Series>& series);
+std::string fig5_csv(const std::vector<Fig5Series>& series);
+
 /// Write <stem>.svg (publication-style chart) and <stem>.csv (raw data) for
 /// a figure. Best effort: I/O problems are logged, not thrown, so bench
 /// binaries keep working in read-only directories.

@@ -1,5 +1,7 @@
 #include "core/runner.hpp"
 
+#include "core/cache.hpp"
+#include "util/log.hpp"
 #include "util/str.hpp"
 #include "util/threadpool.hpp"
 
@@ -72,11 +74,21 @@ SweepStats sweep_stats() {
 
 std::string sweep_footer() {
     const SweepStats s = sweep_stats();
-    return util::format(
-        "[sweep] pool=%d jobs | %ld points (%ld evaluated, %ld cache hits, "
-        "%.1f%% hit rate) | eval %.2fs across workers, %.2fs wall\n",
-        s.jobs, s.points, s.misses, s.hits, 100.0 * s.hit_rate(), s.eval_wall_s,
-        s.batch_wall_s);
+    std::string out = util::format(
+        "[sweep] pool=%d jobs | %ld points (%ld evaluated, %ld memo cache hits, "
+        "%ld disk cache hits, %.1f%% hit rate) | eval %.2fs across workers, "
+        "%.2fs wall\n",
+        s.jobs, s.points, s.misses, s.hits, s.disk_hits, 100.0 * s.hit_rate(),
+        s.eval_wall_s, s.batch_wall_s);
+    if (CacheStore* store = cache_store(); store != nullptr) {
+        const auto cs = store->stats();
+        out += util::format(
+            "[cache] dir=%s | %ld/%ld disk probes hit (%.1f%% disk-hit rate) | "
+            "%ld entries written, %ld rejected as damaged/stale\n",
+            store->dir().c_str(), s.disk_hits, s.disk_hits + s.disk_misses,
+            100.0 * s.disk_hit_rate(), cs.stores, cs.rejected);
+    }
+    return out;
 }
 
 void reset_sweep_cache() {
@@ -89,7 +101,7 @@ namespace detail {
 
 void run_points(const std::vector<std::string>& keys,
                 const std::function<std::any(std::size_t)>& eval,
-                std::vector<std::any>& results, int jobs) {
+                std::vector<std::any>& results, int jobs, const AnyCodec* codec) {
     const std::size_t n = keys.size();
     results.resize(n);
 
@@ -121,18 +133,53 @@ void run_points(const std::vector<std::string>& keys,
         }
         g_stats.points += static_cast<long>(n);
         g_stats.hits += hits;
-        g_stats.misses += static_cast<long>(reps.size());
         g_stats.jobs = jobs;
     }
 
     std::vector<std::shared_ptr<const std::any>> fresh(n);
-    std::vector<std::exception_ptr> errors(reps.size());
+
+    // Persistent-cache probe: every memo miss with a disk-cacheable result
+    // type first looks for a serialised entry from an earlier process. A
+    // usable entry fills the point's slot exactly like an evaluation would
+    // (and is promoted into the memo cache below); anything damaged, stale
+    // or undecodable is just a miss. File I/O runs outside g_mu.
+    CacheStore* const store = codec != nullptr ? cache_store() : nullptr;
+    std::vector<std::size_t> to_eval;
+    long disk_hits = 0;
+    long disk_misses = 0;
+    if (store != nullptr) {
+        for (const std::size_t i : reps) {
+            if (const auto payload = store->load(keys[i])) {
+                std::any decoded = codec->decode(*payload);
+                if (decoded.has_value()) {
+                    fresh[i] = std::make_shared<const std::any>(std::move(decoded));
+                    ++disk_hits;
+                    continue;
+                }
+                util::log_warn("cache: undecodable payload for key " + keys[i] +
+                               " (treated as miss)");
+            }
+            ++disk_misses;
+            to_eval.push_back(i);
+        }
+    } else {
+        to_eval = reps;
+    }
+    {
+        std::lock_guard<std::mutex> lock(g_mu);
+        g_stats.disk_hits += disk_hits;
+        g_stats.disk_misses += disk_misses;
+        g_stats.misses += static_cast<long>(to_eval.size());
+    }
+    const std::vector<std::size_t>& pending = to_eval;
+
+    std::vector<std::exception_ptr> errors(pending.size());
     double eval_s = 0;
     std::mutex eval_mu;
     const auto batch_start = std::chrono::steady_clock::now();
 
     auto eval_one = [&](std::size_t j) {
-        const std::size_t i = reps[j];
+        const std::size_t i = pending[j];
         const auto t0 = std::chrono::steady_clock::now();
         try {
             fresh[i] = std::make_shared<const std::any>(eval(i));
@@ -146,18 +193,30 @@ void run_points(const std::vector<std::string>& keys,
         eval_s += dt;
     };
 
-    if (!reps.empty()) {
-        if (jobs <= 1 || reps.size() == 1) {
-            for (std::size_t j = 0; j < reps.size(); ++j) eval_one(j);
+    if (!pending.empty()) {
+        if (jobs <= 1 || pending.size() == 1) {
+            for (std::size_t j = 0; j < pending.size(); ++j) eval_one(j);
         } else {
-            util::ThreadPool pool(
-                static_cast<int>(std::min<std::size_t>(reps.size(),
-                                                       static_cast<std::size_t>(jobs))));
-            for (std::size_t j = 0; j < reps.size(); ++j) {
+            util::ThreadPool pool(static_cast<int>(
+                std::min<std::size_t>(pending.size(), static_cast<std::size_t>(jobs))));
+            for (std::size_t j = 0; j < pending.size(); ++j) {
                 pool.submit([&eval_one, j] { eval_one(j); });
             }
             pool.wait_idle();
         }
+    }
+
+    // Flush freshly evaluated results to the persistent cache (best effort;
+    // atomic rename per entry, so concurrent bench processes are safe).
+    // Disk-loaded entries are not rewritten.
+    if (store != nullptr) {
+        long stores = 0;
+        for (const std::size_t i : pending) {
+            if (!fresh[i]) continue;  // evaluation threw
+            if (store->store(keys[i], codec->encode(*fresh[i]))) ++stores;
+        }
+        std::lock_guard<std::mutex> lock(g_mu);
+        g_stats.disk_stores += stores;
     }
 
     const double batch_s =
@@ -167,6 +226,7 @@ void run_points(const std::vector<std::string>& keys,
         std::lock_guard<std::mutex> lock(g_mu);
         g_stats.eval_wall_s += eval_s;
         g_stats.batch_wall_s += batch_s;
+        // Promote both evaluated and disk-loaded results into the memo cache.
         for (std::size_t i : reps) {
             if (fresh[i]) cache()[keys[i]] = fresh[i];
         }

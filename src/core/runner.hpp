@@ -10,17 +10,23 @@
 // by completion order, so `--jobs 8` output is byte-identical to `--jobs 1`.
 //
 // Repeated points are computed once. The process-global memo cache is keyed
-// by the result type plus SweepPoint::key(); the bench binaries that rerun
-// overlapping sweeps (the scorecard reruns every artefact, google-benchmark
-// reruns sweeps per iteration) hit the cache instead of re-simulating.
+// by a stable result-type tag (core/cache_codec.hpp) plus SweepPoint::key();
+// the bench binaries that rerun overlapping sweeps (the scorecard reruns
+// every artefact, google-benchmark reruns sweeps per iteration) hit the
+// cache instead of re-simulating. When a persistent cache directory is
+// installed (core/cache.hpp, bench --cache-dir / ARMSTICE_CACHE), memo
+// misses additionally probe the on-disk store before evaluating, and fresh
+// results are flushed back — so overlapping points are shared across
+// *processes*, e.g. `for b in build/bench/*; do $b --cache-dir .cache; done`.
 // Cache and execution counters are surfaced in every bench footer
 // (sweep_footer()).
+
+#include "core/cache_codec.hpp"
 
 #include <any>
 #include <cstddef>
 #include <functional>
 #include <string>
-#include <typeinfo>
 #include <vector>
 
 namespace armstice::core {
@@ -44,18 +50,60 @@ struct SweepPoint {
 SweepPoint sweep_point(std::string app, std::string system, int nodes, int ranks,
                        int threads, std::string config);
 
+inline bool operator==(const SweepPoint& a, const SweepPoint& b) {
+    return a.app == b.app && a.system == b.system && a.nodes == b.nodes &&
+           a.ranks == b.ranks && a.threads == b.threads && a.config == b.config;
+}
+
+/// SweepPoints round-trip through the same codec machinery as results
+/// (exercised by the cache fuzz tests); sweeps themselves never need it.
+template <>
+struct ResultTraits<SweepPoint> {
+    static constexpr const char* tag = "sweep-point";
+    static void encode(util::ByteWriter& w, const SweepPoint& p) {
+        w.str(p.app);
+        w.str(p.system);
+        w.i32(p.nodes);
+        w.i32(p.ranks);
+        w.i32(p.threads);
+        w.str(p.config);
+    }
+    static SweepPoint decode(util::ByteReader& r) {
+        SweepPoint p;
+        p.app = r.str();
+        p.system = r.str();
+        p.nodes = r.i32();
+        p.ranks = r.i32();
+        p.threads = r.i32();
+        p.config = r.str();
+        return p;
+    }
+};
+
 /// Process-wide execution and cache counters (all SweepRunner instances).
 struct SweepStats {
     long points = 0;        ///< points requested through SweepRunner::run
     long hits = 0;          ///< served from the memo cache (incl. in-batch dups)
+    long disk_hits = 0;     ///< memo misses served from the persistent cache
+    long disk_misses = 0;   ///< disk probes that found nothing usable
+    long disk_stores = 0;   ///< fresh results flushed to the persistent cache
     long misses = 0;        ///< points actually evaluated
     double eval_wall_s = 0; ///< per-point evaluation wall time, summed
     double batch_wall_s = 0;///< elapsed wall time of the run() batches
     int jobs = 1;           ///< pool size of the most recent run
 
     [[nodiscard]] double hit_rate() const {
-        return points > 0 ? static_cast<double>(hits) / static_cast<double>(points)
-                          : 0.0;
+        return points > 0
+                   ? static_cast<double>(hits + disk_hits) / static_cast<double>(points)
+                   : 0.0;
+    }
+    /// Fraction of persistent-cache probes that hit (the second identical
+    /// bench run should report ~100% here).
+    [[nodiscard]] double disk_hit_rate() const {
+        const long probes = disk_hits + disk_misses;
+        return probes > 0
+                   ? static_cast<double>(disk_hits) / static_cast<double>(probes)
+                   : 0.0;
     }
 };
 
@@ -72,11 +120,46 @@ std::string sweep_footer();
 void reset_sweep_cache();
 
 namespace detail {
+
+/// Type-erased codec bridging one result type R to the persistent cache:
+/// encode packs a std::any holding R into bytes; decode unpacks (returning
+/// an empty any when the payload is damaged). nullptr codec = memory-only.
+struct AnyCodec {
+    std::string (*encode)(const std::any&);
+    std::any (*decode)(const std::string&);
+};
+
+/// The singleton codec for R, or nullptr when R has no disk codec.
+template <class R>
+const AnyCodec* codec_for() {
+    if constexpr (DiskCacheable<R>) {
+        static const AnyCodec codec{
+            [](const std::any& v) {
+                util::ByteWriter w;
+                ResultTraits<R>::encode(w, std::any_cast<const R&>(v));
+                return w.take();
+            },
+            [](const std::string& payload) {
+                util::ByteReader r(payload);
+                R v = ResultTraits<R>::decode(r);
+                // Reject short payloads and trailing garbage alike: either
+                // means the bytes do not describe exactly one R.
+                if (!r.at_end()) return std::any();
+                return std::any(std::move(v));
+            }};
+        return &codec;
+    } else {
+        return nullptr;
+    }
+}
+
 /// Type-erased core: fills results[i] for every i, evaluating each unique
-/// uncached key exactly once on a pool of `jobs` threads.
+/// uncached key exactly once on a pool of `jobs` threads. `codec`, when
+/// non-null, enables the persistent-cache load/store hooks for this batch.
 void run_points(const std::vector<std::string>& keys,
                 const std::function<std::any(std::size_t)>& eval,
-                std::vector<std::any>& results, int jobs);
+                std::vector<std::any>& results, int jobs, const AnyCodec* codec);
+
 } // namespace detail
 
 class SweepRunner {
@@ -93,15 +176,20 @@ public:
     template <class R>
     std::vector<R> run(const std::vector<SweepPoint>& points,
                        const std::function<R(const SweepPoint&, std::size_t)>& eval) const {
+        static_assert(TaggedResult<R>,
+                      "every SweepRunner result type needs a ResultTraits<R> "
+                      "specialisation with a stable tag (core/cache_codec.hpp); "
+                      "typeid names are compiler-specific and cannot key the "
+                      "on-disk cache");
         std::vector<std::string> keys;
         keys.reserve(points.size());
         for (const auto& p : points) {
-            keys.push_back(std::string(typeid(R).name()) + '|' + p.key());
+            keys.push_back(std::string(ResultTraits<R>::tag) + '|' + p.key());
         }
         std::vector<std::any> raw(points.size());
         detail::run_points(
             keys, [&](std::size_t i) { return std::any(eval(points[i], i)); }, raw,
-            jobs_);
+            jobs_, detail::codec_for<R>());
         std::vector<R> out;
         out.reserve(points.size());
         for (auto& v : raw) out.push_back(std::any_cast<R>(std::move(v)));

@@ -1,12 +1,15 @@
 #include "core/score.hpp"
 
+#include "core/app_codecs.hpp"
 #include "core/experiments.hpp"
 #include "core/paper_data.hpp"
+#include "core/runner.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace armstice::core {
 namespace {
@@ -42,6 +45,200 @@ private:
     double log_ratio_sum_ = 0;
 };
 
+// ---- one scorer per artefact ----------------------------------------------
+// Each scorer is an independent pure function of the model, so the list
+// below is itself dispatched through SweepRunner: entries evaluate
+// concurrently on the --jobs pool and land in the persistent cache like any
+// other sweep result, which is what makes a warm-cache scorecard rerun
+// near-instant.
+
+ScoreEntry score_table3() {
+    EntryBuilder b("Table III (HPCG 1 node)");
+    double a64 = 0, best_other = 0;
+    for (const auto& r : run_table3()) {
+        b.point(r.paper_gflops, r.model_gflops);
+        if (r.system == "A64FX") a64 = r.model_gflops;
+        else best_other = std::max(best_other, r.model_gflops);
+    }
+    b.shape(a64 > best_other, "A64FX fastest incl. optimised variants");
+    return b.finish();
+}
+
+ScoreEntry score_table4() {
+    EntryBuilder b("Table IV (HPCG multi-node)");
+    bool lead = true;
+    const auto rows = run_table4();
+    for (const auto& r : rows) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            b.point(r.paper[i], r.model[i]);
+            if (r.system != "A64FX" && r.model[i] >= rows[0].model[i]) lead = false;
+        }
+    }
+    b.shape(lead, "A64FX leads at every node count");
+    return b.finish();
+}
+
+ScoreEntry score_table5() {
+    EntryBuilder b("Table V (minikab 1 core)");
+    double a64 = 0, ngio = 0, ful = 0;
+    for (const auto& r : run_table5()) {
+        b.point(r.paper_seconds, r.model_seconds);
+        if (r.system == "A64FX") a64 = r.model_seconds;
+        if (r.system == "EPCC NGIO") ngio = r.model_seconds;
+        if (r.system == "Fulhame") ful = r.model_seconds;
+    }
+    b.shape(a64 < ngio && ngio < ful, "A64FX < NGIO < ThunderX2 runtime");
+    return b.finish();
+}
+
+ScoreEntry score_fig1() {
+    EntryBuilder b("Fig 1 (minikab configs)");
+    bool oom96 = false;
+    double best_full = 1e30, best_partial = 1e30;
+    for (const auto& s : run_fig1()) {
+        for (const auto& p : s.points) {
+            if (s.label == "plain MPI" && p.cores == 96 && !p.feasible) oom96 = true;
+            if (!p.feasible) continue;
+            auto& best = p.cores == 96 ? best_full : best_partial;
+            best = std::min(best, p.runtime_s);
+        }
+    }
+    b.shape(oom96 && best_full < best_partial,
+            "plain MPI memory-capped at 48; all-96-core hybrids fastest");
+    return b.finish();
+}
+
+ScoreEntry score_fig2() {
+    EntryBuilder b("Fig 2 (minikab scaling)");
+    const auto series = run_fig2();
+    double a64_384 = 0, ful_384 = 0;
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            if (p.cores != 384) continue;
+            (s.system == "A64FX" ? a64_384 : ful_384) = p.runtime_s;
+        }
+    }
+    b.shape(a64_384 > 0 && a64_384 < ful_384, "A64FX faster at matched 384 cores");
+    return b.finish();
+}
+
+ScoreEntry score_table6() {
+    EntryBuilder b("Table VI (Nekbone node)");
+    double a64 = 0, a64_fast = 0;
+    for (const auto& r : run_table6()) {
+        b.point(r.paper_gflops, r.model_gflops);
+        b.point(r.paper_fast, r.model_fast);
+        if (r.system == "A64FX") {
+            a64 = r.model_gflops;
+            a64_fast = r.model_fast;
+        }
+    }
+    b.shape(a64_fast > 1.5 * a64, "-Kfast speeds the A64FX up ~1.8x");
+    return b.finish();
+}
+
+ScoreEntry score_fig3() {
+    EntryBuilder b("Fig 3 (Nekbone cores)");
+    bool archer_flattens = false, a64_scales = false;
+    for (const auto& s : run_fig3()) {
+        auto at = [&](int c) {
+            for (std::size_t i = 0; i < s.cores.size(); ++i) {
+                if (s.cores[i] == c) return s.mflops[i];
+            }
+            return -1.0;
+        };
+        if (s.system == "ARCHER") archer_flattens = at(12) < 2.0 * at(4);
+        if (s.system == "A64FX") a64_scales = at(48) > 3.0 * at(12);
+    }
+    b.shape(archer_flattens && a64_scales,
+            "IvyBridge saturates beyond 4 cores; A64FX keeps scaling");
+    return b.finish();
+}
+
+ScoreEntry score_table7() {
+    EntryBuilder b("Table VII (Nekbone PE)");
+    bool all_high = true;
+    for (const auto& r : run_table7()) {
+        b.point(r.a64fx_paper, r.a64fx_model);
+        b.point(r.fulhame_paper, r.fulhame_model);
+        b.point(r.archer_paper, r.archer_model);
+        all_high = all_high && r.a64fx_model >= 0.95 && r.fulhame_model >= 0.95 &&
+                   r.archer_model >= 0.95;
+    }
+    b.shape(all_high, "all parallel efficiencies >= 0.95");
+    return b.finish();
+}
+
+ScoreEntry score_fig4() {
+    EntryBuilder b("Fig 4 (COSA scaling)");
+    bool oom1 = false, lead_2_8 = true, crossover = false;
+    double a64_16 = 0, ful_16 = 0;
+    const auto series = run_fig4();
+    const Fig4Series* a64 = nullptr;
+    for (const auto& s : series) {
+        if (s.system == "A64FX") a64 = &s;
+    }
+    for (const auto& s : series) {
+        for (const auto& p : s.points) {
+            if (s.system == "A64FX") {
+                if (p.nodes == 1) oom1 = !p.feasible;
+                if (p.nodes == 16) a64_16 = p.runtime_s;
+            } else {
+                if (p.nodes >= 2 && p.nodes <= 8 && p.feasible && a64 != nullptr) {
+                    for (const auto& ap : a64->points) {
+                        if (ap.nodes == p.nodes && ap.runtime_s >= p.runtime_s) {
+                            lead_2_8 = false;
+                        }
+                    }
+                }
+                if (s.system == "Fulhame" && p.nodes == 16) ful_16 = p.runtime_s;
+            }
+        }
+    }
+    crossover = ful_16 > 0 && ful_16 < a64_16;
+    b.shape(oom1 && lead_2_8 && crossover,
+            "OOM at 1 node; fastest 2-8; Fulhame overtakes at 16");
+    return b.finish();
+}
+
+ScoreEntry score_table9() {
+    EntryBuilder b("Table IX (CASTEP best node)");
+    double a64 = 0, ngio = 0;
+    for (const auto& r : run_table9()) {
+        b.point(r.paper, r.model);
+        if (r.system == "A64FX") a64 = r.model;
+        if (r.system == "EPCC NGIO") ngio = r.model;
+    }
+    b.shape(ngio > a64, "Cascade Lake ahead of A64FX (early FFTW)");
+    return b.finish();
+}
+
+ScoreEntry score_table10() {
+    EntryBuilder b("Table X (OpenSBLI)");
+    double a64_1 = 0, ful_1 = 0;
+    for (const auto& r : run_table10()) {
+        for (std::size_t i = 0; i < 4; ++i) b.point(r.paper[i], r.model[i]);
+        if (r.system == "A64FX") a64_1 = r.model[0];
+        if (r.system == "Fulhame") ful_1 = r.model[0];
+    }
+    b.shape(a64_1 > 2.0 * ful_1, "A64FX ~3x slower than ThunderX2 at 1 node");
+    return b.finish();
+}
+
+struct ArtefactScorer {
+    const char* name;  ///< stable cache-key config; never reuse across scorers
+    ScoreEntry (*fn)();
+};
+
+constexpr ArtefactScorer kArtefacts[] = {
+    {"table3", score_table3},   {"table4", score_table4},
+    {"table5", score_table5},   {"fig1", score_fig1},
+    {"fig2", score_fig2},       {"table6", score_table6},
+    {"fig3", score_fig3},       {"table7", score_table7},
+    {"fig4", score_fig4},       {"table9", score_table9},
+    {"table10", score_table10},
+};
+
 } // namespace
 
 int Scorecard::total_points() const {
@@ -63,171 +260,18 @@ int Scorecard::shapes_ok() const {
 }
 
 Scorecard compute_scorecard() {
+    // The artefact list is itself a sweep: entries are independent pure
+    // functions of the model, so they run concurrently on the --jobs pool
+    // (each scorer's inner sweeps still share the memo cache) and whole
+    // ScoreEntries persist in the disk cache under the "scorecard" app.
+    std::vector<SweepPoint> pts;
+    pts.reserve(std::size(kArtefacts));
+    for (const auto& a : kArtefacts) {
+        pts.push_back(sweep_point("scorecard", "all-systems", 0, 0, 0, a.name));
+    }
     Scorecard card;
-
-    {
-        EntryBuilder b("Table III (HPCG 1 node)");
-        double a64 = 0, best_other = 0;
-        for (const auto& r : run_table3()) {
-            b.point(r.paper_gflops, r.model_gflops);
-            if (r.system == "A64FX") a64 = r.model_gflops;
-            else best_other = std::max(best_other, r.model_gflops);
-        }
-        b.shape(a64 > best_other, "A64FX fastest incl. optimised variants");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Table IV (HPCG multi-node)");
-        bool lead = true;
-        const auto rows = run_table4();
-        for (const auto& r : rows) {
-            for (std::size_t i = 0; i < 4; ++i) {
-                b.point(r.paper[i], r.model[i]);
-                if (r.system != "A64FX" && r.model[i] >= rows[0].model[i]) lead = false;
-            }
-        }
-        b.shape(lead, "A64FX leads at every node count");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Table V (minikab 1 core)");
-        double a64 = 0, ngio = 0, ful = 0;
-        for (const auto& r : run_table5()) {
-            b.point(r.paper_seconds, r.model_seconds);
-            if (r.system == "A64FX") a64 = r.model_seconds;
-            if (r.system == "EPCC NGIO") ngio = r.model_seconds;
-            if (r.system == "Fulhame") ful = r.model_seconds;
-        }
-        b.shape(a64 < ngio && ngio < ful, "A64FX < NGIO < ThunderX2 runtime");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Fig 1 (minikab configs)");
-        bool oom96 = false;
-        double best_full = 1e30, best_partial = 1e30;
-        for (const auto& s : run_fig1()) {
-            for (const auto& p : s.points) {
-                if (s.label == "plain MPI" && p.cores == 96 && !p.feasible) oom96 = true;
-                if (!p.feasible) continue;
-                auto& best = p.cores == 96 ? best_full : best_partial;
-                best = std::min(best, p.runtime_s);
-            }
-        }
-        b.shape(oom96 && best_full < best_partial,
-                "plain MPI memory-capped at 48; all-96-core hybrids fastest");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Fig 2 (minikab scaling)");
-        const auto series = run_fig2();
-        double a64_384 = 0, ful_384 = 0;
-        for (const auto& s : series) {
-            for (const auto& p : s.points) {
-                if (p.cores != 384) continue;
-                (s.system == "A64FX" ? a64_384 : ful_384) = p.runtime_s;
-            }
-        }
-        b.shape(a64_384 > 0 && a64_384 < ful_384, "A64FX faster at matched 384 cores");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Table VI (Nekbone node)");
-        double a64 = 0, a64_fast = 0;
-        for (const auto& r : run_table6()) {
-            b.point(r.paper_gflops, r.model_gflops);
-            b.point(r.paper_fast, r.model_fast);
-            if (r.system == "A64FX") {
-                a64 = r.model_gflops;
-                a64_fast = r.model_fast;
-            }
-        }
-        b.shape(a64_fast > 1.5 * a64, "-Kfast speeds the A64FX up ~1.8x");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Fig 3 (Nekbone cores)");
-        bool archer_flattens = false, a64_scales = false;
-        for (const auto& s : run_fig3()) {
-            auto at = [&](int c) {
-                for (std::size_t i = 0; i < s.cores.size(); ++i) {
-                    if (s.cores[i] == c) return s.mflops[i];
-                }
-                return -1.0;
-            };
-            if (s.system == "ARCHER") archer_flattens = at(12) < 2.0 * at(4);
-            if (s.system == "A64FX") a64_scales = at(48) > 3.0 * at(12);
-        }
-        b.shape(archer_flattens && a64_scales,
-                "IvyBridge saturates beyond 4 cores; A64FX keeps scaling");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Table VII (Nekbone PE)");
-        bool all_high = true;
-        for (const auto& r : run_table7()) {
-            b.point(r.a64fx_paper, r.a64fx_model);
-            b.point(r.fulhame_paper, r.fulhame_model);
-            b.point(r.archer_paper, r.archer_model);
-            all_high = all_high && r.a64fx_model >= 0.95 && r.fulhame_model >= 0.95 &&
-                       r.archer_model >= 0.95;
-        }
-        b.shape(all_high, "all parallel efficiencies >= 0.95");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Fig 4 (COSA scaling)");
-        bool oom1 = false, lead_2_8 = true, crossover = false;
-        double a64_16 = 0, ful_16 = 0;
-        const auto series = run_fig4();
-        const Fig4Series* a64 = nullptr;
-        for (const auto& s : series) {
-            if (s.system == "A64FX") a64 = &s;
-        }
-        for (const auto& s : series) {
-            for (const auto& p : s.points) {
-                if (s.system == "A64FX") {
-                    if (p.nodes == 1) oom1 = !p.feasible;
-                    if (p.nodes == 16) a64_16 = p.runtime_s;
-                } else {
-                    if (p.nodes >= 2 && p.nodes <= 8 && p.feasible && a64 != nullptr) {
-                        for (const auto& ap : a64->points) {
-                            if (ap.nodes == p.nodes && ap.runtime_s >= p.runtime_s) {
-                                lead_2_8 = false;
-                            }
-                        }
-                    }
-                    if (s.system == "Fulhame" && p.nodes == 16) ful_16 = p.runtime_s;
-                }
-            }
-        }
-        crossover = ful_16 > 0 && ful_16 < a64_16;
-        b.shape(oom1 && lead_2_8 && crossover,
-                "OOM at 1 node; fastest 2-8; Fulhame overtakes at 16");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Table IX (CASTEP best node)");
-        double a64 = 0, ngio = 0;
-        for (const auto& r : run_table9()) {
-            b.point(r.paper, r.model);
-            if (r.system == "A64FX") a64 = r.model;
-            if (r.system == "EPCC NGIO") ngio = r.model;
-        }
-        b.shape(ngio > a64, "Cascade Lake ahead of A64FX (early FFTW)");
-        card.entries.push_back(b.finish());
-    }
-    {
-        EntryBuilder b("Table X (OpenSBLI)");
-        double a64_1 = 0, ful_1 = 0;
-        for (const auto& r : run_table10()) {
-            for (std::size_t i = 0; i < 4; ++i) b.point(r.paper[i], r.model[i]);
-            if (r.system == "A64FX") a64_1 = r.model[0];
-            if (r.system == "Fulhame") ful_1 = r.model[0];
-        }
-        b.shape(a64_1 > 2.0 * ful_1, "A64FX ~3x slower than ThunderX2 at 1 node");
-        card.entries.push_back(b.finish());
-    }
-
+    card.entries = SweepRunner().run<ScoreEntry>(
+        pts, [](const SweepPoint&, std::size_t i) { return kArtefacts[i].fn(); });
     return card;
 }
 

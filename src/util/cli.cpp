@@ -123,6 +123,33 @@ int jobs_from_args(int& argc, char** argv, int fallback) {
     return fallback;
 }
 
+std::string cache_dir_from_args(int& argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        int consumed = 0;
+        if (arg == "--cache-dir") {
+            ARMSTICE_CHECK(i + 1 < argc, "option --cache-dir needs a value");
+            value = argv[i + 1];
+            consumed = 2;
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            value = arg.substr(12);
+            consumed = 1;
+        } else {
+            continue;
+        }
+        ARMSTICE_CHECK(!value.empty(), "--cache-dir expects a directory path");
+        for (int j = i + consumed; j < argc; ++j) argv[j - consumed] = argv[j];
+        argc -= consumed;
+        argv[argc] = nullptr;
+        return value;
+    }
+
+    const char* env = std::getenv("ARMSTICE_CACHE");
+    if (env != nullptr && *env != '\0') return env;
+    return "";
+}
+
 std::string Cli::usage() const {
     std::string out = "usage: " + program_;
     for (const auto& [name, help] : positional_decl_) out += " <" + name + ">";

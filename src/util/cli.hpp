@@ -55,4 +55,11 @@ private:
 /// by every bench binary to size core::SweepRunner's thread pool.
 int jobs_from_args(int& argc, char** argv, int fallback = 1);
 
+/// Extract a `--cache-dir DIR` / `--cache-dir=DIR` option from anywhere in
+/// argv, removing it so downstream parsers never see it. When the flag is
+/// absent, falls back to the ARMSTICE_CACHE environment variable, then to ""
+/// (persistent caching disabled). Throws util::Error on a missing value.
+/// Used by every bench binary to install core::set_cache_dir.
+std::string cache_dir_from_args(int& argc, char** argv);
+
 } // namespace armstice::util

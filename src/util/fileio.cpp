@@ -1,0 +1,72 @@
+#include "util/fileio.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace armstice::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique-per-writer temp suffix: pid keeps concurrent processes apart, the
+/// counter keeps concurrent threads in one process apart.
+std::string temp_suffix() {
+    static std::atomic<unsigned> counter{0};
+#ifdef _WIN32
+    const long pid = static_cast<long>(_getpid());
+#else
+    const long pid = static_cast<long>(::getpid());
+#endif
+    return ".tmp." + std::to_string(pid) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+} // namespace
+
+std::optional<std::string> read_file(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good()) return std::nullopt;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    if (f.bad()) return std::nullopt;
+    return std::move(ss).str();
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+    const std::string tmp = path + temp_suffix();
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f.good()) return false;
+        f.write(content.data(), static_cast<std::streamsize>(content.size()));
+        f.flush();
+        if (!f.good()) {
+            f.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool ensure_dir(const std::string& path) {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    return fs::is_directory(path, ec);
+}
+
+} // namespace armstice::util

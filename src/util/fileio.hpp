@@ -1,0 +1,24 @@
+#pragma once
+// Small file-I/O helpers for the persistent cache: whole-file reads and
+// atomic temp-file-then-rename writes. Everything here reports failure via
+// return values (optional/bool), never exceptions — cache I/O problems must
+// degrade to misses, not abort a bench run.
+
+#include <optional>
+#include <string>
+
+namespace armstice::util {
+
+/// Read an entire file into a string; nullopt if it cannot be opened/read.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Write `content` to `path` atomically: the bytes land in a unique sibling
+/// temp file first and are renamed over `path`, so a concurrent reader sees
+/// either the old complete file or the new complete file, never a torn one.
+/// Returns false (leaving no temp debris behind) on any I/O failure.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+/// mkdir -p. Returns false if the directory does not exist afterwards.
+bool ensure_dir(const std::string& path);
+
+} // namespace armstice::util

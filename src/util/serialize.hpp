@@ -1,0 +1,127 @@
+#pragma once
+// Binary serialisation helpers for the persistent sweep-result cache
+// (core/cache.hpp). Fixed little-endian layout so cache files written by one
+// toolchain load on another; doubles travel bit-exact via bit_cast so a
+// warm-cache rerun reproduces cold-run output to the last bit.
+//
+// ByteReader never throws and never reads out of bounds: any short or
+// malformed buffer sets a sticky fail flag and every subsequent read returns
+// a zero value. Callers check ok() once at the end — this is what lets the
+// cache loader treat arbitrary on-disk garbage as a miss instead of a crash.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace armstice::util {
+
+/// FNV-1a 64-bit — stable content hash for cache file names and payload
+/// checksums (not cryptographic; corruption detection only).
+inline std::uint64_t fnv1a(std::string_view data) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+class ByteWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /// Length-prefixed byte string.
+    void str(std::string_view s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s.data(), s.size());
+    }
+
+    [[nodiscard]] const std::string& data() const { return buf_; }
+    [[nodiscard]] std::string take() { return std::move(buf_); }
+
+private:
+    std::string buf_;
+};
+
+class ByteReader {
+public:
+    explicit ByteReader(std::string_view buf) : buf_(buf) {}
+
+    std::uint8_t u8() {
+        if (!need(1)) return 0;
+        return static_cast<std::uint8_t>(buf_[pos_++]);
+    }
+
+    std::uint32_t u32() {
+        if (!need(4)) return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf_[pos_++]))
+                 << (8 * i);
+        }
+        return v;
+    }
+
+    std::uint64_t u64() {
+        if (!need(8)) return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf_[pos_++]))
+                 << (8 * i);
+        }
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64() { return std::bit_cast<double>(u64()); }
+    bool boolean() { return u8() != 0; }
+
+    std::string str() {
+        const std::uint32_t n = u32();
+        if (!need(n)) return {};
+        std::string s(buf_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    /// Mark the stream as malformed (decoders use this for semantic
+    /// violations a plain bounds check cannot see, e.g. impossible counts).
+    void invalidate() { failed_ = true; }
+
+    /// True iff no read so far ran past the end of the buffer.
+    [[nodiscard]] bool ok() const { return !failed_; }
+    /// True iff the whole buffer has been consumed (trailing garbage check).
+    [[nodiscard]] bool at_end() const { return !failed_ && pos_ == buf_.size(); }
+    [[nodiscard]] std::size_t remaining() const { return buf_.size() - pos_; }
+
+private:
+    bool need(std::size_t n) {
+        if (failed_ || buf_.size() - pos_ < n) {
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+
+    std::string_view buf_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace armstice::util

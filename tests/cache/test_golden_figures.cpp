@@ -1,0 +1,78 @@
+// Golden-figure regression tests: regenerate every figure's CSV data
+// in-process and diff it against the CSV committed at the repo root. Any
+// model drift — a calibration tweak, a cost-model change, a collective
+// repricing — now fails ctest with the first differing line instead of
+// silently changing the published SVGs. When a model change is intentional,
+// regenerate the artefacts (run the fig* bench binaries from the repo root)
+// and bump arch::kModelVersion so stale persistent caches invalidate too.
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "util/fileio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef ARMSTICE_SOURCE_DIR
+#error "tests/cache must be compiled with -DARMSTICE_SOURCE_DIR=<repo root>"
+#endif
+
+namespace ac = armstice::core;
+namespace au = armstice::util;
+
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) lines.push_back(line);
+    return lines;
+}
+
+/// Diff `fresh` against the committed golden file, reporting the first
+/// mismatching line (whole-string EXPECT_EQ output is unreadable here).
+void expect_matches_golden(const std::string& fresh, const std::string& name) {
+    const std::string path = std::string(ARMSTICE_SOURCE_DIR) + "/" + name;
+    const auto golden = au::read_file(path);
+    ASSERT_TRUE(golden.has_value()) << "missing golden file " << path;
+    if (fresh == *golden) return;
+
+    const auto got = lines_of(fresh);
+    const auto want = lines_of(*golden);
+    const std::size_t n = std::min(got.size(), want.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << name << " drifted at line " << (i + 1)
+            << " — if the model change is intentional, regenerate the fig*"
+            << " artefacts and bump arch::kModelVersion";
+    }
+    FAIL() << name << ": line count changed (" << want.size() << " committed vs "
+           << got.size() << " regenerated)";
+}
+
+} // namespace
+
+TEST(GoldenFigures, Fig1MinikabConfigs) {
+    expect_matches_golden(ac::fig1_csv(ac::run_fig1()), "fig1.csv");
+}
+
+TEST(GoldenFigures, Fig2MinikabScaling) {
+    expect_matches_golden(ac::fig2_csv(ac::run_fig2()), "fig2.csv");
+}
+
+TEST(GoldenFigures, Fig3NekboneCores) {
+    expect_matches_golden(ac::fig3_csv(ac::run_fig3()), "fig3.csv");
+}
+
+TEST(GoldenFigures, Fig4CosaScaling) {
+    expect_matches_golden(ac::fig4_csv(ac::run_fig4()), "fig4.csv");
+}
+
+TEST(GoldenFigures, Fig5CastepCores) {
+    expect_matches_golden(ac::fig5_csv(ac::run_fig5()), "fig5.csv");
+}
