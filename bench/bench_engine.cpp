@@ -1,0 +1,256 @@
+// Engine throughput bench — measures the discrete-event core itself, not a
+// paper artefact. Two program skeletons (HPCG's multigrid-CG iteration and
+// COSA's harmonic-balance multigrid loop) run at 48/256/1024 ranks on
+// Fulhame-shaped nodes (64 ranks/node at the top end, the paper's largest
+// per-node count), and the bench reports engine ops/sec, wall seconds and
+// peak RSS for each scenario, then writes BENCH_engine.json next to the
+// working directory so the perf trajectory of the engine is recorded.
+//
+// The JSON carries two measurement sets: "baseline" (numbers recorded on the
+// pre-optimization engine when this bench was introduced, kept as literals
+// below) and "current" (measured by this run), plus the per-scenario
+// speedup. Build Release (the default; bench targets force -O2 even under
+// sanitizer/debug configs — see bench/CMakeLists.txt) before quoting numbers.
+
+#include "arch/system.hpp"
+#include "sim/engine.hpp"
+#include "simmpi/minimpi.hpp"
+#include "util/fileio.hpp"
+#include "util/str.hpp"
+
+#include <sys/resource.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace aa = armstice::arch;
+namespace as = armstice::sim;
+namespace am = armstice::simmpi;
+using armstice::util::format;
+
+// ---- skeleton builders -----------------------------------------------------
+
+aa::ComputePhase phase(const char* label, double flops, double bytes,
+                       aa::MemPattern pattern) {
+    aa::ComputePhase p;
+    p.label = label;
+    p.flops = flops;
+    p.main_bytes = bytes;
+    p.pattern = pattern;
+    p.efficiency = 0.8;
+    return p;
+}
+
+/// HPCG-shaped skeleton: per iteration a level-0 SpMV + dot, a 3-level
+/// V-cycle (halo exchange + SymGS/SpMV per level) and the CG vector tail
+/// with three allreduces. Mirrors apps/hpcg/hpcg.cpp at a small grid.
+am::ProgramSet hpcg_skeleton(int ranks, int iters) {
+    const auto dims = am::dims_create(ranks, 3);
+    const auto neighbors = am::cart_neighbors(dims, /*periodic=*/false);
+    constexpr int kLevels = 3;
+    const double rows = 16.0 * 16.0 * 16.0;
+    const double face = 8.0 * 16.0 * 16.0;
+
+    const auto spmv = phase("spmv0", 2.0 * 27.0 * rows, 12.0 * 27.0 * rows,
+                            aa::MemPattern::gather);
+    const auto symgs = phase("symgs", 4.0 * 27.0 * rows, 24.0 * 27.0 * rows,
+                             aa::MemPattern::gather);
+    const auto dot = phase("ddot", 2.0 * rows, 16.0 * rows, aa::MemPattern::stream);
+    const auto axpy = phase("waxpby", 3.0 * rows, 24.0 * rows, aa::MemPattern::stream);
+
+    am::ProgramSet ps(ranks);
+    for (int it = 0; it < iters; ++it) {
+        ps.halo_exchange(neighbors, face);
+        ps.compute(spmv);
+        ps.compute(dot);
+        ps.allreduce(8);
+        for (int l = 0; l < kLevels - 1; ++l) {
+            ps.halo_exchange(neighbors, face);
+            ps.compute(symgs);
+            ps.halo_exchange(neighbors, face);
+            ps.compute(spmv);
+        }
+        ps.halo_exchange(neighbors, face);
+        ps.compute(symgs);
+        for (int l = kLevels - 2; l >= 0; --l) {
+            ps.halo_exchange(neighbors, face);
+            ps.compute(symgs);
+        }
+        ps.compute(dot);
+        ps.allreduce(8);
+        ps.compute(axpy);
+        ps.compute(dot);
+        ps.allreduce(8);
+    }
+    return ps;
+}
+
+/// COSA-shaped skeleton: the paper's 800-block harmonic-balance case with
+/// round-robin block ownership — a per-rank block sweep, a ring halo
+/// exchange among active ranks, and a residual allreduce per iteration. At
+/// 1024 ranks a quarter of the ranks own no blocks (exactly the imbalance
+/// regime of Fig 4). Mirrors apps/cosa/cosa.cpp.
+am::ProgramSet cosa_skeleton(int ranks, int iters) {
+    constexpr int kBlocks = 800;
+    const int active = std::min(ranks, kBlocks);
+    std::vector<int> blocks_of(static_cast<std::size_t>(ranks), 0);
+    for (int b = 0; b < kBlocks; ++b) blocks_of[static_cast<std::size_t>(b % ranks)]++;
+
+    std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(ranks));
+    std::vector<std::vector<double>> halo(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < active; ++r) {
+        const double b = 4.6e5 * blocks_of[static_cast<std::size_t>(r)];
+        if (r > 0) {
+            neighbors[static_cast<std::size_t>(r)].push_back(r - 1);
+            halo[static_cast<std::size_t>(r)].push_back(b);
+        }
+        if (r + 1 < active) {
+            neighbors[static_cast<std::size_t>(r)].push_back(r + 1);
+            halo[static_cast<std::size_t>(r)].push_back(b);
+        }
+    }
+
+    am::ProgramSet ps(ranks);
+    ps.mark("cosa-hb-mg");
+    for (int it = 0; it < iters; ++it) {
+        ps.compute_by_rank([&](int r) {
+            const int nblocks = blocks_of[static_cast<std::size_t>(r)];
+            auto p = phase("hb-mg-iteration", nblocks * 1.16e8, nblocks * 5.0e8,
+                           aa::MemPattern::stream);
+            p.vector_fraction = 0.8;
+            return p;
+        });
+        if (ranks > 1 && active > 1) ps.halo_exchange(neighbors, halo);
+        ps.allreduce(8);
+    }
+    return ps;
+}
+
+// ---- measurement -----------------------------------------------------------
+
+struct Scenario {
+    std::string app;
+    int ranks = 0;
+    long ops = 0;
+    double seconds = 0;       ///< best-of-reps CPU time of one Engine::run
+    double ops_per_sec = 0;
+    long peak_rss_kb = 0;     ///< process VmHWM after the scenario (cumulative)
+};
+
+long peak_rss_kb() {
+    rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss;  // KiB on Linux
+}
+
+/// Thread CPU seconds. Engine::run is single-threaded, so this is exactly the
+/// work done, immune to the scheduler parking us behind other processes —
+/// best-of-reps wall time still swings 2x on a loaded box.
+double cpu_now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+Scenario measure(const std::string& app, int ranks, std::vector<as::Program> progs) {
+    const int nodes = (ranks + 63) / 64;  // Fulhame: 64 cores/node
+    const as::Engine engine(aa::fulhame(),
+                            as::Placement::block(aa::fulhame().node, nodes, ranks, 1),
+                            0.8, aa::ModelKnobs{});
+
+    Scenario s;
+    s.app = app;
+    s.ranks = ranks;
+    for (const auto& p : progs) s.ops += static_cast<long>(p.ops.size());
+
+    constexpr int kReps = 7;
+    double best = 1e300;
+    double makespan = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const double t0 = cpu_now();
+        const auto res = engine.run(progs);
+        const double t1 = cpu_now();
+        best = std::min(best, t1 - t0);
+        makespan = res.makespan;
+    }
+    s.seconds = best;
+    s.ops_per_sec = static_cast<double>(s.ops) / best;
+    s.peak_rss_kb = peak_rss_kb();
+    std::printf("  %-5s %5d ranks  %9ld ops  %8.4f s  %10.0f ops/s  rss %ld MiB"
+                "  (makespan %.3f s)\n",
+                app.c_str(), ranks, s.ops, s.seconds, s.ops_per_sec,
+                s.peak_rss_kb / 1024, makespan);
+    return s;
+}
+
+/// ops/sec recorded on the pre-optimization engine (commit 5470295) — the
+/// denominator of the speedups this PR reports. Methodology: this same bench
+/// source built Release in a scratch worktree of the parent commit, run
+/// interleaved with the current build on the same box, best CPU time of 7
+/// reps per scenario (CLOCK_THREAD_CPUTIME_ID, so co-tenant load does not
+/// skew either side). Regenerate the same way if the scenarios change.
+struct BaselinePoint {
+    const char* app;
+    int ranks;
+    double ops_per_sec;
+};
+constexpr BaselinePoint kBaseline[] = {
+    {"hpcg", 48, 41093610},  {"hpcg", 256, 38647352}, {"hpcg", 1024, 22389714},
+    {"cosa", 48, 49875329},  {"cosa", 256, 46483694}, {"cosa", 1024, 23915198},
+};
+
+std::string json_escape(const std::string& s) { return s; }  // labels are plain
+
+void write_json(const std::vector<Scenario>& scenarios) {
+    std::string j = "{\n  \"bench\": \"engine\",\n  \"unit\": \"ops/sec\",\n";
+    j += "  \"baseline\": [\n";
+    for (std::size_t i = 0; i < std::size(kBaseline); ++i) {
+        const auto& b = kBaseline[i];
+        j += format("    {\"app\": \"%s\", \"ranks\": %d, \"ops_per_sec\": %.0f}%s\n",
+                    b.app, b.ranks, b.ops_per_sec,
+                    i + 1 < std::size(kBaseline) ? "," : "");
+    }
+    j += "  ],\n  \"current\": [\n";
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto& s = scenarios[i];
+        double base = 0;
+        for (const auto& b : kBaseline) {
+            if (s.app == b.app && s.ranks == b.ranks) base = b.ops_per_sec;
+        }
+        j += format("    {\"app\": \"%s\", \"ranks\": %d, \"ops\": %ld, "
+                    "\"seconds\": %.6f, \"ops_per_sec\": %.0f, "
+                    "\"peak_rss_kb\": %ld, \"speedup_vs_baseline\": %.2f}%s\n",
+                    json_escape(s.app).c_str(), s.ranks, s.ops, s.seconds,
+                    s.ops_per_sec, s.peak_rss_kb,
+                    base > 0 ? s.ops_per_sec / base : 0.0,
+                    i + 1 < scenarios.size() ? "," : "");
+    }
+    j += "  ]\n}\n";
+    if (!armstice::util::write_file_atomic("BENCH_engine.json", j)) {
+        std::fprintf(stderr, "bench_engine: could not write BENCH_engine.json\n");
+    }
+}
+
+} // namespace
+
+int main() {
+    std::printf("engine throughput bench (Fulhame nodes, 64 ranks/node, "
+                "default noise)\n");
+    std::vector<Scenario> scenarios;
+    for (int ranks : {48, 256, 1024}) {
+        scenarios.push_back(
+            measure("hpcg", ranks, hpcg_skeleton(ranks, /*iters=*/20).take()));
+    }
+    for (int ranks : {48, 256, 1024}) {
+        scenarios.push_back(
+            measure("cosa", ranks, cosa_skeleton(ranks, /*iters=*/200).take()));
+    }
+    write_json(scenarios);
+    std::printf("wrote BENCH_engine.json\n");
+    return 0;
+}

@@ -12,7 +12,9 @@ AppResult run_on(const arch::SystemSpec& sys, int nodes, int ranks, int threads,
         auto placement = sim::Placement::block(sys.node, nodes, ranks, threads);
         placement.check_capacity(bytes_per_rank);
         const sim::Engine engine(sys, std::move(placement), vec_quality, knobs);
-        out.run = engine.run(programs.take());
+        // Bundle path: structurally identical rank programs stay shared all
+        // the way into the engine (bit-identical to the take() vector path).
+        out.run = engine.run(programs.take_bundle());
         out.seconds = out.run.makespan;
         out.gflops = out.run.gflops();
     } catch (const util::CapacityError& e) {

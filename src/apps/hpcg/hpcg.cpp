@@ -105,41 +105,63 @@ HpcgOutcome run_hpcg(const arch::SystemSpec& sys, int nodes, const HpcgConfig& c
     const auto dims = simmpi::dims_create(ranks, 3);
     const auto neighbors = simmpi::cart_neighbors(dims, /*periodic=*/false);
 
+    // Every phase is invariant across CG iterations: build each once up
+    // front instead of re-deriving the ComputePhase (label assignment and
+    // all) on every iteration of a possibly-long solve.
+    const int coarsest = cfg.levels - 1;
+    const auto spmv0 = spmv_phase(levels[0], eta, "spmv0");
+    const auto ddot_pap = vector_phase(levels[0].rows, 2.0, 16.0, eta, "ddot-pAp");
+    const auto ddot_rtz = vector_phase(levels[0].rows, 2.0, 16.0, eta, "ddot-rtz");
+    const auto waxpby =
+        vector_phase(levels[0].rows, 3.0 * 3.0, 24.0 * 3.0, eta, "waxpby");
+    const auto norm = vector_phase(levels[0].rows, 2.0, 16.0, eta, "norm");
+    const auto symgs_coarse =
+        symgs_phase(levels[static_cast<std::size_t>(coarsest)], eta, "symgs-coarse");
+    std::vector<ComputePhase> symgs_pre, mg_residual, mg_restrict, symgs_post,
+        mg_prolong;
+    for (int l = 0; l < coarsest; ++l) {
+        const auto& fine = levels[static_cast<std::size_t>(l)];
+        const auto& coarse = levels[static_cast<std::size_t>(l) + 1];
+        symgs_pre.push_back(symgs_phase(fine, eta, "symgs-pre"));
+        mg_residual.push_back(spmv_phase(fine, eta, "mg-residual"));
+        mg_restrict.push_back(vector_phase(coarse.rows, 1.0, 40.0, eta, "mg-restrict"));
+        mg_prolong.push_back(vector_phase(coarse.rows, 1.0, 40.0, eta, "mg-prolong"));
+        symgs_post.push_back(symgs_phase(fine, eta, "symgs-post"));
+    }
+
     // No MarkOp here: per-phase labels (spmv0, symgs-pre, ...) feed the
     // phase_compute breakdown users inspect (see examples/quickstart.cpp).
     simmpi::ProgramSet ps(ranks);
     for (int it = 0; it < cfg.iters; ++it) {
         // Level-0 SpMV (w <- A p) with its halo exchange.
         ps.halo_exchange(neighbors, levels[0].face_bytes);
-        ps.compute(spmv_phase(levels[0], eta, "spmv0"));
-        ps.compute(vector_phase(levels[0].rows, 2.0, 16.0, eta, "ddot-pAp"));
+        ps.compute(spmv0);
+        ps.compute(ddot_pap);
         ps.allreduce(8);
 
         // Multigrid V-cycle preconditioner.
-        const int coarsest = cfg.levels - 1;
         for (int l = 0; l < coarsest; ++l) {
-            ps.halo_exchange(neighbors, levels[static_cast<std::size_t>(l)].face_bytes);
-            ps.compute(symgs_phase(levels[static_cast<std::size_t>(l)], eta, "symgs-pre"));
-            ps.halo_exchange(neighbors, levels[static_cast<std::size_t>(l)].face_bytes);
-            ps.compute(spmv_phase(levels[static_cast<std::size_t>(l)], eta, "mg-residual"));
-            ps.compute(vector_phase(levels[static_cast<std::size_t>(l) + 1].rows, 1.0,
-                                    40.0, eta, "mg-restrict"));
+            const auto li = static_cast<std::size_t>(l);
+            ps.halo_exchange(neighbors, levels[li].face_bytes);
+            ps.compute(symgs_pre[li]);
+            ps.halo_exchange(neighbors, levels[li].face_bytes);
+            ps.compute(mg_residual[li]);
+            ps.compute(mg_restrict[li]);
         }
         ps.halo_exchange(neighbors, levels[static_cast<std::size_t>(coarsest)].face_bytes);
-        ps.compute(symgs_phase(levels[static_cast<std::size_t>(coarsest)], eta,
-                               "symgs-coarse"));
+        ps.compute(symgs_coarse);
         for (int l = coarsest - 1; l >= 0; --l) {
-            ps.compute(vector_phase(levels[static_cast<std::size_t>(l) + 1].rows, 1.0,
-                                    40.0, eta, "mg-prolong"));
-            ps.halo_exchange(neighbors, levels[static_cast<std::size_t>(l)].face_bytes);
-            ps.compute(symgs_phase(levels[static_cast<std::size_t>(l)], eta, "symgs-post"));
+            const auto li = static_cast<std::size_t>(l);
+            ps.compute(mg_prolong[li]);
+            ps.halo_exchange(neighbors, levels[li].face_bytes);
+            ps.compute(symgs_post[li]);
         }
 
         // CG vector updates and reductions.
-        ps.compute(vector_phase(levels[0].rows, 2.0, 16.0, eta, "ddot-rtz"));
+        ps.compute(ddot_rtz);
         ps.allreduce(8);
-        ps.compute(vector_phase(levels[0].rows, 3.0 * 3.0, 24.0 * 3.0, eta, "waxpby"));
-        ps.compute(vector_phase(levels[0].rows, 2.0, 16.0, eta, "norm"));
+        ps.compute(waxpby);
+        ps.compute(norm);
         ps.allreduce(8);
     }
 

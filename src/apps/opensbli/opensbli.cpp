@@ -51,13 +51,16 @@ AppResult run_opensbli(const arch::SystemSpec& sys, const OpensbliConfig& cfg) {
     const int sim_steps = std::min(cfg.steps, 60);
     const double scale = static_cast<double>(cfg.steps) / sim_steps;
 
+    // One RK stage is a third of the step stencil; scale once, not per stage.
+    const ComputePhase stage_stencil = stencil.scaled(1.0 / 3.0);
+
     simmpi::ProgramSet ps(ranks);
     ps.mark("opensbli-tgv");
     for (int s = 0; s < sim_steps; ++s) {
         // OPS exchanges halos once per RK stage (3 per step).
         for (int stage = 0; stage < 3; ++stage) {
             if (ranks > 1) ps.halo_exchange(neighbors, halo_bytes);
-            ps.compute(stencil.scaled(1.0 / 3.0));
+            ps.compute(stage_stencil);
         }
     }
 

@@ -18,7 +18,8 @@ namespace armstice::arch {
 /// persistent sweep-cache entry (core/cache.hpp) and a mismatch turns the
 /// entry into a miss, so stale results can never leak into regenerated
 /// artefacts.
-inline constexpr std::uint32_t kModelVersion = 1;
+inline constexpr std::uint32_t kModelVersion = 2;  // v2: distance-aware alltoall
+                                                   // round split (min occupancy)
 
 /// Model-component switches for the ablation bench (DESIGN.md §4.6).
 struct ModelKnobs {

@@ -4,6 +4,8 @@
 // paper's problem sizes; property tests cross-check the counts against
 // instrumented runs of the real kernels in src/kern (DESIGN.md §1).
 
+#include <cstdint>
+#include <cstring>
 #include <string>
 
 namespace armstice::arch {
@@ -41,6 +43,59 @@ struct ComputePhase {
         p.overhead_s *= factor;
         return p;
     }
+
+    bool operator==(const ComputePhase&) const = default;
 };
+
+/// True when two phases are indistinguishable to CostModel::explain — every
+/// pricing input matches bitwise; the label is ignored (it only names the
+/// phase for metrics). This is the sharing predicate behind the engine's
+/// (phase, ExecContext-class) cost memo.
+inline bool same_cost_inputs(const ComputePhase& a, const ComputePhase& b) {
+    const auto bits = [](double v) {
+        std::uint64_t u;
+        std::memcpy(&u, &v, sizeof u);
+        return u;
+    };
+    return bits(a.flops) == bits(b.flops) &&
+           bits(a.main_bytes) == bits(b.main_bytes) &&
+           bits(a.cache_bytes) == bits(b.cache_bytes) &&
+           bits(a.working_set) == bits(b.working_set) &&
+           a.pattern == b.pattern &&
+           bits(a.vector_fraction) == bits(b.vector_fraction) &&
+           bits(a.parallel_fraction) == bits(b.parallel_fraction) &&
+           bits(a.efficiency) == bits(b.efficiency) &&
+           bits(a.latency_ops) == bits(b.latency_ops) &&
+           bits(a.overhead_s) == bits(b.overhead_s);
+}
+
+/// FNV-1a hash over exactly the same-cost-inputs fields. Never returns 0 so
+/// callers can use 0 as "not yet computed"; collisions are possible and must
+/// be resolved with same_cost_inputs before sharing a priced time.
+inline std::uint64_t cost_signature(const ComputePhase& p) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xffU;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    const auto mixd = [&](double v) {
+        std::uint64_t u;
+        std::memcpy(&u, &v, sizeof u);
+        mix(u);
+    };
+    mixd(p.flops);
+    mixd(p.main_bytes);
+    mixd(p.cache_bytes);
+    mixd(p.working_set);
+    mix(static_cast<std::uint64_t>(p.pattern));
+    mixd(p.vector_fraction);
+    mixd(p.parallel_fraction);
+    mixd(p.efficiency);
+    mixd(p.latency_ops);
+    mixd(p.overhead_s);
+    return h != 0 ? h : 1;
+}
 
 } // namespace armstice::arch

@@ -33,6 +33,9 @@ void check_layout(const CommLayout& layout) {
                            layout.total_ranks >= layout.nodes,
                        "comm layout total_ranks inconsistent with occupancy");
     }
+    ARMSTICE_CHECK(layout.min_ranks_per_node >= 0 &&
+                       layout.min_ranks_per_node <= layout.ranks_per_node,
+                   "comm layout min occupancy exceeds max occupancy");
 }
 
 } // namespace
@@ -114,12 +117,17 @@ double CollectiveModel::alltoall(const CommLayout& layout, double bytes_each) co
     ARMSTICE_CHECK(bytes_each >= 0, "negative alltoall payload");
     const int p = layout.ranks();
     if (p <= 1) return 0.0;
-    // Pairwise exchange: P-1 rounds, round k pairing rank i with rank i^k
-    // (block layout). Rounds whose partner offset stays inside a node run
-    // over shared memory — at most ranks_per_node-1 of them; the rest cross
-    // the fabric.
+    // Pairwise exchange: P-1 rounds, round k pairing rank i with a partner k
+    // positions away. A rank co-resident with c-1 others completes c-1
+    // rounds over shared memory and crosses the fabric for the remaining
+    // p-c; the collective finishes when the slowest rank does, and (fabric
+    // steps being the expensive ones) that is a rank on the least-populated
+    // node. Under block placement every occupied node holds ranks_per_node
+    // ranks and this reduces to the old uniform round split; a round-robin
+    // placement of the same job leaves some nodes under-populated and now
+    // prices higher (ROADMAP: partner distances, not the block assumption).
     const int shm_rounds =
-        layout.nodes > 1 ? std::min(p - 1, layout.ranks_per_node - 1) : p - 1;
+        layout.nodes > 1 ? std::min(p - 1, layout.min_occupancy() - 1) : p - 1;
     const int off_rounds = (p - 1) - shm_rounds;
     return shm_rounds *
                (shm_stage_latency() + bytes_each / net_->params().shm_bandwidth) +

@@ -26,8 +26,17 @@ struct CommLayout {
     int nodes = 1;           ///< nodes with >= 1 resident rank
     int ranks_per_node = 1;  ///< max ranks resident on any single node
     int total_ranks = 0;     ///< true participant count; 0 -> nodes * ranks_per_node
+    /// Minimum occupancy of any occupied node; 0 means "uniform", i.e.
+    /// ranks_per_node. Distance-aware collectives (alltoall) price their
+    /// critical path from the least-populated node, whose ranks have the
+    /// fewest co-resident partners and cross the fabric most often — the
+    /// round-robin-placement effect (ROADMAP).
+    int min_ranks_per_node = 0;
     [[nodiscard]] int ranks() const {
         return total_ranks > 0 ? total_ranks : nodes * ranks_per_node;
+    }
+    [[nodiscard]] int min_occupancy() const {
+        return min_ranks_per_node > 0 ? min_ranks_per_node : ranks_per_node;
     }
 };
 

@@ -6,8 +6,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <optional>
+#include <unordered_map>
 
 namespace armstice::sim {
 namespace {
@@ -16,18 +16,33 @@ struct Message {
     int src = 0;
     int tag = 0;
     double arrival = 0;
+    std::uint64_t seq = 0;  ///< global send order; ties AnySource matching
+                            ///< to the old single-queue arrival order
+};
+
+/// One rank's pending messages, FIFO per source. Ranks receive from a
+/// handful of sources (halo neighbours), so the source list is a small
+/// linearly-scanned vector instead of a map.
+struct Mailbox {
+    /// FIFO as a head-indexed vector: push at the back, consume at `head`,
+    /// reset both when drained so capacity is reused allocation-free.
+    struct SrcQueue {
+        int src = 0;
+        std::vector<Message> q;
+        std::size_t head = 0;
+    };
+    std::vector<SrcQueue> srcs;
+
+    SrcQueue& queue_for(int src) {
+        for (auto& sq : srcs) {
+            if (sq.src == src) return sq;
+        }
+        srcs.push_back(SrcQueue{src, {}, 0});
+        return srcs.back();
+    }
 };
 
 enum class BlockKind { none, recv, collective };
-
-/// Deterministic OS-noise stretch for (rank, op): capped Exp(1) sample.
-double noise_sample(int rank, std::size_t op_index) {
-    std::uint64_t state = 0x9e3779b97f4a7c15ULL ^
-                          (static_cast<std::uint64_t>(rank) << 32) ^ op_index;
-    const double u =
-        static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
-    return std::min(8.0, -std::log1p(-u));
-}
 
 struct RankState {
     std::size_t pc = 0;
@@ -35,8 +50,8 @@ struct RankState {
     BlockKind blocked = BlockKind::none;
     int want_src = kAnySource;
     int want_tag = 0;
-    int coll_count = 0;    ///< collectives this rank has entered
-    std::string mark;      ///< current phase label
+    int coll_count = 0;      ///< collectives this rank has entered
+    PhaseId mark_id = kNoPhase;  ///< current MarkOp label (kNoPhase = none)
     bool finished = false;
 };
 
@@ -51,7 +66,29 @@ struct Collective {
     double completion = 0;
 };
 
+/// Memoized CostModel pricing for one phase content (cost_signature key):
+/// `dt[cls]` is the priced time under ExecContext class `cls`. `rep` copies
+/// the first phase seen with this key (kept inline so the hot-path content
+/// check never chases a pointer into another rank's program); an op whose
+/// phase disagrees with `rep` (hash collision) is priced directly and never
+/// shares the slot. `rep_addr` short-circuits the content check when ranks
+/// share one program object (ProgramBundle) or one pooled phase.
+struct CostEntry {
+    arch::ComputePhase rep;
+    const arch::ComputePhase* rep_addr = nullptr;
+    std::vector<double> dt;
+    std::vector<char> have;
+};
+
 } // namespace
+
+double noise_sample(int rank, std::size_t op_index) {
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL ^
+                          (static_cast<std::uint64_t>(rank) << 32) ^ op_index;
+    const double u =
+        static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+    return std::min(8.0, -std::log1p(-u));
+}
 
 double RunResult::mean_compute() const {
     double s = 0;
@@ -86,35 +123,151 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
     const int n = placement_.ranks();
     ARMSTICE_CHECK(static_cast<int>(programs.size()) == n,
                    util::format("programs (%zu) != ranks (%d)", programs.size(), n));
+    std::vector<const Program*> progs;
+    progs.reserve(programs.size());
+    for (const auto& p : programs) progs.push_back(&p);
+    return run_impl(progs, trace);
+}
+
+RunResult Engine::run(const ProgramBundle& bundle, Trace* trace) const {
+    const int n = placement_.ranks();
+    ARMSTICE_CHECK(bundle.ranks() == n,
+                   util::format("bundle ranks (%d) != ranks (%d)", bundle.ranks(), n));
+    std::vector<const Program*> progs;
+    progs.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) progs.push_back(&bundle.of(r));
+    return run_impl(progs, trace);
+}
+
+RunResult Engine::run_impl(const std::vector<const Program*>& progs,
+                           Trace* trace) const {
+    const int n = placement_.ranks();
 
     const net::CollectiveModel coll_model(network_);
     // Collective layout from the *actual* placement occupancy. Ceiling
     // division (the old derivation) priced 48 ranks on 5 nodes as 5x10=50
     // ranks — phantom allgather/alltoall rounds — and counted allocated-but-
-    // empty nodes as collective participants.
+    // empty nodes as collective participants. min_ranks_per_node feeds the
+    // distance-aware alltoall round split (net/collectives.cpp): the least-
+    // populated node's ranks cross the fabric most often and set the
+    // critical path.
     net::CommLayout layout;
     layout.total_ranks = n;
     int occupied = 0;
     int max_on_node = 0;
+    int min_on_node = n;
     for (int node = 0; node < placement_.nodes(); ++node) {
         const int on = placement_.ranks_on_node(node);
-        if (on > 0) ++occupied;
+        if (on > 0) {
+            ++occupied;
+            min_on_node = std::min(min_on_node, on);
+        }
         max_on_node = std::max(max_on_node, on);
     }
     layout.nodes = std::max(1, occupied);
     layout.ranks_per_node = std::max(1, max_on_node);
+    layout.min_ranks_per_node = occupied > 0 ? min_on_node : 1;
+
+    // ExecContext equivalence classes: pricing depends only on the context
+    // fields, and SPMD placements produce a handful of distinct contexts
+    // (often one), so phases are priced once per (content, class) instead of
+    // once per rank. Exact field equality keeps results bit-identical.
+    std::vector<arch::ExecContext> class_ctx;
+    std::vector<std::uint32_t> class_of(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < n; ++r) {
+        const arch::ExecContext ctx = placement_.exec_context(r, vec_quality_);
+        std::uint32_t cls = UINT32_MAX;
+        for (std::size_t i = 0; i < class_ctx.size(); ++i) {
+            const auto& c = class_ctx[i];
+            if (c.cpu == ctx.cpu && c.vec_quality == ctx.vec_quality &&
+                c.threads == ctx.threads &&
+                c.streams_on_domain == ctx.streams_on_domain &&
+                c.domains_spanned == ctx.domains_spanned) {
+                cls = static_cast<std::uint32_t>(i);
+                break;
+            }
+        }
+        if (cls == UINT32_MAX) {
+            cls = static_cast<std::uint32_t>(class_ctx.size());
+            class_ctx.push_back(ctx);
+        }
+        class_of[static_cast<std::size_t>(r)] = cls;
+    }
+    const std::size_t n_classes = class_ctx.size();
+    std::unordered_map<std::uint64_t, CostEntry> cost_memo;
+    // One-slot cache over cost_memo: consecutive compute ops (and SPMD peers
+    // scheduled back to back) repeat the same cost_key, and unordered_map
+    // nodes are pointer-stable, so the hit path skips the hash probe.
+    // cost_signature is never 0, so 0 is a safe empty sentinel.
+    std::uint64_t memo_last_key = 0;
+    CostEntry* memo_last = nullptr;
+
+    // Per-rank home node, resolved once (Placement::loc is out-of-line and
+    // sends are the most numerous ops in halo-heavy programs).
+    std::vector<int> rank_node(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        rank_node[static_cast<std::size_t>(r)] = placement_.loc(r).node;
+    }
+
+    // Node-pair message cost table: Network::p2p_time(a, b, bytes) evaluates
+    // ((base + bytes/bw) + msg_overhead) where base and bw depend only on
+    // (a, b) — base is shm_latency_s on-node and latency_s + hops*per_hop_s
+    // off-node, both computed here with the identical expression so the
+    // split stays bit-exact. Skipped for very large jobs where the O(nodes^2)
+    // table would dominate; the engine then calls p2p_time per send.
+    const auto& np = network_.params();
+    const int n_nodes = placement_.nodes();
+    const bool use_pair_table = n_nodes <= 256;
+    std::vector<double> pair_base;
+    std::vector<double> pair_bw;
+    if (use_pair_table) {
+        const std::size_t nn = static_cast<std::size_t>(n_nodes);
+        pair_base.resize(nn * nn);
+        pair_bw.resize(nn * nn);
+        const auto& topo = network_.topology();
+        for (int a = 0; a < n_nodes; ++a) {
+            for (int b = 0; b < n_nodes; ++b) {
+                const std::size_t i = static_cast<std::size_t>(a) * nn +
+                                      static_cast<std::size_t>(b);
+                if (a == b) {
+                    pair_base[i] = np.shm_latency_s;
+                    pair_bw[i] = np.shm_bandwidth;
+                } else {
+                    pair_base[i] = np.latency_s + topo.hops(a, b) * np.per_hop_s;
+                    pair_bw[i] = np.bandwidth;
+                }
+            }
+        }
+    }
 
     std::vector<RankState> st(static_cast<std::size_t>(n));
-    std::vector<arch::ExecContext> ctx;
-    ctx.reserve(static_cast<std::size_t>(n));
-    for (int r = 0; r < n; ++r) ctx.push_back(placement_.exec_context(r, vec_quality_));
 
     RunResult result;
     result.ranks.assign(static_cast<std::size_t>(n), RankStats{});
 
-    std::vector<std::deque<Message>> mailbox(static_cast<std::size_t>(n));
+    // Per-phase compute seconds, indexed by interned PhaseId; the label map
+    // is materialised once at the end. `seen` (not acc != 0) mirrors the old
+    // map semantics: executing a zero-cost phase still creates its entry.
+    std::vector<double> phase_acc;
+    std::vector<char> phase_seen;
+    const auto accum_phase = [&](PhaseId id, double dt) {
+        if (id >= phase_acc.size()) {
+            phase_acc.resize(id + 1, 0.0);
+            phase_seen.resize(id + 1, 0);
+        }
+        phase_acc[id] += dt;
+        phase_seen[id] = 1;
+    };
+
+    std::vector<Mailbox> mailbox(static_cast<std::size_t>(n));
+    std::uint64_t next_seq = 0;
     std::vector<Collective> collectives;
-    std::deque<int> runnable;
+    collectives.reserve(64);
+    // FIFO run queue as a head-indexed vector (contiguous; compacts when
+    // drained, so it stays O(live entries) despite monotonic pushes).
+    std::vector<int> runnable;
+    runnable.reserve(static_cast<std::size_t>(n) * 2);
+    std::size_t run_head = 0;
     std::vector<char> queued(static_cast<std::size_t>(n), 1);
     for (int r = 0; r < n; ++r) runnable.push_back(r);
     int finished = 0;
@@ -126,25 +279,45 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
         }
     };
 
-    auto match = [&](int r, const Message& m) {
-        const auto& s = st[static_cast<std::size_t>(r)];
-        return (s.want_src == kAnySource || s.want_src == m.src) && s.want_tag == m.tag;
-    };
-
+    // First message matching (want_src, want_tag) in send order. Per-source
+    // FIFOs preserve arrival order within a source; the global sequence
+    // number recovers the cross-source order for MPI_ANY_SOURCE, so the
+    // match is identical to scanning one arrival-ordered queue.
     auto try_recv = [&](int r) -> std::optional<Message> {
         auto& box = mailbox[static_cast<std::size_t>(r)];
-        for (auto it = box.begin(); it != box.end(); ++it) {
-            if (match(r, *it)) {
-                Message m = *it;
-                box.erase(it);
-                return m;
+        const auto& s = st[static_cast<std::size_t>(r)];
+        Mailbox::SrcQueue* best_sq = nullptr;
+        std::size_t best_i = 0;
+        for (auto& sq : box.srcs) {
+            if (s.want_src != kAnySource && sq.src != s.want_src) continue;
+            for (std::size_t i = sq.head; i < sq.q.size(); ++i) {
+                if (sq.q[i].tag != s.want_tag) continue;
+                if (best_sq == nullptr || sq.q[i].seq < best_sq->q[best_i].seq) {
+                    best_sq = &sq;
+                    best_i = i;
+                }
+                break;  // first tag match per source is the only candidate
             }
+            if (s.want_src != kAnySource) break;
         }
-        return std::nullopt;
+        if (best_sq == nullptr) return std::nullopt;
+        Message m = best_sq->q[best_i];
+        if (best_i == best_sq->head) {
+            if (++best_sq->head == best_sq->q.size()) {
+                best_sq->q.clear();
+                best_sq->head = 0;
+            }
+        } else {
+            // Rare (mixed tags from one source): keep FIFO order for the rest.
+            best_sq->q.erase(best_sq->q.begin() +
+                             static_cast<std::ptrdiff_t>(best_i));
+        }
+        return m;
     };
 
+    const double os_noise = cost_.knobs().os_noise;
     while (finished < n) {
-        if (runnable.empty()) {
+        if (run_head == runnable.size()) {
             std::string blocked;
             for (int r = 0; r < n; ++r) {
                 const auto& s = st[static_cast<std::size_t>(r)];
@@ -158,51 +331,71 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
             throw util::DeadlockError("no rank can make progress:" + blocked);
         }
 
-        const int r = runnable.front();
-        runnable.pop_front();
+        const int r = runnable[run_head++];
+        if (run_head == runnable.size()) {
+            runnable.clear();
+            run_head = 0;
+        } else if (run_head >= 4096 && run_head * 2 >= runnable.size()) {
+            // Drop the consumed prefix so programs that never fully drain the
+            // queue (collective-free pipelines) stay O(live entries).
+            runnable.erase(runnable.begin(),
+                           runnable.begin() + static_cast<std::ptrdiff_t>(run_head));
+            run_head = 0;
+        }
         queued[static_cast<std::size_t>(r)] = 0;
         auto& s = st[static_cast<std::size_t>(r)];
         auto& stats = result.ranks[static_cast<std::size_t>(r)];
-        const Program& prog = programs[static_cast<std::size_t>(r)];
+        const Program& prog = *progs[static_cast<std::size_t>(r)];
+        const std::uint32_t cls = class_of[static_cast<std::size_t>(r)];
+
+        // Local copies: stores through st/stats/mailbox cannot alias the op
+        // stream, but the compiler cannot prove that and would otherwise
+        // reload ops.data()/size() after every store.
+        const Op* const ops_data = prog.ops.data();
+        const std::size_t nops = prog.ops.size();
 
         bool advancing = true;
-        while (advancing && s.pc < prog.ops.size()) {
-            const Op& op = prog.ops[s.pc];
-            if (const auto* c = std::get_if<ComputeOp>(&op)) {
-                double dt = cost_.phase_time(c->phase, ctx[static_cast<std::size_t>(r)]);
-                if (cost_.knobs().os_noise > 0) {
-                    dt *= 1.0 + cost_.knobs().os_noise * noise_sample(r, s.pc);
-                }
-                const std::string& label = s.mark.empty() ? c->phase.label : s.mark;
-                if (trace) {
-                    trace->add({r, SpanKind::compute, label, s.time, s.time + dt});
-                }
-                s.time += dt;
-                stats.compute += dt;
-                result.total_flops += c->phase.flops;
-                result.phase_compute[label] += dt;
-                ++s.pc;
-            } else if (const auto* snd = std::get_if<SendOp>(&op)) {
+        while (advancing && s.pc < nops) {
+            const Op& op = ops_data[s.pc];
+            // Dispatch on the raw alternative index with a compare chain,
+            // most-frequent ops first: conditional branches on a patterned op
+            // stream predict far better than one indirect jump.
+            const std::size_t tag = op.index();
+            if (tag == 1) {  // SendOp
+                const auto* snd = std::get_if<SendOp>(&op);
                 ARMSTICE_CHECK(snd->dst >= 0 && snd->dst < n, "send dst out of range");
-                const int src_node = placement_.loc(r).node;
-                const int dst_node = placement_.loc(snd->dst).node;
-                const double arrival =
-                    s.time + network_.p2p_time(src_node, dst_node, snd->bytes);
-                const double inject = network_.params().msg_overhead_s +
-                                      network_.injection_time(snd->bytes);
+                const int src_node = rank_node[static_cast<std::size_t>(r)];
+                const int dst_node = rank_node[static_cast<std::size_t>(snd->dst)];
+                double p2p;
+                if (use_pair_table) {
+                    ARMSTICE_CHECK(snd->bytes >= 0, "negative message size");
+                    const std::size_t pi =
+                        static_cast<std::size_t>(src_node) *
+                            static_cast<std::size_t>(n_nodes) +
+                        static_cast<std::size_t>(dst_node);
+                    p2p = pair_base[pi] + snd->bytes / pair_bw[pi] +
+                          np.msg_overhead_s;
+                } else {
+                    p2p = network_.p2p_time(src_node, dst_node, snd->bytes);
+                }
+                const double arrival = s.time + p2p;
+                const double inject =
+                    np.msg_overhead_s + snd->bytes / np.injection_bw;
                 if (trace) {
                     trace->add({r, SpanKind::send, "", s.time, s.time + inject});
                 }
                 s.time += inject;
                 stats.injected_bytes += snd->bytes;
                 ++stats.msgs_sent;
-                mailbox[static_cast<std::size_t>(snd->dst)].push_back(
-                    Message{r, snd->tag, arrival});
+                mailbox[static_cast<std::size_t>(snd->dst)]
+                    .queue_for(r)
+                    .q.push_back(Message{r, snd->tag, arrival, next_seq++});
                 if (st[static_cast<std::size_t>(snd->dst)].blocked == BlockKind::recv) {
                     wake(snd->dst);
                 }
                 ++s.pc;
-            } else if (const auto* rcv = std::get_if<RecvOp>(&op)) {
+            } else if (tag == 2) {  // RecvOp
+                const auto* rcv = std::get_if<RecvOp>(&op);
                 s.want_src = rcv->src;
                 s.want_tag = rcv->tag;
                 if (auto m = try_recv(r)) {
@@ -220,8 +413,54 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
                     s.blocked = BlockKind::recv;
                     advancing = false;
                 }
-            } else if (std::get_if<AllreduceOp>(&op) || std::get_if<BarrierOp>(&op) ||
-                       std::get_if<AlltoallOp>(&op)) {
+            } else if (tag == 0) {  // ComputeOp
+                const auto* c = std::get_if<ComputeOp>(&op);
+                const arch::ComputePhase& phase = prog.phase_of(*c);
+                CostEntry* entry_p;
+                if (c->cost_key == memo_last_key) {
+                    entry_p = memo_last;  // consecutive ops repeat phases
+                } else {
+                    entry_p = &cost_memo[c->cost_key];  // nodes are stable
+                    memo_last_key = c->cost_key;
+                    memo_last = entry_p;
+                }
+                auto& entry = *entry_p;
+                if (entry.rep_addr == nullptr) {
+                    entry.rep = phase;
+                    entry.rep_addr = &phase;
+                    entry.dt.assign(n_classes, 0.0);
+                    entry.have.assign(n_classes, 0);
+                }
+                double dt;
+                if (entry.rep_addr == &phase ||
+                    arch::same_cost_inputs(entry.rep, phase)) {
+                    if (!entry.have[cls]) {
+                        // Bit-identical across sharers: explain() reads only
+                        // the (bitwise equal) same_cost_inputs fields.
+                        entry.dt[cls] = cost_.phase_time(phase, class_ctx[cls]);
+                        entry.have[cls] = 1;
+                    }
+                    dt = entry.dt[cls];
+                } else {
+                    // Hash collision between different phase contents: price
+                    // this op directly rather than share a wrong time.
+                    dt = cost_.phase_time(phase, class_ctx[cls]);
+                }
+                if (os_noise > 0) {
+                    dt *= 1.0 + os_noise * noise_sample(r, s.pc);
+                }
+                const PhaseId label_id =
+                    s.mark_id != kNoPhase ? s.mark_id : c->label_id;
+                if (trace) {
+                    trace->add({r, SpanKind::compute, phase_table().str(label_id),
+                                s.time, s.time + dt});
+                }
+                s.time += dt;
+                stats.compute += dt;
+                result.total_flops += phase.flops;
+                accum_phase(label_id, dt);
+                ++s.pc;
+            } else if (tag <= 5) {  // Allreduce(3) / Barrier(4) / Alltoall(5)
                 CollKind kind = CollKind::barrier;
                 double bytes = 8.0;
                 if (const auto* ar = std::get_if<AllreduceOp>(&op)) {
@@ -235,8 +474,10 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
                 const int ord = s.coll_count;
                 if (ord >= static_cast<int>(collectives.size())) {
                     collectives.resize(static_cast<std::size_t>(ord) + 1);
-                    collectives[static_cast<std::size_t>(ord)].kind = kind;
-                    collectives[static_cast<std::size_t>(ord)].bytes = bytes;
+                    auto& fresh = collectives[static_cast<std::size_t>(ord)];
+                    fresh.kind = kind;
+                    fresh.bytes = bytes;
+                    fresh.waiters.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
                 }
                 auto& coll = collectives[static_cast<std::size_t>(ord)];
                 ARMSTICE_CHECK(coll.kind == kind && coll.bytes == bytes,
@@ -261,6 +502,8 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
                     }
                     coll.completion = coll.max_time + cost;
                     // Resume everyone (this rank inline, peers via queue).
+                    // Waiters are blocked, hence neither queued nor finished,
+                    // so they can be enqueued without wake()'s checks.
                     for (int w : coll.waiters) {
                         auto& ws = st[static_cast<std::size_t>(w)];
                         if (trace) {
@@ -272,7 +515,8 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
                         ws.time = coll.completion;
                         ws.blocked = BlockKind::none;
                         ++ws.pc;
-                        wake(w);
+                        queued[static_cast<std::size_t>(w)] = 1;
+                        runnable.push_back(w);
                     }
                     if (trace) {
                         trace->add({r, SpanKind::collective, "", s.time,
@@ -286,13 +530,13 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
                     s.blocked = BlockKind::collective;
                     advancing = false;
                 }
-            } else if (const auto* m = std::get_if<MarkOp>(&op)) {
-                s.mark = m->label;
+            } else {  // MarkOp (6)
+                s.mark_id = std::get_if<MarkOp>(&op)->label_id;
                 ++s.pc;
             }
         }
 
-        if (s.pc >= prog.ops.size() && !s.finished) {
+        if (s.pc >= nops && !s.finished) {
             s.finished = true;
             stats.finish = s.time;
             ++finished;
@@ -301,6 +545,11 @@ RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const 
 
     for (const auto& stats : result.ranks) {
         result.makespan = std::max(result.makespan, stats.finish);
+    }
+    for (PhaseId id = 0; id < phase_seen.size(); ++id) {
+        if (phase_seen[id]) {
+            result.phase_compute.emplace(phase_table().str(id), phase_acc[id]);
+        }
     }
     return result;
 }

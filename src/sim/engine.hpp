@@ -13,10 +13,20 @@
 // Thread-safety: `run` is const and uses only local state — Placement,
 // CostModel and Network are read-only after construction, the noise samples
 // are pure functions of (rank, op), and the arch catalog/calibration tables
-// are immutable function-local statics. Concurrent `run` calls on one
+// are immutable function-local statics (the phase-label interner is shared
+// but append-only and internally locked). Concurrent `run` calls on one
 // Engine (core::SweepRunner executes sweep points on a thread pool) are
 // sound and return bit-identical results; asserted by
 // tests/test_sim_engine.cpp ConcurrentRunsAreBitIdentical.
+//
+// Performance (DESIGN.md §8): ranks are grouped into ExecContext equivalence
+// classes at run start and CostModel pricing is memoized per (phase content,
+// class) — the deterministic per-(rank, op) noise stretch is applied on top,
+// so memoization can never share noise draws. Per-phase seconds accumulate
+// into a vector indexed by interned PhaseId and the phase_compute map is
+// materialised only on return. Receive matching uses per-source FIFO queues
+// with global sequence numbers (bit-identical to a single arrival-ordered
+// queue, including MPI_ANY_SOURCE).
 
 #include "arch/cost_model.hpp"
 #include "arch/system.hpp"
@@ -30,6 +40,12 @@
 #include <vector>
 
 namespace armstice::sim {
+
+/// Deterministic OS-noise stretch for (rank, op index): a capped Exp(1)
+/// sample, pure function of its arguments. Exposed so tests can pin the
+/// semantics the cost-memoization relies on (every rank draws its own
+/// noise even when the memo shares the underlying phase time).
+[[nodiscard]] double noise_sample(int rank, std::size_t op_index);
 
 struct RankStats {
     double finish = 0;          ///< virtual time the rank's program completed
@@ -71,10 +87,19 @@ public:
     [[nodiscard]] RunResult run(const std::vector<Program>& programs,
                                 Trace* trace = nullptr) const;
 
+    /// Shared-program variant: ranks mapping to the same distinct program
+    /// execute one instance (simmpi::ProgramSet::take_bundle()). Results are
+    /// bit-identical to the per-rank-vector overload.
+    [[nodiscard]] RunResult run(const ProgramBundle& bundle,
+                                Trace* trace = nullptr) const;
+
     [[nodiscard]] const Placement& placement() const { return placement_; }
     [[nodiscard]] const net::Network& network() const { return network_; }
 
 private:
+    [[nodiscard]] RunResult run_impl(const std::vector<const Program*>& progs,
+                                     Trace* trace) const;
+
     const arch::SystemSpec* sys_;
     Placement placement_;
     double vec_quality_;

@@ -3,10 +3,24 @@
 // engine executes. Application skeletons build one Program per rank
 // (usually via the simmpi::MiniMpi facade) out of counted compute phases
 // and MPI-shaped communication operations.
+//
+// Phase labels are interned into a process-wide table (phase_table()):
+// ComputeOp/MarkOp carry a small PhaseId instead of a label string, so the
+// engine's hot path accumulates per-phase time into a vector indexed by id
+// and only materialises the label->seconds map when a run returns.
+//
+// ComputePhase payloads are pooled per Program (Program::phases): a
+// ComputeOp is a 16-byte {pool index, label id, cost signature} record, so
+// the op stream the engine walks stays small and cache-dense even for
+// 10^6-op programs, and repeated phases (every CG iteration re-emitting
+// "spmv") are stored once. The cached cost_signature lets the engine memoize
+// CostModel pricing per (phase content, ExecContext class).
 
 #include "arch/phase.hpp"
+#include "util/interner.hpp"
 
-#include <string>
+#include <cstdint>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -15,8 +29,27 @@ namespace armstice::sim {
 /// Wildcard source for RecvOp (MPI_ANY_SOURCE).
 inline constexpr int kAnySource = -1;
 
+/// Interned phase-label id (index into phase_table()).
+using PhaseId = std::uint32_t;
+
+/// Id of the empty label "" — interned first, so it is always 0. Doubles as
+/// the "no active MarkOp" sentinel in the engine.
+inline constexpr PhaseId kNoPhase = 0;
+
+/// Process-wide phase-label interner. Append-only and thread-safe;
+/// concurrent Engine::run calls (SweepRunner pools) share it.
+util::StringInterner& phase_table();
+
+/// Intern a label (phase_table().id with the kNoPhase guarantee for "").
+PhaseId intern_phase_label(std::string_view label);
+
+/// Execute one counted compute phase. Only constructible through
+/// Program::compute, which fills every field; content equality across
+/// programs goes through Program::operator== (pool-resolved).
 struct ComputeOp {
-    arch::ComputePhase phase;
+    std::uint32_t phase_idx = 0;  ///< index into Program::phases
+    PhaseId label_id = kNoPhase;  ///< interned phase.label
+    std::uint64_t cost_key = 0;   ///< arch::cost_signature(phase), never 0
 };
 
 /// Eager non-blocking send (MPI_Isend followed by an eventual wait that the
@@ -25,31 +58,44 @@ struct SendOp {
     int dst = 0;
     double bytes = 0;
     int tag = 0;
+
+    bool operator==(const SendOp&) const = default;
 };
 
 /// Blocking receive with FIFO (src, tag) matching.
 struct RecvOp {
     int src = kAnySource;
     int tag = 0;
+
+    bool operator==(const RecvOp&) const = default;
 };
 
 /// World allreduce of `bytes` per rank (the engine prices it with
 /// net::CollectiveModel and synchronises all ranks).
 struct AllreduceOp {
     double bytes = 8;
+
+    bool operator==(const AllreduceOp&) const = default;
 };
 
-struct BarrierOp {};
+struct BarrierOp {
+    bool operator==(const BarrierOp&) const = default;
+};
 
 /// World all-to-all with `bytes_each` per rank pair (pairwise exchange;
 /// used by the distributed-FFT transposes in the CASTEP model).
 struct AlltoallOp {
     double bytes_each = 0;
+
+    bool operator==(const AlltoallOp&) const = default;
 };
 
-/// Labels subsequent work for per-phase metrics (no time cost).
+/// Labels subsequent work for per-phase metrics (no time cost). kNoPhase
+/// (the interned empty label) clears the active mark.
 struct MarkOp {
-    std::string label;
+    PhaseId label_id = kNoPhase;
+
+    bool operator==(const MarkOp&) const = default;
 };
 
 using Op =
@@ -57,9 +103,14 @@ using Op =
 
 struct Program {
     std::vector<Op> ops;
+    /// Distinct phase payloads referenced by ComputeOp::phase_idx. Deduped
+    /// bitwise (same_cost_inputs + label) as ops are built.
+    std::vector<arch::ComputePhase> phases;
 
     Program& compute(arch::ComputePhase phase) {
-        ops.emplace_back(ComputeOp{std::move(phase)});
+        const PhaseId id = intern_phase_label(phase.label);
+        const std::uint64_t key = arch::cost_signature(phase);
+        ops.emplace_back(ComputeOp{pool_phase(std::move(phase)), id, key});
         return *this;
     }
     Program& send(int dst, double bytes, int tag = 0) {
@@ -82,15 +133,61 @@ struct Program {
         ops.emplace_back(AlltoallOp{bytes_each});
         return *this;
     }
-    Program& mark(std::string label) {
-        ops.emplace_back(MarkOp{std::move(label)});
+    Program& mark(std::string_view label) {
+        ops.emplace_back(MarkOp{intern_phase_label(label)});
         return *this;
+    }
+
+    /// The phase payload of a compute op.
+    [[nodiscard]] const arch::ComputePhase& phase_of(const ComputeOp& c) const {
+        return phases[c.phase_idx];
     }
 
     /// Total counted FLOPs in this program.
     [[nodiscard]] double total_flops() const;
     /// Total counted main-memory bytes.
     [[nodiscard]] double total_main_bytes() const;
+
+    /// Structural hash: equal programs hash equal (used with operator== to
+    /// deduplicate structurally identical rank programs).
+    [[nodiscard]] std::uint64_t structure_hash() const;
+
+    /// Structural equality with pool-resolved phase content (bitwise cost
+    /// inputs + label), so equal programs built independently compare equal
+    /// regardless of pool layout.
+    bool operator==(const Program& o) const;
+
+private:
+    /// Index of `phase` in `phases`, appending if new.
+    std::uint32_t pool_phase(arch::ComputePhase phase);
+};
+
+/// A set of rank programs with structural sharing: structurally identical
+/// programs are stored once and every rank holds an index into the distinct
+/// list. SPMD apps collapse O(ranks x ops) storage to O(distinct x ops);
+/// rank-dependent apps (halo graphs, per-rank work) keep one copy per
+/// distinct structure. Engine::run accepts a bundle directly.
+class ProgramBundle {
+public:
+    ProgramBundle() = default;
+
+    /// Deduplicate a fully materialised per-rank vector (structural hash,
+    /// then deep equality — hash collisions never merge unequal programs).
+    static ProgramBundle from(std::vector<Program> programs);
+
+    /// Pure-SPMD fast path: every one of `ranks` ranks runs `proto`. O(1)
+    /// program storage, no hashing.
+    static ProgramBundle shared(Program proto, int ranks);
+
+    [[nodiscard]] int ranks() const { return static_cast<int>(index_.size()); }
+    [[nodiscard]] int distinct() const { return static_cast<int>(distinct_.size()); }
+    [[nodiscard]] const Program& of(int rank) const {
+        return distinct_[index_[static_cast<std::size_t>(rank)]];
+    }
+
+private:
+    std::vector<Program> distinct_;
+    std::vector<std::uint32_t> index_;  ///< rank -> index into distinct_
 };
 
 } // namespace armstice::sim

@@ -6,38 +6,65 @@
 
 namespace armstice::simmpi {
 
-ProgramSet::ProgramSet(int ranks) {
+ProgramSet::ProgramSet(int ranks) : nranks_(ranks) {
     ARMSTICE_CHECK(ranks >= 1, "ProgramSet needs >=1 rank");
-    programs_.resize(static_cast<std::size_t>(ranks));
+}
+
+void ProgramSet::fork() {
+    if (forked_) return;
+    programs_.assign(static_cast<std::size_t>(nranks_), proto_);
+    proto_ = sim::Program{};
+    forked_ = true;
 }
 
 sim::Program& ProgramSet::at(int rank) {
     ARMSTICE_CHECK(rank >= 0 && rank < ranks(), "rank out of range");
+    fork();
     return programs_[static_cast<std::size_t>(rank)];
 }
 
 ProgramSet& ProgramSet::compute(const arch::ComputePhase& phase) {
-    for (auto& p : programs_) p.compute(phase);
+    if (!forked_) {
+        proto_.compute(phase);
+    } else {
+        for (auto& p : programs_) p.compute(phase);
+    }
     return *this;
 }
 
 ProgramSet& ProgramSet::allreduce(double bytes) {
-    for (auto& p : programs_) p.allreduce(bytes);
+    if (!forked_) {
+        proto_.allreduce(bytes);
+    } else {
+        for (auto& p : programs_) p.allreduce(bytes);
+    }
     return *this;
 }
 
 ProgramSet& ProgramSet::barrier() {
-    for (auto& p : programs_) p.barrier();
+    if (!forked_) {
+        proto_.barrier();
+    } else {
+        for (auto& p : programs_) p.barrier();
+    }
     return *this;
 }
 
 ProgramSet& ProgramSet::alltoall(double bytes_each) {
-    for (auto& p : programs_) p.alltoall(bytes_each);
+    if (!forked_) {
+        proto_.alltoall(bytes_each);
+    } else {
+        for (auto& p : programs_) p.alltoall(bytes_each);
+    }
     return *this;
 }
 
 ProgramSet& ProgramSet::mark(const std::string& label) {
-    for (auto& p : programs_) p.mark(label);
+    if (!forked_) {
+        proto_.mark(label);
+    } else {
+        for (auto& p : programs_) p.mark(label);
+    }
     return *this;
 }
 
@@ -80,7 +107,20 @@ ProgramSet& ProgramSet::halo_exchange(const std::vector<std::vector<int>>& neigh
     return halo_exchange(neighbors, bytes, tag);
 }
 
-std::vector<sim::Program> ProgramSet::take() { return std::move(programs_); }
+std::vector<sim::Program> ProgramSet::take() {
+    fork();  // materialise per-rank copies of a pure-SPMD prototype
+    nranks_ = 0;
+    return std::move(programs_);
+}
+
+sim::ProgramBundle ProgramSet::take_bundle() {
+    const int n = nranks_;
+    nranks_ = 0;
+    if (!forked_) {
+        return sim::ProgramBundle::shared(std::move(proto_), n);
+    }
+    return sim::ProgramBundle::from(std::move(programs_));
+}
 
 long chunk_size(long n, int p, int i) {
     ARMSTICE_CHECK(p >= 1 && i >= 0 && i < p, "bad chunk index");

@@ -4,6 +4,14 @@
 // the same op into every rank's Program; halo_exchange emits the
 // sends-before-receives ordering that is deadlock-free under the engine's
 // eager-send semantics (mirroring nonblocking-irecv/isend/waitall codes).
+//
+// Building is copy-on-write: while only SPMD helpers have been used, ops
+// accumulate in ONE prototype program shared by every rank; the first
+// rank-dependent call (at(), compute_by_rank, halo_exchange) forks the
+// prototype into per-rank copies. take_bundle() hands the engine a
+// sim::ProgramBundle that keeps structurally identical rank programs shared
+// (O(distinct x ops) memory); take() still materialises the full per-rank
+// vector for callers that inspect or mutate individual programs.
 
 #include "arch/phase.hpp"
 #include "sim/program.hpp"
@@ -16,7 +24,8 @@ class ProgramSet {
 public:
     explicit ProgramSet(int ranks);
 
-    [[nodiscard]] int ranks() const { return static_cast<int>(programs_.size()); }
+    [[nodiscard]] int ranks() const { return nranks_; }
+    /// Mutable access to one rank's program; forks the shared prototype.
     [[nodiscard]] sim::Program& at(int rank);
 
     /// SPMD: every rank executes `phase`.
@@ -42,11 +51,23 @@ public:
     ProgramSet& halo_exchange(const std::vector<std::vector<int>>& neighbors,
                               double bytes_per_neighbor, int tag = 0);
 
-    /// Move the built programs out (ProgramSet is then empty).
+    /// Move the built programs out as a full per-rank vector (ProgramSet is
+    /// then empty). Materialises rank copies of the shared prototype.
     [[nodiscard]] std::vector<sim::Program> take();
 
+    /// Move the built programs out with structural sharing intact: a
+    /// never-forked (pure SPMD) set yields one shared program; a forked set
+    /// is deduplicated by structural hash + equality (ProgramSet is then
+    /// empty). Engine results are bit-identical to the take() path.
+    [[nodiscard]] sim::ProgramBundle take_bundle();
+
 private:
-    std::vector<sim::Program> programs_;
+    void fork();  ///< materialise per-rank copies of the prototype
+
+    int nranks_ = 0;
+    sim::Program proto_;  ///< shared SPMD prefix while !forked_
+    std::vector<sim::Program> programs_;  ///< per-rank programs once forked_
+    bool forked_ = false;
 };
 
 /// Split n items over p parts as evenly as possible; part i gets

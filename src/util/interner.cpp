@@ -1,0 +1,36 @@
+#include "util/interner.hpp"
+
+#include "util/error.hpp"
+
+#include <mutex>
+
+namespace armstice::util {
+
+std::uint32_t StringInterner::id(std::string_view s) {
+    {
+        std::shared_lock lock(mu_);
+        const auto it = ids_.find(s);
+        if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock lock(mu_);
+    const auto it = ids_.find(s);  // raced insert between the locks
+    if (it != ids_.end()) return it->second;
+    const auto new_id = static_cast<std::uint32_t>(strings_.size());
+    ARMSTICE_CHECK(strings_.size() < UINT32_MAX, "interner id space exhausted");
+    strings_.emplace_back(s);
+    ids_.emplace(std::string_view(strings_.back()), new_id);
+    return new_id;
+}
+
+const std::string& StringInterner::str(std::uint32_t id) const {
+    std::shared_lock lock(mu_);
+    ARMSTICE_CHECK(id < strings_.size(), "unknown interned id");
+    return strings_[id];
+}
+
+std::size_t StringInterner::size() const {
+    std::shared_lock lock(mu_);
+    return strings_.size();
+}
+
+} // namespace armstice::util

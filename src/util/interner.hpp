@@ -1,0 +1,40 @@
+#pragma once
+// StringInterner — thread-safe append-only string <-> id table. Interning a
+// string returns a dense uint32 id; ids are assigned in first-seen order and
+// never change or disappear, so hot paths can carry ids (array indices)
+// instead of heap strings and resolve them back only at reporting time
+// (sim/program.hpp's phase-label table is the main user).
+//
+// Concurrency: lookups take a shared lock; first-time inserts upgrade to an
+// exclusive lock. Storage is a deque so the strings (and the string_view
+// keys into them) keep stable addresses across growth — str() can hand out
+// references that stay valid for the interner's lifetime.
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace armstice::util {
+
+class StringInterner {
+public:
+    /// Id of `s`, interning it on first sight.
+    std::uint32_t id(std::string_view s);
+
+    /// The string behind an id; throws util::Error on an unknown id. The
+    /// reference stays valid for the interner's lifetime.
+    [[nodiscard]] const std::string& str(std::uint32_t id) const;
+
+    /// Number of interned strings (ids are 0..size()-1).
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    mutable std::shared_mutex mu_;
+    std::deque<std::string> strings_;  ///< id -> string, stable addresses
+    std::unordered_map<std::string_view, std::uint32_t> ids_;  ///< views into strings_
+};
+
+} // namespace armstice::util

@@ -1,0 +1,210 @@
+// Bit-identity goldens for Engine::run. Each case is a fig1–fig5 experiment
+// configuration (plus HPCG/OpenSBLI table configs for coverage of every app
+// family); its full AppResult — makespan, total flops, per-rank stats,
+// phase_compute — is serialized with the persistent-cache codec (bit-exact
+// doubles) and diffed byte-for-byte against the blob committed under
+// tests/engine/goldens/. Engine optimizations (program sharing, phase-id
+// interning, cost memoization, matching rewrites) must keep every byte
+// unchanged; an intentional model change regenerates the goldens with
+// ARMSTICE_REGEN_ENGINE_GOLDENS=1 and bumps arch::kModelVersion.
+//
+// Every case runs twice, through SweepRunner at --jobs 1 and --jobs 8 (memo
+// cache reset in between), so the goldens also pin that concurrent engine
+// execution is bit-identical to serial.
+
+#include "apps/castep/castep.hpp"
+#include "apps/cosa/cosa.hpp"
+#include "apps/hpcg/hpcg.hpp"
+#include "apps/minikab/minikab.hpp"
+#include "apps/nekbone/nekbone.hpp"
+#include "apps/opensbli/opensbli.hpp"
+#include "arch/system.hpp"
+#include "core/app_codecs.hpp"
+#include "core/runner.hpp"
+#include "util/fileio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#ifndef ARMSTICE_SOURCE_DIR
+#error "tests/engine must be compiled with -DARMSTICE_SOURCE_DIR=<repo root>"
+#endif
+
+namespace aa = armstice::arch;
+namespace ap = armstice::apps;
+namespace ac = armstice::core;
+namespace au = armstice::util;
+
+namespace {
+
+struct GoldenCase {
+    std::string name;  ///< golden file stem; doubles as the sweep-point config
+    std::function<ap::AppResult()> make;
+};
+
+std::vector<GoldenCase> golden_cases() {
+    std::vector<GoldenCase> cases;
+
+    // Fig 1: minikab setups on 2 A64FX nodes — hybrid and plain-MPI points.
+    {
+        ap::MinikabConfig c;
+        c.nodes = 2, c.ranks = 16, c.threads = 6;
+        cases.push_back({"fig1-minikab-a64fx-2n-16r-6t",
+                         [c] { return ap::run_minikab(aa::a64fx(), c); }});
+    }
+    {
+        ap::MinikabConfig c;
+        c.nodes = 2, c.ranks = 48, c.threads = 1;
+        cases.push_back({"fig1-minikab-a64fx-2n-48r-1t",
+                         [c] { return ap::run_minikab(aa::a64fx(), c); }});
+    }
+    // Fig 2: minikab scaling, Fulhame at 64 ranks/node.
+    {
+        ap::MinikabConfig c;
+        c.nodes = 2, c.ranks = 128, c.threads = 1;
+        cases.push_back({"fig2-minikab-fulhame-2n-128r-1t",
+                         [c] { return ap::run_minikab(aa::fulhame(), c); }});
+    }
+    // Fig 3: nekbone single-node core counts.
+    {
+        ap::NekboneConfig c;
+        c.nodes = 1, c.ranks = 24;
+        cases.push_back({"fig3-nekbone-a64fx-1n-24r",
+                         [c] { return ap::run_nekbone(aa::a64fx(), c); }});
+    }
+    {
+        ap::NekboneConfig c;
+        c.nodes = 1, c.ranks = 32;
+        cases.push_back({"fig3-nekbone-fulhame-1n-32r",
+                         [c] { return ap::run_nekbone(aa::fulhame(), c); }});
+    }
+    // Fig 4: COSA strong scaling — a half-populated A64FX point and a
+    // full-node Fulhame point (128 ranks, all active, uneven block counts).
+    {
+        ap::CosaConfig c;
+        c.nodes = 2, c.ranks_per_node = 24;
+        cases.push_back({"fig4-cosa-a64fx-2n-24ppn",
+                         [c] { return ap::run_cosa(aa::a64fx(), c); }});
+    }
+    {
+        ap::CosaConfig c;
+        c.nodes = 2, c.ranks_per_node = 0;  // full node
+        cases.push_back({"fig4-cosa-fulhame-2n-full",
+                         [c] { return ap::run_cosa(aa::fulhame(), c); }});
+    }
+    // Fig 5: CASTEP single-node core counts (alltoall + allreduce heavy).
+    {
+        ap::CastepConfig c;
+        c.nodes = 1, c.ranks = 12;
+        cases.push_back({"fig5-castep-a64fx-1n-12r",
+                         [c] { return ap::run_castep(aa::a64fx(), c).res; }});
+    }
+    {
+        ap::CastepConfig c;
+        c.nodes = 1, c.ranks = 16;
+        cases.push_back({"fig5-castep-fulhame-1n-16r",
+                         [c] { return ap::run_castep(aa::fulhame(), c).res; }});
+    }
+    // Tables III/X coverage: HPCG (per-core multigrid CG) and OpenSBLI
+    // (halo-exchange stencil RK loop) exercise the remaining op mixes.
+    {
+        ap::HpcgConfig c;
+        cases.push_back({"table3-hpcg-a64fx-1n",
+                         [c] { return ap::run_hpcg(aa::a64fx(), 1, c).res; }});
+    }
+    {
+        ap::OpensbliConfig c;
+        c.nodes = 1, c.steps = 100;
+        cases.push_back({"table10-opensbli-a64fx-1n",
+                         [c] { return ap::run_opensbli(aa::a64fx(), c); }});
+    }
+    return cases;
+}
+
+std::string encode(const ap::AppResult& res) {
+    au::ByteWriter w;
+    ac::codec_detail::encode_app_result(w, res);
+    return w.take();
+}
+
+std::string golden_path(const std::string& name) {
+    return std::string(ARMSTICE_SOURCE_DIR) + "/tests/engine/goldens/" + name +
+           ".bin";
+}
+
+bool regen_requested() {
+    const char* v = std::getenv("ARMSTICE_REGEN_ENGINE_GOLDENS");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// Run every case through SweepRunner at the given pool size; results come
+/// back by index.
+std::vector<ap::AppResult> run_all(const std::vector<GoldenCase>& cases, int jobs) {
+    std::vector<ac::SweepPoint> points;
+    points.reserve(cases.size());
+    for (const auto& c : cases) {
+        points.push_back(ac::sweep_point("engine-golden", "mixed", 0, 0, 0, c.name));
+    }
+    return ac::SweepRunner(jobs).run<ap::AppResult>(
+        points, [&](const ac::SweepPoint&, std::size_t i) { return cases[i].make(); });
+}
+
+void expect_bytes_equal(const std::string& got, const std::string& want,
+                        const std::string& name, int jobs) {
+    if (got == want) return;
+    std::size_t first = 0;
+    const std::size_t n = std::min(got.size(), want.size());
+    while (first < n && got[first] == want[first]) ++first;
+    FAIL() << name << " (--jobs " << jobs << "): RunResult drifted from golden ("
+           << want.size() << " bytes committed vs " << got.size()
+           << " regenerated; first difference at byte " << first
+           << "). If the model change is intentional, rerun with "
+           << "ARMSTICE_REGEN_ENGINE_GOLDENS=1 and bump arch::kModelVersion.";
+}
+
+} // namespace
+
+TEST(GoldenEngine, ResultsBitIdenticalToGoldens) {
+    const auto cases = golden_cases();
+
+    if (regen_requested()) {
+        ASSERT_TRUE(au::ensure_dir(std::string(ARMSTICE_SOURCE_DIR) +
+                                   "/tests/engine/goldens"));
+        ac::reset_sweep_cache();
+        const auto results = run_all(cases, 1);
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            ASSERT_TRUE(
+                au::write_file_atomic(golden_path(cases[i].name), encode(results[i])))
+                << "could not write " << golden_path(cases[i].name);
+        }
+        GTEST_SKIP() << "regenerated " << cases.size() << " engine goldens";
+    }
+
+    for (const int jobs : {1, 8}) {
+        ac::reset_sweep_cache();  // force re-evaluation on the second pass
+        const auto results = run_all(cases, jobs);
+        ASSERT_EQ(results.size(), cases.size());
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+            const auto golden = au::read_file(golden_path(cases[i].name));
+            ASSERT_TRUE(golden.has_value())
+                << "missing golden " << golden_path(cases[i].name)
+                << " — generate with ARMSTICE_REGEN_ENGINE_GOLDENS=1";
+            expect_bytes_equal(encode(results[i]), *golden, cases[i].name, jobs);
+        }
+    }
+}
+
+/// The golden blobs must describe feasible runs — an accidentally-infeasible
+/// config would "pass" trivially with an empty RunResult.
+TEST(GoldenEngine, GoldenCasesAreFeasible) {
+    for (const auto& c : golden_cases()) {
+        const auto res = c.make();
+        EXPECT_TRUE(res.feasible) << c.name << ": " << res.note;
+        EXPECT_GT(res.run.makespan, 0.0) << c.name;
+        EXPECT_FALSE(res.run.phase_compute.empty()) << c.name;
+    }
+}
