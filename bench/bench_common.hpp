@@ -6,12 +6,14 @@
 //
 // Sweep execution is parallel: call init() first in main() — it consumes
 // `--jobs N` (or ARMSTICE_JOBS) and installs the pool size used by every
-// core::SweepRunner behind the artefact functions, and it consumes
-// `--cache-dir DIR` (or ARMSTICE_CACHE) to install the persistent on-disk
-// sweep cache shared across bench processes. run() appends a footer with
-// the pool size, point count and memo/disk cache hit rates. Results are
-// ordered by point index, so --jobs 8 output is byte-identical to --jobs 1,
-// and cached results are byte-identical to evaluated ones (doubles persist
+// core::SweepRunner behind the artefact functions AND the kern::par thread
+// count used by the real kernels (spmv/cg/stencil/spectral), and it
+// consumes `--cache-dir DIR` (or ARMSTICE_CACHE) to install the persistent
+// on-disk sweep cache shared across bench processes. run() appends a footer
+// with the pool size, point count and memo/disk cache hit rates. Results
+// are ordered by point index and kernels reduce deterministically
+// (DESIGN.md §9), so --jobs 8 output is byte-identical to --jobs 1, and
+// cached results are byte-identical to evaluated ones (doubles persist
 // bit-exact).
 
 #include "core/app_codecs.hpp"
@@ -19,6 +21,7 @@
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
+#include "kern/par.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 
@@ -38,6 +41,7 @@ inline void init(int& argc, char** argv) {
     try {
         core::set_default_jobs(
             util::jobs_from_args(argc, argv, core::default_jobs()));
+        kern::par::set_jobs(core::default_jobs());
         core::set_cache_dir(util::cache_dir_from_args(argc, argv));
     } catch (const util::Error& e) {
         std::fprintf(stderr, "%s: %s\n", argv[0], e.what());

@@ -25,6 +25,23 @@ double pattern_vec_factor(MemPattern p, const VectorIsa& isa, bool penalty_on) {
 
 } // namespace
 
+ExecContext threaded_context(const SystemSpec& sys, int jobs, double vec_quality) {
+    ARMSTICE_CHECK(jobs >= 1, "threaded_context needs jobs >= 1");
+    const NodeSpec& node = sys.node;
+    ExecContext ctx;
+    ctx.cpu = &node.cpu;
+    ctx.vec_quality = vec_quality;
+    ctx.threads = std::min(jobs, node.cores());
+    // Threads fill one memory domain before spilling into the next, so the
+    // per-domain stream count saturates at the domain's core count while the
+    // spanned-domain count grows (aggregating bandwidth, as on A64FX CMGs).
+    ctx.streams_on_domain = std::min(ctx.threads, node.cores_per_domain());
+    ctx.domains_spanned = std::clamp(
+        (ctx.threads + node.cores_per_domain() - 1) / node.cores_per_domain(), 1,
+        node.mem_domains());
+    return ctx;
+}
+
 TimeBreakdown CostModel::explain(const ComputePhase& phase, const ExecContext& ctx) const {
     ARMSTICE_CHECK(ctx.cpu != nullptr, "ExecContext.cpu is null");
     ARMSTICE_CHECK(ctx.threads >= 1, "threads >= 1");

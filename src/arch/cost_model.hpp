@@ -7,6 +7,7 @@
 
 #include "arch/phase.hpp"
 #include "arch/processor.hpp"
+#include "arch/system.hpp"
 
 #include <cstdint>
 
@@ -51,6 +52,14 @@ struct ExecContext {
     /// aggregate bandwidth, e.g. minikab 1 process x 48 threads).
     int domains_spanned = 1;
 };
+
+/// Context for one process running `jobs` threads on `sys` — the shape the
+/// threaded kernel layer (kern::par) and its benches execute: threads pack
+/// one memory domain before spanning the next (A64FX CMG pinning), and each
+/// thread is one hardware stream on its domain. Used to price measured
+/// --jobs sweeps (bench_kernels, ext_spmv_formats) against the model.
+ExecContext threaded_context(const SystemSpec& sys, int jobs,
+                             double vec_quality = 0.7);
 
 /// Per-term decomposition of a phase's modelled time (seconds).
 struct TimeBreakdown {

@@ -1,5 +1,6 @@
 #include "kern/dense/blas.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <algorithm>
@@ -14,7 +15,11 @@ constexpr int kBlock = 64;
 
 void axpy(double a, std::span<const double> x, std::span<double> y, OpCounts* counts) {
     ARMSTICE_CHECK(x.size() == y.size(), "axpy size mismatch");
-    for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+    par::parallel_for(static_cast<long>(x.size()), [&](par::Range r) {
+        for (long i = r.begin; i < r.end; ++i) {
+            y[static_cast<std::size_t>(i)] += a * x[static_cast<std::size_t>(i)];
+        }
+    });
     if (counts) {
         counts->flops += 2.0 * static_cast<double>(x.size());
         counts->bytes_read += 16.0 * static_cast<double>(x.size());
@@ -25,7 +30,12 @@ void axpy(double a, std::span<const double> x, std::span<double> y, OpCounts* co
 void waxpby(double a, std::span<const double> x, double b, std::span<const double> y,
             std::span<double> w, OpCounts* counts) {
     ARMSTICE_CHECK(x.size() == y.size() && x.size() == w.size(), "waxpby size mismatch");
-    for (std::size_t i = 0; i < x.size(); ++i) w[i] = a * x[i] + b * y[i];
+    par::parallel_for(static_cast<long>(x.size()), [&](par::Range r) {
+        for (long i = r.begin; i < r.end; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            w[u] = a * x[u] + b * y[u];
+        }
+    });
     if (counts) {
         counts->flops += 3.0 * static_cast<double>(x.size());
         counts->bytes_read += 16.0 * static_cast<double>(x.size());
@@ -35,8 +45,13 @@ void waxpby(double a, std::span<const double> x, double b, std::span<const doubl
 
 double dot(std::span<const double> x, std::span<const double> y, OpCounts* counts) {
     ARMSTICE_CHECK(x.size() == y.size(), "dot size mismatch");
-    double sum = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+    const double sum = par::reduce_sum(static_cast<long>(x.size()), [&](par::Range r) {
+        double s = 0.0;
+        for (long i = r.begin; i < r.end; ++i) {
+            s += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+        }
+        return s;
+    });
     if (counts) {
         counts->flops += 2.0 * static_cast<double>(x.size());
         counts->bytes_read += 16.0 * static_cast<double>(x.size());
@@ -53,12 +68,18 @@ void gemv(std::span<const double> a, int m, int n, std::span<const double> x,
     ARMSTICE_CHECK(a.size() == static_cast<std::size_t>(m) * n, "gemv A size mismatch");
     ARMSTICE_CHECK(x.size() == static_cast<std::size_t>(n), "gemv x size mismatch");
     ARMSTICE_CHECK(y.size() == static_cast<std::size_t>(m), "gemv y size mismatch");
-    for (int i = 0; i < m; ++i) {
-        double sum = 0.0;
-        const double* row = &a[static_cast<std::size_t>(i) * n];
-        for (int j = 0; j < n; ++j) sum += row[j] * x[static_cast<std::size_t>(j)];
-        y[static_cast<std::size_t>(i)] = sum;
-    }
+    // Row-parallel; each y[i] is one serially accumulated row dot product.
+    par::parallel_for(
+        m,
+        [&](par::Range rows) {
+            for (long i = rows.begin; i < rows.end; ++i) {
+                double sum = 0.0;
+                const double* row = &a[static_cast<std::size_t>(i) * n];
+                for (int j = 0; j < n; ++j) sum += row[j] * x[static_cast<std::size_t>(j)];
+                y[static_cast<std::size_t>(i)] = sum;
+            }
+        },
+        /*align=*/1, /*grain=*/64);
     if (counts) {
         counts->flops += 2.0 * m * n;
         counts->bytes_read += 8.0 * (static_cast<double>(m) * n + n);
@@ -73,24 +94,31 @@ void gemm(std::span<const double> a, std::span<const double> b, std::span<double
     ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "gemm C size mismatch");
     if (beta == 0.0) std::fill(c.begin(), c.end(), 0.0);
 
-    for (int i0 = 0; i0 < m; i0 += kBlock) {
-        const int i1 = std::min(m, i0 + kBlock);
-        for (int p0 = 0; p0 < k; p0 += kBlock) {
-            const int p1 = std::min(k, p0 + kBlock);
-            for (int j0 = 0; j0 < n; j0 += kBlock) {
-                const int j1 = std::min(n, j0 + kBlock);
-                for (int i = i0; i < i1; ++i) {
-                    double* crow = &c[static_cast<std::size_t>(i) * n];
-                    const double* arow = &a[static_cast<std::size_t>(i) * k];
-                    for (int p = p0; p < p1; ++p) {
-                        const double aip = arow[p];
-                        const double* brow = &b[static_cast<std::size_t>(p) * n];
-                        for (int j = j0; j < j1; ++j) crow[j] += aip * brow[j];
+    // Parallel over kBlock-aligned row stripes: each C row belongs to one
+    // task and sees the same p0/j0 update order as the serial blocking.
+    par::parallel_for(
+        m,
+        [&](par::Range rows) {
+            for (long i0 = rows.begin; i0 < rows.end; i0 += kBlock) {
+                const long i1 = std::min<long>(rows.end, i0 + kBlock);
+                for (int p0 = 0; p0 < k; p0 += kBlock) {
+                    const int p1 = std::min(k, p0 + kBlock);
+                    for (int j0 = 0; j0 < n; j0 += kBlock) {
+                        const int j1 = std::min(n, j0 + kBlock);
+                        for (long i = i0; i < i1; ++i) {
+                            double* crow = &c[static_cast<std::size_t>(i) * n];
+                            const double* arow = &a[static_cast<std::size_t>(i) * k];
+                            for (int p = p0; p < p1; ++p) {
+                                const double aip = arow[p];
+                                const double* brow = &b[static_cast<std::size_t>(p) * n];
+                                for (int j = j0; j < j1; ++j) crow[j] += aip * brow[j];
+                            }
+                        }
                     }
                 }
             }
-        }
-    }
+        },
+        /*align=*/kBlock, /*grain=*/kBlock);
     if (counts) {
         counts->flops += gemm_flops(m, k, n);
         counts->bytes_read += 8.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n);
@@ -104,15 +132,21 @@ void zgemm(std::span<const cplx> a, std::span<const cplx> b, std::span<cplx> c,
     ARMSTICE_CHECK(b.size() == static_cast<std::size_t>(k) * n, "zgemm B size mismatch");
     ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "zgemm C size mismatch");
     std::fill(c.begin(), c.end(), cplx{0.0, 0.0});
-    for (int i = 0; i < m; ++i) {
-        cplx* crow = &c[static_cast<std::size_t>(i) * n];
-        const cplx* arow = &a[static_cast<std::size_t>(i) * k];
-        for (int p = 0; p < k; ++p) {
-            const cplx aip = arow[p];
-            const cplx* brow = &b[static_cast<std::size_t>(p) * n];
-            for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
-        }
-    }
+    // Row-parallel; per-row p-accumulation order matches the serial loop.
+    par::parallel_for(
+        m,
+        [&](par::Range rows) {
+            for (long i = rows.begin; i < rows.end; ++i) {
+                cplx* crow = &c[static_cast<std::size_t>(i) * n];
+                const cplx* arow = &a[static_cast<std::size_t>(i) * k];
+                for (int p = 0; p < k; ++p) {
+                    const cplx aip = arow[p];
+                    const cplx* brow = &b[static_cast<std::size_t>(p) * n];
+                    for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+                }
+            }
+        },
+        /*align=*/1, /*grain=*/16);
     if (counts) {
         counts->flops += zgemm_flops(m, k, n);
         counts->bytes_read +=

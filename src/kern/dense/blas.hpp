@@ -21,11 +21,13 @@ void axpy(double a, std::span<const double> x, std::span<double> y,
 void waxpby(double a, std::span<const double> x, double b, std::span<const double> y,
             std::span<double> w, OpCounts* counts = nullptr);
 
-/// dot(x, y) (2n flops).
+/// dot(x, y) (2n flops). Summed by kern::par's fixed-block pairwise scheme,
+/// so the result is bit-identical at every par::jobs() value (and equal to
+/// the plain serial loop whenever n <= par::kReduceBlock).
 double dot(std::span<const double> x, std::span<const double> y,
            OpCounts* counts = nullptr);
 
-/// ||x||_2.
+/// ||x||_2 (same deterministic summation as dot).
 double norm2(std::span<const double> x, OpCounts* counts = nullptr);
 
 /// y = A*x for row-major A (m x n).

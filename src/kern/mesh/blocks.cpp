@@ -1,5 +1,6 @@
 #include "kern/mesh/blocks.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <algorithm>
@@ -37,12 +38,19 @@ std::vector<long> tile_cells(long nx, long ny, int blocks) {
     int bx = std::max(1, static_cast<int>(std::floor(std::sqrt(static_cast<double>(blocks)))));
     while (blocks % bx != 0) --bx;
     const int by = blocks / bx;
+    // Each axis uses kern::par's balanced partition (earlier parts one cell
+    // larger); split() omits empty parts, so tiles past the axis extent get
+    // zero cells.
+    const auto row_parts = par::split(ny, by);
+    const auto col_parts = par::split(nx, bx);
     std::vector<long> cells;
     cells.reserve(static_cast<std::size_t>(blocks));
     for (int j = 0; j < by; ++j) {
-        const long rows = ny / by + (j < ny % by ? 1 : 0);
+        const long rows =
+            j < static_cast<int>(row_parts.size()) ? row_parts[static_cast<std::size_t>(j)].size() : 0;
         for (int i = 0; i < bx; ++i) {
-            const long cols = nx / bx + (i < nx % bx ? 1 : 0);
+            const long cols =
+                i < static_cast<int>(col_parts.size()) ? col_parts[static_cast<std::size_t>(i)].size() : 0;
             cells.push_back(rows * cols);
         }
     }

@@ -1,5 +1,6 @@
 #include "kern/nek/spectral.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <algorithm>
@@ -147,62 +148,71 @@ void NekMesh::ax(std::span<const double> u, std::span<double> w, OpCounts* count
     ARMSTICE_CHECK(u.size() == static_cast<std::size_t>(local_dofs()), "ax u size");
     ARMSTICE_CHECK(w.size() == u.size(), "ax w size");
 
-    std::vector<double> ur(epts), us(epts), ut(epts);
     const double* d = dmat_.data();
 
-    for (int e = 0; e < nelems_; ++e) {
-        const double* ue = &u[static_cast<std::size_t>(e) * epts];
-        double* we = &w[static_cast<std::size_t>(e) * epts];
-        auto at = [n](int i, int j, int k) {
-            return (static_cast<std::size_t>(k) * n + j) * n + static_cast<std::size_t>(i);
-        };
+    // Element-parallel: every element writes only its own w block, with
+    // per-task gradient scratch. dssum (the inter-element face coupling)
+    // runs serially afterwards.
+    par::parallel_for(
+        nelems_,
+        [&](par::Range elems) {
+            std::vector<double> ur(epts), us(epts), ut(epts);
+            for (long e = elems.begin; e < elems.end; ++e) {
+                const double* ue = &u[static_cast<std::size_t>(e) * epts];
+                double* we = &w[static_cast<std::size_t>(e) * epts];
+                auto at = [n](int i, int j, int k) {
+                    return (static_cast<std::size_t>(k) * n + j) * n +
+                           static_cast<std::size_t>(i);
+                };
 
-        // local_grad3: ur = D u (x), us = u D^T (y), ut = (z).
-        for (int k = 0; k < n; ++k) {
-            for (int j = 0; j < n; ++j) {
-                for (int i = 0; i < n; ++i) {
-                    double sr = 0, ss = 0, st = 0;
-                    for (int l = 0; l < n; ++l) {
-                        sr += d[static_cast<std::size_t>(i) * n + l] * ue[at(l, j, k)];
-                        ss += d[static_cast<std::size_t>(j) * n + l] * ue[at(i, l, k)];
-                        st += d[static_cast<std::size_t>(k) * n + l] * ue[at(i, j, l)];
+                // local_grad3: ur = D u (x), us = u D^T (y), ut = (z).
+                for (int k = 0; k < n; ++k) {
+                    for (int j = 0; j < n; ++j) {
+                        for (int i = 0; i < n; ++i) {
+                            double sr = 0, ss = 0, st = 0;
+                            for (int l = 0; l < n; ++l) {
+                                sr += d[static_cast<std::size_t>(i) * n + l] * ue[at(l, j, k)];
+                                ss += d[static_cast<std::size_t>(j) * n + l] * ue[at(i, l, k)];
+                                st += d[static_cast<std::size_t>(k) * n + l] * ue[at(i, j, l)];
+                            }
+                            ur[at(i, j, k)] = sr;
+                            us[at(i, j, k)] = ss;
+                            ut[at(i, j, k)] = st;
+                        }
                     }
-                    ur[at(i, j, k)] = sr;
-                    us[at(i, j, k)] = ss;
-                    ut[at(i, j, k)] = st;
+                }
+
+                // Geometric factors (diagonal metric: g2=g3=g5=0, g1=g4=g6=geom).
+                // Nekbone applies the full 6-term symmetric metric; we keep the
+                // 15-flop structure with the off-diagonal terms explicitly zero.
+                for (std::size_t p = 0; p < epts; ++p) {
+                    const double g1 = geom_[p], g4 = geom_[p], g6 = geom_[p];
+                    const double g2 = 0.0, g3 = 0.0, g5 = 0.0;
+                    const double a = g1 * ur[p] + g2 * us[p] + g3 * ut[p];
+                    const double b = g2 * ur[p] + g4 * us[p] + g5 * ut[p];
+                    const double c = g3 * ur[p] + g5 * us[p] + g6 * ut[p];
+                    ur[p] = a;
+                    us[p] = b;
+                    ut[p] = c;
+                }
+
+                // local_grad3^T: w = D^T ur + us D + ...
+                for (int k = 0; k < n; ++k) {
+                    for (int j = 0; j < n; ++j) {
+                        for (int i = 0; i < n; ++i) {
+                            double sum = 0;
+                            for (int l = 0; l < n; ++l) {
+                                sum += d[static_cast<std::size_t>(l) * n + i] * ur[at(l, j, k)];
+                                sum += d[static_cast<std::size_t>(l) * n + j] * us[at(i, l, k)];
+                                sum += d[static_cast<std::size_t>(l) * n + k] * ut[at(i, j, l)];
+                            }
+                            we[at(i, j, k)] = sum;
+                        }
+                    }
                 }
             }
-        }
-
-        // Geometric factors (diagonal metric: g2=g3=g5=0, g1=g4=g6=geom).
-        // Nekbone applies the full 6-term symmetric metric; we keep the
-        // 15-flop structure with the off-diagonal terms explicitly zero.
-        for (std::size_t p = 0; p < epts; ++p) {
-            const double g1 = geom_[p], g4 = geom_[p], g6 = geom_[p];
-            const double g2 = 0.0, g3 = 0.0, g5 = 0.0;
-            const double a = g1 * ur[p] + g2 * us[p] + g3 * ut[p];
-            const double b = g2 * ur[p] + g4 * us[p] + g5 * ut[p];
-            const double c = g3 * ur[p] + g5 * us[p] + g6 * ut[p];
-            ur[p] = a;
-            us[p] = b;
-            ut[p] = c;
-        }
-
-        // local_grad3^T: w = D^T ur + us D + ...
-        for (int k = 0; k < n; ++k) {
-            for (int j = 0; j < n; ++j) {
-                for (int i = 0; i < n; ++i) {
-                    double sum = 0;
-                    for (int l = 0; l < n; ++l) {
-                        sum += d[static_cast<std::size_t>(l) * n + i] * ur[at(l, j, k)];
-                        sum += d[static_cast<std::size_t>(l) * n + j] * us[at(i, l, k)];
-                        sum += d[static_cast<std::size_t>(l) * n + k] * ut[at(i, j, l)];
-                    }
-                    we[at(i, j, k)] = sum;
-                }
-            }
-        }
-    }
+        },
+        /*align=*/1, /*grain=*/2);
 
     if (counts) {
         counts->flops += ax_flops(nelems_, n) -
@@ -246,10 +256,17 @@ CgResult NekMesh::cg(std::span<const double> f, std::span<double> u, int iters) 
             }
         }
     }
+    // Multiplicity-weighted dot via the fixed-block pairwise reduction, so
+    // the CG residual history is bit-identical at every thread count.
     auto wdot = [&](std::span<const double> a, std::span<const double> b) {
-        double s = 0;
-        for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i] * vmult[i];
-        return s;
+        return par::reduce_sum(static_cast<long>(n), [&](par::Range r) {
+            double s = 0;
+            for (long i = r.begin; i < r.end; ++i) {
+                const auto u = static_cast<std::size_t>(i);
+                s += a[u] * b[u] * vmult[u];
+            }
+            return s;
+        });
     };
 
     CgResult res;
@@ -266,14 +283,22 @@ CgResult NekMesh::cg(std::span<const double> f, std::span<double> u, int iters) 
         const double pap = wdot(p, apv);
         ARMSTICE_CHECK(pap > 0.0, "nek cg: operator not SPD");
         const double alpha = rr / pap;
-        for (std::size_t i = 0; i < n; ++i) {
-            u[i] += alpha * p[i];
-            r[i] -= alpha * apv[i];
-        }
+        par::parallel_for(static_cast<long>(n), [&](par::Range rng) {
+            for (long i = rng.begin; i < rng.end; ++i) {
+                const auto ii = static_cast<std::size_t>(i);
+                u[ii] += alpha * p[ii];
+                r[ii] -= alpha * apv[ii];
+            }
+        });
         const double rr_new = wdot(r, r);
         const double beta = rr_new / rr;
         rr = rr_new;
-        for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+        par::parallel_for(static_cast<long>(n), [&](par::Range rng) {
+            for (long i = rng.begin; i < rng.end; ++i) {
+                const auto ii = static_cast<std::size_t>(i);
+                p[ii] = r[ii] + beta * p[ii];
+            }
+        });
         res.counts.flops += 13.0 * static_cast<double>(n);
         res.iterations = it + 1;
         res.residuals.push_back(r0 > 0 ? std::sqrt(rr) / r0 : 0.0);

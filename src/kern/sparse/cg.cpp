@@ -1,6 +1,7 @@
 #include "kern/sparse/cg.hpp"
 
 #include "kern/dense/blas.hpp"
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <cmath>
@@ -18,7 +19,12 @@ CgResult cg_solve(const CsrMatrix& a, std::span<const double> b, std::span<doubl
 
     std::vector<double> r(n), z(n), p(n), ap(n);
     a.spmv(x, ap, &c);
-    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+    par::parallel_for(static_cast<long>(n), [&](par::Range rr) {
+        for (long i = rr.begin; i < rr.end; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            r[u] = b[u] - ap[u];
+        }
+    });
     c.flops += static_cast<double>(n);
 
     const double bnorm = norm2(b, &c);
@@ -61,7 +67,12 @@ CgResult cg_solve(const CsrMatrix& a, std::span<const double> b, std::span<doubl
         const double beta = rz_new / rz;
         rz = rz_new;
         // p = z + beta*p
-        for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+        par::parallel_for(static_cast<long>(n), [&](par::Range rr) {
+            for (long i = rr.begin; i < rr.end; ++i) {
+                const auto u = static_cast<std::size_t>(i);
+                p[u] = z[u] + beta * p[u];
+            }
+        });
         c.flops += 2.0 * static_cast<double>(n);
         c.bytes_read += 16.0 * static_cast<double>(n);
         c.bytes_written += 8.0 * static_cast<double>(n);
@@ -80,7 +91,12 @@ Preconditioner jacobi_preconditioner(const CsrMatrix& a) {
                                     OpCounts* counts) {
         ARMSTICE_CHECK(r.size() == diag.size() && z.size() == diag.size(),
                        "jacobi size mismatch");
-        for (std::size_t i = 0; i < diag.size(); ++i) z[i] = r[i] / diag[i];
+        par::parallel_for(static_cast<long>(diag.size()), [&](par::Range rr) {
+            for (long i = rr.begin; i < rr.end; ++i) {
+                const auto u = static_cast<std::size_t>(i);
+                z[u] = r[u] / diag[u];
+            }
+        });
         if (counts) {
             counts->flops += static_cast<double>(diag.size());
             counts->bytes_read += 16.0 * static_cast<double>(diag.size());

@@ -1,16 +1,26 @@
 #include "kern/sparse/csr.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace armstice::kern {
 
 CsrMatrix::CsrMatrix(long rows, long cols, std::vector<Triplet> entries)
     : rows_(rows), cols_(cols) {
     ARMSTICE_CHECK(rows >= 0 && cols >= 0, "negative matrix shape");
+    // Column indices are stored as int (8 B value + 4 B index is the 12 B/nnz
+    // traffic the counts and the cost model price); reject shapes that the
+    // narrowing below would silently corrupt.
+    ARMSTICE_CHECK(cols <= static_cast<long>(std::numeric_limits<int>::max()),
+                   "matrix has more columns than the int column-index storage holds");
+    ARMSTICE_CHECK(entries.size() <=
+                       static_cast<std::size_t>(std::numeric_limits<int>::max()),
+                   "more triplets than the int-indexed nnz storage holds");
     for (const auto& t : entries) {
         ARMSTICE_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
                        "triplet out of range");
@@ -43,15 +53,19 @@ void CsrMatrix::spmv(std::span<const double> x, std::span<double> y,
                      OpCounts* counts) const {
     ARMSTICE_CHECK(x.size() == static_cast<std::size_t>(cols_), "spmv x size");
     ARMSTICE_CHECK(y.size() == static_cast<std::size_t>(rows_), "spmv y size");
-    for (long i = 0; i < rows_; ++i) {
-        double sum = 0.0;
-        for (long k = row_ptr_[static_cast<std::size_t>(i)];
-             k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
-            sum += vals_[static_cast<std::size_t>(k)] *
-                   x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    // Row-block parallel: each row's dot product is accumulated serially in
+    // column order by exactly one task, so y is bit-identical at any jobs.
+    par::parallel_for(rows_, [&](par::Range rows) {
+        for (long i = rows.begin; i < rows.end; ++i) {
+            double sum = 0.0;
+            for (long k = row_ptr_[static_cast<std::size_t>(i)];
+                 k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+                sum += vals_[static_cast<std::size_t>(k)] *
+                       x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+            }
+            y[static_cast<std::size_t>(i)] = sum;
         }
-        y[static_cast<std::size_t>(i)] = sum;
-    }
+    });
     if (counts) {
         counts->flops += spmv_flops();
         counts->bytes_read += 12.0 * static_cast<double>(nnz()) +

@@ -1,5 +1,6 @@
 #include "kern/sparse/ell.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <algorithm>
@@ -34,18 +35,23 @@ void EllMatrix::spmv(std::span<const double> x, std::span<double> y,
                      OpCounts* counts) const {
     ARMSTICE_CHECK(x.size() == static_cast<std::size_t>(cols_), "ell spmv x size");
     ARMSTICE_CHECK(y.size() == static_cast<std::size_t>(rows_), "ell spmv y size");
-    std::fill(y.begin(), y.end(), 0.0);
-    for (int lane = 0; lane < width_; ++lane) {
-        const std::size_t base = static_cast<std::size_t>(lane) * rows_;
-        for (long i = 0; i < rows_; ++i) {
-            const int c = col_idx_[base + static_cast<std::size_t>(i)];
-            if (c >= 0) {
-                y[static_cast<std::size_t>(i)] +=
-                    vals_[base + static_cast<std::size_t>(i)] *
-                    x[static_cast<std::size_t>(c)];
+    // Row-block parallel, lane-outer within each block: every y[i]
+    // accumulates its lanes in the same 0..width order as the serial sweep,
+    // so the partitioning cannot change a single bit of the result.
+    par::parallel_for(rows_, [&](par::Range rows) {
+        for (long i = rows.begin; i < rows.end; ++i) y[static_cast<std::size_t>(i)] = 0.0;
+        for (int lane = 0; lane < width_; ++lane) {
+            const std::size_t base = static_cast<std::size_t>(lane) * rows_;
+            for (long i = rows.begin; i < rows.end; ++i) {
+                const int c = col_idx_[base + static_cast<std::size_t>(i)];
+                if (c >= 0) {
+                    y[static_cast<std::size_t>(i)] +=
+                        vals_[base + static_cast<std::size_t>(i)] *
+                        x[static_cast<std::size_t>(c)];
+                }
             }
         }
-    }
+    });
     if (counts) {
         // Padded entries cost memory traffic even though they contribute no
         // useful flops — the format's trade-off, made explicit here.

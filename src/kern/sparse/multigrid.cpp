@@ -1,5 +1,6 @@
 #include "kern/sparse/multigrid.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <algorithm>
@@ -64,7 +65,12 @@ void Multigrid::cycle(int level, std::span<const double> r, std::span<double> x,
         // Residual on the fine grid.
         std::vector<double> ax(n), res(n);
         lvl.a.spmv(x, ax, counts);
-        for (std::size_t i = 0; i < n; ++i) res[i] = r[i] - ax[i];
+        par::parallel_for(static_cast<long>(n), [&](par::Range rr) {
+            for (long i = rr.begin; i < rr.end; ++i) {
+                const auto u = static_cast<std::size_t>(i);
+                res[u] = r[u] - ax[u];
+            }
+        });
         if (counts) {
             counts->flops += static_cast<double>(n);
             counts->bytes_read += 16.0 * static_cast<double>(n);
@@ -75,9 +81,21 @@ void Multigrid::cycle(int level, std::span<const double> r, std::span<double> x,
         const Level& coarse = grids_[static_cast<std::size_t>(level) + 1];
         const std::size_t nc = static_cast<std::size_t>(coarse.a.rows());
         std::vector<double> rc(nc), xc(nc, 0.0);
-        for (std::size_t i = 0; i < nc; ++i) rc[i] = res[static_cast<std::size_t>(lvl.f2c[i])];
+        // Injection restrict/prolong: f2c is injective, so the gather and the
+        // scatter-add both write disjoint elements per iteration.
+        par::parallel_for(static_cast<long>(nc), [&](par::Range rr) {
+            for (long i = rr.begin; i < rr.end; ++i) {
+                const auto u = static_cast<std::size_t>(i);
+                rc[u] = res[static_cast<std::size_t>(lvl.f2c[u])];
+            }
+        });
         cycle(level + 1, rc, xc, counts);
-        for (std::size_t i = 0; i < nc; ++i) x[static_cast<std::size_t>(lvl.f2c[i])] += xc[i];
+        par::parallel_for(static_cast<long>(nc), [&](par::Range rr) {
+            for (long i = rr.begin; i < rr.end; ++i) {
+                const auto u = static_cast<std::size_t>(i);
+                x[static_cast<std::size_t>(lvl.f2c[u])] += xc[u];
+            }
+        });
         if (counts) {
             counts->flops += static_cast<double>(nc);
             counts->bytes_read += 24.0 * static_cast<double>(nc);

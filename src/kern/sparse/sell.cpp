@@ -1,5 +1,6 @@
 #include "kern/sparse/sell.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <algorithm>
@@ -73,31 +74,40 @@ void SellMatrix::spmv(std::span<const double> x, std::span<double> y,
                       OpCounts* counts) const {
     ARMSTICE_CHECK(x.size() == static_cast<std::size_t>(cols_), "sell spmv x size");
     ARMSTICE_CHECK(y.size() == static_cast<std::size_t>(rows_), "sell spmv y size");
-    const long n_chunks = (rows_ + chunk_ - 1) / chunk_;
-    std::vector<double> acc(static_cast<std::size_t>(chunk_));
-    for (long c = 0; c < n_chunks; ++c) {
-        std::fill(acc.begin(), acc.end(), 0.0);
-        const long base = chunk_start_[static_cast<std::size_t>(c)];
-        const int width = chunk_width_[static_cast<std::size_t>(c)];
-        for (int k = 0; k < width; ++k) {
-            for (int lane = 0; lane < chunk_; ++lane) {
-                const std::size_t idx =
-                    static_cast<std::size_t>(base + static_cast<long>(k) * chunk_ + lane);
-                const int col = col_idx_[idx];
-                if (col >= 0) {
-                    acc[static_cast<std::size_t>(lane)] +=
-                        vals_[idx] * x[static_cast<std::size_t>(col)];
+    // Chunk-aligned row-block parallel (align = chunk_, so no chunk is ever
+    // split across tasks); the per-task lane accumulator reproduces the
+    // serial per-chunk accumulation order exactly.
+    par::parallel_for(
+        rows_,
+        [&](par::Range rows) {
+            std::vector<double> acc(static_cast<std::size_t>(chunk_));
+            const long c0 = rows.begin / chunk_;
+            const long c1 = (rows.end + chunk_ - 1) / chunk_;
+            for (long c = c0; c < c1; ++c) {
+                std::fill(acc.begin(), acc.end(), 0.0);
+                const long base = chunk_start_[static_cast<std::size_t>(c)];
+                const int width = chunk_width_[static_cast<std::size_t>(c)];
+                for (int k = 0; k < width; ++k) {
+                    for (int lane = 0; lane < chunk_; ++lane) {
+                        const std::size_t idx = static_cast<std::size_t>(
+                            base + static_cast<long>(k) * chunk_ + lane);
+                        const int col = col_idx_[idx];
+                        if (col >= 0) {
+                            acc[static_cast<std::size_t>(lane)] +=
+                                vals_[idx] * x[static_cast<std::size_t>(col)];
+                        }
+                    }
+                }
+                for (int lane = 0; lane < chunk_; ++lane) {
+                    const long slot = c * chunk_ + lane;
+                    if (slot < rows_) {
+                        y[static_cast<std::size_t>(perm_[static_cast<std::size_t>(slot)])] =
+                            acc[static_cast<std::size_t>(lane)];
+                    }
                 }
             }
-        }
-        for (int lane = 0; lane < chunk_; ++lane) {
-            const long slot = c * chunk_ + lane;
-            if (slot < rows_) {
-                y[static_cast<std::size_t>(perm_[static_cast<std::size_t>(slot)])] =
-                    acc[static_cast<std::size_t>(lane)];
-            }
-        }
-    }
+        },
+        /*align=*/chunk_);
     if (counts) {
         counts->flops += 2.0 * static_cast<double>(nnz_);
         counts->bytes_read += 12.0 * static_cast<double>(padded_nnz_) +

@@ -1,5 +1,6 @@
 #include "kern/stencil/taylor_green.hpp"
 
+#include "kern/par.hpp"
 #include "util/error.hpp"
 
 #include <algorithm>
@@ -97,28 +98,38 @@ void TaylorGreen::rhs(const std::vector<double>& u, std::vector<double>& out,
     const double c1 = 8.0 / (12.0 * h_);
     const double c2 = 1.0 / (12.0 * h_);
 
+    // The dir loop stays serial (every point accumulates its three
+    // directional contributions in dir order); within a direction the
+    // k-planes write disjoint points, so they partition freely.
     for (int dir = 0; dir < 3; ++dir) {
-        for (int k = 0; k < n; ++k) {
-            for (int j = 0; j < n; ++j) {
-                for (int i = 0; i < n; ++i) {
-                    auto shift = [&](int off) {
-                        const int ii = dir == 0 ? wrap(i + off) : i;
-                        const int jj = dir == 1 ? wrap(j + off) : j;
-                        const int kk = dir == 2 ? wrap(k + off) : k;
-                        return idx(ii, jj, kk);
-                    };
-                    const Flux fp1 = point_flux(shift(+1), dir);
-                    const Flux fm1 = point_flux(shift(-1), dir);
-                    const Flux fp2 = point_flux(shift(+2), dir);
-                    const Flux fm2 = point_flux(shift(-2), dir);
-                    const std::size_t p = idx(i, j, k);
-                    for (int v = 0; v < kVars; ++v) {
-                        out[static_cast<std::size_t>(v) * nn + p] -=
-                            c1 * (fp1.f[v] - fm1.f[v]) - c2 * (fp2.f[v] - fm2.f[v]);
+        par::parallel_for(
+            n,
+            [&](par::Range planes) {
+                for (long k = planes.begin; k < planes.end; ++k) {
+                    for (int j = 0; j < n; ++j) {
+                        for (int i = 0; i < n; ++i) {
+                            auto shift = [&](int off) {
+                                const int ii = dir == 0 ? wrap(i + off) : i;
+                                const int jj = dir == 1 ? wrap(j + off) : j;
+                                const int kk =
+                                    dir == 2 ? wrap(static_cast<int>(k) + off)
+                                             : static_cast<int>(k);
+                                return idx(ii, jj, kk);
+                            };
+                            const Flux fp1 = point_flux(shift(+1), dir);
+                            const Flux fm1 = point_flux(shift(-1), dir);
+                            const Flux fp2 = point_flux(shift(+2), dir);
+                            const Flux fm2 = point_flux(shift(-2), dir);
+                            const std::size_t p = idx(i, j, static_cast<int>(k));
+                            for (int v = 0; v < kVars; ++v) {
+                                out[static_cast<std::size_t>(v) * nn + p] -=
+                                    c1 * (fp1.f[v] - fm1.f[v]) - c2 * (fp2.f[v] - fm2.f[v]);
+                            }
+                        }
                     }
                 }
-            }
-        }
+            },
+            /*align=*/1, /*grain=*/2);
     }
 
     // Momentum diffusion (low-Mach Navier-Stokes regularisation): a
@@ -130,20 +141,26 @@ void TaylorGreen::rhs(const std::vector<double>& u, std::vector<double>& out,
         for (int v = 1; v <= 3; ++v) {
             const double* uv = &u[static_cast<std::size_t>(v) * nn];
             double* ov = &out[static_cast<std::size_t>(v) * nn];
-            for (int k = 0; k < n; ++k) {
-                for (int j = 0; j < n; ++j) {
-                    for (int i = 0; i < n; ++i) {
-                        const std::size_t p = idx(i, j, k);
-                        const double lap =
-                            (uv[idx(wrap(i + 1), j, k)] + uv[idx(wrap(i - 1), j, k)] +
-                             uv[idx(i, wrap(j + 1), k)] + uv[idx(i, wrap(j - 1), k)] +
-                             uv[idx(i, j, wrap(k + 1))] + uv[idx(i, j, wrap(k - 1))] -
-                             6.0 * uv[p]) *
-                            inv_h2;
-                        ov[p] += nu_ * lap;
+            par::parallel_for(
+                n,
+                [&](par::Range planes) {
+                    for (long kk = planes.begin; kk < planes.end; ++kk) {
+                        const int k = static_cast<int>(kk);
+                        for (int j = 0; j < n; ++j) {
+                            for (int i = 0; i < n; ++i) {
+                                const std::size_t p = idx(i, j, k);
+                                const double lap =
+                                    (uv[idx(wrap(i + 1), j, k)] + uv[idx(wrap(i - 1), j, k)] +
+                                     uv[idx(i, wrap(j + 1), k)] + uv[idx(i, wrap(j - 1), k)] +
+                                     uv[idx(i, j, wrap(k + 1))] + uv[idx(i, j, wrap(k - 1))] -
+                                     6.0 * uv[p]) *
+                                    inv_h2;
+                                ov[p] += nu_ * lap;
+                            }
+                        }
                     }
-                }
-            }
+                },
+                /*align=*/1, /*grain=*/2);
         }
         if (counts) {
             counts->flops += 3.0 * 10.0 * static_cast<double>(nn);
@@ -166,19 +183,30 @@ void TaylorGreen::step(double dt, OpCounts* counts) {
     const std::size_t total = u_.size();
     std::vector<double> k1(total), u1(total), u2(total);
 
-    // SSP-RK3 (Shu-Osher).
+    // SSP-RK3 (Shu-Osher). The stage combinations are element-wise.
     rhs(u_, k1, counts);
-    for (std::size_t i = 0; i < total; ++i) u1[i] = u_[i] + dt * k1[i];
+    par::parallel_for(static_cast<long>(total), [&](par::Range r) {
+        for (long i = r.begin; i < r.end; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            u1[u] = u_[u] + dt * k1[u];
+        }
+    });
 
     rhs(u1, k1, counts);
-    for (std::size_t i = 0; i < total; ++i) {
-        u2[i] = 0.75 * u_[i] + 0.25 * (u1[i] + dt * k1[i]);
-    }
+    par::parallel_for(static_cast<long>(total), [&](par::Range r) {
+        for (long i = r.begin; i < r.end; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            u2[u] = 0.75 * u_[u] + 0.25 * (u1[u] + dt * k1[u]);
+        }
+    });
 
     rhs(u2, k1, counts);
-    for (std::size_t i = 0; i < total; ++i) {
-        u_[i] = (1.0 / 3.0) * u_[i] + (2.0 / 3.0) * (u2[i] + dt * k1[i]);
-    }
+    par::parallel_for(static_cast<long>(total), [&](par::Range r) {
+        for (long i = r.begin; i < r.end; ++i) {
+            const auto u = static_cast<std::size_t>(i);
+            u_[u] = (1.0 / 3.0) * u_[u] + (2.0 / 3.0) * (u2[u] + dt * k1[u]);
+        }
+    });
 
     if (counts) {
         counts->flops += 11.0 * static_cast<double>(total);
@@ -189,31 +217,41 @@ void TaylorGreen::step(double dt, OpCounts* counts) {
 
 double TaylorGreen::total_mass() const {
     const std::size_t nn = static_cast<std::size_t>(n_) * n_ * n_;
-    double sum = 0.0;
-    for (std::size_t p = 0; p < nn; ++p) sum += u_[p];
+    const double sum = par::reduce_sum(static_cast<long>(nn), [&](par::Range r) {
+        double s = 0.0;
+        for (long p = r.begin; p < r.end; ++p) s += u_[static_cast<std::size_t>(p)];
+        return s;
+    });
     return sum * h_ * h_ * h_;
 }
 
 double TaylorGreen::kinetic_energy() const {
     const std::size_t nn = static_cast<std::size_t>(n_) * n_ * n_;
-    double sum = 0.0;
-    for (std::size_t p = 0; p < nn; ++p) {
-        const double rho = u_[p];
-        const double mx = u_[nn + p], my = u_[2 * nn + p], mz = u_[3 * nn + p];
-        sum += 0.5 * (mx * mx + my * my + mz * mz) / rho;
-    }
+    const double sum = par::reduce_sum(static_cast<long>(nn), [&](par::Range r) {
+        double s = 0.0;
+        for (long i = r.begin; i < r.end; ++i) {
+            const auto p = static_cast<std::size_t>(i);
+            const double rho = u_[p];
+            const double mx = u_[nn + p], my = u_[2 * nn + p], mz = u_[3 * nn + p];
+            s += 0.5 * (mx * mx + my * my + mz * mz) / rho;
+        }
+        return s;
+    });
     return sum * h_ * h_ * h_;
 }
 
 double TaylorGreen::max_speed() const {
     const std::size_t nn = static_cast<std::size_t>(n_) * n_ * n_;
-    double vmax = 0.0;
-    for (std::size_t p = 0; p < nn; ++p) {
-        const double rho = u_[p];
-        const double mx = u_[nn + p], my = u_[2 * nn + p], mz = u_[3 * nn + p];
-        vmax = std::max(vmax, std::sqrt(mx * mx + my * my + mz * mz) / rho);
-    }
-    return vmax;
+    return par::reduce_max(static_cast<long>(nn), [&](par::Range r) {
+        double vmax = 0.0;
+        for (long i = r.begin; i < r.end; ++i) {
+            const auto p = static_cast<std::size_t>(i);
+            const double rho = u_[p];
+            const double mx = u_[nn + p], my = u_[2 * nn + p], mz = u_[3 * nn + p];
+            vmax = std::max(vmax, std::sqrt(mx * mx + my * my + mz * mz) / rho);
+        }
+        return vmax;
+    });
 }
 
 double TaylorGreen::step_flops_per_point() {

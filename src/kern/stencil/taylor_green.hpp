@@ -29,6 +29,10 @@ public:
     [[nodiscard]] double kinetic_energy() const;
     [[nodiscard]] double max_speed() const;
 
+    /// Raw conservative-variable state (kVars * n^3, variable-major) — read
+    /// access for diagnostics and the thread-count-invariance tests.
+    [[nodiscard]] const std::vector<double>& state() const { return u_; }
+
     /// Analytic per-point counts for one full RK3 step (3 RHS evaluations),
     /// used by the OpenSBLI skeleton.
     static double step_flops_per_point();

@@ -3,6 +3,7 @@
 #include "util/error.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace armstice::util {
 
@@ -32,6 +33,26 @@ void ThreadPool::submit(std::function<void()> task) {
         ++in_flight_;
     }
     work_cv_.notify_one();
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+    if (tasks.empty()) return;
+    struct BatchSync {
+        std::mutex m;
+        std::condition_variable cv;
+        std::size_t left;
+    };
+    auto sync = std::make_shared<BatchSync>();
+    sync->left = tasks.size();
+    for (auto& task : tasks) {
+        submit([task = std::move(task), sync] {
+            task();
+            std::lock_guard<std::mutex> lock(sync->m);
+            if (--sync->left == 0) sync->cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(sync->m);
+    sync->cv.wait(lock, [&] { return sync->left == 0; });
 }
 
 void ThreadPool::wait_idle() {

@@ -1,9 +1,11 @@
 #pragma once
-// Fixed-size thread pool backing core::SweepRunner. Deliberately simple —
-// one mutex-guarded FIFO work queue, no work stealing: sweep points are
-// coarse (each is a full discrete-event simulation, milliseconds to
-// seconds), so queue contention is negligible and the simple design keeps
-// the shutdown and wait-for-drain semantics easy to reason about.
+// Fixed-size thread pool backing core::SweepRunner and the threaded kernel
+// layer (kern::par). Deliberately simple — one mutex-guarded FIFO work
+// queue, no work stealing: sweep points are coarse (each is a full
+// discrete-event simulation, milliseconds to seconds) and kernel tasks are
+// contiguous index blocks (tens of microseconds and up), so queue
+// contention is negligible and the simple design keeps the shutdown and
+// wait-for-drain semantics easy to reason about.
 
 #include <condition_variable>
 #include <cstddef>
@@ -33,6 +35,13 @@ public:
 
     /// Block until every submitted task has finished executing.
     void wait_idle();
+
+    /// Submit `tasks` and block until exactly those tasks have finished
+    /// (unlike wait_idle, unrelated work submitted concurrently by other
+    /// threads is not waited for). Tasks must not throw — kern::par wraps
+    /// bodies and rethrows captured exceptions after the batch completes.
+    /// Must not be called from inside a task running on this pool.
+    void run_batch(std::vector<std::function<void()>> tasks);
 
 private:
     void worker_loop();

@@ -1,0 +1,210 @@
+// Tests of kern::par — the static partitioner and the deterministic
+// reduction scheme under every threaded kernel (DESIGN.md §9).
+
+#include "kern/par.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace par = armstice::kern::par;
+
+namespace {
+
+/// Restore the ambient jobs setting when a test returns or throws.
+class JobsGuard {
+public:
+    JobsGuard() = default;
+    ~JobsGuard() { par::set_jobs(0); }
+};
+
+} // namespace
+
+TEST(ParSplit, CoversRangeExactlyOnce) {
+    for (long n : {0L, 1L, 7L, 100L, 4096L, 4097L, 1000000L}) {
+        for (int parts : {1, 2, 3, 8, 64}) {
+            const auto ranges = par::split(n, parts);
+            long expect_begin = 0;
+            for (const auto& r : ranges) {
+                EXPECT_EQ(r.begin, expect_begin);
+                EXPECT_GT(r.size(), 0);
+                expect_begin = r.end;
+            }
+            EXPECT_EQ(expect_begin, n) << "n=" << n << " parts=" << parts;
+            EXPECT_LE(static_cast<int>(ranges.size()), parts);
+        }
+    }
+}
+
+TEST(ParSplit, BalancedWithinOneUnit) {
+    const auto ranges = par::split(103, 8);
+    ASSERT_EQ(ranges.size(), 8u);
+    long mn = ranges[0].size(), mx = ranges[0].size();
+    for (const auto& r : ranges) {
+        mn = std::min(mn, r.size());
+        mx = std::max(mx, r.size());
+    }
+    EXPECT_LE(mx - mn, 1);
+    // Earlier parts take the remainder, matching tile_cells' row rule.
+    EXPECT_EQ(ranges[0].size(), 13);
+    EXPECT_EQ(ranges[7].size(), 12);
+}
+
+TEST(ParSplit, AlignedBoundaries) {
+    const long chunk = 8;
+    const auto ranges = par::split(100, 4, chunk);
+    ASSERT_FALSE(ranges.empty());
+    for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+        EXPECT_EQ(ranges[i].end % chunk, 0) << "interior boundary must be chunk-aligned";
+    }
+    EXPECT_EQ(ranges.back().end, 100);
+}
+
+TEST(ParSplit, MorePartsThanUnitsShrinks) {
+    const auto ranges = par::split(3, 8);
+    EXPECT_EQ(ranges.size(), 3u);
+    const auto aligned = par::split(20, 8, 8);  // 3 align units of 8
+    EXPECT_EQ(aligned.size(), 3u);
+}
+
+TEST(ParSplit, RejectsBadShapes) {
+    EXPECT_THROW(par::split(-1, 4), armstice::util::Error);
+    EXPECT_THROW(par::split(10, 4, 0), armstice::util::Error);
+}
+
+TEST(ParJobs, SetAndResetRoundTrip) {
+    JobsGuard guard;
+    par::set_jobs(5);
+    EXPECT_EQ(par::jobs(), 5);
+    par::set_jobs(0);  // back to environment/serial default
+    EXPECT_GE(par::jobs(), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnceAtAnyJobs) {
+    JobsGuard guard;
+    const long n = 10000;
+    for (int jobs : {1, 2, 8}) {
+        par::set_jobs(jobs);
+        std::vector<std::atomic<int>> visits(static_cast<std::size_t>(n));
+        par::parallel_for(
+            n,
+            [&](par::Range r) {
+                for (long i = r.begin; i < r.end; ++i) {
+                    visits[static_cast<std::size_t>(i)].fetch_add(1);
+                }
+            },
+            /*align=*/1, /*grain=*/1);
+        for (long i = 0; i < n; ++i) {
+            ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1)
+                << "index " << i << " at jobs=" << jobs;
+        }
+    }
+}
+
+TEST(ParallelFor, NestedCallRunsInline) {
+    JobsGuard guard;
+    par::set_jobs(4);
+    std::atomic<long> total{0};
+    // The inner parallel_for would deadlock the 4-thread pool if it queued
+    // tasks and waited; the nested-region guard makes it run inline instead.
+    par::parallel_for(
+        8,
+        [&](par::Range outer) {
+            for (long i = outer.begin; i < outer.end; ++i) {
+                par::parallel_for(
+                    100,
+                    [&](par::Range inner) { total.fetch_add(inner.size()); },
+                    /*align=*/1, /*grain=*/1);
+            }
+        },
+        /*align=*/1, /*grain=*/1);
+    EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+    JobsGuard guard;
+    par::set_jobs(4);
+    EXPECT_THROW(
+        par::parallel_for(
+            1000,
+            [&](par::Range r) {
+                if (r.begin == 0) throw armstice::util::Error("boom");
+            },
+            /*align=*/1, /*grain=*/1),
+        armstice::util::Error);
+    // The pool is still usable after a failed batch.
+    std::atomic<long> count{0};
+    par::parallel_for(
+        1000, [&](par::Range r) { count.fetch_add(r.size()); }, 1, 1);
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(PairwiseSum, MatchesSerialOnSmallAndIsExactOnIntegers) {
+    std::vector<double> v(1000);
+    std::iota(v.begin(), v.end(), 1.0);
+    EXPECT_EQ(par::pairwise_sum(v.data(), v.size()), 500500.0);
+    EXPECT_EQ(par::pairwise_sum(v.data(), 0), 0.0);
+    EXPECT_EQ(par::pairwise_sum(v.data(), 1), 1.0);
+}
+
+TEST(ReduceSum, BitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    armstice::util::Rng rng(42);
+    const long n = 3 * par::kReduceBlock + 1234;  // exercises a partial tail block
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    auto block = [&](par::Range r) {
+        double s = 0.0;
+        for (long i = r.begin; i < r.end; ++i) s += v[static_cast<std::size_t>(i)];
+        return s;
+    };
+    par::set_jobs(1);
+    const double serial = par::reduce_sum(n, block);
+    for (int jobs : {2, 3, 8}) {
+        par::set_jobs(jobs);
+        const double threaded = par::reduce_sum(n, block);
+        EXPECT_EQ(serial, threaded) << "jobs=" << jobs;  // bit-identical, not NEAR
+    }
+}
+
+TEST(ReduceSum, SingleBlockEqualsPlainSerialSum) {
+    // For n <= kReduceBlock the blocked scheme degenerates to one in-order
+    // block, so callers like dot() keep their historical exact values.
+    armstice::util::Rng rng(7);
+    std::vector<double> v(100);
+    for (auto& x : v) x = rng.uniform(-10.0, 10.0);
+    double serial = 0.0;
+    for (double x : v) serial += x;
+    const double blocked = par::reduce_sum(static_cast<long>(v.size()), [&](par::Range r) {
+        double s = 0.0;
+        for (long i = r.begin; i < r.end; ++i) s += v[static_cast<std::size_t>(i)];
+        return s;
+    });
+    EXPECT_EQ(serial, blocked);
+}
+
+TEST(ReduceMax, BitIdenticalAcrossJobsAndMatchesScan) {
+    JobsGuard guard;
+    armstice::util::Rng rng(9);
+    const long n = 2 * par::kReduceBlock + 17;
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = rng.uniform(-5.0, 5.0);
+    const double scan = *std::max_element(v.begin(), v.end());
+    auto block = [&](par::Range r) {
+        double m = v[static_cast<std::size_t>(r.begin)];
+        for (long i = r.begin; i < r.end; ++i) {
+            m = std::max(m, v[static_cast<std::size_t>(i)]);
+        }
+        return m;
+    };
+    for (int jobs : {1, 8}) {
+        par::set_jobs(jobs);
+        EXPECT_EQ(par::reduce_max(n, block), scan);
+    }
+}
