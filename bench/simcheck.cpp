@@ -1,0 +1,90 @@
+// simcheck — command-line driver for the sim::check correctness suite
+// (DESIGN.md §10). Generates `--seeds` random program sets, runs each
+// through the production Engine, the naive RefEngine and `--perturb`
+// perturbed Engine schedules, and requires every RunResult bit-identical;
+// every `--deadlock-every`-th case carries a planted deadlock whose
+// diagnosis must be detected and byte-identical across all executors.
+// Prints the (jobs-invariant) report plus throughput and writes
+// BENCH_simcheck.json; exits nonzero on any failure, so it can serve as a
+// standalone CI gate next to the ctest `check` label.
+
+#include "arch/system.hpp"
+#include "sim/check.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/str.hpp"
+
+#include <time.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+namespace aa = armstice::arch;
+namespace ck = armstice::sim::check;
+using armstice::util::format;
+
+double wall_now() {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+void write_json(const ck::CheckConfig& cfg, const ck::CheckReport& rep,
+                double seconds) {
+    std::string j = "{\n  \"bench\": \"simcheck\",\n  \"unit\": \"seeds/sec\",\n";
+    j += format("  \"seeds\": %d,\n  \"first_seed\": %llu,\n", cfg.seeds,
+                static_cast<unsigned long long>(cfg.first_seed));
+    j += format("  \"perturbations\": %d,\n  \"deadlock_cases\": %d,\n",
+                rep.perturbations, rep.deadlock_cases);
+    j += format("  \"jobs\": %d,\n  \"failures\": %zu,\n", cfg.jobs,
+                rep.failures.size());
+    j += format("  \"seconds\": %.3f,\n  \"seeds_per_sec\": %.2f\n}\n", seconds,
+                seconds > 0 ? cfg.seeds / seconds : 0.0);
+    if (!armstice::util::write_file_atomic("BENCH_simcheck.json", j)) {
+        std::fprintf(stderr, "simcheck: could not write BENCH_simcheck.json\n");
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    armstice::util::Cli cli("simcheck",
+                            "differential / perturbation / deadlock checker for"
+                            " the discrete-event engine");
+    cli.option("seeds", "number of generated cases", "500");
+    cli.option("first-seed", "seed of the first case", "1");
+    cli.option("ranks", "fixed rank count (0 = random per case, 4..32)", "0");
+    cli.option("perturb", "perturbed schedules per case", "8");
+    cli.option("deadlock-every", "every M-th case plants a deadlock (0 = never)",
+               "8");
+    cli.option("jobs", "checker threads", "1");
+    ck::CheckConfig cfg;
+    try {
+        cli.parse(argc, argv);
+        cfg.seeds = static_cast<int>(cli.get_long("seeds"));
+        cfg.first_seed = static_cast<std::uint64_t>(cli.get_long("first-seed"));
+        cfg.ranks = static_cast<int>(cli.get_long("ranks"));
+        cfg.perturbations = static_cast<int>(cli.get_long("perturb"));
+        cfg.deadlock_every = static_cast<int>(cli.get_long("deadlock-every"));
+        cfg.jobs = static_cast<int>(cli.get_long("jobs"));
+    } catch (const armstice::util::Error& e) {
+        std::fprintf(stderr, "simcheck: %s\n%s", e.what(), cli.usage().c_str());
+        return 2;
+    }
+
+    std::printf("simcheck: %d seeds from %llu, perturb %d, deadlock every %d,"
+                " jobs %d\n",
+                cfg.seeds, static_cast<unsigned long long>(cfg.first_seed),
+                cfg.perturbations, cfg.deadlock_every, cfg.jobs);
+    const double t0 = wall_now();
+    const ck::CheckReport rep = ck::run_suite(aa::fulhame(), cfg);
+    const double dt = wall_now() - t0;
+    std::printf("%s\n", rep.render().c_str());
+    std::printf("%.2f s wall, %.2f seeds/sec\n", dt,
+                dt > 0 ? cfg.seeds / dt : 0.0);
+    write_json(cfg, rep, dt);
+    return rep.ok() ? 0 : 1;
+}

@@ -19,8 +19,9 @@ namespace armstice::arch {
 /// persistent sweep-cache entry (core/cache.hpp) and a mismatch turns the
 /// entry into a miss, so stale results can never leak into regenerated
 /// artefacts.
-inline constexpr std::uint32_t kModelVersion = 2;  // v2: distance-aware alltoall
-                                                   // round split (min occupancy)
+inline constexpr std::uint32_t kModelVersion = 3;  // v3: schedule-invariant global
+                                                   // sums + arrival-ordered
+                                                   // MPI_ANY_SOURCE matching
 
 /// Model-component switches for the ablation bench (DESIGN.md §4.6).
 struct ModelKnobs {

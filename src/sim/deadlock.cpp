@@ -1,0 +1,167 @@
+#include "sim/deadlock.hpp"
+
+#include "sim/program.hpp"
+#include "util/str.hpp"
+
+#include <algorithm>
+
+namespace armstice::sim {
+namespace {
+
+/// Render "rank 1" / "ranks 0, 2, 5"; finished ranks are flagged inline. An
+/// ANY_SOURCE recv whose peers all finished waits on nobody — and can never
+/// be satisfied.
+std::string render_targets(const WaitNode& node) {
+    if (node.waits_on.empty()) return "no live peer";
+    std::string out = node.waits_on.size() == 1 ? "rank " : "ranks ";
+    for (std::size_t i = 0; i < node.waits_on.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(node.waits_on[i]);
+        if (std::binary_search(node.waits_on_finished.begin(),
+                               node.waits_on_finished.end(), node.waits_on[i])) {
+            out += " (finished)";
+        }
+    }
+    return out;
+}
+
+/// Deterministic cycle extraction: DFS from each blocked rank in ascending
+/// order, visiting waits_on edges (restricted to blocked ranks) in ascending
+/// order; the first back edge found closes the cycle.
+std::vector<int> find_cycle(const WaitForGraph& g) {
+    enum : char { white, grey, black };
+    std::vector<char> color(static_cast<std::size_t>(g.total_ranks), white);
+    std::vector<int> stack;
+
+    // Recursive DFS expressed iteratively so huge graphs cannot overflow the
+    // native stack. Each frame remembers which outgoing edge to try next.
+    struct Frame {
+        const WaitNode* node;
+        std::size_t next_edge = 0;
+    };
+    for (const auto& start : g.blocked) {
+        if (color[static_cast<std::size_t>(start.rank)] != white) continue;
+        std::vector<Frame> frames;
+        frames.push_back({&start});
+        color[static_cast<std::size_t>(start.rank)] = grey;
+        stack.push_back(start.rank);
+        while (!frames.empty()) {
+            Frame& f = frames.back();
+            bool descended = false;
+            while (f.next_edge < f.node->waits_on.size()) {
+                const int to = f.node->waits_on[f.next_edge++];
+                const WaitNode* target = g.node_of(to);
+                if (target == nullptr) continue;  // not blocked: no cycle via it
+                if (color[static_cast<std::size_t>(to)] == grey) {
+                    // Back edge: the cycle is the stack suffix starting at `to`.
+                    const auto it = std::find(stack.begin(), stack.end(), to);
+                    return std::vector<int>(it, stack.end());
+                }
+                if (color[static_cast<std::size_t>(to)] == white) {
+                    color[static_cast<std::size_t>(to)] = grey;
+                    stack.push_back(to);
+                    frames.push_back({target});
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended) {
+                color[static_cast<std::size_t>(f.node->rank)] = black;
+                stack.pop_back();
+                frames.pop_back();
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+const WaitNode* WaitForGraph::node_of(int rank) const {
+    for (const auto& n : blocked) {
+        if (n.rank == rank) return &n;
+    }
+    return nullptr;
+}
+
+std::string WaitForGraph::render() const {
+    std::string out = util::format("deadlock: %zu of %d ranks blocked",
+                                   blocked.size(), total_ranks);
+    out += cycle.empty() ? " (no blocking cycle: some rank finished without"
+                           " satisfying a peer)"
+                         : util::format(" (blocking cycle of %zu)", cycle.size());
+    out += "\nwait-for graph:\n";
+    for (const auto& n : blocked) {
+        out += util::format("  rank %d: %s at op %zu -> waits on ", n.rank,
+                            n.op.c_str(), n.pc);
+        out += render_targets(n);
+        out += "\n";
+    }
+    if (!cycle.empty()) {
+        out += "cycle: ";
+        for (int r : cycle) out += util::format("rank %d -> ", r);
+        out += util::format("rank %d", cycle.front());
+    }
+    return out;
+}
+
+WaitForGraph build_wait_graph(const std::vector<PendingWait>& ranks,
+                              const std::vector<CollDesc>& collectives) {
+    const int n = static_cast<int>(ranks.size());
+    WaitForGraph g;
+    g.total_ranks = n;
+    for (int r = 0; r < n; ++r) {
+        const auto& w = ranks[static_cast<std::size_t>(r)];
+        if (w.finished) continue;
+        WaitNode node;
+        node.rank = r;
+        node.pc = w.pc;
+        if (w.blocked_on_recv) {
+            if (w.want_src == kAnySource) {
+                node.op = util::format("recv(src=any, tag=%d)", w.want_tag);
+                // A wildcard recv can be satisfied by any other rank that is
+                // still running; finished ranks can never send again.
+                for (int s = 0; s < n; ++s) {
+                    if (s != r && !ranks[static_cast<std::size_t>(s)].finished) {
+                        node.waits_on.push_back(s);
+                    }
+                }
+            } else {
+                node.op = util::format("recv(src=%d, tag=%d)", w.want_src,
+                                       w.want_tag);
+                node.waits_on.push_back(w.want_src);
+                if (w.want_src >= 0 && w.want_src < n &&
+                    ranks[static_cast<std::size_t>(w.want_src)].finished) {
+                    node.waits_on_finished.push_back(w.want_src);
+                }
+            }
+        } else {
+            const int ord = w.coll_ordinal;
+            CollDesc desc;
+            if (ord >= 0 && ord < static_cast<int>(collectives.size())) {
+                desc = collectives[static_cast<std::size_t>(ord)];
+            }
+            node.op = util::format("%s(%g bytes) #%d", desc.kind, desc.bytes, ord);
+            // Blocked behind every rank that has not yet entered this
+            // collective ordinal — including finished ranks, which skipped it
+            // for good.
+            for (int s = 0; s < n; ++s) {
+                if (s == r) continue;
+                const auto& peer = ranks[static_cast<std::size_t>(s)];
+                if (peer.colls_entered <= ord) {
+                    node.waits_on.push_back(s);
+                    if (peer.finished) node.waits_on_finished.push_back(s);
+                }
+            }
+        }
+        g.blocked.push_back(std::move(node));
+    }
+    g.cycle = find_cycle(g);
+    return g;
+}
+
+DeadlockError::DeadlockError(WaitForGraph graph)
+    : util::DeadlockError(graph.render()),
+      graph_(std::make_shared<const WaitForGraph>(std::move(graph))) {}
+
+} // namespace armstice::sim

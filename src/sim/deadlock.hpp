@@ -1,0 +1,84 @@
+#pragma once
+// Deadlock forensics — when no rank can make progress, the engines no longer
+// throw a flat string: they snapshot every rank's pending operation, build a
+// wait-for graph (who blocks on which recv source/tag or collective
+// membership), extract a blocking cycle if one exists, and throw a
+// sim::DeadlockError carrying both the rendered report and the structured
+// graph. Engine and RefEngine share this builder, so a differential checker
+// can require their diagnoses to agree byte-for-byte (DESIGN.md §10.3).
+
+#include "util/error.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace armstice::sim {
+
+/// What one rank was doing when the simulation stalled. Engines fill one of
+/// these per rank from their internal state.
+struct PendingWait {
+    bool finished = false;       ///< rank completed its program
+    bool blocked_on_recv = false;///< blocked on a RecvOp (else: a collective)
+    std::size_t pc = 0;          ///< op index of the blocking operation
+    int want_src = 0;            ///< recv: source (kAnySource for wildcard)
+    int want_tag = 0;            ///< recv: tag
+    int coll_ordinal = -1;       ///< collective: 0-based ordinal in the run
+    int colls_entered = 0;       ///< collectives this rank has entered so far
+};
+
+/// Kind and payload of one collective ordinal (for naming it in the report).
+struct CollDesc {
+    const char* kind = "collective";  ///< "allreduce" / "barrier" / "alltoall"
+    double bytes = 0;
+};
+
+/// One blocked rank in the wait-for graph.
+struct WaitNode {
+    int rank = 0;
+    std::size_t pc = 0;          ///< op index of the blocking operation
+    std::string op;              ///< rendered pending op, e.g. "recv(src=1, tag=7)"
+    /// Ranks this rank is blocked behind: the recv source (every other
+    /// unfinished rank for MPI_ANY_SOURCE), or every rank that has not yet
+    /// entered the collective. Sorted ascending.
+    std::vector<int> waits_on;
+    /// Subset of waits_on that already finished — they can never unblock
+    /// this rank (e.g. a recv whose source terminated without sending).
+    std::vector<int> waits_on_finished;
+};
+
+/// The wait-for graph of a stalled simulation plus one extracted cycle.
+struct WaitForGraph {
+    int total_ranks = 0;
+    std::vector<WaitNode> blocked;  ///< ascending by rank
+    /// One blocking cycle (ranks, in wait order, first element NOT repeated
+    /// at the end); empty when the stall is acyclic (e.g. a recv from a rank
+    /// that finished without sending).
+    std::vector<int> cycle;
+
+    [[nodiscard]] const WaitNode* node_of(int rank) const;
+    /// Multi-line human-readable report; deterministic (golden-tested).
+    [[nodiscard]] std::string render() const;
+};
+
+/// Build the graph from per-rank snapshots. `collectives[k]` describes the
+/// k-th collective ordinal (only ordinals some rank blocks on are read).
+/// Deterministic: nodes ascend by rank, edges ascend by target, and the
+/// cycle search walks ranks and edges in ascending order.
+[[nodiscard]] WaitForGraph build_wait_graph(const std::vector<PendingWait>& ranks,
+                                            const std::vector<CollDesc>& collectives);
+
+/// Thrown by Engine/RefEngine on a stall; what() is graph().render() and the
+/// structured graph is available for tooling. Derives util::DeadlockError so
+/// existing catch sites keep working.
+class DeadlockError final : public util::DeadlockError {
+public:
+    explicit DeadlockError(WaitForGraph graph);
+    [[nodiscard]] const WaitForGraph& graph() const { return *graph_; }
+
+private:
+    std::shared_ptr<const WaitForGraph> graph_;  ///< shared: nothrow copies
+};
+
+} // namespace armstice::sim

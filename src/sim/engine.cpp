@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "sim/deadlock.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
@@ -16,8 +17,6 @@ struct Message {
     int src = 0;
     int tag = 0;
     double arrival = 0;
-    std::uint64_t seq = 0;  ///< global send order; ties AnySource matching
-                            ///< to the old single-queue arrival order
 };
 
 /// One rank's pending messages, FIFO per source. Ranks receive from a
@@ -120,53 +119,44 @@ Engine::Engine(const arch::SystemSpec& sys, Placement placement, double vec_qual
 }
 
 RunResult Engine::run(const std::vector<Program>& programs, Trace* trace) const {
+    return run(programs, RunOptions{}, trace);
+}
+
+RunResult Engine::run(const ProgramBundle& bundle, Trace* trace) const {
+    return run(bundle, RunOptions{}, trace);
+}
+
+RunResult Engine::run(const std::vector<Program>& programs, const RunOptions& opts,
+                      Trace* trace) const {
     const int n = placement_.ranks();
     ARMSTICE_CHECK(static_cast<int>(programs.size()) == n,
                    util::format("programs (%zu) != ranks (%d)", programs.size(), n));
     std::vector<const Program*> progs;
     progs.reserve(programs.size());
     for (const auto& p : programs) progs.push_back(&p);
-    return run_impl(progs, trace);
+    return run_impl(progs, trace, opts);
 }
 
-RunResult Engine::run(const ProgramBundle& bundle, Trace* trace) const {
+RunResult Engine::run(const ProgramBundle& bundle, const RunOptions& opts,
+                      Trace* trace) const {
     const int n = placement_.ranks();
     ARMSTICE_CHECK(bundle.ranks() == n,
                    util::format("bundle ranks (%d) != ranks (%d)", bundle.ranks(), n));
     std::vector<const Program*> progs;
     progs.reserve(static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) progs.push_back(&bundle.of(r));
-    return run_impl(progs, trace);
+    return run_impl(progs, trace, opts);
 }
 
 RunResult Engine::run_impl(const std::vector<const Program*>& progs,
-                           Trace* trace) const {
+                           Trace* trace, const RunOptions& opts) const {
     const int n = placement_.ranks();
 
     const net::CollectiveModel coll_model(network_);
-    // Collective layout from the *actual* placement occupancy. Ceiling
-    // division (the old derivation) priced 48 ranks on 5 nodes as 5x10=50
-    // ranks — phantom allgather/alltoall rounds — and counted allocated-but-
-    // empty nodes as collective participants. min_ranks_per_node feeds the
-    // distance-aware alltoall round split (net/collectives.cpp): the least-
-    // populated node's ranks cross the fabric most often and set the
-    // critical path.
-    net::CommLayout layout;
-    layout.total_ranks = n;
-    int occupied = 0;
-    int max_on_node = 0;
-    int min_on_node = n;
-    for (int node = 0; node < placement_.nodes(); ++node) {
-        const int on = placement_.ranks_on_node(node);
-        if (on > 0) {
-            ++occupied;
-            min_on_node = std::min(min_on_node, on);
-        }
-        max_on_node = std::max(max_on_node, on);
-    }
-    layout.nodes = std::max(1, occupied);
-    layout.ranks_per_node = std::max(1, max_on_node);
-    layout.min_ranks_per_node = occupied > 0 ? min_on_node : 1;
+    // Collective layout from the *actual* placement occupancy (Placement::
+    // comm_layout, shared with sim::RefEngine so both price collectives
+    // identically).
+    const net::CommLayout layout = placement_.comm_layout();
 
     // ExecContext equivalence classes: pricing depends only on the context
     // fields, and SPMD placements produce a handful of distinct contexts
@@ -245,22 +235,26 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     RunResult result;
     result.ranks.assign(static_cast<std::size_t>(n), RankStats{});
 
-    // Per-phase compute seconds, indexed by interned PhaseId; the label map
-    // is materialised once at the end. `seen` (not acc != 0) mirrors the old
-    // map semantics: executing a zero-cost phase still creates its entry.
-    std::vector<double> phase_acc;
+    // Per-phase compute seconds, accumulated *per rank* (indexed by interned
+    // PhaseId) and reduced across ranks in ascending rank order at the end.
+    // A rank's additions follow its program order, which no schedule can
+    // permute, so the FP sums are schedule-invariant (DESIGN.md §10.2); a
+    // single global accumulator would add in pop order and drift in the low
+    // bits. `seen` (not acc != 0) mirrors the old map semantics: executing a
+    // zero-cost phase still creates its entry. total_flops gets the same
+    // treatment via rank_flops.
+    std::vector<std::vector<double>> rank_phase(static_cast<std::size_t>(n));
     std::vector<char> phase_seen;
-    const auto accum_phase = [&](PhaseId id, double dt) {
-        if (id >= phase_acc.size()) {
-            phase_acc.resize(id + 1, 0.0);
-            phase_seen.resize(id + 1, 0);
-        }
-        phase_acc[id] += dt;
+    std::vector<double> rank_flops(static_cast<std::size_t>(n), 0.0);
+    const auto accum_phase = [&](int rank, PhaseId id, double dt) {
+        auto& acc = rank_phase[static_cast<std::size_t>(rank)];
+        if (id >= acc.size()) acc.resize(id + 1, 0.0);
+        if (id >= phase_seen.size()) phase_seen.resize(id + 1, 0);
+        acc[id] += dt;
         phase_seen[id] = 1;
     };
 
     std::vector<Mailbox> mailbox(static_cast<std::size_t>(n));
-    std::uint64_t next_seq = 0;
     std::vector<Collective> collectives;
     collectives.reserve(64);
     // FIFO run queue as a head-indexed vector (contiguous; compacts when
@@ -269,6 +263,8 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     runnable.reserve(static_cast<std::size_t>(n) * 2);
     std::size_t run_head = 0;
     std::vector<char> queued(static_cast<std::size_t>(n), 1);
+    // Quiescence grants for MPI_ANY_SOURCE recvs (see the resolver below).
+    std::vector<char> any_grant(static_cast<std::size_t>(n), 0);
     for (int r = 0; r < n; ++r) runnable.push_back(r);
     int finished = 0;
 
@@ -279,11 +275,14 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         }
     };
 
-    // First message matching (want_src, want_tag) in send order. Per-source
-    // FIFOs preserve arrival order within a source; the global sequence
-    // number recovers the cross-source order for MPI_ANY_SOURCE, so the
-    // match is identical to scanning one arrival-ordered queue.
-    auto try_recv = [&](int r) -> std::optional<Message> {
+    // First message matching (want_src, want_tag). Per-source FIFOs preserve
+    // send order within a source (MPI non-overtaking); for MPI_ANY_SOURCE the
+    // cross-source winner is the candidate with the smallest (arrival time,
+    // source rank) key. Arrival = sender issue time + p2p latency, both pure
+    // functions of the programs, so — unlike a global send-issue counter —
+    // the match cannot depend on the order the engine happened to run ranks
+    // (DESIGN.md §10.2).
+    auto find_recv = [&](int r) -> std::pair<Mailbox::SrcQueue*, std::size_t> {
         auto& box = mailbox[static_cast<std::size_t>(r)];
         const auto& s = st[static_cast<std::size_t>(r)];
         Mailbox::SrcQueue* best_sq = nullptr;
@@ -292,7 +291,10 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             if (s.want_src != kAnySource && sq.src != s.want_src) continue;
             for (std::size_t i = sq.head; i < sq.q.size(); ++i) {
                 if (sq.q[i].tag != s.want_tag) continue;
-                if (best_sq == nullptr || sq.q[i].seq < best_sq->q[best_i].seq) {
+                if (best_sq == nullptr ||
+                    sq.q[i].arrival < best_sq->q[best_i].arrival ||
+                    (sq.q[i].arrival == best_sq->q[best_i].arrival &&
+                     sq.src < best_sq->src)) {
                     best_sq = &sq;
                     best_i = i;
                 }
@@ -300,6 +302,10 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             }
             if (s.want_src != kAnySource) break;
         }
+        return {best_sq, best_i};
+    };
+    auto try_recv = [&](int r) -> std::optional<Message> {
+        auto [best_sq, best_i] = find_recv(r);
         if (best_sq == nullptr) return std::nullopt;
         Message m = best_sq->q[best_i];
         if (best_i == best_sq->head) {
@@ -316,21 +322,78 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     };
 
     const double os_noise = cost_.knobs().os_noise;
+    // Schedule perturbation (sim::check): any nonzero seed swaps a pseudo-
+    // randomly chosen runnable rank to the queue head before every pop.
+    util::Rng perturb_rng(opts.perturb_seed);
+    const bool perturb = opts.perturb_seed != 0;
+
     while (finished < n) {
         if (run_head == runnable.size()) {
-            std::string blocked;
+            // Global quiescence: no rank can advance without an ANY_SOURCE
+            // match. Wildcard recvs are resolved only here — an eager match
+            // would consume whichever message this particular schedule
+            // happened to deliver first, but the quiescent state (and so the
+            // pending-message pool the (arrival, src) rule picks from) is a
+            // pure function of the programs. Lowest blocked rank with a match
+            // resolves first; the simulation then runs back to quiescence.
+            int grant = -1;
             for (int r = 0; r < n; ++r) {
                 const auto& s = st[static_cast<std::size_t>(r)];
-                if (!s.finished) {
-                    blocked += util::format(" rank %d (%s at op %zu)", r,
-                                            s.blocked == BlockKind::recv ? "recv"
-                                                                         : "collective",
-                                            s.pc);
+                if (!s.finished && s.blocked == BlockKind::recv &&
+                    s.want_src == kAnySource && find_recv(r).first != nullptr) {
+                    grant = r;
+                    break;
                 }
             }
-            throw util::DeadlockError("no rank can make progress:" + blocked);
+            if (grant >= 0) {
+                any_grant[static_cast<std::size_t>(grant)] = 1;
+                wake(grant);
+                continue;
+            }
+
+            // Stall: snapshot every rank's pending op and throw the wait-for
+            // graph (sim/deadlock.hpp). The stalled state is a pure function
+            // of the programs — every schedule reaches the same one — so the
+            // diagnosis is required to be byte-identical across Engine,
+            // RefEngine and all perturbation seeds.
+            std::vector<PendingWait> pending(static_cast<std::size_t>(n));
+            for (int r = 0; r < n; ++r) {
+                const auto& s = st[static_cast<std::size_t>(r)];
+                auto& w = pending[static_cast<std::size_t>(r)];
+                w.finished = s.finished;
+                w.pc = s.pc;
+                w.colls_entered = s.coll_count;
+                if (s.finished) continue;
+                if (s.blocked == BlockKind::recv) {
+                    w.blocked_on_recv = true;
+                    w.want_src = s.want_src;
+                    w.want_tag = s.want_tag;
+                } else {
+                    // The engine counts a collective as entered *before*
+                    // blocking, so the blocking ordinal is coll_count - 1.
+                    w.coll_ordinal = s.coll_count - 1;
+                }
+            }
+            std::vector<CollDesc> descs(collectives.size());
+            for (std::size_t i = 0; i < collectives.size(); ++i) {
+                switch (collectives[i].kind) {
+                    case CollKind::allreduce: descs[i].kind = "allreduce"; break;
+                    case CollKind::barrier: descs[i].kind = "barrier"; break;
+                    case CollKind::alltoall: descs[i].kind = "alltoall"; break;
+                    case CollKind::none: break;
+                }
+                descs[i].bytes = collectives[i].bytes;
+            }
+            throw DeadlockError(build_wait_graph(pending, descs));
         }
 
+        if (perturb) {
+            const std::size_t live = runnable.size() - run_head;
+            if (live > 1) {
+                std::swap(runnable[run_head],
+                          runnable[run_head + perturb_rng.next_below(live)]);
+            }
+        }
         const int r = runnable[run_head++];
         if (run_head == runnable.size()) {
             runnable.clear();
@@ -389,8 +452,11 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 ++stats.msgs_sent;
                 mailbox[static_cast<std::size_t>(snd->dst)]
                     .queue_for(r)
-                    .q.push_back(Message{r, snd->tag, arrival, next_seq++});
-                if (st[static_cast<std::size_t>(snd->dst)].blocked == BlockKind::recv) {
+                    .q.push_back(Message{r, snd->tag, arrival});
+                // ANY_SOURCE waiters are not woken by sends: they resolve at
+                // quiescence only (schedule invariance).
+                const auto& ds = st[static_cast<std::size_t>(snd->dst)];
+                if (ds.blocked == BlockKind::recv && ds.want_src != kAnySource) {
                     wake(snd->dst);
                 }
                 ++s.pc;
@@ -398,7 +464,14 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 const auto* rcv = std::get_if<RecvOp>(&op);
                 s.want_src = rcv->src;
                 s.want_tag = rcv->tag;
-                if (auto m = try_recv(r)) {
+                // ANY_SOURCE matches only with a quiescence grant (above);
+                // explicit-source matching is confluent and stays eager.
+                std::optional<Message> m;
+                if (rcv->src != kAnySource || any_grant[static_cast<std::size_t>(r)]) {
+                    any_grant[static_cast<std::size_t>(r)] = 0;
+                    m = try_recv(r);
+                }
+                if (m) {
                     if (m->arrival > s.time) {
                         if (trace) {
                             trace->add({r, SpanKind::recv_wait, "", s.time, m->arrival});
@@ -457,8 +530,8 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 }
                 s.time += dt;
                 stats.compute += dt;
-                result.total_flops += phase.flops;
-                accum_phase(label_id, dt);
+                rank_flops[static_cast<std::size_t>(r)] += phase.flops;
+                accum_phase(r, label_id, dt);
                 ++s.pc;
             } else if (tag <= 5) {  // Allreduce(3) / Barrier(4) / Alltoall(5)
                 CollKind kind = CollKind::barrier;
@@ -546,10 +619,19 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     for (const auto& stats : result.ranks) {
         result.makespan = std::max(result.makespan, stats.finish);
     }
+    // Cross-rank reductions in ascending rank order — the one FP addition
+    // order every schedule (and RefEngine) can reproduce.
+    for (int r = 0; r < n; ++r) {
+        result.total_flops += rank_flops[static_cast<std::size_t>(r)];
+    }
     for (PhaseId id = 0; id < phase_seen.size(); ++id) {
-        if (phase_seen[id]) {
-            result.phase_compute.emplace(phase_table().str(id), phase_acc[id]);
+        if (!phase_seen[id]) continue;
+        double acc = 0.0;
+        for (int r = 0; r < n; ++r) {
+            const auto& per = rank_phase[static_cast<std::size_t>(r)];
+            if (id < per.size()) acc += per[id];
         }
+        result.phase_compute.emplace(phase_table().str(id), acc);
     }
     return result;
 }

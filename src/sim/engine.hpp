@@ -23,10 +23,18 @@
 // classes at run start and CostModel pricing is memoized per (phase content,
 // class) — the deterministic per-(rank, op) noise stretch is applied on top,
 // so memoization can never share noise draws. Per-phase seconds accumulate
-// into a vector indexed by interned PhaseId and the phase_compute map is
-// materialised only on return. Receive matching uses per-source FIFO queues
-// with global sequence numbers (bit-identical to a single arrival-ordered
-// queue, including MPI_ANY_SOURCE).
+// into vectors indexed by interned PhaseId and the phase_compute map is
+// materialised only on return. Receive matching uses per-source FIFO queues.
+//
+// Schedule invariance (DESIGN.md §10): every RunResult field is a pure
+// function of the programs and the model — never of the order in which the
+// engine happens to pop runnable ranks. Global sums (total_flops,
+// phase_compute) accumulate per rank in program order and reduce across
+// ranks in rank order; MPI_ANY_SOURCE matches the pending message with the
+// smallest (arrival time, source rank) key, which is schedule-invariant,
+// instead of the schedule-dependent global send-issue order. RunOptions::
+// perturb_seed exploits this: any nonzero seed permutes the runnable-queue
+// pop order, and sim::check asserts the RunResult stays bit-identical.
 
 #include "arch/cost_model.hpp"
 #include "arch/system.hpp"
@@ -55,6 +63,16 @@ struct RankStats {
     double injected_bytes = 0;
     int msgs_sent = 0;
     int msgs_received = 0;
+};
+
+/// Per-run execution options (the schedule-perturbation hook of the
+/// sim::check differential tooling).
+struct RunOptions {
+    /// 0 = canonical FIFO pop order. Any other value seeds a deterministic
+    /// permutation of the runnable-queue pop order: at every dequeue one of
+    /// the currently-runnable ranks is chosen pseudorandomly. Results are
+    /// bit-identical for every seed (schedule invariance, DESIGN.md §10.2).
+    std::uint64_t perturb_seed = 0;
 };
 
 struct RunResult {
@@ -93,12 +111,19 @@ public:
     [[nodiscard]] RunResult run(const ProgramBundle& bundle,
                                 Trace* trace = nullptr) const;
 
+    /// Overloads with execution options (schedule perturbation).
+    [[nodiscard]] RunResult run(const std::vector<Program>& programs,
+                                const RunOptions& opts,
+                                Trace* trace = nullptr) const;
+    [[nodiscard]] RunResult run(const ProgramBundle& bundle, const RunOptions& opts,
+                                Trace* trace = nullptr) const;
+
     [[nodiscard]] const Placement& placement() const { return placement_; }
     [[nodiscard]] const net::Network& network() const { return network_; }
 
 private:
     [[nodiscard]] RunResult run_impl(const std::vector<const Program*>& progs,
-                                     Trace* trace) const;
+                                     Trace* trace, const RunOptions& opts) const;
 
     const arch::SystemSpec* sys_;
     Placement placement_;

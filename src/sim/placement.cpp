@@ -112,6 +112,33 @@ arch::ExecContext Placement::exec_context(int rank, double vec_quality) const {
     return ctx;
 }
 
+net::CommLayout Placement::comm_layout() const {
+    // Ceiling division (the old derivation) priced 48 ranks on 5 nodes as
+    // 5x10=50 ranks — phantom allgather/alltoall rounds — and counted
+    // allocated-but-empty nodes as collective participants. The minimum
+    // occupancy feeds the distance-aware alltoall round split
+    // (net/collectives.cpp): the least-populated node's ranks cross the
+    // fabric most often and set the critical path.
+    const int n = ranks();
+    net::CommLayout layout;
+    layout.total_ranks = n;
+    int occupied = 0;
+    int max_on_node = 0;
+    int min_on_node = n;
+    for (int node = 0; node < nodes_; ++node) {
+        const int on = ranks_on_node(node);
+        if (on > 0) {
+            ++occupied;
+            min_on_node = std::min(min_on_node, on);
+        }
+        max_on_node = std::max(max_on_node, on);
+    }
+    layout.nodes = std::max(1, occupied);
+    layout.ranks_per_node = std::max(1, max_on_node);
+    layout.min_ranks_per_node = occupied > 0 ? min_on_node : 1;
+    return layout;
+}
+
 void Placement::check_capacity(double bytes_per_rank) const {
     ARMSTICE_CHECK(bytes_per_rank >= 0, "negative footprint");
     const double cap = node_->mem_capacity();

@@ -6,6 +6,7 @@
 
 #include "arch/cost_model.hpp"
 #include "arch/processor.hpp"
+#include "net/collectives.hpp"
 
 #include <functional>
 #include <utility>
@@ -48,6 +49,13 @@ public:
 
     /// Cost-model context for one rank (vec_quality supplied by caller).
     [[nodiscard]] arch::ExecContext exec_context(int rank, double vec_quality) const;
+
+    /// Collective layout derived from the *actual* occupancy: `nodes` counts
+    /// only nodes with resident ranks, `ranks_per_node` is the maximum
+    /// occupancy, `min_ranks_per_node` the minimum occupied occupancy, and
+    /// `total_ranks` the true rank count (DESIGN.md §4.3). Shared by
+    /// sim::Engine and sim::RefEngine so both price collectives identically.
+    [[nodiscard]] net::CommLayout comm_layout() const;
 
     /// Throws util::CapacityError when `bytes_per_rank` summed per node
     /// exceeds node memory (DESIGN.md §4.5).

@@ -1,0 +1,47 @@
+#pragma once
+// RefEngine — the reference interpreter of the sim::check differential
+// harness (DESIGN.md §10.1). It executes the same Program semantics as
+// sim::Engine but is written against the DESIGN.md contract only, with none
+// of the production engine's machinery: no cost memoization, no ExecContext
+// equivalence classes, no node-pair tables, no head-indexed queues, no
+// program bundles — just a round-robin sweep over ranks with flat per-rank
+// message lists, O(ranks^2 * events) and proud of it. Any divergence between
+// the two engines' RunResults (required bit-for-bit identical) is a bug in
+// one of them; the naive code is small enough to audit by eye, which is the
+// point.
+//
+// Deliberately NOT shared with Engine: CostModel/Network/CollectiveModel
+// pricing calls and Placement::comm_layout (those are the model under test
+// elsewhere), noise_sample (a pinned pure function), and the wait-for-graph
+// builder (so deadlock diagnoses can be compared byte-for-byte).
+
+#include "arch/cost_model.hpp"
+#include "arch/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/placement.hpp"
+#include "sim/program.hpp"
+
+#include <vector>
+
+namespace armstice::sim {
+
+class RefEngine {
+public:
+    /// Mirrors sim::Engine's constructor.
+    RefEngine(const arch::SystemSpec& sys, Placement placement, double vec_quality,
+              arch::ModelKnobs knobs = {});
+
+    /// Execute one program per rank. Must return a RunResult bit-identical
+    /// to sim::Engine::run on the same inputs; throws sim::DeadlockError
+    /// with an identical wait-for graph on a stall.
+    [[nodiscard]] RunResult run(const std::vector<Program>& programs) const;
+
+private:
+    const arch::SystemSpec* sys_;
+    Placement placement_;
+    double vec_quality_;
+    arch::CostModel cost_;
+    net::Network network_;
+};
+
+} // namespace armstice::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Shared test library for the engine suites: gtest wrappers around the
+// sim::check generator and the global invariants every deadlock-free
+// generated case must satisfy. One generator feeds the fuzz tests
+// (tests/test_sim_fuzz.cpp), the differential checker and the perturbation
+// suite (tests/check/), so a new round type added in sim::check::generate is
+// exercised everywhere at once.
+
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace armstice::testlib {
+
+/// Invariants of a deadlock-free generated case (all round types the
+/// generator emits are per-rank message-balanced by construction):
+///  1. flop conservation — every generated flop is counted exactly once;
+///  2. makespan dominates every rank's finish, finish dominates compute;
+///  3. component times are non-negative;
+///  4. per-rank send/receive balance.
+inline void assert_invariants(const sim::check::GeneratedCase& gc,
+                              const sim::RunResult& res) {
+    ASSERT_EQ(gc.deadlock, sim::check::DeadlockKind::none)
+        << "invariants only hold for deadlock-free cases";
+    EXPECT_NEAR(res.total_flops, gc.total_flops,
+                1e-6 * std::max(1.0, gc.total_flops));
+    for (const auto& r : res.ranks) {
+        EXPECT_LE(r.finish, res.makespan * (1 + 1e-12));
+        EXPECT_GE(r.finish, r.compute - 1e-12);
+        EXPECT_GE(r.recv_wait, 0.0);
+        EXPECT_GE(r.collective_wait, 0.0);
+        EXPECT_EQ(r.msgs_sent, r.msgs_received);
+    }
+}
+
+/// Bitwise RunResult equality with a readable first-difference message.
+inline void assert_bit_identical(const sim::RunResult& a, const sim::RunResult& b,
+                                 const char* what) {
+    const std::string diff = sim::check::diff_results(a, b);
+    EXPECT_TRUE(diff.empty()) << what << ": " << diff;
+}
+
+} // namespace armstice::testlib

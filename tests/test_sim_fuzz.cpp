@@ -1,10 +1,13 @@
-// Randomised property tests of the discrete-event engine: generate random
-// programs that are deadlock-free by construction (paired sends/receives and
-// world collectives) and check global invariants hold for every realisation.
+// Randomised property tests of the discrete-event engine: the shared
+// sim::check generator (tests/sim_testlib.hpp) produces random programs that
+// are deadlock-free by construction — collectives, ring shifts, crossing
+// mixed-tag pairs, ANY_SOURCE funnels, random compute — and the global
+// invariants must hold for every realisation.
 
 #include "arch/system.hpp"
 #include "sim/engine.hpp"
-#include "util/rng.hpp"
+#include "sim_testlib.hpp"
+#include "util/error.hpp"
 
 #include <gtest/gtest.h>
 
@@ -12,104 +15,40 @@
 
 namespace as = armstice::sim;
 namespace aa = armstice::arch;
-
-namespace {
-
-struct FuzzCase {
-    int ranks;
-    std::vector<as::Program> programs;
-    double total_flops = 0;
-};
-
-/// Build a random SPMD-ish program set: every round is either a collective
-/// (all ranks), a ring shift (every rank sends to its successor and receives
-/// from its predecessor), or per-rank compute of random size.
-FuzzCase make_case(unsigned long seed, int ranks) {
-    armstice::util::Rng rng(seed);
-    FuzzCase fc;
-    fc.ranks = ranks;
-    fc.programs.resize(static_cast<std::size_t>(ranks));
-    const int rounds = 3 + static_cast<int>(rng.next_below(8));
-    for (int round = 0; round < rounds; ++round) {
-        switch (rng.next_below(4)) {
-            case 0: {
-                const double bytes = rng.uniform(8, 1e5);
-                for (auto& p : fc.programs) p.allreduce(bytes);
-                break;
-            }
-            case 1:
-                for (auto& p : fc.programs) p.barrier();
-                break;
-            case 2: {
-                const double bytes = rng.uniform(1, 1e6);
-                for (int r = 0; r < ranks; ++r) {
-                    fc.programs[static_cast<std::size_t>(r)].send((r + 1) % ranks,
-                                                                  bytes, round);
-                }
-                for (int r = 0; r < ranks; ++r) {
-                    fc.programs[static_cast<std::size_t>(r)].recv(
-                        (r + ranks - 1) % ranks, round);
-                }
-                break;
-            }
-            default: {
-                for (int r = 0; r < ranks; ++r) {
-                    aa::ComputePhase phase;
-                    phase.label = "fuzz";
-                    phase.flops = rng.uniform(1e6, 1e9);
-                    phase.main_bytes = rng.uniform(1e4, 1e8);
-                    phase.pattern = static_cast<aa::MemPattern>(rng.next_below(3));
-                    fc.total_flops += phase.flops;
-                    fc.programs[static_cast<std::size_t>(r)].compute(phase);
-                }
-                break;
-            }
-        }
-    }
-    return fc;
-}
-
-} // namespace
+namespace ck = armstice::sim::check;
 
 class EngineFuzz : public ::testing::TestWithParam<unsigned long> {};
 
 TEST_P(EngineFuzz, InvariantsHoldForRandomPrograms) {
-    const int ranks = 4 + static_cast<int>(GetParam() % 29);
-    const auto fc = make_case(GetParam() * 7919ul, ranks);
+    ck::GenConfig cfg;
+    cfg.ranks = 4 + static_cast<int>(GetParam() % 29);
+    const auto gc = ck::generate(GetParam() * 7919ul, cfg);
 
-    auto placement = as::Placement::block(aa::fulhame().node, 2, ranks, 1);
+    auto placement = as::Placement::block(aa::fulhame().node, 2, gc.ranks, 1);
     const as::Engine engine(aa::fulhame(), std::move(placement), 0.8);
-    const auto res = engine.run(fc.programs);
+    const auto res = engine.run(gc.programs);
 
-    // 1. Conservation: every counted flop is accounted for.
-    EXPECT_NEAR(res.total_flops, fc.total_flops, 1e-6 * std::max(1.0, fc.total_flops));
-    // 2. Makespan dominates every rank's finish and every component time.
-    for (const auto& r : res.ranks) {
-        EXPECT_LE(r.finish, res.makespan * (1 + 1e-12));
-        EXPECT_GE(r.finish, r.compute - 1e-12);
-        EXPECT_GE(r.recv_wait, 0.0);
-        EXPECT_GE(r.collective_wait, 0.0);
-        EXPECT_EQ(r.msgs_sent, r.msgs_received);  // ring shifts are balanced
-    }
-    // 3. Determinism.
-    const auto res2 = engine.run(fc.programs);
-    EXPECT_DOUBLE_EQ(res.makespan, res2.makespan);
+    armstice::testlib::assert_invariants(gc, res);
+    // Determinism: a second run is bit-identical, not merely close.
+    armstice::testlib::assert_bit_identical(res, engine.run(gc.programs),
+                                            "second run");
 }
 
 TEST_P(EngineFuzz, TraceCoversAllComputeTime) {
-    const int ranks = 4 + static_cast<int>(GetParam() % 13);
-    const auto fc = make_case(GetParam() * 104729ul, ranks);
-    auto placement = as::Placement::block(aa::ngio().node, 1, ranks, 1);
+    ck::GenConfig cfg;
+    cfg.ranks = 4 + static_cast<int>(GetParam() % 13);
+    const auto gc = ck::generate(GetParam() * 104729ul, cfg);
+    auto placement = as::Placement::block(aa::ngio().node, 1, gc.ranks, 1);
     const as::Engine engine(aa::ngio(), std::move(placement), 0.8);
     as::Trace trace;
-    const auto res = engine.run(fc.programs, &trace);
+    const auto res = engine.run(gc.programs, &trace);
     double total_compute = 0;
     for (const auto& r : res.ranks) total_compute += r.compute;
     EXPECT_NEAR(trace.total_seconds(as::SpanKind::compute), total_compute,
                 1e-9 * std::max(1.0, total_compute));
     // Spans never overlap per rank (each rank is a serial timeline).
     std::vector<std::vector<std::pair<double, double>>> per_rank(
-        static_cast<std::size_t>(ranks));
+        static_cast<std::size_t>(gc.ranks));
     for (const auto& s : trace.spans()) {
         per_rank[static_cast<std::size_t>(s.rank)].push_back({s.begin, s.end});
     }
@@ -119,6 +58,16 @@ TEST_P(EngineFuzz, TraceCoversAllComputeTime) {
             EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-12);
         }
     }
+}
+
+TEST_P(EngineFuzz, UnmatchedRecvCasesAlwaysDeadlock) {
+    ck::GenConfig cfg;
+    cfg.ranks = 4 + static_cast<int>(GetParam() % 11);
+    cfg.deadlock = ck::DeadlockKind::unmatched_recv;
+    const auto gc = ck::generate(GetParam() * 6151ul, cfg);
+    auto placement = as::Placement::block(aa::fulhame().node, 2, gc.ranks, 1);
+    const as::Engine engine(aa::fulhame(), std::move(placement), 0.8);
+    EXPECT_THROW((void)engine.run(gc.programs), armstice::util::DeadlockError);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
