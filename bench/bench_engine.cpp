@@ -13,6 +13,7 @@
 // sanitizer/debug configs — see bench/CMakeLists.txt) before quoting numbers.
 
 #include "arch/system.hpp"
+#include "sim/check.hpp"
 #include "sim/engine.hpp"
 #include "simmpi/minimpi.hpp"
 #include "util/fileio.hpp"
@@ -131,6 +132,43 @@ am::ProgramSet cosa_skeleton(int ranks, int iters) {
     return ps;
 }
 
+/// Pure-SPMD HPCG-shaped skeleton for the collapse scaling rows: the same
+/// compute phases and allreduce cadence as hpcg_skeleton, but no halo
+/// exchanges — point-to-point ops are rank-asymmetric (distinct dst lists)
+/// and split the engine's rank-equivalence classes (DESIGN.md §11), and the
+/// scale rows exist to measure the collapsed engine. The caller must also
+/// zero os_noise: the noise term is rank-keyed, so any nonzero noise splits
+/// every class at the first ComputeOp.
+am::ProgramSet hpcg_spmd_skeleton(int ranks, int iters) {
+    constexpr int kLevels = 3;
+    const double rows = 16.0 * 16.0 * 16.0;
+    const auto spmv = phase("spmv0", 2.0 * 27.0 * rows, 12.0 * 27.0 * rows,
+                            aa::MemPattern::gather);
+    const auto symgs = phase("symgs", 4.0 * 27.0 * rows, 24.0 * 27.0 * rows,
+                             aa::MemPattern::gather);
+    const auto dot = phase("ddot", 2.0 * rows, 16.0 * rows, aa::MemPattern::stream);
+    const auto axpy = phase("waxpby", 3.0 * rows, 24.0 * rows, aa::MemPattern::stream);
+
+    am::ProgramSet ps(ranks);
+    for (int it = 0; it < iters; ++it) {
+        ps.compute(spmv);
+        ps.compute(dot);
+        ps.allreduce(8);
+        for (int l = 0; l < kLevels - 1; ++l) {
+            ps.compute(symgs);
+            ps.compute(spmv);
+        }
+        ps.compute(symgs);
+        for (int l = kLevels - 2; l >= 0; --l) ps.compute(symgs);
+        ps.compute(dot);
+        ps.allreduce(8);
+        ps.compute(axpy);
+        ps.compute(dot);
+        ps.allreduce(8);
+    }
+    return ps;
+}
+
 // ---- measurement -----------------------------------------------------------
 
 struct Scenario {
@@ -140,6 +178,7 @@ struct Scenario {
     double seconds = 0;       ///< best-of-reps CPU time of one Engine::run
     double ops_per_sec = 0;
     long peak_rss_kb = 0;     ///< process VmHWM after the scenario (cumulative)
+    int collapse_classes = 0; ///< rank-equivalence classes the run ended with
 };
 
 long peak_rss_kb() {
@@ -177,6 +216,7 @@ Scenario measure(const std::string& app, int ranks, std::vector<as::Program> pro
         const double t1 = cpu_now();
         best = std::min(best, t1 - t0);
         makespan = res.makespan;
+        s.collapse_classes = res.collapse_classes;
     }
     s.seconds = best;
     s.ops_per_sec = static_cast<double>(s.ops) / best;
@@ -185,6 +225,67 @@ Scenario measure(const std::string& app, int ranks, std::vector<as::Program> pro
                 "  (makespan %.3f s)\n",
                 app.c_str(), ranks, s.ops, s.seconds, s.ops_per_sec,
                 s.peak_rss_kb / 1024, makespan);
+    return s;
+}
+
+/// Collapse scaling rows (DESIGN.md §11): run the SPMD skeleton as a shared
+/// ProgramBundle with os_noise=0 so the engine simulates one state machine
+/// per equivalence class instead of one per rank. `ops` counts simulated
+/// rank-ops (ranks x ops-per-rank) — the collapsed engine executes only
+/// O(classes) of them, which is exactly the speedup the row records.
+/// When `check_flat` is set the same engine re-runs with collapse disabled
+/// and the two RunResults must be bit-identical (check::diff_results); a
+/// mismatch aborts the bench, because scale numbers from a result that
+/// diverges from the uncollapsed engine would be meaningless.
+Scenario measure_scale(const std::string& app, int ranks,
+                       const as::ProgramBundle& bundle, bool check_flat) {
+    const int nodes = (ranks + 63) / 64;  // Fulhame: 64 cores/node
+    aa::ModelKnobs noiseless;
+    noiseless.os_noise = 0;  // rank-keyed noise would split every class
+    const as::Engine engine(aa::fulhame(),
+                            as::Placement::block(aa::fulhame().node, nodes, ranks, 1),
+                            0.8, noiseless);
+
+    Scenario s;
+    s.app = app;
+    s.ranks = ranks;
+    s.ops = static_cast<long>(ranks) *
+            static_cast<long>(bundle.of(0).ops.size());
+
+    constexpr int kReps = 3;
+    double best = 1e300;
+    double makespan = 0;
+    as::RunResult res;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const double t0 = cpu_now();
+        res = engine.run(bundle);
+        const double t1 = cpu_now();
+        best = std::min(best, t1 - t0);
+        makespan = res.makespan;
+    }
+    s.seconds = best;
+    s.ops_per_sec = static_cast<double>(s.ops) / best;
+    s.collapse_classes = res.collapse_classes;
+
+    if (check_flat) {
+        as::RunOptions flat;
+        flat.collapse = false;
+        const auto ref = engine.run(bundle, flat);
+        const std::string diff = as::check::diff_results(res, ref);
+        if (!diff.empty()) {
+            std::fprintf(stderr,
+                         "bench_engine: collapse differential FAILED at %d "
+                         "ranks: %s\n",
+                         ranks, diff.c_str());
+            std::exit(1);
+        }
+    }
+
+    s.peak_rss_kb = peak_rss_kb();
+    std::printf("  %-10s %8d ranks  %11ld ops  %8.4f s  %12.3g ops/s  "
+                "rss %ld MiB  classes %d  (makespan %.3f s)\n",
+                app.c_str(), ranks, s.ops, s.seconds, s.ops_per_sec,
+                s.peak_rss_kb / 1024, s.collapse_classes, makespan);
     return s;
 }
 
@@ -224,9 +325,10 @@ void write_json(const std::vector<Scenario>& scenarios) {
         }
         j += format("    {\"app\": \"%s\", \"ranks\": %d, \"ops\": %ld, "
                     "\"seconds\": %.6f, \"ops_per_sec\": %.0f, "
-                    "\"peak_rss_kb\": %ld, \"speedup_vs_baseline\": %.2f}%s\n",
+                    "\"peak_rss_kb\": %ld, \"collapse_classes\": %d, "
+                    "\"speedup_vs_baseline\": %.2f}%s\n",
                     json_escape(s.app).c_str(), s.ranks, s.ops, s.seconds,
-                    s.ops_per_sec, s.peak_rss_kb,
+                    s.ops_per_sec, s.peak_rss_kb, s.collapse_classes,
                     base > 0 ? s.ops_per_sec / base : 0.0,
                     i + 1 < scenarios.size() ? "," : "");
     }
@@ -250,6 +352,36 @@ int main() {
         scenarios.push_back(
             measure("cosa", ranks, cosa_skeleton(ranks, /*iters=*/200).take()));
     }
+
+    std::printf("collapse scaling (SPMD hpcg skeleton, os_noise=0, "
+                "DESIGN.md §11)\n");
+    for (int ranks : {100000, 1000000}) {
+        am::ProgramSet ps = hpcg_spmd_skeleton(ranks, /*iters=*/20);
+        if (!ps.spmd()) {
+            std::fprintf(stderr,
+                         "bench_engine: scale skeleton forked — no longer "
+                         "SPMD, scale rows would not collapse\n");
+            return 1;
+        }
+        // Differential vs the uncollapsed engine at 100k ranks only: the
+        // flat run simulates one state machine per rank and exists to prove
+        // bit-identity, not to wait on at a million ranks.
+        scenarios.push_back(measure_scale("hpcg-spmd", ranks, ps.take_bundle(),
+                                          /*check_flat=*/ranks == 100000));
+    }
+    // Footprint gate: a million collapsed ranks must stay O(classes) state
+    // plus O(ranks) final stats arrays. 512 MiB is ~4x the measured peak —
+    // headroom for allocator noise, a hard stop for an O(ranks)-state
+    // regression (which lands around several GiB here).
+    const long rss_kb = peak_rss_kb();
+    if (rss_kb > 512 * 1024) {
+        std::fprintf(stderr,
+                     "bench_engine: peak RSS %ld MiB exceeds the 512 MiB "
+                     "million-rank budget\n",
+                     rss_kb / 1024);
+        return 1;
+    }
+
     write_json(scenarios);
     std::printf("wrote BENCH_engine.json\n");
     return 0;

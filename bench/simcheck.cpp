@@ -6,10 +6,15 @@
 // diagnosis must be detected and byte-identical across all executors.
 // Prints the (jobs-invariant) report plus throughput and writes
 // BENCH_simcheck.json; exits nonzero on any failure, so it can serve as a
-// standalone CI gate next to the ctest `check` label.
+// standalone CI gate next to the ctest `check` label. `--collapse-smoke N`
+// additionally gates rank-equivalence collapse (DESIGN.md §11) at N ranks —
+// far beyond the fuzz suite's case sizes.
 
 #include "arch/system.hpp"
 #include "sim/check.hpp"
+#include "sim/engine.hpp"
+#include "sim/placement.hpp"
+#include "simmpi/minimpi.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/fileio.hpp"
@@ -23,6 +28,8 @@
 namespace {
 
 namespace aa = armstice::arch;
+namespace as = armstice::sim;
+namespace am = armstice::simmpi;
 namespace ck = armstice::sim::check;
 using armstice::util::format;
 
@@ -32,8 +39,64 @@ double wall_now() {
     return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
+/// Rank-equivalence collapse smoke (DESIGN.md §11): run one SPMD skeleton at
+/// `ranks` ranks as a shared ProgramBundle — collapsed, uncollapsed, and
+/// collapsed under a perturbed schedule — and require all three RunResults
+/// bit-identical. This is the only gate that exercises collapse at a scale
+/// (100k ranks in CI) where the fuzz suite's 4..32-rank cases cannot; it is
+/// cheap because the collapsed runs simulate O(classes) state machines and
+/// the single flat run is pure SPMD. Returns true on bit-identity.
+bool collapse_smoke(int ranks) {
+    aa::ComputePhase spmv;
+    spmv.label = "smoke-spmv";
+    spmv.flops = 2.0 * 27.0 * 4096.0;
+    spmv.main_bytes = 12.0 * 27.0 * 4096.0;
+    spmv.pattern = aa::MemPattern::gather;
+    spmv.efficiency = 0.8;
+    aa::ComputePhase axpy = spmv;
+    axpy.label = "smoke-axpy";
+    axpy.pattern = aa::MemPattern::stream;
+
+    am::ProgramSet ps(ranks);
+    for (int it = 0; it < 10; ++it) {
+        ps.compute(spmv);
+        ps.allreduce(8);
+        ps.compute(axpy);
+        if (it % 4 == 3) ps.barrier();
+    }
+    ARMSTICE_CHECK(ps.spmd(), "collapse smoke skeleton must stay SPMD");
+    const as::ProgramBundle bundle = ps.take_bundle();
+
+    const int nodes = (ranks + 63) / 64;
+    aa::ModelKnobs noiseless;
+    noiseless.os_noise = 0;  // rank-keyed noise splits every class
+    const as::Engine eng(aa::fulhame(),
+                         as::Placement::block(aa::fulhame().node, nodes, ranks, 1),
+                         0.8, noiseless);
+
+    const as::RunResult collapsed = eng.run(bundle);
+    as::RunOptions flat;
+    flat.collapse = false;
+    const std::string d1 = ck::diff_results(collapsed, eng.run(bundle, flat));
+    as::RunOptions shaken;
+    shaken.perturb_seed = 0x5eedful;
+    const std::string d2 = ck::diff_results(collapsed, eng.run(bundle, shaken));
+    if (!d1.empty()) {
+        std::fprintf(stderr, "collapse smoke (%d ranks): collapsed vs flat: %s\n",
+                     ranks, d1.c_str());
+    }
+    if (!d2.empty()) {
+        std::fprintf(stderr, "collapse smoke (%d ranks): collapsed vs perturbed: %s\n",
+                     ranks, d2.c_str());
+    }
+    std::printf("collapse smoke: %d ranks, %d classes, %d splits — %s\n", ranks,
+                collapsed.collapse_classes, collapsed.collapse_splits,
+                d1.empty() && d2.empty() ? "bit-identical" : "MISMATCH");
+    return d1.empty() && d2.empty();
+}
+
 void write_json(const ck::CheckConfig& cfg, const ck::CheckReport& rep,
-                double seconds) {
+                double seconds, int smoke_ranks, bool smoke_ok) {
     std::string j = "{\n  \"bench\": \"simcheck\",\n  \"unit\": \"seeds/sec\",\n";
     j += format("  \"seeds\": %d,\n  \"first_seed\": %llu,\n", cfg.seeds,
                 static_cast<unsigned long long>(cfg.first_seed));
@@ -41,6 +104,8 @@ void write_json(const ck::CheckConfig& cfg, const ck::CheckReport& rep,
                 rep.perturbations, rep.deadlock_cases);
     j += format("  \"jobs\": %d,\n  \"failures\": %zu,\n", cfg.jobs,
                 rep.failures.size());
+    j += format("  \"collapse_smoke_ranks\": %d,\n  \"collapse_smoke_ok\": %s,\n",
+                smoke_ranks, smoke_ok ? "true" : "false");
     j += format("  \"seconds\": %.3f,\n  \"seeds_per_sec\": %.2f\n}\n", seconds,
                 seconds > 0 ? cfg.seeds / seconds : 0.0);
     if (!armstice::util::write_file_atomic("BENCH_simcheck.json", j)) {
@@ -61,7 +126,12 @@ int main(int argc, char** argv) {
     cli.option("deadlock-every", "every M-th case plants a deadlock (0 = never)",
                "8");
     cli.option("jobs", "checker threads", "1");
+    cli.option("collapse-smoke",
+               "also smoke-test rank-equivalence collapse at this many ranks"
+               " (0 = skip)",
+               "0");
     ck::CheckConfig cfg;
+    int smoke_ranks = 0;
     try {
         cli.parse(argc, argv);
         cfg.seeds = static_cast<int>(cli.get_long("seeds"));
@@ -70,6 +140,7 @@ int main(int argc, char** argv) {
         cfg.perturbations = static_cast<int>(cli.get_long("perturb"));
         cfg.deadlock_every = static_cast<int>(cli.get_long("deadlock-every"));
         cfg.jobs = static_cast<int>(cli.get_long("jobs"));
+        smoke_ranks = static_cast<int>(cli.get_long("collapse-smoke"));
     } catch (const armstice::util::Error& e) {
         std::fprintf(stderr, "simcheck: %s\n%s", e.what(), cli.usage().c_str());
         return 2;
@@ -85,6 +156,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", rep.render().c_str());
     std::printf("%.2f s wall, %.2f seeds/sec\n", dt,
                 dt > 0 ? cfg.seeds / dt : 0.0);
-    write_json(cfg, rep, dt);
-    return rep.ok() ? 0 : 1;
+    const bool smoke_ok = smoke_ranks <= 0 || collapse_smoke(smoke_ranks);
+    write_json(cfg, rep, dt, smoke_ranks, smoke_ok);
+    return rep.ok() && smoke_ok ? 0 : 1;
 }

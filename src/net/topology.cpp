@@ -30,11 +30,23 @@ double Topology::mean_hops() const {
     return sum / static_cast<double>(count);
 }
 
+// Ordered-pair hop totals below are exact integers accumulated in 64 bits
+// and converted to double once; the brute-force pair scan accumulates the
+// same integers into a double one at a time. Both are exact below 2^53, so
+// the counting forms divide the identical numerator by the identical
+// denominator and the results are bit-identical to the scans.
+
 // ---------------------------------------------------------------- torus ----
 
 TorusTopology::TorusTopology(std::vector<int> dims) : dims_(std::move(dims)) {
     ARMSTICE_CHECK(!dims_.empty(), "torus needs >=1 dimension");
     for (int d : dims_) ARMSTICE_CHECK(d >= 1, "torus dims must be >=1");
+    strides_.resize(dims_.size());
+    int stride = 1;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        strides_[i] = stride;
+        stride *= dims_[i];
+    }
 }
 
 TorusTopology TorusTopology::fit(int n) {
@@ -74,14 +86,46 @@ std::vector<int> TorusTopology::coords(int node) const {
 
 int TorusTopology::hops(int a, int b) const {
     if (a == b) return 0;
-    const auto ca = coords(a);
-    const auto cb = coords(b);
+    // Strides instead of coords(): hops is called per send on the engine's
+    // hot path, and materialising two coordinate vectors allocated.
     int h = 0;
     for (std::size_t i = 0; i < dims_.size(); ++i) {
-        const int d = std::abs(ca[i] - cb[i]);
+        const int ca = (a / strides_[i]) % dims_[i];
+        const int cb = (b / strides_[i]) % dims_[i];
+        const int d = std::abs(ca - cb);
         h += std::min(d, dims_[i] - d);  // shortest way around the ring
     }
     return std::max(1, h);
+}
+
+int TorusTopology::diameter() const {
+    if (nodes() < 2) return 0;
+    // Per-dim ring distances are maximised simultaneously (origin vs the
+    // node at floor(d/2) in every dim), and distinct nodes are >= 1 hop.
+    int d = 0;
+    for (int dim : dims_) d += dim / 2;
+    return std::max(1, d);
+}
+
+double TorusTopology::mean_hops() const {
+    const int n = nodes();
+    if (n < 2) return 0.0;
+    // Sum of ring distances over ordered coordinate pairs in one dim of size
+    // d: each of the d start points sees distances min(t, d-t) for t=1..d-1.
+    // Every dim contributes independently ((n/d)^2 ordered pairs share each
+    // coordinate pair), and a==b pairs contribute 0, so the clamped >=1 rule
+    // never fires on what is counted here (distinct nodes differ in some dim
+    // by a ring distance >= 1).
+    long long total = 0;
+    for (int d : dims_) {
+        long long ring = 0;
+        for (int t = 1; t < d; ++t) ring += std::min(t, d - t);
+        ring *= d;
+        const long long rest = n / d;
+        total += ring * rest * rest;
+    }
+    return static_cast<double>(total) /
+           static_cast<double>(static_cast<long>(n) * n - n);
 }
 
 // ------------------------------------------------------------- fat tree ----
@@ -106,6 +150,25 @@ int FatTreeTopology::hops(int a, int b) const {
                    "fat tree node out of range");
     if (a == b) return 0;
     return (a / nodes_per_leaf_ == b / nodes_per_leaf_) ? 1 : 3;
+}
+
+int FatTreeTopology::diameter() const {
+    if (n_nodes_ < 2) return 0;
+    return n_nodes_ <= nodes_per_leaf_ ? 1 : 3;
+}
+
+double FatTreeTopology::mean_hops() const {
+    const long long n = n_nodes_;
+    if (n < 2) return 0.0;
+    // Ordered same-leaf pairs: full leaves of nodes_per_leaf_ plus one
+    // remainder leaf; everything else crosses the spine at 3 hops.
+    const long long npl = nodes_per_leaf_;
+    const long long full = n / npl;
+    const long long rem = n % npl;
+    const long long same = full * npl * (npl - 1) + rem * (rem - 1);
+    const long long pairs = n * (n - 1);
+    const long long total = same + (pairs - same) * 3;
+    return static_cast<double>(total) / static_cast<double>(pairs);
 }
 
 // ------------------------------------------------------------ dragonfly ----
@@ -138,6 +201,34 @@ int DragonflyTopology::hops(int a, int b) const {
     // Minimal global route: local hop, global link, local hop (source and
     // destination routers are generally not the gateway routers).
     return 4;
+}
+
+int DragonflyTopology::diameter() const {
+    if (n_nodes_ < 2) return 0;
+    if (n_nodes_ <= nodes_per_router_) return 1;
+    if (n_nodes_ <= nodes_per_router_ * routers_per_group_) return 2;
+    return 4;
+}
+
+double DragonflyTopology::mean_hops() const {
+    const long long n = n_nodes_;
+    if (n < 2) return 0.0;
+    // Ordered pairs per tier: same router (1 hop), same group but different
+    // router (2), cross-group (4). Only the last router / last group can be
+    // partially filled, so the tier populations are closed-form.
+    const auto same_bucket = [](long long total, long long size) {
+        const long long full = total / size;
+        const long long rem = total % size;
+        return full * size * (size - 1) + rem * (rem - 1);
+    };
+    const long long npr = nodes_per_router_;
+    const long long npg = npr * routers_per_group_;
+    const long long same_router = same_bucket(n, npr);
+    const long long same_group = same_bucket(n, npg);
+    const long long pairs = n * (n - 1);
+    const long long total =
+        same_router + (same_group - same_router) * 2 + (pairs - same_group) * 4;
+    return static_cast<double>(total) / static_cast<double>(pairs);
 }
 
 } // namespace armstice::net

@@ -18,10 +18,19 @@ public:
     [[nodiscard]] virtual int nodes() const = 0;
     /// Switch/router hops on the route between two distinct nodes (>= 1).
     [[nodiscard]] virtual int hops(int a, int b) const = 0;
-    /// Maximum hops over all node pairs.
-    [[nodiscard]] int diameter() const;
+    /// Maximum hops over all node pairs. The base implementation scans all
+    /// pairs (O(nodes^2)); every concrete topology overrides it with a
+    /// counting closed form that returns the identical value — required,
+    /// since collective pricing calls these per collective and the engine
+    /// now runs jobs with 10^4+ nodes (tests/test_net.cpp pins override ==
+    /// pair scan on every family).
+    [[nodiscard]] virtual int diameter() const;
     /// Mean hops over all distinct ordered pairs (used by collective models).
-    [[nodiscard]] double mean_hops() const;
+    /// Overridden with counting forms like diameter(); bit-identical because
+    /// the pair scan accumulates small integers into a double, which is exact
+    /// below 2^53, so both sides divide the same integer sum by the same
+    /// count.
+    [[nodiscard]] virtual double mean_hops() const;
 };
 
 /// K-dimensional torus (models the TofuD 6D mesh/torus: the three "virtual"
@@ -35,11 +44,14 @@ public:
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] int nodes() const override;
     [[nodiscard]] int hops(int a, int b) const override;
+    [[nodiscard]] int diameter() const override;
+    [[nodiscard]] double mean_hops() const override;
     [[nodiscard]] const std::vector<int>& dims() const { return dims_; }
     [[nodiscard]] std::vector<int> coords(int node) const;
 
 private:
     std::vector<int> dims_;
+    std::vector<int> strides_;  ///< per-dim divisors for allocation-free coords
 };
 
 /// Two-level fat tree (leaf + spine), non-blocking: 1 hop under the same
@@ -51,6 +63,8 @@ public:
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] int nodes() const override { return n_nodes_; }
     [[nodiscard]] int hops(int a, int b) const override;
+    [[nodiscard]] int diameter() const override;
+    [[nodiscard]] double mean_hops() const override;
     [[nodiscard]] int leaves() const;
 
 private:
@@ -68,6 +82,8 @@ public:
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] int nodes() const override { return n_nodes_; }
     [[nodiscard]] int hops(int a, int b) const override;
+    [[nodiscard]] int diameter() const override;
+    [[nodiscard]] double mean_hops() const override;
 
 private:
     int n_nodes_;

@@ -8,6 +8,7 @@
 #include "util/str.hpp"
 #include "util/threadpool.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <functional>
@@ -60,7 +61,7 @@ GeneratedCase generate(std::uint64_t seed, const GenConfig& cfg) {
     };
 
     for (int round = 0; round < rounds; ++round) {
-        std::uint64_t kind = rng.next_below(6);
+        std::uint64_t kind = rng.next_below(7);
         if (kind == 4 && (!cfg.allow_sendrecv || ranks < 2)) kind = 3;
         if (kind == 5 && !cfg.allow_any_source) kind = 3;
         switch (kind) {
@@ -121,6 +122,22 @@ GeneratedCase generate(std::uint64_t seed, const GenConfig& cfg) {
                         prog(root).send(r, 128.0, round + 1000);
                         prog(r).recv(root, round + 1000);
                     }
+                }
+                break;
+            }
+            case 6: {  // SPMD compute: every rank runs the identical phase,
+                       // so ProgramBundle::from dedups the programs and the
+                       // engine's rank-equivalence collapse (DESIGN.md §11)
+                       // gets multi-member classes to split — the bundle
+                       // differentials in check_case exercise exactly that.
+                arch::ComputePhase phase;
+                phase.label = "fuzz-spmd";
+                phase.flops = rng.uniform(1e6, 1e9);
+                phase.main_bytes = rng.uniform(1e4, 1e8);
+                phase.pattern = static_cast<arch::MemPattern>(rng.next_below(3));
+                for (int r = 0; r < ranks; ++r) {
+                    gc.total_flops += phase.flops;
+                    prog(r).compute(phase);
                 }
                 break;
             }
@@ -280,6 +297,12 @@ std::vector<std::string> check_case(const arch::SystemSpec& sys,
         return opts;
     };
 
+    // The dedup + rank-equivalence-collapse pipeline must be bit-identical
+    // to the per-rank vector path on every case; SPMD rounds (generator kind
+    // 6) make some bundles genuinely shared so collapsed classes split
+    // mid-run under the checker's eyes.
+    const ProgramBundle bundle = ProgramBundle::from(gc.programs);
+
     if (gc.deadlock == DeadlockKind::none) {
         const auto run_one = [&](const char* who,
                                  auto&& fn) -> std::optional<RunResult> {
@@ -298,6 +321,25 @@ std::vector<std::string> check_case(const arch::SystemSpec& sys,
                 fails.push_back("engine vs ref: " + d);
             }
         }
+        if (const auto r = run_one("bundle", [&] { return eng.run(bundle); })) {
+            if (const std::string d = diff_results(*base, *r); !d.empty()) {
+                fails.push_back("engine vs bundle (collapsed): " + d);
+            }
+        }
+        if (const auto r = run_one("bundle-flat", [&] {
+                RunOptions opts;
+                opts.collapse = false;
+                return eng.run(bundle, opts);
+            })) {
+            if (const std::string d = diff_results(*base, *r); !d.empty()) {
+                fails.push_back("engine vs bundle (collapse off): " + d);
+            }
+        }
+        if (const auto r = run_one("bundle-ref", [&] { return ref.run(bundle); })) {
+            if (const std::string d = diff_results(*base, *r); !d.empty()) {
+                fails.push_back("ref vs bundle: " + d);
+            }
+        }
         for (int k = 1; k <= perturbations; ++k) {
             const auto r = run_one(util::format("perturb %d", k).c_str(), [&] {
                 return eng.run(gc.programs, perturb_opts(k));
@@ -305,6 +347,19 @@ std::vector<std::string> check_case(const arch::SystemSpec& sys,
             if (!r) continue;
             if (const std::string d = diff_results(*base, *r); !d.empty()) {
                 fails.push_back(util::format("engine vs perturb %d: ", k) + d);
+            }
+        }
+        // Perturbed collapsed runs: splitting order must not leak into the
+        // result either. Two seeds keep the suite's runtime in check.
+        for (int k = 1; k <= std::min(perturbations, 2); ++k) {
+            const auto r =
+                run_one(util::format("bundle perturb %d", k).c_str(), [&] {
+                    return eng.run(bundle, perturb_opts(k));
+                });
+            if (!r) continue;
+            if (const std::string d = diff_results(*base, *r); !d.empty()) {
+                fails.push_back(
+                    util::format("engine vs bundle perturb %d: ", k) + d);
             }
         }
         return fails;
@@ -330,6 +385,13 @@ std::vector<std::string> check_case(const arch::SystemSpec& sys,
         expect_deadlock("engine", [&] { return eng.run(gc.programs); });
     if (!base) return fails;
     validate_diagnosis(gc, *base, &fails);
+    if (const auto g =
+            expect_deadlock("bundle", [&] { return eng.run(bundle); })) {
+        if (g->render() != base->render()) {
+            fails.push_back("bundle diagnosis differs from engine:\n--- engine\n" +
+                            base->render() + "\n--- bundle\n" + g->render());
+        }
+    }
     if (const auto g =
             expect_deadlock("ref", [&] { return ref.run(gc.programs); })) {
         if (g->render() != base->render()) {

@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 namespace armstice::sim {
 namespace {
@@ -43,15 +45,36 @@ struct Mailbox {
 
 enum class BlockKind { none, recv, collective };
 
-struct RankState {
+/// One *simulation class*: a set of ranks whose futures are provably
+/// identical (same Program object, same ExecContext class) executing as one
+/// state machine (DESIGN.md §11). A singleton class is exactly the old
+/// per-rank state. Collapsed classes split — lazily, the moment the next op
+/// could break the symmetry — into singletons that inherit the shared state,
+/// so every rank's trajectory is bit-identical to an uncollapsed run.
+struct SimClass {
+    // Execution state (what RankState used to hold).
     std::size_t pc = 0;
     double time = 0;
     BlockKind blocked = BlockKind::none;
     int want_src = kAnySource;
     int want_tag = 0;
-    int coll_count = 0;      ///< collectives this rank has entered
+    int coll_count = 0;      ///< collectives entered (per member)
     PhaseId mark_id = kNoPhase;  ///< current MarkOp label (kNoPhase = none)
     bool finished = false;
+    bool queued = false;
+    bool any_grant = false;  ///< quiescence grant for an ANY_SOURCE recv
+    // Class identity.
+    const Program* prog = nullptr;
+    std::uint32_t ctx = 0;   ///< ExecContext class (cost-memo row)
+    int rep = 0;             ///< lowest member rank; the one "executing"
+    int size = 1;            ///< member count
+    std::vector<int> members;  ///< ascending; members[0] == rep
+    // Per-member results, replicated to every member at the end. Summing the
+    // replicas in ascending rank order reproduces the uncollapsed reductions
+    // bit-exactly because each member would have produced the same values.
+    RankStats stats;
+    double flops = 0;
+    std::vector<double> phase;  ///< compute seconds per interned PhaseId
 };
 
 enum class CollKind { none, allreduce, barrier, alltoall };
@@ -59,9 +82,9 @@ enum class CollKind { none, allreduce, barrier, alltoall };
 struct Collective {
     CollKind kind = CollKind::none;
     double bytes = 0;
-    int arrived = 0;
+    int arrived = 0;         ///< ranks (not classes) that have entered
     double max_time = 0;
-    std::vector<int> waiters;
+    std::vector<std::uint32_t> waiters;  ///< blocked class indices
     double completion = 0;
 };
 
@@ -163,25 +186,25 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // (often one), so phases are priced once per (content, class) instead of
     // once per rank. Exact field equality keeps results bit-identical.
     std::vector<arch::ExecContext> class_ctx;
-    std::vector<std::uint32_t> class_of(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint32_t> ctx_of(static_cast<std::size_t>(n), 0);
     for (int r = 0; r < n; ++r) {
         const arch::ExecContext ctx = placement_.exec_context(r, vec_quality_);
-        std::uint32_t cls = UINT32_MAX;
+        std::uint32_t cc = UINT32_MAX;
         for (std::size_t i = 0; i < class_ctx.size(); ++i) {
             const auto& c = class_ctx[i];
             if (c.cpu == ctx.cpu && c.vec_quality == ctx.vec_quality &&
                 c.threads == ctx.threads &&
                 c.streams_on_domain == ctx.streams_on_domain &&
                 c.domains_spanned == ctx.domains_spanned) {
-                cls = static_cast<std::uint32_t>(i);
+                cc = static_cast<std::uint32_t>(i);
                 break;
             }
         }
-        if (cls == UINT32_MAX) {
-            cls = static_cast<std::uint32_t>(class_ctx.size());
+        if (cc == UINT32_MAX) {
+            cc = static_cast<std::uint32_t>(class_ctx.size());
             class_ctx.push_back(ctx);
         }
-        class_of[static_cast<std::size_t>(r)] = cls;
+        ctx_of[static_cast<std::size_t>(r)] = cc;
     }
     const std::size_t n_classes = class_ctx.size();
     std::unordered_map<std::uint64_t, CostEntry> cost_memo;
@@ -192,87 +215,168 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     std::uint64_t memo_last_key = 0;
     CostEntry* memo_last = nullptr;
 
-    // Per-rank home node, resolved once (Placement::loc is out-of-line and
-    // sends are the most numerous ops in halo-heavy programs).
-    std::vector<int> rank_node(static_cast<std::size_t>(n));
-    for (int r = 0; r < n; ++r) {
-        rank_node[static_cast<std::size_t>(r)] = placement_.loc(r).node;
-    }
-
-    // Node-pair message cost table: Network::p2p_time(a, b, bytes) evaluates
-    // ((base + bytes/bw) + msg_overhead) where base and bw depend only on
-    // (a, b) — base is shm_latency_s on-node and latency_s + hops*per_hop_s
-    // off-node, both computed here with the identical expression so the
-    // split stays bit-exact. Skipped for very large jobs where the O(nodes^2)
-    // table would dominate; the engine then calls p2p_time per send.
-    const auto& np = network_.params();
-    const int n_nodes = placement_.nodes();
-    const bool use_pair_table = n_nodes <= 256;
-    std::vector<double> pair_base;
-    std::vector<double> pair_bw;
-    if (use_pair_table) {
-        const std::size_t nn = static_cast<std::size_t>(n_nodes);
-        pair_base.resize(nn * nn);
-        pair_bw.resize(nn * nn);
-        const auto& topo = network_.topology();
-        for (int a = 0; a < n_nodes; ++a) {
-            for (int b = 0; b < n_nodes; ++b) {
-                const std::size_t i = static_cast<std::size_t>(a) * nn +
-                                      static_cast<std::size_t>(b);
-                if (a == b) {
-                    pair_base[i] = np.shm_latency_s;
-                    pair_bw[i] = np.shm_bandwidth;
-                } else {
-                    pair_base[i] = np.latency_s + topo.hops(a, b) * np.per_hop_s;
-                    pair_bw[i] = np.bandwidth;
-                }
+    // --- Simulation classes (rank-equivalence collapse, DESIGN.md §11) ---
+    // Ranks sharing one Program object (ProgramBundle dedup) and one
+    // ExecContext class start in one SimClass and execute once. Program
+    // *identity* (not content) is the key: the per-rank-vector run() overload
+    // passes n distinct pointers and degenerates to n singletons, preserving
+    // its exact legacy behaviour. Tracing needs per-rank spans, so a Trace
+    // forces singletons too.
+    const bool collapse = opts.collapse && trace == nullptr;
+    std::vector<SimClass> cls;
+    std::vector<std::uint32_t> cls_of(static_cast<std::size_t>(n), 0);
+    if (collapse) {
+        std::map<std::pair<const Program*, std::uint32_t>, std::uint32_t> groups;
+        for (int r = 0; r < n; ++r) {
+            const std::uint32_t cc = ctx_of[static_cast<std::size_t>(r)];
+            const auto key = std::make_pair(progs[static_cast<std::size_t>(r)], cc);
+            auto [it, fresh] = groups.emplace(key, static_cast<std::uint32_t>(cls.size()));
+            if (fresh) {
+                SimClass s;
+                s.prog = progs[static_cast<std::size_t>(r)];
+                s.ctx = cc;
+                s.rep = r;
+                s.size = 0;
+                cls.push_back(std::move(s));
             }
+            auto& c = cls[it->second];
+            c.members.push_back(r);
+            ++c.size;
+            cls_of[static_cast<std::size_t>(r)] = it->second;
+        }
+    } else {
+        cls.resize(static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+            auto& c = cls[static_cast<std::size_t>(r)];
+            c.prog = progs[static_cast<std::size_t>(r)];
+            c.ctx = ctx_of[static_cast<std::size_t>(r)];
+            c.rep = r;
+            cls_of[static_cast<std::size_t>(r)] = static_cast<std::uint32_t>(r);
         }
     }
 
-    std::vector<RankState> st(static_cast<std::size_t>(n));
-
     RunResult result;
-    result.ranks.assign(static_cast<std::size_t>(n), RankStats{});
+    result.collapse_classes = static_cast<int>(cls.size());
 
-    // Per-phase compute seconds, accumulated *per rank* (indexed by interned
-    // PhaseId) and reduced across ranks in ascending rank order at the end.
-    // A rank's additions follow its program order, which no schedule can
-    // permute, so the FP sums are schedule-invariant (DESIGN.md §10.2); a
-    // single global accumulator would add in pop order and drift in the low
-    // bits. `seen` (not acc != 0) mirrors the old map semantics: executing a
-    // zero-cost phase still creates its entry. total_flops gets the same
-    // treatment via rank_flops.
-    std::vector<std::vector<double>> rank_phase(static_cast<std::size_t>(n));
+    // Per-phase compute seconds accumulate *per class* (indexed by interned
+    // PhaseId) in program order, which no schedule can permute, and reduce
+    // across ranks in ascending rank order at the end — so the FP sums are
+    // schedule-invariant (DESIGN.md §10.2) and collapse-invariant (every
+    // member replicates its class's values). `phase_seen` (not acc != 0)
+    // mirrors the old map semantics: executing a zero-cost phase still
+    // creates its entry. total_flops gets the same treatment via
+    // SimClass::flops.
     std::vector<char> phase_seen;
-    std::vector<double> rank_flops(static_cast<std::size_t>(n), 0.0);
-    const auto accum_phase = [&](int rank, PhaseId id, double dt) {
-        auto& acc = rank_phase[static_cast<std::size_t>(rank)];
-        if (id >= acc.size()) acc.resize(id + 1, 0.0);
+    const auto accum_phase = [&](SimClass& s, PhaseId id, double dt) {
+        if (id >= s.phase.size()) s.phase.resize(id + 1, 0.0);
         if (id >= phase_seen.size()) phase_seen.resize(id + 1, 0);
-        acc[id] += dt;
+        s.phase[id] += dt;
         phase_seen[id] = 1;
     };
 
-    std::vector<Mailbox> mailbox(static_cast<std::size_t>(n));
+    // P2p state — per-rank home nodes and mailboxes — is materialised lazily
+    // on the first SendOp, so purely collective/compute workloads (the ones
+    // that stay collapsed) never allocate O(total ranks) arrays for it.
+    const auto& np = network_.params();
+    const auto& topo = network_.topology();
+    std::vector<int> rank_node;
+    std::vector<Mailbox> mailbox;
+    bool p2p_live = false;
+    const auto ensure_p2p = [&] {
+        if (p2p_live) return;
+        rank_node.resize(static_cast<std::size_t>(n));
+        for (int r = 0; r < n; ++r) {
+            rank_node[static_cast<std::size_t>(r)] = placement_.loc(r).node;
+        }
+        mailbox.assign(static_cast<std::size_t>(n), Mailbox{});
+        p2p_live = true;
+    };
+
+    // Tiered message-cost table: Network::p2p_time(a, b, bytes) evaluates
+    // ((base + bytes/bw) + msg_overhead) where base depends on (a, b) only
+    // through the hop count — latency_s + hops*per_hop_s off-node (hops is
+    // in [1, diameter], a topology-contract the counting-form diameter()
+    // overrides pin) and shm_latency_s on-node. Precomputing base per hop
+    // tier with the identical expression keeps the split bit-exact while
+    // replacing the old O(nodes^2) node-pair table, whose n_nodes <= 256
+    // cutoff silently changed nothing but cost minutes of setup and gigabytes
+    // at many-thousand-node scale.
+    std::vector<double> hop_base(static_cast<std::size_t>(topo.diameter()) + 1);
+    for (std::size_t h = 0; h < hop_base.size(); ++h) {
+        hop_base[h] = np.latency_s + static_cast<int>(h) * np.per_hop_s;
+    }
+
     std::vector<Collective> collectives;
     collectives.reserve(64);
-    // FIFO run queue as a head-indexed vector (contiguous; compacts when
-    // drained, so it stays O(live entries) despite monotonic pushes).
-    std::vector<int> runnable;
-    runnable.reserve(static_cast<std::size_t>(n) * 2);
-    std::size_t run_head = 0;
-    std::vector<char> queued(static_cast<std::size_t>(n), 1);
-    // Quiescence grants for MPI_ANY_SOURCE recvs (see the resolver below).
-    std::vector<char> any_grant(static_cast<std::size_t>(n), 0);
-    for (int r = 0; r < n; ++r) runnable.push_back(r);
-    int finished = 0;
-
-    auto wake = [&](int r) {
-        if (!queued[static_cast<std::size_t>(r)] && !st[static_cast<std::size_t>(r)].finished) {
-            queued[static_cast<std::size_t>(r)] = 1;
-            runnable.push_back(r);
+    // Collective pricing is a pure function of (kind, bytes) for a fixed
+    // layout; memoize it so million-rank iteration loops price each distinct
+    // collective once instead of re-walking the topology model per ordinal.
+    struct CollPrice {
+        CollKind kind;
+        double bytes;
+        double cost;
+    };
+    std::vector<CollPrice> coll_prices;
+    const auto collective_cost = [&](CollKind kind, double bytes) {
+        for (const auto& cp : coll_prices) {
+            if (cp.kind == kind && cp.bytes == bytes) return cp.cost;
         }
+        double cost = 0.0;
+        switch (kind) {
+            case CollKind::allreduce: cost = coll_model.allreduce(layout, bytes); break;
+            case CollKind::barrier: cost = coll_model.barrier(layout); break;
+            case CollKind::alltoall: cost = coll_model.alltoall(layout, bytes); break;
+            case CollKind::none: break;
+        }
+        coll_prices.push_back(CollPrice{kind, bytes, cost});
+        return cost;
+    };
+
+    // FIFO run queue of class indices as a head-indexed vector (contiguous;
+    // compacts when drained, so it stays O(live entries) despite monotonic
+    // pushes — and O(classes), not O(ranks), while classes stay collapsed).
+    std::vector<std::uint32_t> runnable;
+    runnable.reserve(cls.size() * 2);
+    std::size_t run_head = 0;
+    for (std::uint32_t i = 0; i < cls.size(); ++i) {
+        cls[i].queued = true;
+        runnable.push_back(i);
+    }
+    int finished_ranks = 0;
+
+    const auto wake = [&](std::uint32_t ci) {
+        auto& c = cls[ci];
+        if (!c.queued && !c.finished) {
+            c.queued = true;
+            runnable.push_back(ci);
+        }
+    };
+
+    // Splitting: the moment class ci's next op could distinguish members —
+    // any p2p op (absolute rank addressing), or a ComputeOp under nonzero
+    // os_noise (the noise draw is rank-keyed) — every member except the
+    // representative peels off into a singleton inheriting the shared state
+    // verbatim. Members have been bit-identical up to here by induction, so
+    // the inherited state *is* each member's uncollapsed state. New
+    // singletons enqueue in ascending member order; collectives never split
+    // (their effect on every waiter is symmetric) and MarkOps are per-class.
+    const auto split_class = [&](std::uint32_t ci) {
+        std::vector<int> members = std::move(cls[ci].members);
+        cls[ci].members.clear();
+        cls[ci].size = 1;
+        ++result.collapse_splits;
+        const SimClass base = cls[ci];  // state snapshot (members already cut)
+        for (std::size_t i = 1; i < members.size(); ++i) {
+            SimClass s = base;
+            s.rep = members[i];
+            s.queued = true;
+            cls_of[static_cast<std::size_t>(members[i])] =
+                static_cast<std::uint32_t>(cls.size());
+            runnable.push_back(static_cast<std::uint32_t>(cls.size()));
+            cls.push_back(std::move(s));
+        }
+        // cls[ci] keeps members[0] == its rep; it is already dequeued and
+        // continues executing the op that triggered the split.
     };
 
     // First message matching (want_src, want_tag). Per-source FIFOs preserve
@@ -281,10 +385,12 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // source rank) key. Arrival = sender issue time + p2p latency, both pure
     // functions of the programs, so — unlike a global send-issue counter —
     // the match cannot depend on the order the engine happened to run ranks
-    // (DESIGN.md §10.2).
-    auto find_recv = [&](int r) -> std::pair<Mailbox::SrcQueue*, std::size_t> {
-        auto& box = mailbox[static_cast<std::size_t>(r)];
-        const auto& s = st[static_cast<std::size_t>(r)];
+    // (DESIGN.md §10.2). Classes blocked on a recv are always singletons
+    // (p2p ops split first), so the class rep is the receiving rank.
+    const auto find_recv =
+        [&](const SimClass& s) -> std::pair<Mailbox::SrcQueue*, std::size_t> {
+        if (!p2p_live) return {nullptr, 0};
+        auto& box = mailbox[static_cast<std::size_t>(s.rep)];
         Mailbox::SrcQueue* best_sq = nullptr;
         std::size_t best_i = 0;
         for (auto& sq : box.srcs) {
@@ -304,8 +410,8 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         }
         return {best_sq, best_i};
     };
-    auto try_recv = [&](int r) -> std::optional<Message> {
-        auto [best_sq, best_i] = find_recv(r);
+    const auto try_recv = [&](const SimClass& s) -> std::optional<Message> {
+        auto [best_sq, best_i] = find_recv(s);
         if (best_sq == nullptr) return std::nullopt;
         Message m = best_sq->q[best_i];
         if (best_i == best_sq->head) {
@@ -322,31 +428,45 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     };
 
     const double os_noise = cost_.knobs().os_noise;
-    // Schedule perturbation (sim::check): any nonzero seed swaps a pseudo-
-    // randomly chosen runnable rank to the queue head before every pop.
+    // Schedule perturbation (sim::check): any nonzero seed permutes every
+    // order-free choice the engine makes — the runnable pop order, the
+    // quiescence resolver's scan order, and the order a completed
+    // collective's waiters are processed in — and results must stay
+    // bit-identical (DESIGN.md §10.2).
     util::Rng perturb_rng(opts.perturb_seed);
     const bool perturb = opts.perturb_seed != 0;
 
-    while (finished < n) {
+    while (finished_ranks < n) {
         if (run_head == runnable.size()) {
             // Global quiescence: no rank can advance without an ANY_SOURCE
             // match. Wildcard recvs are resolved only here — an eager match
             // would consume whichever message this particular schedule
             // happened to deliver first, but the quiescent state (and so the
             // pending-message pool the (arrival, src) rule picks from) is a
-            // pure function of the programs. Lowest blocked rank with a match
-            // resolves first; the simulation then runs back to quiescence.
-            int grant = -1;
-            for (int r = 0; r < n; ++r) {
-                const auto& s = st[static_cast<std::size_t>(r)];
+            // pure function of the programs. The *lowest-ranked* blocked rank
+            // with a match resolves first — computed as an explicit min over
+            // all eligible classes, never "first eligible found", so the
+            // grant is independent of class creation order; under a perturb
+            // seed the scan starts at a pseudorandom offset to pin exactly
+            // that. (Permuting the grant order itself would be unsound: the
+            // granted rank can resume and send a message that outranks an
+            // already-pending match on another wildcard receiver.)
+            std::uint32_t grant = UINT32_MAX;
+            int grant_rank = n;
+            const std::size_t nc = cls.size();
+            const std::size_t start = perturb && nc > 1 ? perturb_rng.next_below(nc) : 0;
+            for (std::size_t k = 0; k < nc; ++k) {
+                const std::size_t i = start + k < nc ? start + k : start + k - nc;
+                const auto& s = cls[i];
                 if (!s.finished && s.blocked == BlockKind::recv &&
-                    s.want_src == kAnySource && find_recv(r).first != nullptr) {
-                    grant = r;
-                    break;
+                    s.want_src == kAnySource && s.rep < grant_rank &&
+                    find_recv(s).first != nullptr) {
+                    grant = static_cast<std::uint32_t>(i);
+                    grant_rank = s.rep;
                 }
             }
-            if (grant >= 0) {
-                any_grant[static_cast<std::size_t>(grant)] = 1;
+            if (grant != UINT32_MAX) {
+                cls[grant].any_grant = true;
                 wake(grant);
                 continue;
             }
@@ -355,10 +475,11 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             // graph (sim/deadlock.hpp). The stalled state is a pure function
             // of the programs — every schedule reaches the same one — so the
             // diagnosis is required to be byte-identical across Engine,
-            // RefEngine and all perturbation seeds.
+            // RefEngine, all perturbation seeds, and collapse on/off (a
+            // collapsed class's state is every member's state).
             std::vector<PendingWait> pending(static_cast<std::size_t>(n));
             for (int r = 0; r < n; ++r) {
-                const auto& s = st[static_cast<std::size_t>(r)];
+                const auto& s = cls[cls_of[static_cast<std::size_t>(r)]];
                 auto& w = pending[static_cast<std::size_t>(r)];
                 w.finished = s.finished;
                 w.pc = s.pc;
@@ -394,7 +515,7 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                           runnable[run_head + perturb_rng.next_below(live)]);
             }
         }
-        const int r = runnable[run_head++];
+        const std::uint32_t ci = runnable[run_head++];
         if (run_head == runnable.size()) {
             runnable.clear();
             run_head = 0;
@@ -405,20 +526,29 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                            runnable.begin() + static_cast<std::ptrdiff_t>(run_head));
             run_head = 0;
         }
-        queued[static_cast<std::size_t>(r)] = 0;
-        auto& s = st[static_cast<std::size_t>(r)];
-        auto& stats = result.ranks[static_cast<std::size_t>(r)];
-        const Program& prog = *progs[static_cast<std::size_t>(r)];
-        const std::uint32_t cls = class_of[static_cast<std::size_t>(r)];
+        cls[ci].queued = false;
 
-        // Local copies: stores through st/stats/mailbox cannot alias the op
+        // Local copies: stores through cls/mailbox cannot alias the op
         // stream, but the compiler cannot prove that and would otherwise
-        // reload ops.data()/size() after every store.
+        // reload ops.data()/size() after every store. The Program pointer is
+        // stable across splits (splits copy state, not the program).
+        const Program& prog = *cls[ci].prog;
         const Op* const ops_data = prog.ops.data();
         const std::size_t nops = prog.ops.size();
 
         bool advancing = true;
-        while (advancing && s.pc < nops) {
+        while (advancing && cls[ci].pc < nops) {
+            // Split-before-execute: peel members off *before* binding any
+            // reference (split_class grows `cls`, invalidating references).
+            if (cls[ci].size > 1) {
+                const std::size_t t = ops_data[cls[ci].pc].index();
+                if (t == 1 || t == 2 || (t == 0 && os_noise > 0)) {
+                    split_class(ci);
+                }
+            }
+            auto& s = cls[ci];
+            auto& stats = s.stats;
+            const int r = s.rep;
             const Op& op = ops_data[s.pc];
             // Dispatch on the raw alternative index with a compare chain,
             // most-frequent ops first: conditional branches on a patterned op
@@ -427,19 +557,18 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             if (tag == 1) {  // SendOp
                 const auto* snd = std::get_if<SendOp>(&op);
                 ARMSTICE_CHECK(snd->dst >= 0 && snd->dst < n, "send dst out of range");
+                ARMSTICE_CHECK(snd->bytes >= 0, "negative message size");
+                ensure_p2p();
                 const int src_node = rank_node[static_cast<std::size_t>(r)];
                 const int dst_node = rank_node[static_cast<std::size_t>(snd->dst)];
                 double p2p;
-                if (use_pair_table) {
-                    ARMSTICE_CHECK(snd->bytes >= 0, "negative message size");
-                    const std::size_t pi =
-                        static_cast<std::size_t>(src_node) *
-                            static_cast<std::size_t>(n_nodes) +
-                        static_cast<std::size_t>(dst_node);
-                    p2p = pair_base[pi] + snd->bytes / pair_bw[pi] +
+                if (src_node == dst_node) {
+                    p2p = np.shm_latency_s + snd->bytes / np.shm_bandwidth +
                           np.msg_overhead_s;
                 } else {
-                    p2p = network_.p2p_time(src_node, dst_node, snd->bytes);
+                    p2p = hop_base[static_cast<std::size_t>(
+                              topo.hops(src_node, dst_node))] +
+                          snd->bytes / np.bandwidth + np.msg_overhead_s;
                 }
                 const double arrival = s.time + p2p;
                 const double inject =
@@ -454,10 +583,12 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                     .queue_for(r)
                     .q.push_back(Message{r, snd->tag, arrival});
                 // ANY_SOURCE waiters are not woken by sends: they resolve at
-                // quiescence only (schedule invariance).
-                const auto& ds = st[static_cast<std::size_t>(snd->dst)];
+                // quiescence only (schedule invariance). A recv-blocked class
+                // is a singleton, so its rep is the destination rank itself.
+                const std::uint32_t di = cls_of[static_cast<std::size_t>(snd->dst)];
+                const auto& ds = cls[di];
                 if (ds.blocked == BlockKind::recv && ds.want_src != kAnySource) {
-                    wake(snd->dst);
+                    wake(di);
                 }
                 ++s.pc;
             } else if (tag == 2) {  // RecvOp
@@ -467,9 +598,9 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 // ANY_SOURCE matches only with a quiescence grant (above);
                 // explicit-source matching is confluent and stays eager.
                 std::optional<Message> m;
-                if (rcv->src != kAnySource || any_grant[static_cast<std::size_t>(r)]) {
-                    any_grant[static_cast<std::size_t>(r)] = 0;
-                    m = try_recv(r);
+                if (rcv->src != kAnySource || s.any_grant) {
+                    s.any_grant = false;
+                    m = try_recv(s);
                 }
                 if (m) {
                     if (m->arrival > s.time) {
@@ -489,6 +620,7 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             } else if (tag == 0) {  // ComputeOp
                 const auto* c = std::get_if<ComputeOp>(&op);
                 const arch::ComputePhase& phase = prog.phase_of(*c);
+                const std::uint32_t cc = s.ctx;
                 CostEntry* entry_p;
                 if (c->cost_key == memo_last_key) {
                     entry_p = memo_last;  // consecutive ops repeat phases
@@ -507,19 +639,20 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 double dt;
                 if (entry.rep_addr == &phase ||
                     arch::same_cost_inputs(entry.rep, phase)) {
-                    if (!entry.have[cls]) {
+                    if (!entry.have[cc]) {
                         // Bit-identical across sharers: explain() reads only
                         // the (bitwise equal) same_cost_inputs fields.
-                        entry.dt[cls] = cost_.phase_time(phase, class_ctx[cls]);
-                        entry.have[cls] = 1;
+                        entry.dt[cc] = cost_.phase_time(phase, class_ctx[cc]);
+                        entry.have[cc] = 1;
                     }
-                    dt = entry.dt[cls];
+                    dt = entry.dt[cc];
                 } else {
                     // Hash collision between different phase contents: price
                     // this op directly rather than share a wrong time.
-                    dt = cost_.phase_time(phase, class_ctx[cls]);
+                    dt = cost_.phase_time(phase, class_ctx[cc]);
                 }
                 if (os_noise > 0) {
+                    // Rank-keyed draw — the split above guarantees size == 1.
                     dt *= 1.0 + os_noise * noise_sample(r, s.pc);
                 }
                 const PhaseId label_id =
@@ -530,8 +663,8 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 }
                 s.time += dt;
                 stats.compute += dt;
-                rank_flops[static_cast<std::size_t>(r)] += phase.flops;
-                accum_phase(r, label_id, dt);
+                s.flops += phase.flops;
+                accum_phase(s, label_id, dt);
                 ++s.pc;
             } else if (tag <= 5) {  // Allreduce(3) / Barrier(4) / Alltoall(5)
                 CollKind kind = CollKind::barrier;
@@ -550,46 +683,44 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                     auto& fresh = collectives[static_cast<std::size_t>(ord)];
                     fresh.kind = kind;
                     fresh.bytes = bytes;
-                    fresh.waiters.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
                 }
                 auto& coll = collectives[static_cast<std::size_t>(ord)];
                 ARMSTICE_CHECK(coll.kind == kind && coll.bytes == bytes,
                                "collective mismatch: ranks disagree on op " +
                                    std::to_string(ord));
                 ++s.coll_count;
+                // A collapsed class enters on behalf of all its members at
+                // one shared time: `arrived` advances by the member count and
+                // max_time sees the one value every member would contribute.
                 coll.max_time = std::max(coll.max_time, s.time);
-                ++coll.arrived;
+                coll.arrived += s.size;
                 if (coll.arrived == n) {
-                    double cost = 0.0;
-                    switch (kind) {
-                        case CollKind::allreduce:
-                            cost = coll_model.allreduce(layout, bytes);
-                            break;
-                        case CollKind::barrier:
-                            cost = coll_model.barrier(layout);
-                            break;
-                        case CollKind::alltoall:
-                            cost = coll_model.alltoall(layout, bytes);
-                            break;
-                        case CollKind::none: break;
-                    }
-                    coll.completion = coll.max_time + cost;
-                    // Resume everyone (this rank inline, peers via queue).
+                    coll.completion =
+                        coll.max_time + collective_cost(kind, bytes);
+                    // Resume everyone (this class inline, peers via queue).
                     // Waiters are blocked, hence neither queued nor finished,
-                    // so they can be enqueued without wake()'s checks.
-                    for (int w : coll.waiters) {
-                        auto& ws = st[static_cast<std::size_t>(w)];
+                    // so they can be enqueued without wake()'s checks. Each
+                    // waiter's update reads only its own state and the shared
+                    // completion time, so the processing order is free —
+                    // under a perturb seed it is shuffled to pin that.
+                    if (perturb && coll.waiters.size() > 1) {
+                        for (std::size_t i = coll.waiters.size() - 1; i > 0; --i) {
+                            std::swap(coll.waiters[i],
+                                      coll.waiters[perturb_rng.next_below(i + 1)]);
+                        }
+                    }
+                    for (std::uint32_t wi : coll.waiters) {
+                        auto& ws = cls[wi];
                         if (trace) {
-                            trace->add({w, SpanKind::collective, "", ws.time,
+                            trace->add({ws.rep, SpanKind::collective, "", ws.time,
                                         coll.completion});
                         }
-                        result.ranks[static_cast<std::size_t>(w)].collective_wait +=
-                            coll.completion - ws.time;
+                        ws.stats.collective_wait += coll.completion - ws.time;
                         ws.time = coll.completion;
                         ws.blocked = BlockKind::none;
                         ++ws.pc;
-                        queued[static_cast<std::size_t>(w)] = 1;
-                        runnable.push_back(w);
+                        ws.queued = true;
+                        runnable.push_back(wi);
                     }
                     if (trace) {
                         trace->add({r, SpanKind::collective, "", s.time,
@@ -599,7 +730,7 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                     s.time = coll.completion;
                     ++s.pc;
                 } else {
-                    coll.waiters.push_back(r);
+                    coll.waiters.push_back(ci);
                     s.blocked = BlockKind::collective;
                     advancing = false;
                 }
@@ -609,26 +740,33 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             }
         }
 
-        if (s.pc >= nops && !s.finished) {
-            s.finished = true;
-            stats.finish = s.time;
-            ++finished;
+        auto& done = cls[ci];
+        if (done.pc >= nops && !done.finished) {
+            done.finished = true;
+            done.stats.finish = done.time;
+            finished_ranks += done.size;
         }
     }
 
+    // Replicate each class's per-member results to all members, then reduce
+    // across ranks in ascending rank order — the one FP addition order every
+    // schedule (and RefEngine, and collapse on/off) can reproduce.
+    result.ranks.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        result.ranks[static_cast<std::size_t>(r)] =
+            cls[cls_of[static_cast<std::size_t>(r)]].stats;
+    }
     for (const auto& stats : result.ranks) {
         result.makespan = std::max(result.makespan, stats.finish);
     }
-    // Cross-rank reductions in ascending rank order — the one FP addition
-    // order every schedule (and RefEngine) can reproduce.
     for (int r = 0; r < n; ++r) {
-        result.total_flops += rank_flops[static_cast<std::size_t>(r)];
+        result.total_flops += cls[cls_of[static_cast<std::size_t>(r)]].flops;
     }
     for (PhaseId id = 0; id < phase_seen.size(); ++id) {
         if (!phase_seen[id]) continue;
         double acc = 0.0;
         for (int r = 0; r < n; ++r) {
-            const auto& per = rank_phase[static_cast<std::size_t>(r)];
+            const auto& per = cls[cls_of[static_cast<std::size_t>(r)]].phase;
             if (id < per.size()) acc += per[id];
         }
         result.phase_compute.emplace(phase_table().str(id), acc);

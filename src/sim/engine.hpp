@@ -26,6 +26,14 @@
 // into vectors indexed by interned PhaseId and the phase_compute map is
 // materialised only on return. Receive matching uses per-source FIFO queues.
 //
+// Scale (DESIGN.md §11): ranks sharing one Program object (ProgramBundle)
+// and one ExecContext class execute as ONE simulation class — the engine
+// runs O(classes) state machines, not O(ranks), and splits a class into
+// singletons lazily the moment an op could break the symmetry (p2p ops,
+// noise-stretched compute). Splitting is exact, so collapsed results are
+// bit-identical to RunOptions::collapse = false; million-rank SPMD
+// workloads simulate in roughly the footprint of a 64-rank one.
+//
 // Schedule invariance (DESIGN.md §10): every RunResult field is a pure
 // function of the programs and the model — never of the order in which the
 // engine happens to pop runnable ranks. Global sums (total_flops,
@@ -66,13 +74,22 @@ struct RankStats {
 };
 
 /// Per-run execution options (the schedule-perturbation hook of the
-/// sim::check differential tooling).
+/// sim::check differential tooling, plus the rank-equivalence switch).
 struct RunOptions {
     /// 0 = canonical FIFO pop order. Any other value seeds a deterministic
-    /// permutation of the runnable-queue pop order: at every dequeue one of
-    /// the currently-runnable ranks is chosen pseudorandomly. Results are
+    /// permutation of the engine's order-free choices: the runnable-queue
+    /// pop order, the quiescence resolver's scan order, and the order a
+    /// completed collective's waiters are resumed in. Results are
     /// bit-identical for every seed (schedule invariance, DESIGN.md §10.2).
     std::uint64_t perturb_seed = 0;
+    /// Rank-equivalence collapse (DESIGN.md §11): ranks sharing one Program
+    /// object (ProgramBundle) and one ExecContext class execute as one
+    /// simulation class until an op breaks the symmetry (any p2p op, or a
+    /// compute op under nonzero os_noise), at which point the class splits
+    /// into per-rank singletons. Results are bit-identical with the flag on
+    /// or off — it is a simulation-cost knob, never a model knob. Ignored
+    /// (forced off) when a Trace is attached.
+    bool collapse = true;
 };
 
 struct RunResult {
@@ -82,6 +99,11 @@ struct RunResult {
     /// Compute seconds per MarkOp label, summed over ranks (divide by ranks
     /// for the SPMD per-rank view).
     std::map<std::string, double> phase_compute;
+    /// Collapse diagnostics (not part of the modelled result: excluded from
+    /// check::diff_results and the persistent-cache codec). Classes the run
+    /// started with, and how many of them split mid-run.
+    int collapse_classes = 0;
+    int collapse_splits = 0;
 
     [[nodiscard]] double gflops() const {
         return makespan > 0 ? total_flops / 1e9 / makespan : 0.0;

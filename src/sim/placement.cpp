@@ -24,6 +24,7 @@ Placement Placement::build(const arch::NodeSpec& node, int nodes, int ranks,
     p.locs_.resize(static_cast<std::size_t>(ranks));
     p.streams_.assign(static_cast<std::size_t>(nodes),
                       std::vector<int>(static_cast<std::size_t>(node.mem_domains()), 0));
+    p.occupancy_.assign(static_cast<std::size_t>(nodes), 0);
 
     const int cores_per_node = node.cores();
     const int cpd = node.cores_per_domain();
@@ -46,6 +47,7 @@ Placement Placement::build(const arch::NodeSpec& node, int nodes, int ranks,
         const int last_domain = (loc.first_core + threads_per_rank - 1) / cpd;
         loc.domains_spanned = last_domain - loc.first_domain + 1;
         p.locs_[static_cast<std::size_t>(r)] = loc;
+        p.occupancy_[static_cast<std::size_t>(n)] += 1;
         for (int t = 0; t < threads_per_rank; ++t) {
             const int core = loc.first_core + t;
             auto& cell = used[static_cast<std::size_t>(n)][static_cast<std::size_t>(core)];
@@ -88,9 +90,10 @@ const RankLoc& Placement::loc(int rank) const {
 
 int Placement::ranks_on_node(int node) const {
     ARMSTICE_CHECK(node >= 0 && node < nodes_, "node out of range");
-    int count = 0;
-    for (const auto& l : locs_) count += (l.node == node) ? 1 : 0;
-    return count;
+    // Precomputed in build(): comm_layout() and check_capacity() ask for
+    // every node, and a per-call O(ranks) scan made them O(ranks x nodes) —
+    // minutes of setup for the million-rank collapsed runs.
+    return occupancy_[static_cast<std::size_t>(node)];
 }
 
 int Placement::streams_on_domain(int node, int domain) const {

@@ -72,6 +72,7 @@ private:
     int threads_ = 1;
     std::vector<RankLoc> locs_;
     std::vector<std::vector<int>> streams_;  ///< [node][domain] -> stream count
+    std::vector<int> occupancy_;  ///< [node] -> resident ranks (built once)
 };
 
 } // namespace armstice::sim

@@ -68,6 +68,13 @@ RefEngine::RefEngine(const arch::SystemSpec& sys, Placement placement,
                    "vec_quality must be in (0,1]");
 }
 
+RunResult RefEngine::run(const ProgramBundle& bundle) const {
+    std::vector<Program> programs;
+    programs.reserve(static_cast<std::size_t>(bundle.ranks()));
+    for (int r = 0; r < bundle.ranks(); ++r) programs.push_back(bundle.of(r));
+    return run(programs);
+}
+
 RunResult RefEngine::run(const std::vector<Program>& programs) const {
     const int n = placement_.ranks();
     ARMSTICE_CHECK(static_cast<int>(programs.size()) == n,

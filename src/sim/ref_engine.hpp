@@ -36,6 +36,12 @@ public:
     /// with an identical wait-for graph on a stall.
     [[nodiscard]] RunResult run(const std::vector<Program>& programs) const;
 
+    /// Bundle variant: materialises the full per-rank vector and runs it
+    /// naively — deliberately ignorant of sharing, so it is the reference the
+    /// production engine's bundle dedup and rank-equivalence collapse are
+    /// differentially checked against.
+    [[nodiscard]] RunResult run(const ProgramBundle& bundle) const;
+
 private:
     const arch::SystemSpec* sys_;
     Placement placement_;

@@ -25,14 +25,38 @@ public:
     explicit ProgramSet(int ranks);
 
     [[nodiscard]] int ranks() const { return nranks_; }
+    /// True while every rank still shares the single prototype program. The
+    /// engine's rank-equivalence collapse (DESIGN.md §11) keys classes on
+    /// shared program identity, so a still-SPMD set collapses to one class
+    /// per ExecContext class; bench_engine asserts the scale skeletons stay
+    /// SPMD all the way into take_bundle().
+    [[nodiscard]] bool spmd() const { return !forked_; }
     /// Mutable access to one rank's program; forks the shared prototype.
     [[nodiscard]] sim::Program& at(int rank);
 
     /// SPMD: every rank executes `phase`.
     ProgramSet& compute(const arch::ComputePhase& phase);
-    /// SPMD: rank-dependent phases (callable rank -> ComputePhase).
+    /// SPMD: rank-dependent phases (callable rank -> ComputePhase, which must
+    /// be pure — it may be invoked more than once per rank). When every
+    /// rank's phase comes out identical (cost inputs and label) the op is
+    /// emitted through the shared prototype instead of forking, so uniform
+    /// "per-rank" work keeps the structural sharing that feeds ProgramBundle
+    /// dedup and the engine's rank-equivalence collapse. The built programs
+    /// are identical either way.
     template <typename F>
     ProgramSet& compute_by_rank(F&& make_phase) {
+        if (!forked_) {
+            arch::ComputePhase first = make_phase(0);
+            bool uniform = true;
+            for (int r = 1; r < ranks() && uniform; ++r) {
+                const arch::ComputePhase p = make_phase(r);
+                uniform = arch::same_cost_inputs(first, p) && p.label == first.label;
+            }
+            if (uniform) {
+                proto_.compute(first);
+                return *this;
+            }
+        }
         for (int r = 0; r < ranks(); ++r) at(r).compute(make_phase(r));
         return *this;
     }

@@ -1,0 +1,305 @@
+// Rank-equivalence collapse (DESIGN.md §11): collapsed runs must be
+// bit-identical to uncollapsed runs and to RefEngine, classes must form on
+// (shared program, ExecContext class) and split exactly when an op can break
+// the symmetry — p2p ops, noise-stretched compute, placement asymmetry, and
+// ANY_SOURCE arrival races are each pinned by a directed case below.
+
+#include "arch/system.hpp"
+#include "sim/check.hpp"
+#include "sim/engine.hpp"
+#include "sim/ref_engine.hpp"
+#include "simmpi/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace aa = armstice::arch;
+namespace as = armstice::sim;
+namespace am = armstice::simmpi;
+namespace ck = armstice::sim::check;
+
+aa::ComputePhase phase(const char* label, double flops, double bytes) {
+    aa::ComputePhase p;
+    p.label = label;
+    p.flops = flops;
+    p.main_bytes = bytes;
+    p.pattern = aa::MemPattern::stream;
+    p.efficiency = 0.8;
+    return p;
+}
+
+/// Fig-shaped SPMD iteration loop: compute + collectives + a ring halo, the
+/// op mix of the paper's strong-scaling figures. Deterministic builder so it
+/// can be materialised twice (bundle for the engine, vector for RefEngine).
+am::ProgramSet fig_skeleton(int ranks, int iters) {
+    am::ProgramSet ps(ranks);
+    const auto spmv = phase("spmv", 2.4e7, 1.5e8);
+    const auto axpy = phase("axpy", 1.0e6, 2.4e7);
+    std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+        if (ranks > 1) {
+            neighbors[static_cast<std::size_t>(r)].push_back((r + 1) % ranks);
+            neighbors[static_cast<std::size_t>(r)].push_back((r + ranks - 1) % ranks);
+        }
+    }
+    for (int it = 0; it < iters; ++it) {
+        if (ranks > 1) ps.halo_exchange(neighbors, 2.1e5);
+        ps.compute(spmv);
+        ps.allreduce(8);
+        ps.compute(axpy);
+        if (it % 3 == 0) ps.alltoall(256);
+        ps.allreduce(8);
+    }
+    return ps;
+}
+
+as::Engine make_engine(int ranks, int nodes, aa::ModelKnobs knobs = {}) {
+    return {aa::fulhame(),
+            as::Placement::block(aa::fulhame().node, nodes, ranks, 1), 0.8,
+            knobs};
+}
+
+as::RunOptions no_collapse() {
+    as::RunOptions opts;
+    opts.collapse = false;
+    return opts;
+}
+
+#define EXPECT_BITEQ(a, b, what)                                          \
+    do {                                                                  \
+        const std::string d_ = ck::diff_results((a), (b));                \
+        EXPECT_EQ(d_, "") << what;                                        \
+    } while (0)
+
+TEST(Collapse, FigWorkloadsBitIdenticalOnOffAndPerturbedAtScale) {
+    for (int ranks : {48, 256, 1024}) {
+        const int nodes = (ranks + 63) / 64;
+        const auto eng = make_engine(ranks, nodes);
+        const auto bundle = fig_skeleton(ranks, /*iters=*/4).take_bundle();
+        const auto vec = fig_skeleton(ranks, /*iters=*/4).take();
+
+        const auto collapsed = eng.run(bundle);
+        const auto flat = eng.run(bundle, no_collapse());
+        const auto per_rank = eng.run(vec);
+        EXPECT_BITEQ(collapsed, flat, "collapse on vs off at " << ranks);
+        EXPECT_BITEQ(collapsed, per_rank, "bundle vs vector at " << ranks);
+        EXPECT_EQ(flat.collapse_classes, ranks);
+        // Halo sends force per-rank programs, so no collapse here — but the
+        // engine must agree with itself bit-for-bit regardless.
+        for (std::uint64_t seed : {0xc011a95eULL, 0x5eedULL}) {
+            as::RunOptions opts;
+            opts.perturb_seed = seed;
+            EXPECT_BITEQ(collapsed, eng.run(bundle, opts),
+                         "perturbed collapse at " << ranks);
+        }
+    }
+}
+
+TEST(Collapse, SpmdFigWorkloadMatchesRefEngine) {
+    // RefEngine is O(ranks^2 * events); keep it at the small end and let the
+    // on/off differential above carry the large sizes.
+    for (int ranks : {48, 96}) {
+        const auto eng = make_engine(ranks, (ranks + 63) / 64);
+        const as::RefEngine ref(
+            aa::fulhame(),
+            as::Placement::block(aa::fulhame().node, (ranks + 63) / 64, ranks, 1),
+            0.8);
+        const auto bundle = fig_skeleton(ranks, /*iters=*/3).take_bundle();
+        const auto vec = fig_skeleton(ranks, /*iters=*/3).take();
+        EXPECT_BITEQ(eng.run(bundle), ref.run(vec), "engine vs ref at " << ranks);
+        EXPECT_BITEQ(eng.run(bundle), ref.run(bundle),
+                     "engine vs ref bundle overload at " << ranks);
+    }
+}
+
+TEST(Collapse, PureSpmdCollapsesToContextClassesUnderZeroNoise) {
+    // 128 ranks on 2 fully-populated Fulhame nodes, no p2p, no noise: one
+    // shared program and one ExecContext class => exactly one simulation
+    // class, zero splits.
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    const int ranks = 128;
+    const auto eng = make_engine(ranks, 2, knobs);
+    am::ProgramSet ps(ranks);
+    for (int it = 0; it < 5; ++it) {
+        ps.compute(phase("jacobi", 3.0e7, 2.0e8));
+        ps.allreduce(8);
+    }
+    ASSERT_TRUE(ps.spmd());
+    const auto bundle = ps.take_bundle();
+    ASSERT_EQ(bundle.distinct(), 1);
+
+    const auto collapsed = eng.run(bundle);
+    EXPECT_EQ(collapsed.collapse_classes, 1);
+    EXPECT_EQ(collapsed.collapse_splits, 0);
+    const auto flat = eng.run(bundle, no_collapse());
+    EXPECT_EQ(flat.collapse_classes, ranks);
+    EXPECT_BITEQ(collapsed, flat, "collapsed vs flat");
+}
+
+TEST(Collapse, OsNoiseForcesComputeSplit) {
+    // Default knobs carry os_noise > 0 and the noise draw is keyed on the
+    // rank, so a collapsed class must shatter at its first ComputeOp.
+    const int ranks = 64;
+    const auto eng = make_engine(ranks, 1);
+    am::ProgramSet ps(ranks);
+    ps.compute(phase("noisy", 1.0e7, 5.0e7));
+    ps.allreduce(8);
+    const auto bundle = ps.take_bundle();
+
+    const auto collapsed = eng.run(bundle);
+    EXPECT_EQ(collapsed.collapse_classes, 1);
+    EXPECT_EQ(collapsed.collapse_splits, 1);
+    EXPECT_BITEQ(collapsed, eng.run(bundle, no_collapse()), "noise split");
+}
+
+TEST(Collapse, SharedRingSplitsOnFirstSend) {
+    // Collective prologue keeps the class together; the ring send is the
+    // first op that addresses an absolute rank and must trigger the split.
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    const int ranks = 8;
+    const auto eng = make_engine(ranks, 1, knobs);
+    as::Program proto;
+    proto.allreduce(8);
+    proto.compute(phase("pre", 1.0e6, 1.0e7));
+    // Every rank sends to rank 0 (rank 0 to itself — a legal shm
+    // self-message), keeping the bundle shared; eager sends let the ranks
+    // finish with the messages unconsumed.
+    proto.send(0, 4096, /*tag=*/7);
+    const auto bundle = as::ProgramBundle::shared(proto, ranks);
+
+    const auto collapsed = eng.run(bundle);
+    EXPECT_EQ(collapsed.collapse_classes, 1);
+    EXPECT_EQ(collapsed.collapse_splits, 1);
+    EXPECT_BITEQ(collapsed, eng.run(bundle, no_collapse()), "send split");
+}
+
+TEST(Collapse, AnySourceFunnelSplitsAndStaysInvariant) {
+    // Non-root ranks share one program (identical sends), the root is its
+    // own class; the equal arrival times force the wildcard matcher through
+    // its source-rank tie-break, which any collapse bug in send issue times
+    // would perturb. The shared class must split at its SendOp before any
+    // per-rank asymmetry can be observed.
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    const int ranks = 12;
+    const auto eng = make_engine(ranks, 1, knobs);
+    std::vector<as::Program> progs(static_cast<std::size_t>(ranks));
+    for (int r = 1; r < ranks; ++r) {
+        progs[static_cast<std::size_t>(r)].compute(phase("pre", 2.0e6, 1.0e7));
+        progs[static_cast<std::size_t>(r)].send(0, 1024.0, /*tag=*/3);
+        progs[static_cast<std::size_t>(r)].recv(0, /*tag=*/4);
+    }
+    for (int i = 1; i < ranks; ++i) {
+        progs[0].recv(as::kAnySource, /*tag=*/3);
+    }
+    for (int r = 1; r < ranks; ++r) progs[0].send(r, 64.0, /*tag=*/4);
+    const auto bundle = as::ProgramBundle::from(progs);
+    ASSERT_EQ(bundle.distinct(), 2);
+
+    const auto collapsed = eng.run(bundle);
+    EXPECT_EQ(collapsed.collapse_classes, 2);
+    EXPECT_GE(collapsed.collapse_splits, 1);
+    EXPECT_BITEQ(collapsed, eng.run(bundle, no_collapse()), "funnel on/off");
+    EXPECT_BITEQ(collapsed, eng.run(progs), "funnel bundle vs vector");
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        as::RunOptions opts;
+        opts.perturb_seed = seed;
+        EXPECT_BITEQ(collapsed, eng.run(bundle, opts), "funnel perturbed");
+    }
+}
+
+TEST(Collapse, PlacementAsymmetryMakesSeparateClasses) {
+    // 3 ranks on 2 nodes (block): the under-filled node's rank sees a
+    // different stream count, so one shared program still yields two
+    // ExecContext classes — collapse must keep them apart from the start.
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    const auto eng = make_engine(3, 2, knobs);
+    am::ProgramSet ps(3);
+    ps.compute(phase("imbalanced", 5.0e7, 3.0e8));
+    ps.allreduce(8);
+    const auto bundle = ps.take_bundle();
+    ASSERT_EQ(bundle.distinct(), 1);
+
+    const auto collapsed = eng.run(bundle);
+    EXPECT_EQ(collapsed.collapse_classes, 2);
+    EXPECT_EQ(collapsed.collapse_splits, 0);
+    EXPECT_BITEQ(collapsed, eng.run(bundle, no_collapse()), "asym placement");
+    // Co-resident ranks share a class and replicate its stats exactly.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(collapsed.ranks[0].compute),
+              std::bit_cast<std::uint64_t>(collapsed.ranks[1].compute));
+}
+
+TEST(Collapse, TraceForcesSingletonsAndMatchesCollapsedResult) {
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    const int ranks = 16;
+    const auto eng = make_engine(ranks, 1, knobs);
+    am::ProgramSet ps(ranks);
+    ps.compute(phase("traced", 1.0e7, 8.0e7));
+    ps.allreduce(8);
+    const auto bundle = ps.take_bundle();
+
+    as::Trace trace;
+    const auto traced = eng.run(bundle, &trace);
+    EXPECT_EQ(traced.collapse_classes, ranks);  // trace disables collapse
+    EXPECT_FALSE(trace.spans().empty());
+    EXPECT_BITEQ(eng.run(bundle), traced, "collapsed vs traced");
+}
+
+TEST(Collapse, HundredThousandRankSpmdSmoke) {
+    // The scale the collapse exists for: 100k ranks, a handful of classes,
+    // and the uncollapsed run (cheap here: few ops/rank) agrees bit-for-bit.
+    aa::ModelKnobs knobs;
+    knobs.os_noise = 0.0;
+    const int ranks = 100000;
+    const int nodes = (ranks + 63) / 64;
+    const auto eng = make_engine(ranks, nodes, knobs);
+    am::ProgramSet ps(ranks);
+    for (int it = 0; it < 5; ++it) {
+        ps.compute(phase("spmv", 2.4e7, 1.5e8));
+        ps.allreduce(8);
+    }
+    ASSERT_TRUE(ps.spmd());
+    const auto bundle = ps.take_bundle();
+
+    const auto collapsed = eng.run(bundle);
+    EXPECT_LE(collapsed.collapse_classes, 2);  // full nodes + one partial
+    EXPECT_GT(collapsed.makespan, 0.0);
+    EXPECT_BITEQ(collapsed, eng.run(bundle, no_collapse()), "100k on/off");
+}
+
+TEST(TieredP2p, EngineMatchesRefEngineAcrossTheOldTableCutoff) {
+    // The dense node-pair table used to be gated by n_nodes <= 256; the
+    // tiered hop table replaced it for every size. Straddle the old cutoff
+    // and require bit-identity against RefEngine, whose sends price through
+    // Network::p2p_time directly.
+    for (int nodes : {200, 256, 257, 300}) {
+        const int ranks = 64;  // round-robin: one rank per node, many hops
+        const auto placement =
+            as::Placement::round_robin(aa::fulhame().node, nodes, ranks, 1);
+        const as::Engine eng(aa::fulhame(), placement, 0.8);
+        const as::RefEngine ref(aa::fulhame(), placement, 0.8);
+        std::vector<as::Program> progs(static_cast<std::size_t>(ranks));
+        for (int r = 0; r < ranks; ++r) {
+            auto& p = progs[static_cast<std::size_t>(r)];
+            p.compute(phase("tier", 1.0e6 * (1 + r % 3), 1.0e7));
+            p.send((r + 1) % ranks, 1.0e4 * (1 + r), /*tag=*/1);
+            p.send((r + 7) % ranks, 2.5e3, /*tag=*/2);
+            p.recv((r + ranks - 1) % ranks, /*tag=*/1);
+            p.recv((r + ranks - 7) % ranks, /*tag=*/2);
+            p.allreduce(8);
+        }
+        const auto a = eng.run(progs);
+        EXPECT_BITEQ(a, ref.run(progs), "tiered p2p at " << nodes << " nodes");
+        EXPECT_GT(a.ranks[0].msgs_received, 0);
+    }
+}
+
+} // namespace

@@ -8,6 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace an = armstice::net;
 using armstice::arch::NetKind;
 
@@ -45,6 +51,76 @@ TEST(Torus, HopsMatchManhattanWithWraparound) {
     EXPECT_EQ(t.hops(0, 2), 2);
     EXPECT_EQ(t.hops(0, 15), 2);  // (0,0) -> (3,3): 1 + 1 via wrap
     EXPECT_EQ(t.diameter(), 4);   // (2,2) away
+}
+
+// The counting-form diameter()/mean_hops() overrides must return exactly
+// what the base class's O(nodes^2) pair scans return — the scans accumulate
+// small integers into a double (exact below 2^53), so the comparison is
+// legitimately bitwise, not approximate. Collective pricing calls these per
+// collective, and the engine now sizes jobs in the tens of thousands of
+// nodes, so the overrides are load-bearing.
+namespace {
+
+int brute_diameter(const an::Topology& t) {
+    int d = 0;
+    for (int a = 0; a < t.nodes(); ++a)
+        for (int b = a + 1; b < t.nodes(); ++b) d = std::max(d, t.hops(a, b));
+    return d;
+}
+
+double brute_mean_hops(const an::Topology& t) {
+    const int n = t.nodes();
+    if (n < 2) return 0.0;
+    double sum = 0.0;
+    long count = 0;
+    for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+            if (a == b) continue;
+            sum += t.hops(a, b);
+            ++count;
+        }
+    }
+    return sum / static_cast<double>(count);
+}
+
+void expect_counting_matches_brute(const an::Topology& t) {
+    EXPECT_EQ(t.diameter(), brute_diameter(t)) << t.name();
+    const double brute = brute_mean_hops(t);
+    const double counted = t.mean_hops();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(counted),
+              std::bit_cast<std::uint64_t>(brute))
+        << t.name() << ": " << counted << " vs " << brute;
+}
+
+} // namespace
+
+TEST(TopologyStats, TorusCountingFormsMatchPairScansBitwise) {
+    for (int n : {1, 2, 3, 4, 8, 16, 27, 48, 100, 125}) {
+        expect_counting_matches_brute(an::TorusTopology::fit(n));
+    }
+    expect_counting_matches_brute(an::TorusTopology({5}));
+    expect_counting_matches_brute(an::TorusTopology({2, 3}));
+    expect_counting_matches_brute(an::TorusTopology({4, 4, 1}));
+    expect_counting_matches_brute(an::TorusTopology({3, 4, 5}));
+    expect_counting_matches_brute(an::TorusTopology({7, 1, 2}));
+}
+
+TEST(TopologyStats, FatTreeCountingFormsMatchPairScansBitwise) {
+    for (auto [n, npl] : std::vector<std::pair<int, int>>{
+             {1, 18}, {2, 18}, {10, 18}, {18, 18}, {19, 18},
+             {36, 18}, {37, 18}, {40, 24}, {100, 24}}) {
+        expect_counting_matches_brute(an::FatTreeTopology(n, npl));
+    }
+}
+
+TEST(TopologyStats, DragonflyCountingFormsMatchPairScansBitwise) {
+    for (int n : {1, 2, 3, 4, 5, 8, 16, 63, 64, 65, 100, 128, 200}) {
+        expect_counting_matches_brute(an::DragonflyTopology(n));
+    }
+    // Small router/group sizes hit the partial-bucket arithmetic hard.
+    for (int n : {1, 2, 3, 5, 6, 7, 12, 13, 25}) {
+        expect_counting_matches_brute(an::DragonflyTopology(n, 2, 3));
+    }
 }
 
 TEST(Torus, CoordsRoundTrip) {
