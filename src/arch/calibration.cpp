@@ -65,7 +65,7 @@ double minikab_efficiency(const SystemSpec& sys) {
 // ---------------------------------------------------------------------------
 double nekbone_efficiency(const SystemSpec& sys) {
     static const std::map<std::string, double> eff = {
-        {"A64FX", 0.229}, {"ARCHER", 0.653}, {"Cirrus", 0.55},
+        {"A64FX", 0.2513}, {"ARCHER", 0.653}, {"Cirrus", 0.55},
         {"EPCC NGIO", 0.505}, {"Fulhame", 0.420},
     };
     return lookup(eff, sys.name, "Nekbone");

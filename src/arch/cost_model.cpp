@@ -69,8 +69,11 @@ TimeBreakdown CostModel::explain(const ComputePhase& phase, const ExecContext& c
         flops_per_stream * (vf / (scalar_rate * out.vspeed) + (1.0 - vf) / scalar_rate);
 
     // --- Memory term -------------------------------------------------------
-    // Domain share under the SPMD contention approximation; single-stream
-    // concurrency caps; LLC-resident working sets get LLC bandwidth.
+    // Domain share under the SPMD contention approximation, then either the
+    // ECM per-level decomposition (processors carrying a MemLevel table) or
+    // the flat v3 path: single-stream concurrency caps; LLC-resident working
+    // sets get LLC bandwidth.
+    const bool use_ecm = knobs_.ecm && cpu.levels.size() >= 2;
     double bw = cpu.domain.bandwidth;
     if (knobs_.contention) {
         bw = cpu.domain.bandwidth * ctx.domains_spanned /
@@ -81,23 +84,39 @@ TimeBreakdown CostModel::explain(const ComputePhase& phase, const ExecContext& c
                             phase.pattern == MemPattern::dependent)
                                ? cpu.core_gather_bw
                                : cpu.core_stream_bw;
-        bw = std::min(bw, cap);
+        // The caps are end-to-end measurements; the ECM memory leg uses
+        // their deconvolved raw-interface equivalent so the serialized leg
+        // composition lands back on the measured rate where the cap binds.
+        bw = std::min(bw, use_ecm ? EcmModel::deconvolve_cap(cpu, cap) : cap);
     }
     if (phase.pattern == MemPattern::dependent) {
-        // Serial dependency chains: one line per latency.
-        bw = std::min(bw, util::cache_line / cpu.domain.latency_s);
+        // Serial dependency chains: one line per latency (also end-to-end).
+        const double clamp = util::cache_line / cpu.domain.latency_s;
+        bw = std::min(bw, use_ecm ? EcmModel::deconvolve_cap(cpu, clamp) : clamp);
     }
-    if (knobs_.cache_model && phase.working_set > 0.0) {
-        // A rank's working set is shared with the other ranks resident on the
-        // same LLC; if everything fits, the phase streams from cache instead.
-        const double ranks_on_llc =
-            std::max(1.0, static_cast<double>(ctx.streams_on_domain) / ctx.threads);
-        if (phase.working_set * ranks_on_llc <= cpu.llc.capacity_bytes) {
-            bw = std::max(bw, cpu.llc.bw_per_core);
+    const double ranks_on_llc =
+        std::max(1.0, static_cast<double>(ctx.streams_on_domain) / ctx.threads);
+    const double bytes_per_stream = phase.main_bytes / t_eff;
+    if (use_ecm) {
+        const int residence =
+            knobs_.cache_model
+                ? EcmModel::residence_level(cpu, phase.working_set, ranks_on_llc)
+                : static_cast<int>(cpu.levels.size()) - 1;
+        out.ecm = EcmModel::decompose(cpu, bytes_per_stream, residence, bw);
+        out.t_mem = out.ecm.t_data;
+        out.bw_per_stream =
+            out.t_mem > 0.0 ? bytes_per_stream / out.t_mem : bw;
+    } else {
+        if (knobs_.cache_model && phase.working_set > 0.0) {
+            // A rank's working set is shared with the other ranks resident on
+            // the same LLC; if everything fits, the phase streams from cache.
+            if (phase.working_set * ranks_on_llc <= cpu.llc.capacity_bytes) {
+                bw = std::max(bw, cpu.llc.bw_per_core);
+            }
         }
+        out.bw_per_stream = bw;
+        out.t_mem = bytes_per_stream / bw;
     }
-    out.bw_per_stream = bw;
-    out.t_mem = (phase.main_bytes / t_eff) / bw;
 
     // --- LLC traffic term ---------------------------------------------------
     out.t_cache = (phase.cache_bytes / t_eff) / cpu.llc.bw_per_core;

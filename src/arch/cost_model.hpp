@@ -5,6 +5,7 @@
 // all application-level residual efficiencies come from calibration.cpp and
 // arrive pre-folded into ComputePhase::efficiency.
 
+#include "arch/ecm.hpp"
 #include "arch/phase.hpp"
 #include "arch/processor.hpp"
 #include "arch/system.hpp"
@@ -19,9 +20,9 @@ namespace armstice::arch {
 /// persistent sweep-cache entry (core/cache.hpp) and a mismatch turns the
 /// entry into a miss, so stale results can never leak into regenerated
 /// artefacts.
-inline constexpr std::uint32_t kModelVersion = 3;  // v3: schedule-invariant global
-                                                   // sums + arrival-ordered
-                                                   // MPI_ANY_SOURCE matching
+inline constexpr std::uint32_t kModelVersion = 4;  // v4: ECM multi-level memory
+                                                   // hierarchy (per-level transfer
+                                                   // legs, serialized on A64FX)
 
 /// Model-component switches for the ablation bench (DESIGN.md §4.6).
 struct ModelKnobs {
@@ -30,6 +31,11 @@ struct ModelKnobs {
     bool gather_penalty = true;   ///< penalise gather/strided vectorisation
     bool cache_model = true;      ///< LLC-resident working sets use LLC bw
     bool amdahl = true;           ///< serial fraction limits thread speedup
+    /// Price memory traffic with the ECM per-level decomposition
+    /// (arch/ecm.hpp) on processors that carry a MemLevel table. Off — or on
+    /// a processor without hierarchy information — the flat v3 single-
+    /// bandwidth model prices the phase bit-exactly as before.
+    bool ecm = true;
     /// OS/system-noise amplitude: each compute op is stretched by
     /// (1 + os_noise * e) with e ~ Exp(1) capped at 8, deterministic per
     /// (rank, op). In bulk-synchronous loops the per-iteration makespan
@@ -72,6 +78,9 @@ struct TimeBreakdown {
     double total = 0;
     double bw_per_stream = 0;  ///< effective bytes/s granted per stream
     double vspeed = 0;         ///< vector speedup over scalar issue
+    /// Per-level transfer decomposition when the ECM path priced t_mem
+    /// (ecm.n_levels > 0); zeroed under the flat fallback.
+    EcmBreakdown ecm;
 };
 
 class CostModel {

@@ -1,0 +1,67 @@
+#include "arch/ecm.hpp"
+
+#include "util/error.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace armstice::arch {
+
+double EcmModel::deconvolve_cap(const Processor& cpu, double cap_bw) {
+    ARMSTICE_CHECK(cap_bw > 0.0, "deconvolve_cap needs a positive cap");
+    if (cpu.levels.size() < 2 || cpu.ecm_overlap >= 1.0) return cap_bw;
+    // Serialized fraction of the cache legs' inverse bandwidth already
+    // accounted for inside the end-to-end measurement.
+    double cache_inv = 0.0;
+    for (std::size_t k = 1; k + 1 < cpu.levels.size(); ++k) {
+        cache_inv += 1.0 / cpu.levels[k].bw_per_core;
+    }
+    const double inv_raw = 1.0 / cap_bw - (1.0 - cpu.ecm_overlap) * cache_inv;
+    if (inv_raw <= 0.0) return std::numeric_limits<double>::infinity();
+    return 1.0 / inv_raw;
+}
+
+int EcmModel::residence_level(const Processor& cpu, double working_set,
+                              double ranks_sharing) {
+    const int memory = static_cast<int>(cpu.levels.size()) - 1;
+    if (working_set <= 0.0) return memory;
+    for (int k = 0; k < memory; ++k) {
+        const MemLevel& lvl = cpu.levels[static_cast<std::size_t>(k)];
+        const double share =
+            lvl.shared ? working_set * std::max(1.0, ranks_sharing) : working_set;
+        if (share <= lvl.capacity_bytes) return k;
+    }
+    return memory;
+}
+
+EcmBreakdown EcmModel::decompose(const Processor& cpu, double bytes, int residence,
+                                 double mem_leg_bw) {
+    const int n = static_cast<int>(cpu.levels.size());
+    ARMSTICE_CHECK(n >= 2, "EcmModel::decompose needs a >=2-level hierarchy");
+    ARMSTICE_CHECK(residence >= 0 && residence < n, "residence level out of range");
+    ARMSTICE_CHECK(bytes >= 0.0, "negative traffic");
+    ARMSTICE_CHECK(mem_leg_bw > 0.0, "memory-leg bandwidth must be positive");
+
+    EcmBreakdown out;
+    out.n_levels = n;
+    out.residence = residence;
+
+    // Legs 1..residence: the leg through level k's interface moves the bytes
+    // between level k and level k-1. Data resident in L1 (residence 0) has no
+    // hierarchy legs at all — its traffic is in-core, covered by t_flops.
+    double sum = 0.0, worst = 0.0;
+    for (int k = 1; k <= residence; ++k) {
+        const bool memory_leg = (k == n - 1);
+        const double bw =
+            memory_leg ? mem_leg_bw : cpu.levels[static_cast<std::size_t>(k)].bw_per_core;
+        const double t = bytes / bw;
+        out.t_leg[static_cast<std::size_t>(k)] = t;
+        sum += t;
+        worst = std::max(worst, t);
+    }
+    const double ov = cpu.ecm_overlap;
+    out.t_data = (1.0 - ov) * sum + ov * worst;
+    return out;
+}
+
+} // namespace armstice::arch

@@ -1,0 +1,68 @@
+#pragma once
+// EcmModel — the multi-level memory-hierarchy half of the cost model
+// (DESIGN.md §12). Decomposes one phase's main-memory traffic into per-level
+// transfer legs over the Processor's MemLevel table and composes them by the
+// machine's overlap rule, following the ECM methodology Alappat et al.
+// applied to SpMV/Lattice-QCD on A64FX (arXiv:2103.03013): on A64FX the
+// legs serialize (ecm_overlap = 0), on the Intel/TX2 parts they overlap
+// (ecm_overlap = 1), and the composed time replaces the flat model's single
+// t_mem term inside CostModel::explain.
+//
+// Two invariants tie the ECM and flat families together (both pinned by
+// tests/arch/test_ecm_model.cpp):
+//  * A processor whose level table has fewer than two entries is priced by
+//    the flat model, bit-exactly.
+//  * The per-core end-to-end caps (core_stream_bw / core_gather_bw, and the
+//    dependent-chain latency clamp) are *measurements through the whole
+//    hierarchy*. deconvolve_cap() converts them into the raw memory-leg
+//    limit whose serial re-composition reproduces the measurement, so
+//    cap-bound anchors (Table V single-core minikab, single-core STREAM)
+//    price identically under both families.
+
+#include "arch/phase.hpp"
+#include "arch/processor.hpp"
+
+#include <array>
+
+namespace armstice::arch {
+
+/// Per-level decomposition of one phase's memory traffic (seconds).
+struct EcmBreakdown {
+    /// Transfer legs, index-aligned with Processor::levels: t_leg[k] is the
+    /// time to move the phase's bytes through level k's interface (the leg
+    /// between level k and level k-1; t_leg[0] is always 0 — the L1-to-
+    /// register leg is part of in-core execution, i.e. t_flops).
+    std::array<double, kMaxMemLevels> t_leg{};
+    int n_levels = 0;    ///< entries of Processor::levels in play
+    int residence = 0;   ///< level index the working set streams out of
+    double t_data = 0;   ///< composed hierarchy time per the overlap rule
+};
+
+class EcmModel {
+public:
+    /// Raw memory-leg bandwidth limit equivalent to the end-to-end measured
+    /// cap `cap_bw` on `cpu`: the value r with
+    ///   1/cap_bw = 1/r + (1 - ecm_overlap) * sum_cache_legs 1/bw_leg.
+    /// Returns +inf when the cache legs alone already explain the measured
+    /// rate (the cap then never binds the memory leg), and `cap_bw`
+    /// unchanged on fully overlapping machines or trivial level tables.
+    [[nodiscard]] static double deconvolve_cap(const Processor& cpu, double cap_bw);
+
+    /// Level index the phase's working set is resident in: the nearest level
+    /// whose effective capacity (shared levels are divided among
+    /// `ranks_sharing` co-resident ranks) holds `working_set` bytes. A zero
+    /// working set — the "no reuse information" default that preserves v3
+    /// streaming semantics — and oversized sets resolve to the memory level.
+    [[nodiscard]] static int residence_level(const Processor& cpu, double working_set,
+                                             double ranks_sharing);
+
+    /// Decompose `bytes` of traffic streamed from `residence` through the
+    /// hierarchy. `mem_leg_bw` is the per-stream memory-interface bandwidth
+    /// the flat contention/cap machinery computed (already deconvolved by
+    /// the caller via deconvolve_cap); cache legs run at their MemLevel's
+    /// bw_per_core. Requires cpu.levels.size() >= 2.
+    [[nodiscard]] static EcmBreakdown decompose(const Processor& cpu, double bytes,
+                                                int residence, double mem_leg_bw);
+};
+
+} // namespace armstice::arch

@@ -8,6 +8,7 @@
 #include "util/error.hpp"
 
 #include <string>
+#include <vector>
 
 namespace armstice::arch {
 
@@ -17,6 +18,25 @@ struct MemDomain {
     double bandwidth = 0;       ///< sustained (STREAM-triad-like) bytes/s
     double latency_s = 90e-9;   ///< load-to-use main memory latency
 };
+
+/// One level of the cache/memory hierarchy as the ECM model (arch/ecm.hpp)
+/// sees it, ordered nearest-to-core first (L1, L2[, L3], main memory last).
+/// The transfer leg *into* level k-1 runs at level k's `bw_per_core`; the
+/// last (memory) level's bandwidth is not read from here — the memory leg is
+/// priced by the flat contention/cap machinery of CostModel so the two model
+/// families share one memory-bandwidth story (DESIGN.md §12).
+struct MemLevel {
+    std::string name;           ///< "L1", "L2", "HBM2", "DDR4", ...
+    double capacity_bytes = 0;  ///< per core if private, per core group if shared
+    double bw_per_core = 0;     ///< sustained per-core bytes/s through this level
+    bool shared = false;        ///< shared by the core group (capacity divided
+                                ///< among co-resident ranks, like the flat
+                                ///< model's LLC residency rule)
+};
+
+/// Maximum hierarchy depth the ECM decomposition supports (L1/L2/L3/memory);
+/// TimeBreakdown carries a fixed-size per-leg array of this length.
+inline constexpr int kMaxMemLevels = 4;
 
 /// Last-level cache shared by one core group.
 struct SharedCache {
@@ -35,9 +55,24 @@ struct Processor {
     /// Scalar double-precision FLOPs/cycle/core (2 per FMA pipe).
     double scalar_fpc = 2.0;
     /// Sustained single-core bandwidth caps (concurrency-limited; these are
-    /// the measured STREAM-1-core and SpMV-gather effective rates).
+    /// the measured STREAM-1-core and SpMV-gather effective rates). The caps
+    /// are *end-to-end* measurements — under the ECM decomposition they are
+    /// deconvolved into a raw memory-leg limit so the serial leg composition
+    /// reproduces the measured rate exactly (arch/ecm.cpp).
     double core_stream_bw = 0;
     double core_gather_bw = 0;
+
+    /// ECM memory-hierarchy descriptor (L1 first, memory last). Fewer than
+    /// two levels means "no hierarchy information": CostModel then prices
+    /// memory traffic with the flat single-bandwidth model (bit-exactly the
+    /// v3 behaviour).
+    std::vector<MemLevel> levels;
+    /// Fraction of inter-level transfer overlap the memory pipeline achieves:
+    /// 1 = transfers fully overlap (the composed hierarchy time is the max
+    /// leg — classic Intel-style cores), 0 = transfers serialize (the time is
+    /// the sum of legs — the A64FX machine model of Alappat et al.,
+    /// arXiv:2103.03013).
+    double ecm_overlap = 1.0;
 
     [[nodiscard]] int cores() const { return core_groups * cores_per_group; }
     /// Peak vector FLOPs/cycle/core.
@@ -72,6 +107,21 @@ struct NodeSpec {
         ARMSTICE_CHECK(cpu.domain.capacity_bytes > 0, "domain needs capacity");
         ARMSTICE_CHECK(cpu.core_stream_bw > 0 && cpu.core_gather_bw > 0,
                        "per-core bandwidth caps required");
+        ARMSTICE_CHECK(cpu.levels.size() <= static_cast<std::size_t>(kMaxMemLevels),
+                       "memory hierarchy deeper than kMaxMemLevels");
+        ARMSTICE_CHECK(cpu.ecm_overlap >= 0.0 && cpu.ecm_overlap <= 1.0,
+                       "ecm_overlap must be in [0, 1]");
+        for (std::size_t i = 0; i < cpu.levels.size(); ++i) {
+            const MemLevel& lvl = cpu.levels[i];
+            ARMSTICE_CHECK(lvl.capacity_bytes > 0, "memory level needs capacity");
+            // Cache levels need a per-core bandwidth; the memory level's
+            // bandwidth comes from MemDomain, so the last entry may omit it.
+            ARMSTICE_CHECK(lvl.bw_per_core > 0 || i + 1 == cpu.levels.size(),
+                           "cache level needs bw_per_core");
+            ARMSTICE_CHECK(i == 0 ||
+                               lvl.capacity_bytes >= cpu.levels[i - 1].capacity_bytes,
+                           "memory levels must have non-decreasing capacity");
+        }
     }
 };
 

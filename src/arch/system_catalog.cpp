@@ -11,6 +11,7 @@ using util::GB;
 using util::GB_per_s;
 using util::GHz;
 using util::GiB;
+using util::KiB;
 using util::MiB;
 using util::nsec;
 
@@ -39,6 +40,15 @@ SystemSpec make_a64fx() {
     cpu.scalar_fpc = 4.0;  // 2 FMA pipes
     cpu.core_stream_bw = 55.0 * GB_per_s;
     cpu.core_gather_bw = 8.07 * GB_per_s;
+    // ECM hierarchy (Alappat et al., arXiv:2103.03013): 64 KiB L1D per core
+    // (2x64 B loads/cy), 8 MiB L2 per CMG at ~80 GB/s/core sustained, HBM2
+    // behind it. The A64FX data paths do NOT overlap — the paper's machine
+    // model serializes the L2 and memory legs, which is what makes the L2 a
+    // co-bottleneck at full CMG occupancy.
+    cpu.levels = {MemLevel{"L1D", 64.0 * KiB, 281.0 * GB_per_s, false},
+                  MemLevel{"L2", 8.0 * MiB, 80.0 * GB_per_s, true},
+                  MemLevel{"HBM2", 8.0 * GiB, 0.0, true}};
+    cpu.ecm_overlap = 0.0;
 
     SystemSpec sys;
     sys.name = "A64FX";
@@ -62,6 +72,15 @@ SystemSpec make_archer() {
     cpu.scalar_fpc = 2.0;
     cpu.core_stream_bw = 12.0 * GB_per_s;
     cpu.core_gather_bw = 5.5 * GB_per_s;
+    // IvyBridge: 32 KiB L1D + 256 KiB L2 per core, 30 MiB shared L3. Intel
+    // uncores overlap in-flight transfers across levels (ecm_overlap = 1), so
+    // the composed hierarchy time is the slowest leg — identical to the flat
+    // model whenever the memory leg dominates.
+    cpu.levels = {MemLevel{"L1D", 32.0 * KiB, 86.0 * GB_per_s, false},
+                  MemLevel{"L2", 256.0 * KiB, 43.0 * GB_per_s, false},
+                  MemLevel{"L3", 30.0 * MiB, 25.0 * GB_per_s, true},
+                  MemLevel{"DDR3", 32.0 * GB, 0.0, true}};
+    cpu.ecm_overlap = 1.0;
 
     SystemSpec sys;
     sys.name = "ARCHER";
@@ -84,6 +103,13 @@ SystemSpec make_cirrus() {
     cpu.scalar_fpc = 4.0;
     cpu.core_stream_bw = 14.0 * GB_per_s;
     cpu.core_gather_bw = 6.5 * GB_per_s;
+    // Broadwell: 32 KiB L1D + 256 KiB L2 per core, 45 MiB shared L3,
+    // overlapping uncore (see the ARCHER note).
+    cpu.levels = {MemLevel{"L1D", 32.0 * KiB, 134.0 * GB_per_s, false},
+                  MemLevel{"L2", 256.0 * KiB, 67.0 * GB_per_s, false},
+                  MemLevel{"L3", 45.0 * MiB, 25.0 * GB_per_s, true},
+                  MemLevel{"DDR4", 128.0 * GB, 0.0, true}};
+    cpu.ecm_overlap = 1.0;
 
     SystemSpec sys;
     sys.name = "Cirrus";
@@ -106,6 +132,13 @@ SystemSpec make_ngio() {
     cpu.scalar_fpc = 4.0;
     cpu.core_stream_bw = 15.0 * GB_per_s;
     cpu.core_gather_bw = 7.84 * GB_per_s;
+    // Cascade Lake: 32 KiB L1D + 1 MiB L2 per core, 35.75 MiB shared
+    // (non-inclusive) L3, overlapping uncore (see the ARCHER note).
+    cpu.levels = {MemLevel{"L1D", 32.0 * KiB, 300.0 * GB_per_s, false},
+                  MemLevel{"L2", 1.0 * MiB, 150.0 * GB_per_s, false},
+                  MemLevel{"L3", 35.75 * MiB, 28.0 * GB_per_s, true},
+                  MemLevel{"DDR4", 96.0 * GB, 0.0, true}};
+    cpu.ecm_overlap = 1.0;
 
     SystemSpec sys;
     sys.name = "EPCC NGIO";
@@ -128,6 +161,13 @@ SystemSpec make_fulhame() {
     cpu.scalar_fpc = 4.0;
     cpu.core_stream_bw = 10.0 * GB_per_s;
     cpu.core_gather_bw = 4.07 * GB_per_s;
+    // ThunderX2: 32 KiB L1D + 256 KiB L2 per core, 32 MiB shared L3 ring.
+    // Its uncore also keeps multiple fills in flight (ecm_overlap = 1).
+    cpu.levels = {MemLevel{"L1D", 32.0 * KiB, 140.0 * GB_per_s, false},
+                  MemLevel{"L2", 256.0 * KiB, 60.0 * GB_per_s, false},
+                  MemLevel{"L3", 32.0 * MiB, 20.0 * GB_per_s, true},
+                  MemLevel{"DDR4", 128.0 * GB, 0.0, true}};
+    cpu.ecm_overlap = 1.0;
 
     SystemSpec sys;
     sys.name = "Fulhame";

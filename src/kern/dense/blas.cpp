@@ -11,6 +11,10 @@ namespace {
 /// Block edge for the cache-blocked GEMM: 64x64 doubles = 32 KiB per tile,
 /// three tiles fit comfortably in a 256 KiB L2.
 constexpr int kBlock = 64;
+/// Block edge for the cache-blocked ZGEMM: 48x48 complex doubles = 36 KiB
+/// per tile; three tiles (~108 KiB) fit both an x86 256 KiB private L2 and a
+/// core's share of the A64FX 8 MiB CMG L2 (DESIGN.md §12).
+constexpr int kZBlock = 48;
 } // namespace
 
 void axpy(double a, std::span<const double> x, std::span<double> y, OpCounts* counts) {
@@ -123,6 +127,12 @@ void gemm(std::span<const double> a, std::span<const double> b, std::span<double
         counts->flops += gemm_flops(m, k, n);
         counts->bytes_read += 8.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n);
         counts->bytes_written += 8.0 * static_cast<double>(m) * n;
+        counts->ws_bytes = std::max(
+            counts->ws_bytes,
+            std::min(3.0 * kBlock * kBlock,
+                     static_cast<double>(m) * k + static_cast<double>(k) * n +
+                         static_cast<double>(m) * n) *
+                8.0);
     }
 }
 
@@ -132,26 +142,59 @@ void zgemm(std::span<const cplx> a, std::span<const cplx> b, std::span<cplx> c,
     ARMSTICE_CHECK(b.size() == static_cast<std::size_t>(k) * n, "zgemm B size mismatch");
     ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "zgemm C size mismatch");
     std::fill(c.begin(), c.end(), cplx{0.0, 0.0});
-    // Row-parallel; per-row p-accumulation order matches the serial loop.
+    // Blocked like gemm(): kZBlock-aligned row stripes, p0/j0 tile loops
+    // inside. Each c[i][j] still receives its k additions in ascending-p
+    // order (p0 blocks ascend, p ascends within a block), so the result is
+    // bit-identical to the unblocked row loop — zgemm_naive() — at any jobs.
     par::parallel_for(
         m,
         [&](par::Range rows) {
-            for (long i = rows.begin; i < rows.end; ++i) {
-                cplx* crow = &c[static_cast<std::size_t>(i) * n];
-                const cplx* arow = &a[static_cast<std::size_t>(i) * k];
-                for (int p = 0; p < k; ++p) {
-                    const cplx aip = arow[p];
-                    const cplx* brow = &b[static_cast<std::size_t>(p) * n];
-                    for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+            for (long i0 = rows.begin; i0 < rows.end; i0 += kZBlock) {
+                const long i1 = std::min<long>(rows.end, i0 + kZBlock);
+                for (int p0 = 0; p0 < k; p0 += kZBlock) {
+                    const int p1 = std::min(k, p0 + kZBlock);
+                    for (int j0 = 0; j0 < n; j0 += kZBlock) {
+                        const int j1 = std::min(n, j0 + kZBlock);
+                        for (long i = i0; i < i1; ++i) {
+                            cplx* crow = &c[static_cast<std::size_t>(i) * n];
+                            const cplx* arow = &a[static_cast<std::size_t>(i) * k];
+                            for (int p = p0; p < p1; ++p) {
+                                const cplx aip = arow[p];
+                                const cplx* brow = &b[static_cast<std::size_t>(p) * n];
+                                for (int j = j0; j < j1; ++j) crow[j] += aip * brow[j];
+                            }
+                        }
+                    }
                 }
             }
         },
-        /*align=*/1, /*grain=*/16);
+        /*align=*/kZBlock, /*grain=*/kZBlock);
     if (counts) {
         counts->flops += zgemm_flops(m, k, n);
         counts->bytes_read +=
             16.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n);
         counts->bytes_written += 16.0 * static_cast<double>(m) * n;
+        counts->ws_bytes = std::max(
+            counts->ws_bytes,
+            std::min(3.0 * kZBlock * kZBlock,
+                     static_cast<double>(m) * k + static_cast<double>(k) * n +
+                         static_cast<double>(m) * n) *
+                16.0);
+    }
+}
+
+void zgemm_naive(std::span<const cplx> a, std::span<const cplx> b,
+                 std::span<cplx> c, int m, int k, int n) {
+    ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "zgemm_naive C size");
+    std::fill(c.begin(), c.end(), cplx{0.0, 0.0});
+    for (int i = 0; i < m; ++i) {
+        cplx* crow = &c[static_cast<std::size_t>(i) * n];
+        const cplx* arow = &a[static_cast<std::size_t>(i) * k];
+        for (int p = 0; p < k; ++p) {
+            const cplx aip = arow[p];
+            const cplx* brow = &b[static_cast<std::size_t>(p) * n];
+            for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+        }
     }
 }
 
