@@ -3,14 +3,26 @@
 // COSA's harmonic-balance multigrid loop) run at 48/256/1024 ranks on
 // Fulhame-shaped nodes (64 ranks/node at the top end, the paper's largest
 // per-node count), and the bench reports engine ops/sec, wall seconds and
-// peak RSS for each scenario, then writes BENCH_engine.json next to the
-// working directory so the perf trajectory of the engine is recorded.
+// per-scenario peak RSS for each scenario, then writes BENCH_engine.json
+// next to the working directory so the perf trajectory of the engine is
+// recorded.
+//
+// Every scenario runs as a pair by default: trace-JIT superop execution on
+// (DESIGN.md §13, the RunOptions default) and off (plain interpreter), with
+// the two RunResults required bit-identical before any number is written —
+// the same measure-then-prove pattern as `bench_kernels --smoke`. Pass
+// `--jit on` or `--jit off` to measure a single mode (no identity check
+// without the pair). Programs go through ProgramBundle, the form every app
+// in this repo hands the engine (bit-identical to the raw vector path, and
+// it amortises the derived op-key/run-table sidecars the JIT consumes).
 //
 // The JSON carries two measurement sets: "baseline" (numbers recorded on the
 // pre-optimization engine when this bench was introduced, kept as literals
-// below) and "current" (measured by this run), plus the per-scenario
-// speedup. Build Release (the default; bench targets force -O2 even under
-// sanitizer/debug configs — see bench/CMakeLists.txt) before quoting numbers.
+// below) and "current" (measured by this run). Rows with a matching baseline
+// entry carry "speedup_vs_baseline"; rows without one (the SPMD scale rows)
+// omit the field rather than reporting a fake 0. Build Release (the default;
+// bench targets force -O2 even under sanitizer/debug configs — see
+// bench/CMakeLists.txt) before quoting numbers.
 
 #include "arch/system.hpp"
 #include "sim/check.hpp"
@@ -24,6 +36,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -174,17 +187,57 @@ am::ProgramSet hpcg_spmd_skeleton(int ranks, int iters) {
 struct Scenario {
     std::string app;
     int ranks = 0;
+    bool jit = true;          ///< RunOptions::jit for this row
     long ops = 0;
     double seconds = 0;       ///< best-of-reps CPU time of one Engine::run
     double ops_per_sec = 0;
-    long peak_rss_kb = 0;     ///< process VmHWM after the scenario (cumulative)
+    long peak_rss_kb = 0;     ///< peak RSS during THIS scenario (see rss_scope)
+    /// "scenario" when /proc/self/clear_refs let us reset VmHWM before the
+    /// runs (the value is this scenario's own high-water mark), "process"
+    /// when the reset is unsupported and the value is the cumulative process
+    /// peak — labelled so a row can never pass off an earlier scenario's
+    /// allocation as its own.
+    bool rss_per_scenario = false;
     int collapse_classes = 0; ///< rank-equivalence classes the run ended with
+    int jit_blocks = 0;       ///< superop blocks compiled (jit rows)
+    long long jit_block_runs = 0;
+    long long jit_ops = 0;
+    bool paired = false;      ///< jit-on/off pair ran and proved bit-identity
 };
 
-long peak_rss_kb() {
+/// Cumulative process high-water mark (getrusage). Only meaningful as a
+/// whole-process number — the million-rank footprint gate at the end of
+/// main() — never as a per-scenario figure.
+long process_peak_rss_kb() {
     rusage ru{};
     getrusage(RUSAGE_SELF, &ru);
     return ru.ru_maxrss;  // KiB on Linux
+}
+
+/// Reset the kernel's per-mm RSS high-water mark (VmHWM) so the next
+/// vm_hwm_kb() read covers only what happened since. Linux-specific
+/// (write "5" to /proc/self/clear_refs); returns false where unsupported,
+/// in which case rows fall back to the cumulative peak and say so.
+bool reset_vm_hwm() {
+    std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+    if (f == nullptr) return false;
+    const bool wrote = std::fputs("5", f) >= 0;
+    return (std::fclose(f) == 0) && wrote;
+}
+
+/// Current VmHWM from /proc/self/status, in KiB (-1 if unreadable). After a
+/// successful reset_vm_hwm() this is the peak RSS since the reset (floored
+/// at the RSS current at reset time — memory already resident stays counted).
+long vm_hwm_kb() {
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr) return -1;
+    long kb = -1;
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    return kb;
 }
 
 /// Thread CPU seconds. Engine::run is single-threaded, so this is exactly the
@@ -196,7 +249,16 @@ double cpu_now() {
     return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
-Scenario measure(const std::string& app, int ranks, std::vector<as::Program> progs) {
+/// Record this scenario's RSS peak: per-scenario VmHWM when the kernel lets
+/// us reset it, cumulative process peak (honestly labelled) otherwise.
+void finish_rss(Scenario* s, bool reset_ok) {
+    const long hwm = reset_ok ? vm_hwm_kb() : -1;
+    s->rss_per_scenario = hwm >= 0;
+    s->peak_rss_kb = s->rss_per_scenario ? hwm : process_peak_rss_kb();
+}
+
+Scenario measure(const std::string& app, int ranks,
+                 const as::ProgramBundle& progs, bool jit, as::RunResult* out) {
     const int nodes = (ranks + 63) / 64;  // Fulhame: 64 cores/node
     const as::Engine engine(aa::fulhame(),
                             as::Placement::block(aa::fulhame().node, nodes, ranks, 1),
@@ -205,26 +267,37 @@ Scenario measure(const std::string& app, int ranks, std::vector<as::Program> pro
     Scenario s;
     s.app = app;
     s.ranks = ranks;
-    for (const auto& p : progs) s.ops += static_cast<long>(p.ops.size());
+    s.jit = jit;
+    for (int r = 0; r < progs.ranks(); ++r) {
+        s.ops += static_cast<long>(progs.of(r).ops.size());
+    }
+    as::RunOptions opts;
+    opts.jit = jit;
 
+    const bool rss_reset = reset_vm_hwm();
     constexpr int kReps = 7;
     double best = 1e300;
     double makespan = 0;
     for (int rep = 0; rep < kReps; ++rep) {
         const double t0 = cpu_now();
-        const auto res = engine.run(progs);
+        const auto res = engine.run(progs, opts);
         const double t1 = cpu_now();
         best = std::min(best, t1 - t0);
         makespan = res.makespan;
         s.collapse_classes = res.collapse_classes;
+        s.jit_blocks = res.jit_blocks;
+        s.jit_block_runs = res.jit_block_runs;
+        s.jit_ops = res.jit_ops;
+        if (out != nullptr) *out = res;
     }
     s.seconds = best;
     s.ops_per_sec = static_cast<double>(s.ops) / best;
-    s.peak_rss_kb = peak_rss_kb();
-    std::printf("  %-5s %5d ranks  %9ld ops  %8.4f s  %10.0f ops/s  rss %ld MiB"
-                "  (makespan %.3f s)\n",
-                app.c_str(), ranks, s.ops, s.seconds, s.ops_per_sec,
-                s.peak_rss_kb / 1024, makespan);
+    finish_rss(&s, rss_reset);
+    std::printf("  %-5s %5d ranks  jit %-3s  %9ld ops  %8.4f s  %10.0f ops/s"
+                "  rss %ld MiB%s  (makespan %.3f s)\n",
+                app.c_str(), ranks, jit ? "on" : "off", s.ops, s.seconds,
+                s.ops_per_sec, s.peak_rss_kb / 1024,
+                s.rss_per_scenario ? "" : " (process)", makespan);
     return s;
 }
 
@@ -238,7 +311,8 @@ Scenario measure(const std::string& app, int ranks, std::vector<as::Program> pro
 /// mismatch aborts the bench, because scale numbers from a result that
 /// diverges from the uncollapsed engine would be meaningless.
 Scenario measure_scale(const std::string& app, int ranks,
-                       const as::ProgramBundle& bundle, bool check_flat) {
+                       const as::ProgramBundle& bundle, bool jit,
+                       bool check_flat, as::RunResult* out) {
     const int nodes = (ranks + 63) / 64;  // Fulhame: 64 cores/node
     aa::ModelKnobs noiseless;
     noiseless.os_noise = 0;  // rank-keyed noise would split every class
@@ -249,16 +323,20 @@ Scenario measure_scale(const std::string& app, int ranks,
     Scenario s;
     s.app = app;
     s.ranks = ranks;
+    s.jit = jit;
     s.ops = static_cast<long>(ranks) *
             static_cast<long>(bundle.of(0).ops.size());
+    as::RunOptions opts;
+    opts.jit = jit;
 
+    const bool rss_reset = reset_vm_hwm();
     constexpr int kReps = 3;
     double best = 1e300;
     double makespan = 0;
     as::RunResult res;
     for (int rep = 0; rep < kReps; ++rep) {
         const double t0 = cpu_now();
-        res = engine.run(bundle);
+        res = engine.run(bundle, opts);
         const double t1 = cpu_now();
         best = std::min(best, t1 - t0);
         makespan = res.makespan;
@@ -266,9 +344,13 @@ Scenario measure_scale(const std::string& app, int ranks,
     s.seconds = best;
     s.ops_per_sec = static_cast<double>(s.ops) / best;
     s.collapse_classes = res.collapse_classes;
+    s.jit_blocks = res.jit_blocks;
+    s.jit_block_runs = res.jit_block_runs;
+    s.jit_ops = res.jit_ops;
+    if (out != nullptr) *out = res;
 
     if (check_flat) {
-        as::RunOptions flat;
+        as::RunOptions flat = opts;
         flat.collapse = false;
         const auto ref = engine.run(bundle, flat);
         const std::string diff = as::check::diff_results(res, ref);
@@ -281,11 +363,13 @@ Scenario measure_scale(const std::string& app, int ranks,
         }
     }
 
-    s.peak_rss_kb = peak_rss_kb();
-    std::printf("  %-10s %8d ranks  %11ld ops  %8.4f s  %12.3g ops/s  "
-                "rss %ld MiB  classes %d  (makespan %.3f s)\n",
-                app.c_str(), ranks, s.ops, s.seconds, s.ops_per_sec,
-                s.peak_rss_kb / 1024, s.collapse_classes, makespan);
+    finish_rss(&s, rss_reset);
+    std::printf("  %-10s %8d ranks  jit %-3s  %11ld ops  %8.4f s  %12.3g ops/s"
+                "  rss %ld MiB%s  classes %d  (makespan %.3f s)\n",
+                app.c_str(), ranks, jit ? "on" : "off", s.ops, s.seconds,
+                s.ops_per_sec, s.peak_rss_kb / 1024,
+                s.rss_per_scenario ? "" : " (process)", s.collapse_classes,
+                makespan);
     return s;
 }
 
@@ -294,7 +378,10 @@ Scenario measure_scale(const std::string& app, int ranks,
 /// source built Release in a scratch worktree of the parent commit, run
 /// interleaved with the current build on the same box, best CPU time of 7
 /// reps per scenario (CLOCK_THREAD_CPUTIME_ID, so co-tenant load does not
-/// skew either side). Regenerate the same way if the scenarios change.
+/// skew either side). The baseline predates the trace-JIT, so jit-on and
+/// jit-off rows share the same denominator (jit-off isolates the
+/// interpreter-path gains, jit-on adds the superop gain on top). Regenerate
+/// the same way if the scenarios change.
 struct BaselinePoint {
     const char* app;
     int ranks;
@@ -323,14 +410,28 @@ void write_json(const std::vector<Scenario>& scenarios) {
         for (const auto& b : kBaseline) {
             if (s.app == b.app && s.ranks == b.ranks) base = b.ops_per_sec;
         }
-        j += format("    {\"app\": \"%s\", \"ranks\": %d, \"ops\": %ld, "
-                    "\"seconds\": %.6f, \"ops_per_sec\": %.0f, "
-                    "\"peak_rss_kb\": %ld, \"collapse_classes\": %d, "
-                    "\"speedup_vs_baseline\": %.2f}%s\n",
-                    json_escape(s.app).c_str(), s.ranks, s.ops, s.seconds,
-                    s.ops_per_sec, s.peak_rss_kb, s.collapse_classes,
-                    base > 0 ? s.ops_per_sec / base : 0.0,
-                    i + 1 < scenarios.size() ? "," : "");
+        j += format("    {\"app\": \"%s\", \"ranks\": %d, \"jit\": %s, "
+                    "\"ops\": %ld, \"seconds\": %.6f, \"ops_per_sec\": %.0f, "
+                    "\"peak_rss_kb\": %ld, \"rss_scope\": \"%s\", "
+                    "\"collapse_classes\": %d",
+                    json_escape(s.app).c_str(), s.ranks,
+                    s.jit ? "true" : "false", s.ops, s.seconds, s.ops_per_sec,
+                    s.peak_rss_kb, s.rss_per_scenario ? "scenario" : "process",
+                    s.collapse_classes);
+        if (s.jit) {
+            j += format(", \"jit_blocks\": %d, \"jit_block_runs\": %lld, "
+                        "\"jit_ops\": %lld",
+                        s.jit_blocks, s.jit_block_runs, s.jit_ops);
+        }
+        // A row only carries bit_identical when its jit-on/off pair actually
+        // ran and was diffed (a mismatch aborts before the JSON is written),
+        // and only carries a speedup when a baseline entry exists — absent
+        // fields mean "not measured", never a made-up zero.
+        if (s.paired) j += ", \"bit_identical\": true";
+        if (base > 0) {
+            j += format(", \"speedup_vs_baseline\": %.2f", s.ops_per_sec / base);
+        }
+        j += format("}%s\n", i + 1 < scenarios.size() ? "," : "");
     }
     j += "  ]\n}\n";
     if (!armstice::util::write_file_atomic("BENCH_engine.json", j)) {
@@ -338,19 +439,80 @@ void write_json(const std::vector<Scenario>& scenarios) {
     }
 }
 
+enum class JitMode { both, on, off };
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    JitMode mode = JitMode::both;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jit") == 0 && i + 1 < argc) {
+            const char* v = argv[++i];
+            if (std::strcmp(v, "on") == 0) {
+                mode = JitMode::on;
+            } else if (std::strcmp(v, "off") == 0) {
+                mode = JitMode::off;
+            } else if (std::strcmp(v, "both") == 0) {
+                mode = JitMode::both;
+            } else {
+                std::fprintf(stderr, "bench_engine: --jit takes on|off|both\n");
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_engine [--jit on|off|both]\n"
+                         "  both (default) measures each scenario twice and "
+                         "requires the two RunResults bit-identical\n");
+            return 2;
+        }
+    }
+
     std::printf("engine throughput bench (Fulhame nodes, 64 ranks/node, "
                 "default noise)\n");
     std::vector<Scenario> scenarios;
+
+    // Measure jit-on and/or jit-off rows for one scenario; with both modes,
+    // prove bit-identity between the pair before recording either row (the
+    // bench's own differential — scale numbers from a JIT that diverges from
+    // the interpreter would be meaningless).
+    const auto run_pair = [&](const std::string& app, int ranks,
+                              const as::ProgramBundle& bundle, bool scale,
+                              bool check_flat) {
+        as::RunResult on_res, off_res;
+        const std::size_t first = scenarios.size();
+        if (mode != JitMode::off) {
+            scenarios.push_back(scale ? measure_scale(app, ranks, bundle, true,
+                                                      check_flat, &on_res)
+                                      : measure(app, ranks, bundle, true, &on_res));
+        }
+        if (mode != JitMode::on) {
+            scenarios.push_back(scale ? measure_scale(app, ranks, bundle, false,
+                                                      /*check_flat=*/false,
+                                                      &off_res)
+                                      : measure(app, ranks, bundle, false, &off_res));
+        }
+        if (mode == JitMode::both) {
+            const std::string d = as::check::diff_results(on_res, off_res);
+            if (!d.empty()) {
+                std::fprintf(stderr,
+                             "bench_engine: jit differential FAILED for %s at "
+                             "%d ranks: %s\n",
+                             app.c_str(), ranks, d.c_str());
+                std::exit(1);
+            }
+            for (std::size_t i = first; i < scenarios.size(); ++i) {
+                scenarios[i].paired = true;
+            }
+        }
+    };
+
     for (int ranks : {48, 256, 1024}) {
-        scenarios.push_back(
-            measure("hpcg", ranks, hpcg_skeleton(ranks, /*iters=*/20).take()));
+        run_pair("hpcg", ranks, hpcg_skeleton(ranks, /*iters=*/20).take_bundle(),
+                 /*scale=*/false, /*check_flat=*/false);
     }
     for (int ranks : {48, 256, 1024}) {
-        scenarios.push_back(
-            measure("cosa", ranks, cosa_skeleton(ranks, /*iters=*/200).take()));
+        run_pair("cosa", ranks, cosa_skeleton(ranks, /*iters=*/200).take_bundle(),
+                 /*scale=*/false, /*check_flat=*/false);
     }
 
     std::printf("collapse scaling (SPMD hpcg skeleton, os_noise=0, "
@@ -366,14 +528,15 @@ int main() {
         // Differential vs the uncollapsed engine at 100k ranks only: the
         // flat run simulates one state machine per rank and exists to prove
         // bit-identity, not to wait on at a million ranks.
-        scenarios.push_back(measure_scale("hpcg-spmd", ranks, ps.take_bundle(),
-                                          /*check_flat=*/ranks == 100000));
+        run_pair("hpcg-spmd", ranks, ps.take_bundle(), /*scale=*/true,
+                 /*check_flat=*/ranks == 100000);
     }
     // Footprint gate: a million collapsed ranks must stay O(classes) state
     // plus O(ranks) final stats arrays. 512 MiB is ~4x the measured peak —
     // headroom for allocator noise, a hard stop for an O(ranks)-state
-    // regression (which lands around several GiB here).
-    const long rss_kb = peak_rss_kb();
+    // regression (which lands around several GiB here). Process-wide peak on
+    // purpose: per-scenario VmHWM resets must not launder a regression.
+    const long rss_kb = process_peak_rss_kb();
     if (rss_kb > 512 * 1024) {
         std::fprintf(stderr,
                      "bench_engine: peak RSS %ld MiB exceeds the 512 MiB "

@@ -1,7 +1,9 @@
 #include "sim/engine.hpp"
 
 #include "sim/deadlock.hpp"
+#include "sim/jit.hpp"
 #include "util/error.hpp"
+#include "util/fpadd.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 
@@ -21,26 +23,81 @@ struct Message {
     double arrival = 0;
 };
 
-/// One rank's pending messages, FIFO per source. Ranks receive from a
-/// handful of sources (halo neighbours), so the source list is a small
-/// linearly-scanned vector instead of a map.
-struct Mailbox {
-    /// FIFO as a head-indexed vector: push at the back, consume at `head`,
-    /// reset both when drained so capacity is reused allocation-free.
-    struct SrcQueue {
-        int src = 0;
-        std::vector<Message> q;
-        std::size_t head = 0;
-    };
-    std::vector<SrcQueue> srcs;
+/// One (src, dst) message FIFO. Head-indexed with small-buffer storage: push
+/// at the back, consume at `head`, reset when drained so storage is reused.
+/// Messages live in the inline array until the queue outgrows it within one
+/// drain cycle, then spill to the heap vector (sticky until the next drain).
+/// Halo traffic keeps 1-2 messages in flight per (src, dst) pair, so the hot
+/// path — the header fields plus the first inline slot are laid out to be
+/// exactly one cache line — never touches a second heap allocation: at 10^3
+/// ranks the old vector<Message> indirection made every send and every match
+/// a chain of dependent out-of-cache loads.
+///
+/// All queues of a run live in ONE flat arena (run_impl's `qarena`), and a
+/// mailbox is just a tiny src->slot index. A compiled send/recv step carries
+/// its queue's arena slot, so delivery is a single computed address — no
+/// dependent loads to chase before the line can even be fetched, which also
+/// makes the next few steps' queues prefetchable while the current step
+/// executes.
+struct SrcQueue {
+    static constexpr std::uint32_t kInline = 3;
+    int src = 0;
+    std::uint32_t head = 0;
+    std::uint32_t count = 0;    ///< logical size ([0, head) consumed)
+    std::uint32_t spilled = 0;  ///< messages live in `spill`, not `inl`
+    Message inl[kInline];
+    std::vector<Message> spill;
 
-    SrcQueue& queue_for(int src) {
-        for (auto& sq : srcs) {
-            if (sq.src == src) return sq;
-        }
-        srcs.push_back(SrcQueue{src, {}, 0});
-        return srcs.back();
+    [[nodiscard]] const Message* data() const {
+        return spilled ? spill.data() : inl;
     }
+    [[nodiscard]] Message* data() { return spilled ? spill.data() : inl; }
+    [[nodiscard]] std::uint32_t size() const { return count; }
+    void push_back(const Message& m) {
+        if (!spilled && count < kInline) {
+            inl[count++] = m;
+            return;
+        }
+        if (!spilled) {
+            spill.assign(inl, inl + count);
+            spilled = 1;
+        }
+        spill.push_back(m);
+        ++count;
+    }
+    void reset() {
+        head = 0;
+        count = 0;
+        spilled = 0;
+        spill.clear();  // capacity kept: repeated spills stay allocation-free
+    }
+    /// Remove the message at `i` (mid-queue tag mismatch — rare), keeping
+    /// FIFO order of the rest.
+    void erase_at(std::uint32_t i) {
+        Message* d = data();
+        for (std::uint32_t j = i + 1; j < count; ++j) d[j - 1] = d[j];
+        --count;
+        if (spilled) spill.pop_back();
+    }
+    /// Consume the matched message at `i` (head-advance fast path).
+    void consume(std::uint32_t i) {
+        if (i == head) {
+            if (++head == count) reset();
+        } else {
+            erase_at(i);
+        }
+    }
+};
+
+/// One rank's inbox: (source rank, qarena slot) pairs. Ranks receive from a
+/// handful of sources (halo neighbours), so the list is a small linearly-
+/// scanned vector — 8 bytes per source, one cache line for 8 neighbours.
+struct Mailbox {
+    struct SrcSlot {
+        int src;
+        std::uint32_t slot;  ///< index into run_impl's qarena
+    };
+    std::vector<SrcSlot> srcs;
 };
 
 enum class BlockKind { none, recv, collective };
@@ -75,6 +132,26 @@ struct SimClass {
     RankStats stats;
     double flops = 0;
     std::vector<double> phase;  ///< compute seconds per interned PhaseId
+    // Trace-JIT state (DESIGN.md §13). `jit_link` is the superop block this
+    // class most recently completed — the anchor for lazy block linking.
+    // `jit_blk`/`jit_step` record a suspension point: a block whose recv
+    // step found no message parks here and resumes mid-block on wake.
+    // Splits copy these (a split never fires inside a block, so jit_blk is
+    // null then); the inherited link is just a hint the singleton re-guards.
+    const jit::Block* jit_link = nullptr;
+    const jit::Block* jit_blk = nullptr;
+    std::uint32_t jit_step = 0;
+    // Run-table fast path: `rt` is the program's partition into straight-line
+    // runs (shared, read-only), `run_idx` the class's monotone cursor into it
+    // (programs are fully unrolled, so pc only moves forward), and
+    // `run_blocks[id]` the verified Block for run content id `id` — filled
+    // the first time each id resolves through the guarded/verified slow path,
+    // then a plain load. Splits copy all three: a size>1 class only ever
+    // memoizes rank-neutral blocks (the class-split guard interprets p2p and
+    // noise-stretched runs), so inherited entries are valid for any rep.
+    const jit::RunTable* rt = nullptr;
+    std::uint32_t run_idx = 0;
+    std::vector<const jit::Block*> run_blocks;
 };
 
 enum class CollKind { none, allreduce, barrier, alltoall };
@@ -187,7 +264,20 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // once per rank. Exact field equality keeps results bit-identical.
     std::vector<arch::ExecContext> class_ctx;
     std::vector<std::uint32_t> ctx_of(static_cast<std::size_t>(n), 0);
+    // One-slot memo over the classification: exec_context is a pure function
+    // of (node, first_domain, domains_spanned) for fixed vec_quality and
+    // threads, and block placements lay consecutive ranks on one domain, so
+    // runs of ranks resolve without rebuilding + re-comparing the context.
+    // At 10^6 SPMD ranks this loop used to be a measurable slice of the run.
+    int memo_node = -1, memo_dom = -1, memo_span = -1;
+    std::uint32_t memo_cc = 0;
     for (int r = 0; r < n; ++r) {
+        const RankLoc& l = placement_.loc(r);
+        if (l.node == memo_node && l.first_domain == memo_dom &&
+            l.domains_spanned == memo_span) {
+            ctx_of[static_cast<std::size_t>(r)] = memo_cc;
+            continue;
+        }
         const arch::ExecContext ctx = placement_.exec_context(r, vec_quality_);
         std::uint32_t cc = UINT32_MAX;
         for (std::size_t i = 0; i < class_ctx.size(); ++i) {
@@ -205,6 +295,10 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             class_ctx.push_back(ctx);
         }
         ctx_of[static_cast<std::size_t>(r)] = cc;
+        memo_node = l.node;
+        memo_dom = l.first_domain;
+        memo_span = l.domains_spanned;
+        memo_cc = cc;
     }
     const std::size_t n_classes = class_ctx.size();
     std::unordered_map<std::uint64_t, CostEntry> cost_memo;
@@ -214,6 +308,42 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // cost_signature is never 0, so 0 is a safe empty sentinel.
     std::uint64_t memo_last_key = 0;
     CostEntry* memo_last = nullptr;
+    // Memoized pricing of one compute op under ExecContext class `cc`
+    // (before per-rank noise). Shared by the interpreter's ComputeOp branch
+    // and the JIT compiler, so a block's precomputed cost is the *same
+    // double* the interpreter would produce — same memo slot, same fallback
+    // on a cost_signature collision.
+    const auto price_compute = [&](const ComputeOp& c,
+                                   const arch::ComputePhase& phase,
+                                   std::uint32_t cc) -> double {
+        CostEntry* entry_p;
+        if (c.cost_key == memo_last_key) {
+            entry_p = memo_last;  // consecutive ops repeat phases
+        } else {
+            entry_p = &cost_memo[c.cost_key];  // nodes are stable
+            memo_last_key = c.cost_key;
+            memo_last = entry_p;
+        }
+        auto& entry = *entry_p;
+        if (entry.rep_addr == nullptr) {
+            entry.rep = phase;
+            entry.rep_addr = &phase;
+            entry.dt.assign(n_classes, 0.0);
+            entry.have.assign(n_classes, 0);
+        }
+        if (entry.rep_addr == &phase || arch::same_cost_inputs(entry.rep, phase)) {
+            if (!entry.have[cc]) {
+                // Bit-identical across sharers: explain() reads only the
+                // (bitwise equal) same_cost_inputs fields.
+                entry.dt[cc] = cost_.phase_time(phase, class_ctx[cc]);
+                entry.have[cc] = 1;
+            }
+            return entry.dt[cc];
+        }
+        // Hash collision between different phase contents: price this op
+        // directly rather than share a wrong time.
+        return cost_.phase_time(phase, class_ctx[cc]);
+    };
 
     // --- Simulation classes (rank-equivalence collapse, DESIGN.md §11) ---
     // Ranks sharing one Program object (ProgramBundle dedup) and one
@@ -281,6 +411,11 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     const auto& topo = network_.topology();
     std::vector<int> rank_node;
     std::vector<Mailbox> mailbox;
+    /// Every SrcQueue of the run, in creation order (mailbox entries hold
+    /// slots into this). Indices stay valid across growth; the backing array
+    /// only moves between block runs (queues are created by the interpreter
+    /// or at block compile time, never inside a block execution).
+    std::vector<SrcQueue> qarena;
     bool p2p_live = false;
     const auto ensure_p2p = [&] {
         if (p2p_live) return;
@@ -290,6 +425,17 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         }
         mailbox.assign(static_cast<std::size_t>(n), Mailbox{});
         p2p_live = true;
+    };
+    /// Arena slot of src's queue in `box`, creating it if absent.
+    const auto slot_for = [&](Mailbox& box, int src) -> std::uint32_t {
+        for (const auto& e : box.srcs) {
+            if (e.src == src) return e.slot;
+        }
+        const auto slot = static_cast<std::uint32_t>(qarena.size());
+        qarena.emplace_back();
+        qarena.back().src = src;
+        box.srcs.push_back(Mailbox::SrcSlot{src, slot});
+        return slot;
     };
 
     // Tiered message-cost table: Network::p2p_time(a, b, bytes) evaluates
@@ -335,6 +481,13 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // FIFO run queue of class indices as a head-indexed vector (contiguous;
     // compacts when drained, so it stays O(live entries) despite monotonic
     // pushes — and O(classes), not O(ranks), while classes stay collapsed).
+    // Pop order is an order-free choice (every schedule produces
+    // bit-identical results — the perturbation adversary in sim::check pins
+    // exactly that), and FIFO is deliberate: a woken receiver runs only
+    // after every already-runnable sender has drained its sends, so each
+    // resume consumes a *batch* of messages. A LIFO stack (tried) resumes
+    // the receiver after the first message and re-suspends it on the next
+    // recv — 5x the suspend/dispatch cycles on halo-exchange programs.
     std::vector<std::uint32_t> runnable;
     runnable.reserve(cls.size() * 2);
     std::size_t run_head = 0;
@@ -388,18 +541,20 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // (DESIGN.md §10.2). Classes blocked on a recv are always singletons
     // (p2p ops split first), so the class rep is the receiving rank.
     const auto find_recv =
-        [&](const SimClass& s) -> std::pair<Mailbox::SrcQueue*, std::size_t> {
+        [&](const SimClass& s) -> std::pair<SrcQueue*, std::uint32_t> {
         if (!p2p_live) return {nullptr, 0};
         auto& box = mailbox[static_cast<std::size_t>(s.rep)];
-        Mailbox::SrcQueue* best_sq = nullptr;
-        std::size_t best_i = 0;
-        for (auto& sq : box.srcs) {
-            if (s.want_src != kAnySource && sq.src != s.want_src) continue;
-            for (std::size_t i = sq.head; i < sq.q.size(); ++i) {
-                if (sq.q[i].tag != s.want_tag) continue;
+        SrcQueue* best_sq = nullptr;
+        std::uint32_t best_i = 0;
+        for (const auto& e : box.srcs) {
+            if (s.want_src != kAnySource && e.src != s.want_src) continue;
+            auto& sq = qarena[e.slot];
+            const Message* msgs = sq.data();
+            for (std::uint32_t i = sq.head; i < sq.size(); ++i) {
+                if (msgs[i].tag != s.want_tag) continue;
                 if (best_sq == nullptr ||
-                    sq.q[i].arrival < best_sq->q[best_i].arrival ||
-                    (sq.q[i].arrival == best_sq->q[best_i].arrival &&
+                    msgs[i].arrival < best_sq->data()[best_i].arrival ||
+                    (msgs[i].arrival == best_sq->data()[best_i].arrival &&
                      sq.src < best_sq->src)) {
                     best_sq = &sq;
                     best_i = i;
@@ -413,18 +568,35 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     const auto try_recv = [&](const SimClass& s) -> std::optional<Message> {
         auto [best_sq, best_i] = find_recv(s);
         if (best_sq == nullptr) return std::nullopt;
-        Message m = best_sq->q[best_i];
-        if (best_i == best_sq->head) {
-            if (++best_sq->head == best_sq->q.size()) {
-                best_sq->q.clear();
-                best_sq->head = 0;
-            }
-        } else {
-            // Rare (mixed tags from one source): keep FIFO order for the rest.
-            best_sq->q.erase(best_sq->q.begin() +
-                             static_cast<std::ptrdiff_t>(best_i));
-        }
+        Message m = best_sq->data()[best_i];
+        best_sq->consume(best_i);
         return m;
+    };
+
+    // One bit per rank: "blocked on an explicit-source recv" — exactly the
+    // condition under which a send must wake its destination (ANY_SOURCE
+    // waiters resolve only at quiescence). Testing the bit keeps the send
+    // fast path out of cls_of/cls entirely: the bitmap is 128 bytes per 10^3
+    // ranks and stays L1-resident, while cls[cls_of[dst]] is two dependent
+    // loads into hundreds of KB of class state. Maintained at every
+    // transition of (blocked == recv && want_src != kAnySource): set on
+    // explicit-recv block (interpreter and in-block suspend), cleared on
+    // every match. Classes blocked on a recv are singletons (p2p splits
+    // first), so the bit is keyed by the class rep == the receiving rank.
+    std::vector<std::uint64_t> recv_waiting(
+        (static_cast<std::size_t>(n) + 63) / 64, 0);
+    const auto set_recv_wait = [&](int rank) {
+        recv_waiting[static_cast<std::size_t>(rank) >> 6] |=
+            std::uint64_t{1} << (rank & 63);
+    };
+    const auto clr_recv_wait = [&](int rank) {
+        recv_waiting[static_cast<std::size_t>(rank) >> 6] &=
+            ~(std::uint64_t{1} << (rank & 63));
+    };
+    const auto recv_waiting_at = [&](int rank) -> bool {
+        return (recv_waiting[static_cast<std::size_t>(rank) >> 6] >>
+                (rank & 63)) &
+               1;
     };
 
     const double os_noise = cost_.knobs().os_noise;
@@ -435,6 +607,307 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // bit-identical (DESIGN.md §10.2).
     util::Rng perturb_rng(opts.perturb_seed);
     const bool perturb = opts.perturb_seed != 0;
+
+    // --- Trace-JIT superop execution (DESIGN.md §13) -----------------------
+    // Straight-line runs (compute/send/explicit-recv/mark, ending at a
+    // wildcard recv, collective, or program end) compile once into
+    // jit::Blocks with per-step costs precomputed through the SAME memo the
+    // interpreter uses, then execute as tight loops that replicate the
+    // interpreter's FP op sequence exactly — dispatch, memo probes, phase
+    // compares, hop lookups and validation are hoisted to compile time, the
+    // arithmetic is not, so results stay bit-identical. Blocks are
+    // content-keyed (programs are fully unrolled: iteration 19's body sits
+    // at a different pc but hashes to iteration 0's block) and lazily
+    // linked: each class remembers its last block, each block its usual
+    // successor, so steady-state iterations skip even the hash probe.
+    // Perturbed runs interpret (the determinism adversary must exercise raw
+    // per-op scheduling) and traced runs interpret (per-span recording).
+    // The cache lives in this run_impl frame: concurrent const run() calls
+    // share nothing mutable, and nothing survives to need cross-run
+    // invalidation.
+    const bool jit_enabled = opts.jit && opts.perturb_seed == 0 && trace == nullptr;
+    jit::BlockCache jcache;
+    const std::uint64_t knobs_fp =
+        jit_enabled ? jit::knobs_fingerprint(cost_.knobs()) : 0;
+
+    // OpKey sidecar for programs that never went through a ProgramBundle
+    // (raw vector<Program> runs): derived lazily once per distinct program
+    // per run. Bundle runs take the prog.op_keys fast path.
+    std::unordered_map<const Program*, std::vector<OpKey>> derived_keys;
+    const auto keys_of = [&](const Program& prog) -> const OpKey* {
+        if (!prog.op_keys.empty()) return prog.op_keys.data();
+        auto& v = derived_keys[&prog];
+        if (v.empty()) v = compute_op_keys(prog);
+        return v.data();
+    };
+
+    // Per-program run tables. Bundle-finalised programs carry one already
+    // (Program::op_runs — built once, amortised across every run); raw
+    // programs derive one per run here, like derived_keys. unordered_map
+    // node stability keeps the SimClass::rt pointers valid as the map grows.
+    std::unordered_map<const Program*, jit::RunTable> derived_runs;
+    if (jit_enabled) {
+        for (auto& c : cls) {
+            if (c.prog->op_runs.source_ops == c.prog->ops.size()) {
+                c.rt = &c.prog->op_runs;
+                continue;
+            }
+            auto [it, fresh] = derived_runs.try_emplace(c.prog);
+            if (fresh) {
+                it->second =
+                    compute_op_runs(keys_of(*c.prog), c.prog->ops.size());
+            }
+            c.rt = &it->second;
+        }
+    }
+
+    // Step::qidx is a qarena slot (slot_for): slots are never removed or
+    // reassigned within a run, so a compiled index stays valid, and creating
+    // an empty queue at compile time is observationally inert (it contributes
+    // no candidates to matching, only scan order).
+
+    const auto compile_block = [&](const Program& prog, std::size_t pc,
+                                   const jit::RunScan& scan, std::uint32_t cc,
+                                   int rep) -> const jit::Block* {
+        jit::Guards g;
+        g.model_version = arch::kModelVersion;
+        g.knobs_fp = knobs_fp;
+        g.ctx = cc;
+        g.rank = scan.has_p2p ? rep : -1;
+        if (scan.has_p2p) ensure_p2p();  // queue indices resolve into mailboxes
+        jit::CompileEnv env;
+        env.price = [&, cc](const ComputeOp& c, const arch::ComputePhase& ph) {
+            return price_compute(c, ph, cc);
+        };
+        env.p2p_seconds = [&, rep](int dst, double bytes) {
+            ARMSTICE_CHECK(dst >= 0 && dst < n, "send dst out of range");
+            ARMSTICE_CHECK(bytes >= 0, "negative message size");
+            const int src_node = rank_node[static_cast<std::size_t>(rep)];
+            const int dst_node = rank_node[static_cast<std::size_t>(dst)];
+            if (src_node == dst_node) {
+                return np.shm_latency_s + bytes / np.shm_bandwidth +
+                       np.msg_overhead_s;
+            }
+            return hop_base[static_cast<std::size_t>(
+                       topo.hops(src_node, dst_node))] +
+                   bytes / np.bandwidth + np.msg_overhead_s;
+        };
+        env.send_qidx = [&, rep](int dst) {
+            return static_cast<int>(
+                slot_for(mailbox[static_cast<std::size_t>(dst)], rep));
+        };
+        env.recv_qidx = [&, rep](int src) {
+            return static_cast<int>(
+                slot_for(mailbox[static_cast<std::size_t>(rep)], src));
+        };
+        env.msg_overhead_s = np.msg_overhead_s;
+        env.injection_bw = np.injection_bw;
+        const jit::Block* blk = jcache.insert(jit::compile(prog, pc, scan, g, env));
+        ++result.jit_blocks;
+        return blk;
+    };
+
+    // Run block `blk` for class ci from step `step0` (0 = fresh dispatch,
+    // else a resume after an in-block recv blocked). Returns false when the
+    // class suspended again. The step bodies are the interpreter branches
+    // minus everything precomputed; `pc` tracks per step so noise draws and
+    // deadlock/forensic snapshots see the exact interpreter state.
+    //
+    // The class's hot scalars live in locals for the whole run: the step
+    // bodies store into mailboxes, the runnable queue and other classes, and
+    // the compiler cannot prove those stores don't alias `s` — keeping the
+    // state in `s` directly forces a reload + re-store of time/pc/stats
+    // through memory on every step, which at ~10 machine instructions per
+    // step is most of the loop.
+    const auto execute_block = [&](std::uint32_t ci, const jit::Block* blk,
+                                   std::uint32_t step0) -> bool {
+        auto& s = cls[ci];
+        auto& stats = s.stats;
+        const int r = s.rep;
+        ++result.jit_block_runs;
+        if (blk->has_p2p) ensure_p2p();
+        const jit::Step* const steps = blk->steps.data();
+        const auto nsteps = static_cast<std::uint32_t>(blk->steps.size());
+        // Safe to hoist: no queue is ever created inside a block execution
+        // (compile_block resolved every slot), so qarena cannot move here.
+        SrcQueue* const qa = qarena.data();
+        double t = s.time;
+        std::size_t pc = s.pc;
+        double flops = s.flops;
+        double compute_acc = stats.compute;
+        double recv_wait_acc = stats.recv_wait;
+        double inj_bytes = stats.injected_bytes;
+        int msgs_sent = stats.msgs_sent;
+        int msgs_recv = stats.msgs_received;
+        PhaseId mark = s.mark_id;
+        const auto writeback = [&] {
+            s.time = t;
+            s.pc = pc;
+            s.flops = flops;
+            s.mark_id = mark;
+            stats.compute = compute_acc;
+            stats.recv_wait = recv_wait_acc;
+            stats.injected_bytes = inj_bytes;
+            stats.msgs_sent = msgs_sent;
+            stats.msgs_received = msgs_recv;
+        };
+        for (std::uint32_t i = step0; i < nsteps; ++i) {
+            const jit::Step& st = steps[i];
+            switch (st.kind) {
+                case jit::StepKind::compute: {
+                    double dt = st.cost;
+                    if (os_noise > 0) {
+                        dt *= 1.0 + os_noise * noise_sample(r, pc);
+                    }
+                    const PhaseId label_id = mark != kNoPhase ? mark : st.label;
+                    t += dt;
+                    compute_acc += dt;
+                    flops += st.aux;
+                    accum_phase(s, label_id, dt);
+                    ++pc;
+                    break;
+                }
+                case jit::StepKind::send: {
+                    const double arrival = t + st.cost;
+                    t += st.aux;
+                    inj_bytes += st.bytes;
+                    ++msgs_sent;
+                    // st.qidx is the (r -> dst) queue's arena slot (compiled
+                    // under the rank guard) — the mailbox scan, precomputed
+                    // down to one computed address.
+                    qa[static_cast<std::size_t>(st.qidx)].push_back(
+                        Message{r, st.tag, arrival});
+                    if (recv_waiting_at(st.a_int)) {
+                        wake(cls_of[static_cast<std::size_t>(st.a_int)]);
+                    }
+                    ++pc;
+                    break;
+                }
+                case jit::StepKind::recv: {
+                    // want_src/want_tag stay current even on the matched
+                    // path: the quiescence scan and deadlock forensics read
+                    // them, exactly as after the interpreter's RecvOp.
+                    s.want_src = st.a_int;
+                    s.want_tag = st.tag;
+                    // try_recv specialised to an explicit source: st.qidx is
+                    // the (src -> r) queue's arena slot; the first tag match
+                    // in FIFO order is the unique candidate, consumed with
+                    // the same head-advance / mid-erase rule.
+                    auto& sq = qa[static_cast<std::size_t>(st.qidx)];
+                    const Message* msgs = sq.data();
+                    std::uint32_t qi = sq.head;
+                    const std::uint32_t qn = sq.size();
+                    while (qi < qn && msgs[qi].tag != st.tag) ++qi;
+                    if (qi < qn) {
+                        const double arrival = msgs[qi].arrival;
+                        sq.consume(qi);
+                        if (arrival > t) {
+                            recv_wait_acc += arrival - t;
+                            t = arrival;
+                        }
+                        ++msgs_recv;
+                        s.blocked = BlockKind::none;
+                        clr_recv_wait(r);
+                        ++pc;
+                    } else {
+                        s.blocked = BlockKind::recv;
+                        set_recv_wait(r);
+                        s.jit_blk = blk;
+                        s.jit_step = i;
+                        result.jit_ops += i - step0;
+                        writeback();
+                        return false;
+                    }
+                    break;
+                }
+                case jit::StepKind::mark:
+                    mark = st.label;
+                    ++pc;
+                    break;
+            }
+        }
+        result.jit_ops += nsteps - step0;
+        s.jit_link = blk;
+        writeback();
+        return true;
+    };
+
+    // Block lookup for class ci at its current pc. Returns 1 when a block
+    // ran to completion, -1 when it suspended on an in-block recv, 0 when
+    // the interpreter should take this dispatch (boundary at pc, run too
+    // short, cache full, or a collapsed class that must split first).
+    const auto attempt_jit = [&](std::uint32_t ci) -> int {
+        auto& s = cls[ci];
+        const std::size_t pc = s.pc;
+        // Run-table cursor: advance past runs the class has finished (pc only
+        // moves forward), then classify this pc with plain comparisons — no
+        // key loads, no hash probe, no verify in the steady state.
+        const auto& runs = s.rt->runs;
+        const auto nr = static_cast<std::uint32_t>(runs.size());
+        std::uint32_t k = s.run_idx;
+        while (k < nr && pc >= runs[k].start + runs[k].len) ++k;
+        s.run_idx = k;
+        if (k == nr || pc < runs[k].start) return 0;  // boundary op at pc
+        const jit::RunEntry& ru = runs[k];
+        // Collapsed classes interpret runs that would split them (p2p, or
+        // noise-stretched compute): the interpreter's split-before-execute
+        // peels members at the exact op, and the singletons re-enter here —
+        // this is the §11 class-split guard. (For a mid-run suffix the whole
+        // run's flags over-approximate the suffix — conservative, and only
+        // reachable transiently while a class is being peeled.)
+        if (s.size > 1 && (ru.has_p2p || (ru.has_compute && os_noise > 0))) {
+            return 0;
+        }
+        const bool at_start = pc == ru.start;
+        const jit::Block* blk = nullptr;
+        if (at_start) {
+            if (ru.len < jit::kMinRun) return 0;
+            // Memoized hit: this class already resolved a verified Block for
+            // this content id. Equal id ⇒ byte-equal OpKey range ⇒ the Block
+            // is a faithful compilation here too; guards hold because ctx and
+            // rep are class identity and knobs/model are fixed per run.
+            if (!s.run_blocks.empty()) blk = s.run_blocks[ru.id];
+        }
+        if (blk == nullptr) {
+            // Slow path: first sighting of this content id by this class (or
+            // a mid-run suffix entry after interpreted ops). Same guarded,
+            // verified resolution as ever — link hint, then hash probe, then
+            // compile.
+            const Program& prog = *s.prog;
+            const OpKey* const keys = keys_of(prog);
+            jit::Guards want;
+            want.model_version = arch::kModelVersion;
+            want.knobs_fp = knobs_fp;
+            want.ctx = s.ctx;
+            want.rank = s.rep;
+            if (s.jit_link != nullptr && s.jit_link->next != nullptr) {
+                const jit::Block* cand = s.jit_link->next;
+                if (jit::guards_match(cand->guards, want) &&
+                    jit::verify(*cand, prog, keys, pc)) {
+                    blk = cand;
+                }
+            }
+            if (blk == nullptr) {
+                const jit::RunScan scan =
+                    jit::scan_run(keys, pc, prog.ops.size());
+                if (scan.len < jit::kMinRun) return 0;
+                blk = jcache.find(scan.hash, want, prog, keys, pc, scan.len);
+                if (blk == nullptr) {
+                    if (jcache.full()) return 0;
+                    blk = compile_block(prog, pc, scan, s.ctx, s.rep);
+                }
+                if (s.jit_link != nullptr) s.jit_link->next = blk;
+            }
+            if (at_start) {
+                if (s.run_blocks.empty()) {
+                    s.run_blocks.assign(s.rt->distinct, nullptr);
+                }
+                s.run_blocks[ru.id] = blk;
+            }
+        }
+        return execute_block(ci, blk, 0) ? 1 : -1;
+    };
+    // -----------------------------------------------------------------------
 
     while (finished_ranks < n) {
         if (run_head == runnable.size()) {
@@ -537,7 +1010,30 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         const std::size_t nops = prog.ops.size();
 
         bool advancing = true;
+        // One JIT probe per dispatch: consumed on the first op, re-armed
+        // after ops that end a run (a completed collective, a matched recv),
+        // so the interpreter never re-scans mid-run.
+        bool try_jit = jit_enabled;
         while (advancing && cls[ci].pc < nops) {
+            if (jit_enabled) {
+                if (cls[ci].jit_blk != nullptr) {
+                    // Parked mid-block on a recv that now (presumably) has a
+                    // message: resume at the suspended step.
+                    const jit::Block* blk = cls[ci].jit_blk;
+                    const std::uint32_t step = cls[ci].jit_step;
+                    cls[ci].jit_blk = nullptr;
+                    if (!execute_block(ci, blk, step)) advancing = false;
+                    continue;
+                }
+                if (try_jit) {
+                    try_jit = false;
+                    const int got = attempt_jit(ci);
+                    if (got != 0) {
+                        if (got < 0) advancing = false;
+                        continue;
+                    }
+                }
+            }
             // Split-before-execute: peel members off *before* binding any
             // reference (split_class grows `cls`, invalidating references).
             if (cls[ci].size > 1) {
@@ -579,16 +1075,13 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 s.time += inject;
                 stats.injected_bytes += snd->bytes;
                 ++stats.msgs_sent;
-                mailbox[static_cast<std::size_t>(snd->dst)]
-                    .queue_for(r)
-                    .q.push_back(Message{r, snd->tag, arrival});
+                qarena[slot_for(mailbox[static_cast<std::size_t>(snd->dst)], r)]
+                    .push_back(Message{r, snd->tag, arrival});
                 // ANY_SOURCE waiters are not woken by sends: they resolve at
                 // quiescence only (schedule invariance). A recv-blocked class
                 // is a singleton, so its rep is the destination rank itself.
-                const std::uint32_t di = cls_of[static_cast<std::size_t>(snd->dst)];
-                const auto& ds = cls[di];
-                if (ds.blocked == BlockKind::recv && ds.want_src != kAnySource) {
-                    wake(di);
+                if (recv_waiting_at(snd->dst)) {
+                    wake(cls_of[static_cast<std::size_t>(snd->dst)]);
                 }
                 ++s.pc;
             } else if (tag == 2) {  // RecvOp
@@ -612,45 +1105,18 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                     }
                     ++stats.msgs_received;
                     s.blocked = BlockKind::none;
+                    clr_recv_wait(r);
                     ++s.pc;
+                    try_jit = jit_enabled;  // a matched recv ends a run
                 } else {
                     s.blocked = BlockKind::recv;
+                    if (rcv->src != kAnySource) set_recv_wait(r);
                     advancing = false;
                 }
             } else if (tag == 0) {  // ComputeOp
                 const auto* c = std::get_if<ComputeOp>(&op);
                 const arch::ComputePhase& phase = prog.phase_of(*c);
-                const std::uint32_t cc = s.ctx;
-                CostEntry* entry_p;
-                if (c->cost_key == memo_last_key) {
-                    entry_p = memo_last;  // consecutive ops repeat phases
-                } else {
-                    entry_p = &cost_memo[c->cost_key];  // nodes are stable
-                    memo_last_key = c->cost_key;
-                    memo_last = entry_p;
-                }
-                auto& entry = *entry_p;
-                if (entry.rep_addr == nullptr) {
-                    entry.rep = phase;
-                    entry.rep_addr = &phase;
-                    entry.dt.assign(n_classes, 0.0);
-                    entry.have.assign(n_classes, 0);
-                }
-                double dt;
-                if (entry.rep_addr == &phase ||
-                    arch::same_cost_inputs(entry.rep, phase)) {
-                    if (!entry.have[cc]) {
-                        // Bit-identical across sharers: explain() reads only
-                        // the (bitwise equal) same_cost_inputs fields.
-                        entry.dt[cc] = cost_.phase_time(phase, class_ctx[cc]);
-                        entry.have[cc] = 1;
-                    }
-                    dt = entry.dt[cc];
-                } else {
-                    // Hash collision between different phase contents: price
-                    // this op directly rather than share a wrong time.
-                    dt = cost_.phase_time(phase, class_ctx[cc]);
-                }
+                double dt = price_compute(*c, phase, s.ctx);
                 if (os_noise > 0) {
                     // Rank-keyed draw — the split above guarantees size == 1.
                     dt *= 1.0 + os_noise * noise_sample(r, s.pc);
@@ -729,6 +1195,7 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                     stats.collective_wait += coll.completion - s.time;
                     s.time = coll.completion;
                     ++s.pc;
+                    try_jit = jit_enabled;  // a collective ends a run
                 } else {
                     coll.waiters.push_back(ci);
                     s.blocked = BlockKind::collective;
@@ -750,24 +1217,42 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
 
     // Replicate each class's per-member results to all members, then reduce
     // across ranks in ascending rank order — the one FP addition order every
-    // schedule (and RefEngine, and collapse on/off) can reproduce.
+    // schedule (and RefEngine, and collapse on/off) can reproduce. Iterated
+    // over maximal runs of consecutive ranks in one class (SPMD collapse
+    // keeps million-rank worlds in a handful of runs): the per-rank adds
+    // stay — `acc += v` n times is NOT `acc += n * v`, FP addition does not
+    // distribute — but the cls_of chase and bounds checks are hoisted per
+    // run, which is most of what the 10^6-rank rows used to pay here.
+    std::vector<std::pair<int, std::uint32_t>> rank_runs;  // (first rank, class)
+    for (int r = 0; r < n;) {
+        const std::uint32_t ci = cls_of[static_cast<std::size_t>(r)];
+        rank_runs.emplace_back(r, ci);
+        for (++r; r < n && cls_of[static_cast<std::size_t>(r)] == ci; ++r) {
+        }
+    }
+    const auto run_end = [&](std::size_t k) {
+        return k + 1 < rank_runs.size() ? rank_runs[k + 1].first : n;
+    };
     result.ranks.resize(static_cast<std::size_t>(n));
-    for (int r = 0; r < n; ++r) {
-        result.ranks[static_cast<std::size_t>(r)] =
-            cls[cls_of[static_cast<std::size_t>(r)]].stats;
-    }
-    for (const auto& stats : result.ranks) {
-        result.makespan = std::max(result.makespan, stats.finish);
-    }
-    for (int r = 0; r < n; ++r) {
-        result.total_flops += cls[cls_of[static_cast<std::size_t>(r)]].flops;
+    for (std::size_t k = 0; k < rank_runs.size(); ++k) {
+        const auto [r0, ci] = rank_runs[k];
+        const int end = run_end(k);
+        const SimClass& c = cls[ci];
+        std::fill(result.ranks.begin() + r0, result.ranks.begin() + end, c.stats);
+        result.makespan = std::max(result.makespan, c.stats.finish);
+        // add_repeat IS `acc += v`, end - r0 times, in fl arithmetic — the
+        // n-step sequence fast-forwarded binade by binade (util/fpadd.hpp).
+        result.total_flops =
+            util::fp::add_repeat(result.total_flops, c.flops, end - r0);
     }
     for (PhaseId id = 0; id < phase_seen.size(); ++id) {
         if (!phase_seen[id]) continue;
         double acc = 0.0;
-        for (int r = 0; r < n; ++r) {
-            const auto& per = cls[cls_of[static_cast<std::size_t>(r)]].phase;
-            if (id < per.size()) acc += per[id];
+        for (std::size_t k = 0; k < rank_runs.size(); ++k) {
+            const auto& per = cls[rank_runs[k].second].phase;
+            if (id >= per.size()) continue;  // no entry: the old loop skipped
+            acc = util::fp::add_repeat(acc, per[id],
+                                       run_end(k) - rank_runs[k].first);
         }
         result.phase_compute.emplace(phase_table().str(id), acc);
     }

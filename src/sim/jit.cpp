@@ -1,0 +1,208 @@
+#include "sim/jit.hpp"
+
+#include "util/error.hpp"
+
+#include <cstring>
+
+namespace armstice::sim::jit {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffU;
+        h *= kFnvPrime;
+    }
+}
+
+void mixd(std::uint64_t& h, double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    mix(h, u);
+}
+
+} // namespace
+
+std::uint64_t knobs_fingerprint(const arch::ModelKnobs& knobs) {
+    std::uint64_t h = kFnvOffset;
+    mix(h, static_cast<std::uint64_t>(knobs.contention) << 0 |
+               static_cast<std::uint64_t>(knobs.core_bw_cap) << 1 |
+               static_cast<std::uint64_t>(knobs.gather_penalty) << 2 |
+               static_cast<std::uint64_t>(knobs.cache_model) << 3 |
+               static_cast<std::uint64_t>(knobs.amdahl) << 4 |
+               static_cast<std::uint64_t>(knobs.ecm) << 5);
+    mixd(h, knobs.os_noise);
+    return h;
+}
+
+bool guards_match(const Guards& have, const Guards& want) {
+    return have.model_version == want.model_version &&
+           have.knobs_fp == want.knobs_fp && have.ctx == want.ctx &&
+           (have.rank < 0 || have.rank == want.rank);
+}
+
+namespace {
+
+/// One-multiply word mix for the scan hash — this runs once per op per novel
+/// program position, so it must be a handful of instructions, unlike the
+/// byte-folded FNV above (kept for the knobs fingerprint, where quality per
+/// call matters more than speed). Collisions are safe: BlockCache chains by
+/// hash and verify rejects non-matching content.
+inline void mixw(std::uint64_t& h, std::uint64_t v) {
+    h = (h ^ v) * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+}
+
+} // namespace
+
+RunScan scan_run(const OpKey* keys, std::size_t pc, std::size_t nops) {
+    RunScan scan;
+    scan.hash = kFnvOffset;
+    std::size_t i = pc;
+    const std::size_t stop = pc + kMaxRun < nops ? pc + kMaxRun : nops;
+    std::uint32_t kinds_seen = 0;  // bitset over OpKeyKind
+    for (; i < stop; ++i) {
+        const OpKey k = keys[i];
+        if (op_key_is_boundary(k)) break;
+        kinds_seen |= 1u << (k >> kOpKeyKindShift);
+        mixw(scan.hash, k);
+    }
+    scan.len = i - pc;
+    mixw(scan.hash, scan.len);
+    scan.has_compute =
+        (kinds_seen & (1u << static_cast<std::uint32_t>(OpKeyKind::compute))) != 0;
+    scan.has_p2p =
+        (kinds_seen & ((1u << static_cast<std::uint32_t>(OpKeyKind::send)) |
+                       (1u << static_cast<std::uint32_t>(OpKeyKind::recv)))) != 0;
+    return scan;
+}
+
+namespace {
+
+/// Same-program op equality: Program::pool_phase dedups phase payloads by
+/// (content, label), so within ONE program equal ComputeOps share their
+/// phase_idx — the whole compare is a handful of inlined field tests with
+/// no pool dereference. This is verify's hot case: lazy links almost always
+/// point at an earlier iteration of the same unrolled program.
+inline bool same_prog_op_eq(const Op& a, const Op& b) {
+    const std::size_t t = a.index();
+    if (t != b.index()) return false;
+    switch (t) {
+        case 0: {  // ComputeOp: phase_idx is canonical within one program
+            const auto& ca = *std::get_if<ComputeOp>(&a);
+            const auto& cb = *std::get_if<ComputeOp>(&b);
+            return ca.phase_idx == cb.phase_idx;
+        }
+        case 1: {
+            const auto& sa = *std::get_if<SendOp>(&a);
+            const auto& sb = *std::get_if<SendOp>(&b);
+            return sa.dst == sb.dst && sa.bytes == sb.bytes && sa.tag == sb.tag;
+        }
+        case 2: {
+            const auto& ra = *std::get_if<RecvOp>(&a);
+            const auto& rb = *std::get_if<RecvOp>(&b);
+            return ra.src == rb.src && ra.tag == rb.tag;
+        }
+        case 3:
+            return std::get_if<AllreduceOp>(&a)->bytes ==
+                   std::get_if<AllreduceOp>(&b)->bytes;
+        case 4:
+            return true;  // BarrierOp
+        case 5:
+            return std::get_if<AlltoallOp>(&a)->bytes_each ==
+                   std::get_if<AlltoallOp>(&b)->bytes_each;
+        default:
+            return std::get_if<MarkOp>(&a)->label_id ==
+                   std::get_if<MarkOp>(&b)->label_id;
+    }
+}
+
+} // namespace
+
+bool verify(const Block& b, const Program& prog, const OpKey* keys,
+            std::size_t pc) {
+    if (b.src_prog != &prog) return false;  // OpKeys are program-local
+    if (b.src_pc == pc) return true;
+    const std::size_t len = b.len();
+    if (pc + len > prog.ops.size()) return false;
+    if (keys != nullptr) {
+        return std::memcmp(keys + b.src_pc, keys + pc, len * sizeof(OpKey)) == 0;
+    }
+    const Op* a = prog.ops.data() + b.src_pc;
+    const Op* c = prog.ops.data() + pc;
+    for (std::size_t i = 0; i < len; ++i) {
+        if (!same_prog_op_eq(a[i], c[i])) return false;
+    }
+    return true;
+}
+
+Block compile(const Program& prog, std::size_t pc, const RunScan& scan,
+              const Guards& guards, const CompileEnv& env) {
+    Block b;
+    b.guards = guards;
+    b.content_hash = scan.hash;
+    b.has_p2p = scan.has_p2p;
+    b.has_compute = scan.has_compute;
+    b.src_prog = &prog;
+    b.src_pc = pc;
+    b.steps.reserve(scan.len);
+    for (std::size_t i = pc; i < pc + scan.len; ++i) {
+        const Op& op = prog.ops[i];
+        Step st;
+        if (const auto* c = std::get_if<ComputeOp>(&op)) {
+            st.kind = StepKind::compute;
+            st.label = c->label_id;
+            const arch::ComputePhase& phase = prog.phase_of(*c);
+            st.cost = env.price(*c, phase);
+            st.aux = phase.flops;
+        } else if (const auto* snd = std::get_if<SendOp>(&op)) {
+            st.kind = StepKind::send;
+            st.a_int = snd->dst;
+            st.tag = snd->tag;
+            st.bytes = snd->bytes;
+            st.cost = env.p2p_seconds(snd->dst, snd->bytes);
+            st.aux = env.msg_overhead_s + snd->bytes / env.injection_bw;
+            st.qidx = env.send_qidx(snd->dst);
+        } else if (const auto* rcv = std::get_if<RecvOp>(&op)) {
+            ARMSTICE_CHECK(rcv->src != kAnySource,
+                           "wildcard recv inside a superop run");
+            st.kind = StepKind::recv;
+            st.a_int = rcv->src;
+            st.tag = rcv->tag;
+            st.qidx = env.recv_qidx(rcv->src);
+        } else {
+            const auto* m = std::get_if<MarkOp>(&op);
+            ARMSTICE_CHECK(m != nullptr, "collective inside a superop run");
+            st.kind = StepKind::mark;
+            st.label = m->label_id;
+        }
+        b.steps.push_back(st);
+    }
+    return b;
+}
+
+const Block* BlockCache::find(std::uint64_t hash, const Guards& want,
+                              const Program& prog, const OpKey* keys,
+                              std::size_t pc, std::size_t len) const {
+    const auto it = by_hash_.find(hash);
+    if (it == by_hash_.end()) return nullptr;
+    for (const Block* b : it->second) {
+        if (b->len() == len && guards_match(b->guards, want) &&
+            verify(*b, prog, keys, pc)) {
+            return b;
+        }
+    }
+    return nullptr;
+}
+
+const Block* BlockCache::insert(Block&& b) {
+    bytes_ += sizeof(Block) + b.steps.capacity() * sizeof(Step);
+    arena_.push_back(std::move(b));
+    const Block* p = &arena_.back();
+    by_hash_[p->content_hash].push_back(p);
+    return p;
+}
+
+} // namespace armstice::sim::jit

@@ -1,0 +1,232 @@
+#pragma once
+// sim::jit — trace-JIT "superop" compilation for the discrete-event engine
+// (DESIGN.md §13).
+//
+// The engine's programs are fully unrolled straight-line op streams, so the
+// hot structure is not a loop over one pc but *repeated content*: every CG
+// iteration re-emits the same halo-exchange + compute run at a fresh pc.
+// sim::jit detects maximal straight-line runs of ComputeOp / SendOp /
+// explicit RecvOp / MarkOp (a run ends at a wildcard receive, a collective,
+// or program end — the ops whose outcome depends on global state), compiles
+// each run once into a Block of flat Steps with the expensive per-op work
+// precomputed (cost-model pricing per ExecContext class, p2p transfer and
+// injection seconds per destination), and keys blocks by content hash so the
+// same iteration body at iteration 0's pc and iteration 19's pc resolves to
+// one Block. Blocks are strictly per-Program: scanning and verification walk
+// the program's 4-byte OpKey sidecar (program.hpp) instead of the 48-byte op
+// variants — at 10^3 ranks the op arrays total tens of MB and re-streaming
+// them per iteration made the JIT memory-bound. Structurally identical rank
+// programs already share one Program object via ProgramBundle dedup, so
+// per-program blocks lose no real sharing.
+//
+// Dynarec-style lazy linking: each equivalence class remembers the last
+// Block it completed, and every Block caches the Block that followed it
+// (`next`). In steady state an iteration is "follow the link, verify, run" —
+// no hashing, no map probe. Links and hash hits are *hints*: a candidate
+// Block is only executed after guards_match (model version, knobs
+// fingerprint, ExecContext class, compiling rank for p2p blocks) and verify
+// (pool-resolved op-by-op content equality against the source program), so
+// collisions and stale links can cost time but never correctness.
+//
+// Execution replicates the interpreter's floating-point op sequence exactly
+// — per-step sequential adds into the same accumulators, per-(rank, pc)
+// OS-noise samples — so JIT-on results are bit-identical to JIT-off,
+// RefEngine, and perturbed schedules (sim::check enforces this per seed).
+// What a Block eliminates is the dispatch overhead: variant branching, cost
+// memo probes, phase-content compares, topology hop lookups and argument
+// validation all happen once at compile time instead of once per execution.
+
+#include "arch/cost_model.hpp"
+#include "sim/program.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace armstice::sim::jit {
+
+/// Runs shorter than this are left to the interpreter: block bookkeeping
+/// (probe + verify) would cost more than it saves. 2 and not more: even a
+/// two-op run is worth a block once lazy linking amortises the probe, and —
+/// more importantly — leaving a short tail segment interpreted breaks the
+/// link chain at that point in *every* iteration (hpcg's per-iteration
+/// [axpy, dot] tail is exactly such a segment).
+inline constexpr std::size_t kMinRun = 2;
+
+/// Compilation stops extending a run here; the tail of a longer run is
+/// interpreted (run chunking shares the program layer's cap so scan_run and
+/// OpRunTable entries always agree on lengths). Bounds single-Block memory
+/// and verify cost.
+inline constexpr std::size_t kMaxRun = kOpRunCap;
+
+/// Per-run compiled-code budget. When the cache is full, new runs fall back
+/// to the interpreter (existing blocks keep executing); pathological inputs
+/// with no repeated content cannot grow memory without bound.
+inline constexpr std::size_t kCacheBudgetBytes = std::size_t{32} << 20;
+
+/// Everything that can change a Block's precomputed costs or effects. A
+/// Block compiled under one Guards value is only executed under a matching
+/// one; otherwise the dispatcher recompiles (or interprets).
+struct Guards {
+    std::uint32_t model_version = 0;  ///< arch::kModelVersion at compile time
+    std::uint64_t knobs_fp = 0;       ///< knobs_fingerprint of the CostModel
+    std::uint32_t ctx = 0;            ///< ExecContext equivalence class id
+    /// Compiling rank, or -1 when the Block has no p2p steps (pure
+    /// compute/mark runs price identically everywhere and are shared across
+    /// ranks — that sharing is what keeps collapsed SPMD classes JIT-able).
+    /// p2p blocks are per-rank: send costs depend on src/dst node distance
+    /// and the compiled mailbox queue indices (Step::qidx) are only valid
+    /// for the compiling rank's queues.
+    int rank = -1;
+};
+
+/// Bitwise fingerprint of every knob that reaches pricing. Any knob change
+/// (including toggles that "should" be no-ops) gets a fresh fingerprint and
+/// therefore fresh blocks — cheap insurance against stale cost constants.
+std::uint64_t knobs_fingerprint(const arch::ModelKnobs& knobs);
+
+/// May a Block compiled under `have` execute in situation `want`?
+/// Rank-independent blocks (have.rank == -1) run anywhere; everything else
+/// must match exactly.
+bool guards_match(const Guards& have, const Guards& want);
+
+enum class StepKind : std::uint8_t { compute, send, recv, mark };
+
+/// One compiled op. Field meaning by kind:
+///   compute: cost = priced seconds for the guard ExecContext class (before
+///            per-(rank, pc) OS noise), aux = phase flops, label = phase id.
+///   send:    a_int = dst rank, tag, bytes = payload, cost = p2p transfer
+///            seconds (src node -> dst node), aux = injection seconds,
+///            qidx = arena slot of the (compiling rank -> dst) queue.
+///   recv:    a_int = src rank (never kAnySource), tag, qidx = arena slot
+///            of the (src -> compiling rank) queue.
+///   mark:    label = phase id to set (kNoPhase clears). qidx stays -1 for
+///            compute/mark steps.
+///
+/// qidx turns the interpreter's per-op mailbox scan into one computed
+/// address into the run's flat queue arena — no dependent loads, so the
+/// execution loop can prefetch upcoming steps' queues. It is sound because
+/// arena slots are created eagerly at compile time and never removed or
+/// reassigned within a run, and because blocks with p2p steps carry
+/// Guards::rank — a block's qidx values are only ever used by the rank whose
+/// queues they were resolved against.
+struct Step {
+    StepKind kind = StepKind::compute;
+    PhaseId label = kNoPhase;
+    int a_int = 0;
+    int tag = 0;
+    int qidx = -1;
+    double cost = 0;
+    double aux = 0;
+    double bytes = 0;
+};
+
+/// Result of scanning a program position for a compilable run.
+struct RunScan {
+    std::size_t len = 0;        ///< ops in the run (0 = boundary at pc)
+    std::uint64_t hash = 0;     ///< content hash (mix_op_hash over the run)
+    bool has_p2p = false;       ///< any send/recv step
+    bool has_compute = false;   ///< any compute step
+};
+
+/// Measure the straight-line run starting at keys[pc]: walk until a boundary
+/// key (wildcard receive or collective), program end, or kMaxRun, mixing the
+/// keys into the hash along the way. Because a program's OpKeys are exact
+/// content ids, equal same-program content implies equal hash; collisions
+/// (and all cross-program candidates) are rejected by verify. One 4-byte
+/// load + a word mix per op — this is the JIT's only full-run walk.
+RunScan scan_run(const OpKey* keys, std::size_t pc, std::size_t nops);
+
+/// The JIT consumes the program layer's straight-line-run partition
+/// (sim::OpRunTable — built once per bundled program, derived per run for
+/// raw programs). A per-class monotone cursor over `runs` replaces the
+/// per-dispatch hash probe / link-verify with one comparison, and a
+/// per-class `Block*` slot per content id replaces verify with a plain load
+/// (equal id ⇒ byte-equal OpKey range ⇒ the verified Block is faithful at
+/// every occurrence). Aliased here so the JIT's vocabulary stays coherent.
+using RunEntry = OpRun;
+using RunTable = OpRunTable;
+
+/// A compiled superop block.
+struct Block {
+    std::vector<Step> steps;
+    Guards guards;
+    std::uint64_t content_hash = 0;
+    bool has_p2p = false;
+    bool has_compute = false;
+    /// Source program the block was compiled from. Blocks only ever execute
+    /// against this program (OpKeys are program-local, so verify rejects any
+    /// other program outright). The Program outlives the per-run cache.
+    const Program* src_prog = nullptr;
+    std::size_t src_pc = 0;
+    /// Lazy link: the Block that most recently followed this one (across a
+    /// boundary op). A hint, not a promise — always guarded and verified
+    /// before use. Mutable because linking happens through const pointers;
+    /// the per-run cache is only touched by its own run (single-threaded).
+    mutable const Block* next = nullptr;
+
+    [[nodiscard]] std::size_t len() const { return steps.size(); }
+};
+
+/// Is `b` a faithful compilation of prog.ops[pc, pc+len)? False whenever
+/// prog is not the block's source program (OpKeys don't compare across
+/// programs); same-position fast path, else one memcmp of the two OpKey
+/// subranges (`keys` = prog's key array; a null `keys` falls back to an
+/// op-by-op walk). A run at `pc` that is shorter than the block (earlier
+/// boundary) fails at the boundary op's key; a longer run merely gets its
+/// prefix executed.
+bool verify(const Block& b, const Program& prog, const OpKey* keys,
+            std::size_t pc);
+
+/// Pricing environment for compile(): thin closures over the engine's cost
+/// memo and p2p tables so compiled constants are the *same values* the
+/// interpreter would produce (shared memoization, shared validation).
+struct CompileEnv {
+    /// Priced seconds for one compute op under the guard ExecContext class.
+    std::function<double(const ComputeOp&, const arch::ComputePhase&)> price;
+    /// p2p transfer seconds from the compiling rank to `dst` (also performs
+    /// the interpreter's dst/bytes validation).
+    std::function<double(int dst, double bytes)> p2p_seconds;
+    /// Index of the compiling rank's queue in dst's mailbox (creating the
+    /// slot if absent — adding an empty queue is observationally inert).
+    std::function<int(int dst)> send_qidx;
+    /// Index of src's queue in the compiling rank's mailbox.
+    std::function<int(int src)> recv_qidx;
+    double msg_overhead_s = 0;
+    double injection_bw = 1;
+};
+
+/// Compile the run described by `scan` at prog.ops[pc] into a Block.
+Block compile(const Program& prog, std::size_t pc, const RunScan& scan,
+              const Guards& guards, const CompileEnv& env);
+
+/// Per-run block store: content-hash map plus a stable arena (deque — Block
+/// addresses never move, so links and SimClass resume pointers stay valid).
+/// Lives inside one Engine::run_impl call; cross-run invalidation is
+/// structural (nothing survives to go stale) and concurrent const runs never
+/// share mutable state.
+class BlockCache {
+public:
+    /// Probe by content hash; candidates must match length + guards and pass
+    /// verify (collisions never execute foreign code). `keys` is prog's
+    /// OpKey array, forwarded to verify.
+    [[nodiscard]] const Block* find(std::uint64_t hash, const Guards& want,
+                                    const Program& prog, const OpKey* keys,
+                                    std::size_t pc, std::size_t len) const;
+
+    /// Take ownership of a freshly compiled block.
+    const Block* insert(Block&& b);
+
+    [[nodiscard]] bool full() const { return bytes_ >= kCacheBudgetBytes; }
+    [[nodiscard]] int blocks() const { return static_cast<int>(arena_.size()); }
+
+private:
+    std::unordered_map<std::uint64_t, std::vector<const Block*>> by_hash_;
+    std::deque<Block> arena_;
+    std::size_t bytes_ = 0;
+};
+
+} // namespace armstice::sim::jit

@@ -1,0 +1,100 @@
+#include "util/fpadd.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace armstice::util::fp {
+namespace {
+
+/// Fixed-point test must be bitwise: -0.0 + 0.0 == -0.0 compares true as
+/// doubles but the stored value changes (to +0.0) on the first step.
+inline bool bit_eq(double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+} // namespace
+
+double add_repeat(double acc, double v, long long n) {
+    // Regimes the grid model below does not cover: non-finite operands,
+    // negative operands (the model assumes a rightward march), and v == 0
+    // (which still flips -0.0 to +0.0 once). The plain loop IS the
+    // specification; the bitwise fixed-point exit makes these O(1) for
+    // everything except an adversarial negative-v march.
+    if (!(acc >= 0.0) || !(v > 0.0) || !std::isfinite(acc) ||
+        !std::isfinite(v)) {
+        while (n > 0) {
+            const double next = acc + v;
+            if (bit_eq(next, acc)) return acc;  // fl(acc+v) == acc: stuck forever
+            acc = next;
+            --n;
+        }
+        return acc;
+    }
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    while (n > 0) {
+        const double next = acc + v;
+        if (bit_eq(next, acc)) return acc;  // v under half an ulp: saturated
+        // Grid spacing above acc. Representable doubles in [acc, 2^53 * u)
+        // are exactly the multiples of u: for normal acc that interval is its
+        // binade, for subnormal acc it is the whole subnormal range plus the
+        // first normal binade (same uniform grid, u = 2^-1074).
+        const double u = std::nextafter(acc, kInf) - acc;
+        if (!(v < u * 0x1p53)) {
+            acc = next;  // one step spans the whole grid: rebase, re-derive
+            --n;
+            continue;
+        }
+        // v = q*u + rem with 0 <= rem < u, all three lines exact: v/u is a
+        // power-of-two scale of a value in [u/2, u*2^53) (smaller v already
+        // hit the fixed-point or tie exits), q*u <= v, and v - q*u is
+        // Sterbenz-exact for q >= 1 and trivially exact for q == 0.
+        const double q = std::floor(v / u);
+        const double rem = v - q * u;
+        // Each step advances the grid index by a constant dm: the true sum
+        // sits rem (dm = q) or u - rem (dm = q + 1) away from the landing
+        // grid point, both under half a grid cell, so rounding is forced.
+        double dm;
+        if (rem == 0.0) {
+            dm = q;  // exact multiple: lands on the grid, no rounding at all
+        } else {
+            // rem != 0 implies u > 2^-1074 (no doubles inside (0, 2^-1074)),
+            // so half is exact.
+            const double half = 0.5 * u;
+            if (rem < half) {
+                dm = q;
+            } else if (rem > half) {
+                dm = q + 1.0;
+            } else {
+                // Exact half-ulp tie: rounds to even, increment depends on
+                // the landing mantissa's parity. Step on hardware.
+                acc = next;
+                --n;
+                continue;
+            }
+        }
+        if (!(dm >= 1.0)) {  // defensive: dm == 0 would mean a fixed point
+            acc = next;
+            --n;
+            continue;
+        }
+        const double m = acc / u;  // exact integer in [0, 2^53)
+        const long long room =
+            static_cast<long long>(std::floor((0x1p53 - m) / dm));
+        if (room < 1) {
+            acc = next;  // grid coarsens before one full step of room
+            --n;
+            continue;
+        }
+        const long long k = room < n ? room : n;
+        // Every integer here is <= 2^53, so the products and sums are exact;
+        // (m + k*dm) * u is the value the hardware loop reaches after k
+        // steps. In the top binade it overflows to +inf exactly when the
+        // k-th hardware step would round there.
+        acc = (m + static_cast<double>(k) * dm) * u;
+        n -= k;
+    }
+    return acc;
+}
+
+} // namespace armstice::util::fp

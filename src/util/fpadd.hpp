@@ -1,0 +1,35 @@
+#pragma once
+// Bit-exact fast-forward for repeated IEEE-754 addition of one constant.
+//
+// The engine's schedule-invariance contract (DESIGN.md §10.2) pins every
+// global reduction to one FP addition order: per rank, ascending. The
+// rank-equivalence collapse (§11) makes the values *per class* — a
+// million-rank SPMD reduction is "add this class's value v to acc, once per
+// member" — but the contract still demands the literal n-step sequence
+// acc = fl(acc + v), not acc + n*v (FP addition does not distribute).
+//
+// add_repeat computes that n-step sequence without n steps: within one
+// binade of acc the representable values are a uniform grid of spacing
+// u = ulp(acc), so fl(acc + v) advances the grid index by a CONSTANT
+// dm = floor(v/u) + (v mod u > u/2), making the trajectory arithmetic until
+// it reaches the next binade (where u doubles and dm is re-derived). Exact
+// half-ulp ties round to even — parity-dependent — so tie regimes fall back
+// to plain hardware steps, as do non-finite/negative inputs. Everything is
+// O(binades) ~ O(2100) worst case for the fast regimes; the fallbacks are
+// O(n) but bit-exact by construction (they ARE the plain loop).
+//
+// The result is required to be bit-identical to the plain loop for every
+// (acc, v, n) — tests/engine/test_fpadd.cpp fuzzes this across magnitudes,
+// subnormals, ties and binade boundaries, and sim::check's differential
+// suite re-proves it end-to-end every run (collapsed engine vs RefEngine).
+
+#include <cstdint>
+
+namespace armstice::util::fp {
+
+/// The result of `n` sequential additions `acc = fl(acc + v)` (round to
+/// nearest, ties to even — the hardware loop), bit-identical to performing
+/// them one at a time.
+[[nodiscard]] double add_repeat(double acc, double v, long long n);
+
+} // namespace armstice::util::fp

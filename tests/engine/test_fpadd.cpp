@@ -1,0 +1,131 @@
+// util::fp::add_repeat — bit-exact fast-forward for repeated IEEE-754
+// addition of one constant (DESIGN.md §10.2/§11: the collapsed engine's
+// n-member class reductions must reproduce the literal n-step sequence
+// acc = fl(acc + v)). The plain hardware loop IS the specification, so every
+// test here is a differential against it: directed cases for the regimes the
+// grid model special-cases (ties, saturation, binade crossings, subnormals,
+// zeros, negatives, non-finites) plus randomized fuzz across magnitudes, and
+// a composition property that exercises the fast path at counts no loop
+// could check directly.
+
+#include "util/fpadd.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+namespace fp = armstice::util::fp;
+
+bool bit_eq(double a, double b) {
+    return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// The specification: n literal hardware steps.
+double plain_loop(double acc, double v, long long n) {
+    for (long long i = 0; i < n; ++i) acc += v;
+    return acc;
+}
+
+#define EXPECT_BITS(fast, slow, what)                                       \
+    do {                                                                    \
+        const double f_ = (fast);                                           \
+        const double s_ = (slow);                                           \
+        EXPECT_PRED2(bit_eq, f_, s_)                                        \
+            << what << ": add_repeat " << f_ << " vs loop " << s_;          \
+    } while (0)
+
+TEST(FpAddRepeat, DirectedRegimes) {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    constexpr double qnan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double denorm_min = 0x1p-1074;
+    struct Case {
+        double acc;
+        double v;
+        long long n;
+        const char* what;
+    };
+    const Case cases[] = {
+        {1.0, 0x1p-52, 100, "exact ulp steps, no rounding"},
+        {1.0, 0x1.8p-52, 1000, "exact half-ulp ties (round to even)"},
+        {1.0, 0x1p-54, 1000, "under half an ulp: immediate saturation"},
+        {1.0, 0x1.0000001p-53, 100000, "just over half an ulp"},
+        {1.0, 0x1p-20, 10000000, "many binade crossings"},
+        {0.0, 0.1, 1000, "decimal drift from zero"},
+        {denorm_min, 0x1.3p-1060, 100000, "subnormal grid march"},
+        {0x1p-1030, denorm_min, 100, "subnormal acc, one-ulp march"},
+        {1e300, 1e284, 100000, "huge magnitudes"},
+        {1e308, 1e304, 100000, "march toward overflow/inf"},
+        {-0.0, 0.0, 3, "-0.0 + 0.0 flips the sign bit once"},
+        {-1.0, 0.25, 10, "negative acc: fallback loop"},
+        {1.0, -0x1p-40, 5000, "negative v: fallback loop"},
+        {inf, 1.0, 10, "inf acc is a fixed point"},
+        {1.0, inf, 7, "inf v: non-finite fallback"},
+        {qnan, 1.0, 7, "nan acc"},
+        {3.0, 0.0, 9, "v == 0 is a fixed point"},
+        {0.1, 0.3, 0, "n == 0 returns acc untouched"},
+    };
+    for (const Case& c : cases) {
+        EXPECT_BITS(fp::add_repeat(c.acc, c.v, c.n), plain_loop(c.acc, c.v, c.n),
+                    c.what);
+    }
+}
+
+TEST(FpAddRepeat, FuzzAcrossMagnitudes) {
+    armstice::util::Rng rng(0xf9addULL);
+    for (int trial = 0; trial < 4000; ++trial) {
+        // Magnitudes spanning subnormals to near-overflow, including exact
+        // powers of two (grid edges) and values engineered to sit near the
+        // half-ulp tie line of the starting binade.
+        const int ea = static_cast<int>(rng.next_below(160)) - 80;
+        const int ev = ea - static_cast<int>(rng.next_below(80)) + 10;
+        double acc = std::ldexp(1.0 + rng.next_double(), ea);
+        double v = std::ldexp(1.0 + rng.next_double(), ev);
+        switch (rng.next_below(8)) {
+            case 0: acc = std::ldexp(1.0, ea); break;          // binade edge
+            case 1: v = std::ldexp(1.0, ev); break;            // power of two
+            case 2: v = std::nextafter(acc, 2 * acc) - acc; break;  // one ulp
+            case 3: v = 1.5 * (std::nextafter(acc, 2 * acc) - acc); break;
+            case 4: acc = std::ldexp(1.0 + rng.next_double(), -1070); break;
+            case 5: v = std::ldexp(1.0 + rng.next_double(), -1074 + ea / 2); break;
+            default: break;
+        }
+        const long long n = 1 + static_cast<long long>(rng.next_below(3000));
+        EXPECT_BITS(fp::add_repeat(acc, v, n), plain_loop(acc, v, n),
+                    "trial " << trial << " acc=" << acc << " v=" << v
+                             << " n=" << n);
+        if (HasFailure()) break;
+    }
+}
+
+TEST(FpAddRepeat, ComposesAtCountsNoLoopCouldCheck) {
+    // fl-addition fast-forward must compose: n1+n2 steps equals n1 steps then
+    // n2 steps, by definition of "the literal sequence". At n ~ 10^12 the
+    // plain loop is unusable, but composition lets the fast path cross-check
+    // itself at split points that shear the count unevenly — exactly how the
+    // collapsed engine consumes it (per-class member counts in the millions).
+    armstice::util::Rng rng(0xc0deULL);
+    for (int trial = 0; trial < 50; ++trial) {
+        const double acc = std::ldexp(1.0 + rng.next_double(),
+                                      static_cast<int>(rng.next_below(40)) - 20);
+        const double v = std::ldexp(1.0 + rng.next_double(),
+                                    static_cast<int>(rng.next_below(40)) - 60);
+        const long long n = 1000000000000LL + static_cast<long long>(
+                                                  rng.next_below(1000000));
+        const long long n1 = static_cast<long long>(
+            rng.next_below(static_cast<std::uint64_t>(n)));
+        const double whole = fp::add_repeat(acc, v, n);
+        const double split =
+            fp::add_repeat(fp::add_repeat(acc, v, n1), v, n - n1);
+        EXPECT_PRED2(bit_eq, whole, split)
+            << "trial " << trial << " acc=" << acc << " v=" << v << " n=" << n
+            << " n1=" << n1;
+    }
+}
+
+} // namespace

@@ -1,0 +1,373 @@
+// Trace-JIT superop compilation (DESIGN.md §13): straight-line run
+// partitioning must stop exactly at wildcard/collective boundaries and dedup
+// repeated iteration bodies by content id, guards must invalidate blocks on
+// model-version / knob / rank mismatches (and a nonzero perturb_seed must
+// force the JIT off entirely), linked blocks must be re-used across
+// iterations rather than recompiled, and — the invariant everything else
+// serves — JIT-on execution must be bit-identical to the plain interpreter,
+// on raw program vectors, on collapsed bundles, under concurrent runs, and
+// in the deadlock diagnosis it reports when a case stalls.
+
+#include "arch/cost_model.hpp"
+#include "arch/system.hpp"
+#include "sim/check.hpp"
+#include "sim/deadlock.hpp"
+#include "sim/engine.hpp"
+#include "sim/jit.hpp"
+#include "sim/program.hpp"
+#include "simmpi/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+namespace aa = armstice::arch;
+namespace as = armstice::sim;
+namespace am = armstice::simmpi;
+namespace ck = armstice::sim::check;
+namespace aj = armstice::sim::jit;
+
+aa::ComputePhase phase(const char* label, double flops, double bytes) {
+    aa::ComputePhase p;
+    p.label = label;
+    p.flops = flops;
+    p.main_bytes = bytes;
+    p.pattern = aa::MemPattern::stream;
+    p.efficiency = 0.8;
+    return p;
+}
+
+as::Engine make_engine(int ranks, aa::ModelKnobs knobs = {}) {
+    const int nodes = (ranks + 63) / 64;
+    return {aa::fulhame(),
+            as::Placement::block(aa::fulhame().node, nodes, ranks, 1), 0.8,
+            knobs};
+}
+
+as::RunOptions no_jit() {
+    as::RunOptions opts;
+    opts.jit = false;
+    return opts;
+}
+
+/// Halo + collective iteration loop with a MarkOp region — the op mix whose
+/// repeated bodies the JIT exists to compile (and whose phase_compute map
+/// diff_results compares key-by-key, so marks are part of the identity).
+am::ProgramSet loop_skeleton(int ranks, int iters) {
+    am::ProgramSet ps(ranks);
+    const auto spmv = phase("spmv", 2.4e7, 1.5e8);
+    const auto axpy = phase("axpy", 1.0e6, 2.4e7);
+    std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+        if (ranks > 1) {
+            neighbors[static_cast<std::size_t>(r)].push_back((r + 1) % ranks);
+            neighbors[static_cast<std::size_t>(r)].push_back((r + ranks - 1) % ranks);
+        }
+    }
+    ps.mark("jit-loop");
+    for (int it = 0; it < iters; ++it) {
+        if (ranks > 1) ps.halo_exchange(neighbors, 2.1e5);
+        ps.compute(spmv);
+        ps.compute(axpy);
+        ps.allreduce(8);
+    }
+    return ps;
+}
+
+#define EXPECT_BITEQ(a, b, what)                                          \
+    do {                                                                  \
+        const std::string d_ = ck::diff_results((a), (b));                \
+        EXPECT_EQ(d_, "") << what;                                        \
+    } while (0)
+
+// ---- run partitioning (program layer the JIT consumes) ---------------------
+
+TEST(JitRunTable, PartitionsAtBoundariesAndDedupsRepeatedBodies) {
+    const auto a = phase("a", 1e7, 1e6);
+    const auto b = phase("b", 2e7, 3e6);
+    as::Program p;
+    constexpr int kIters = 3;
+    for (int it = 0; it < kIters; ++it) {
+        // 5-op straight-line body, then a collective boundary.
+        p.mark("body").compute(a).send(1, 256, 7).recv(2, 7).compute(b);
+        p.allreduce(8);
+    }
+    p.recv(as::kAnySource, 9);  // wildcard boundary
+    p.compute(a);               // 1-op tail run
+    p.finalize_op_runs();
+
+    const as::OpRunTable& rt = p.op_runs;
+    ASSERT_EQ(rt.source_ops, p.ops.size());
+    ASSERT_EQ(rt.runs.size(), 4u);
+    for (int it = 0; it < kIters; ++it) {
+        const as::OpRun& r = rt.runs[static_cast<std::size_t>(it)];
+        EXPECT_EQ(r.start, static_cast<std::uint32_t>(6 * it));
+        EXPECT_EQ(r.len, 5u);
+        EXPECT_TRUE(r.has_p2p);
+        EXPECT_TRUE(r.has_compute);
+        // Same content => same id and hash: anything verified against
+        // iteration 0's body holds for every iteration.
+        EXPECT_EQ(r.id, rt.runs[0].id);
+        EXPECT_EQ(r.hash, rt.runs[0].hash);
+    }
+    const as::OpRun& tail = rt.runs[3];
+    EXPECT_EQ(tail.start, static_cast<std::uint32_t>(6 * kIters + 1));
+    EXPECT_EQ(tail.len, 1u);
+    EXPECT_FALSE(tail.has_p2p);
+    EXPECT_NE(tail.id, rt.runs[0].id);
+    EXPECT_EQ(rt.distinct, 2u);
+
+    // Boundary keys sit in the gaps: the allreduces and the wildcard recv.
+    const as::OpKey* keys = p.op_keys.data();
+    EXPECT_TRUE(as::op_key_is_boundary(keys[5]));
+    EXPECT_EQ(as::op_key_kind(keys[5]), as::OpKeyKind::allreduce);
+    EXPECT_EQ(as::op_key_kind(keys[6 * kIters]), as::OpKeyKind::recv_any);
+
+    // scan_run (the JIT's on-demand scanner) must agree with the table on
+    // length and hash at every run start, and report len 0 at boundaries.
+    for (const as::OpRun& r : rt.runs) {
+        const aj::RunScan scan = aj::scan_run(keys, r.start, p.ops.size());
+        EXPECT_EQ(scan.len, r.len);
+        EXPECT_EQ(scan.hash, r.hash);
+        EXPECT_EQ(scan.has_p2p, r.has_p2p);
+        EXPECT_EQ(scan.has_compute, r.has_compute);
+    }
+    EXPECT_EQ(aj::scan_run(keys, 5, p.ops.size()).len, 0u);
+
+    // Idempotent; appending ops invalidates and a re-finalize rebuilds.
+    p.finalize_op_runs();
+    EXPECT_EQ(rt.runs.size(), 4u);
+    p.compute(b);
+    EXPECT_NE(p.op_runs.source_ops, p.ops.size());
+    p.finalize_op_runs();
+    EXPECT_EQ(p.op_runs.source_ops, p.ops.size());
+    EXPECT_EQ(p.op_runs.runs.back().len, 2u);  // tail run grew: compute+compute
+}
+
+TEST(JitRunTable, ChunksRunsAtTheCap) {
+    const auto a = phase("a", 1e7, 1e6);
+    as::Program p;
+    const std::size_t n = as::kOpRunCap + 100;
+    for (std::size_t i = 0; i < n; ++i) p.compute(a);
+    p.finalize_op_runs();
+    ASSERT_EQ(p.op_runs.runs.size(), 2u);
+    EXPECT_EQ(p.op_runs.runs[0].len, as::kOpRunCap);
+    EXPECT_EQ(p.op_runs.runs[1].start, as::kOpRunCap);
+    EXPECT_EQ(p.op_runs.runs[1].len, 100u);
+    // The JIT's own cap aliases the program layer's — a drift would break
+    // the cursor/scan agreement the fast path relies on.
+    EXPECT_EQ(aj::kMaxRun, as::kOpRunCap);
+}
+
+// ---- guards ----------------------------------------------------------------
+
+TEST(JitGuards, FingerprintSeparatesKnobs) {
+    const aa::ModelKnobs base;
+    EXPECT_EQ(aj::knobs_fingerprint(base), aj::knobs_fingerprint(base));
+    aa::ModelKnobs quiet = base;
+    quiet.os_noise = 0;
+    EXPECT_NE(aj::knobs_fingerprint(base), aj::knobs_fingerprint(quiet));
+    aa::ModelKnobs flipped = base;
+    flipped.contention = !flipped.contention;
+    EXPECT_NE(aj::knobs_fingerprint(base), aj::knobs_fingerprint(flipped));
+}
+
+TEST(JitGuards, MatchSemantics) {
+    aj::Guards have;
+    have.model_version = aa::kModelVersion;
+    have.knobs_fp = 42;
+    have.ctx = 7;
+    have.rank = -1;  // rank-neutral: shared across ranks
+    aj::Guards want = have;
+    want.rank = 123;
+    EXPECT_TRUE(aj::guards_match(have, want));
+
+    aj::Guards p2p = have;
+    p2p.rank = 5;  // p2p block: compiled queue indices are rank-local
+    want.rank = 5;
+    EXPECT_TRUE(aj::guards_match(p2p, want));
+    want.rank = 6;
+    EXPECT_FALSE(aj::guards_match(p2p, want));
+
+    aj::Guards stale = have;
+    stale.model_version = aa::kModelVersion + 1;
+    want = have;
+    EXPECT_FALSE(aj::guards_match(stale, want));
+    stale = have;
+    stale.knobs_fp = 43;
+    EXPECT_FALSE(aj::guards_match(stale, want));
+    stale = have;
+    stale.ctx = 8;
+    EXPECT_FALSE(aj::guards_match(stale, want));
+}
+
+// ---- engine-level behaviour ------------------------------------------------
+
+TEST(Jit, CompilesBlocksAndMatchesInterpreterBitForBit) {
+    for (int ranks : {2, 32}) {
+        const auto eng = make_engine(ranks);
+        const auto bundle = loop_skeleton(ranks, /*iters=*/12).take_bundle();
+        const auto vec = loop_skeleton(ranks, /*iters=*/12).take();
+
+        const auto interp = eng.run(bundle, no_jit());
+        EXPECT_EQ(interp.jit_blocks, 0);
+        EXPECT_EQ(interp.jit_ops, 0);
+
+        const auto jitted = eng.run(bundle);
+        EXPECT_GT(jitted.jit_blocks, 0) << ranks << " ranks";
+        EXPECT_GT(jitted.jit_ops, 0);
+        EXPECT_BITEQ(interp, jitted, "jit on vs off at " << ranks << " ranks");
+        EXPECT_BITEQ(interp, eng.run(vec),
+                     "jit on raw vector (derived run tables) at " << ranks);
+    }
+}
+
+TEST(Jit, ReusesLinkedBlocksAcrossIterations) {
+    const auto eng = make_engine(32);
+    const auto bundle = loop_skeleton(32, /*iters=*/20).take_bundle();
+    const auto res = eng.run(bundle);
+    // 20 identical iteration bodies per rank must resolve to a handful of
+    // compiled blocks executed over and over, not 20 fresh compilations.
+    EXPECT_GT(res.jit_block_runs, 5 * static_cast<long long>(res.jit_blocks));
+    long ops = 0;
+    for (int r = 0; r < bundle.ranks(); ++r) {
+        ops += static_cast<long>(bundle.of(r).ops.size());
+    }
+    // The interpreter only keeps boundary ops (collectives) and suspended
+    // retries; the bulk must flow through blocks.
+    EXPECT_GT(res.jit_ops, ops / 2);
+}
+
+TEST(Jit, PerturbSeedForcesTheJitOffAndStaysBitIdentical) {
+    const auto eng = make_engine(16);
+    const auto bundle = loop_skeleton(16, /*iters=*/8).take_bundle();
+    const auto base = eng.run(bundle);
+    EXPECT_GT(base.jit_ops, 0);
+    as::RunOptions shaken;
+    shaken.perturb_seed = 0x5eedULL;
+    const auto perturbed = eng.run(bundle, shaken);
+    // The determinism adversary must exercise raw per-op scheduling: any
+    // nonzero perturb_seed disables superop execution outright...
+    EXPECT_EQ(perturbed.jit_blocks, 0);
+    EXPECT_EQ(perturbed.jit_block_runs, 0);
+    EXPECT_EQ(perturbed.jit_ops, 0);
+    // ...and the result still must not move by a bit.
+    EXPECT_BITEQ(base, perturbed, "jit on vs perturbed interpreter");
+}
+
+TEST(Jit, KnobChangesRepriceInsteadOfReusingStaleBlocks) {
+    // Same programs under different knob sets: each engine's JIT must price
+    // with its own knobs (knobs_fp guard), so jit-on tracks jit-off within
+    // every knob set while the knob sets themselves disagree.
+    const auto bundle = loop_skeleton(8, /*iters=*/6).take_bundle();
+    aa::ModelKnobs quiet;
+    quiet.os_noise = 0;
+    aa::ModelKnobs flipped;
+    flipped.contention = !flipped.contention;
+    const auto base = make_engine(8).run(bundle);
+    for (const aa::ModelKnobs& knobs : {quiet, flipped}) {
+        const auto eng = make_engine(8, knobs);
+        const auto on = eng.run(bundle);
+        const auto off = eng.run(bundle, no_jit());
+        EXPECT_BITEQ(on, off, "jit on vs off under modified knobs");
+    }
+    // os_noise reaches every compute op: zeroing it must visibly change the
+    // modelled result (if it didn't, the biteq above would prove nothing).
+    EXPECT_NE(ck::diff_results(base, make_engine(8, quiet).run(bundle)), "")
+        << "knob change must change the modelled result";
+}
+
+TEST(Jit, CollapsedSpmdClassesShareRankNeutralBlocks) {
+    // Pure-SPMD compute/collective program, noiseless: one collapsed class
+    // executes rank-neutral blocks (Guards::rank == -1). Collapse on/off and
+    // jit on/off must all agree bit-for-bit.
+    aa::ModelKnobs quiet;
+    quiet.os_noise = 0;  // rank-keyed noise would split every class
+    as::Program proto;
+    const auto spmv = phase("spmv", 2.4e7, 1.5e8);
+    const auto axpy = phase("axpy", 1.0e6, 2.4e7);
+    for (int it = 0; it < 10; ++it) {
+        // Two computes per body: single-op runs sit below jit::kMinRun and
+        // would leave the whole program to the interpreter.
+        proto.compute(spmv).compute(axpy).allreduce(8);
+    }
+    const int ranks = 4096;
+    const auto bundle = as::ProgramBundle::shared(proto, ranks);
+    const auto eng = make_engine(ranks, quiet);
+    const auto collapsed = eng.run(bundle);
+    EXPECT_EQ(collapsed.collapse_classes, 1);
+    EXPECT_GT(collapsed.jit_ops, 0);
+    as::RunOptions flat;
+    flat.collapse = false;
+    EXPECT_BITEQ(collapsed, eng.run(bundle, flat), "collapsed vs flat, jit on");
+    as::RunOptions flat_nojit = flat;
+    flat_nojit.jit = false;
+    EXPECT_BITEQ(collapsed, eng.run(bundle, flat_nojit),
+                 "collapsed jit on vs flat interpreter");
+    EXPECT_BITEQ(collapsed, eng.run(bundle, no_jit()),
+                 "collapsed jit on vs collapsed interpreter");
+}
+
+TEST(Jit, WildcardHeavyCasesStayBitIdentical) {
+    // Generated cases with ANY_SOURCE funnels and mixed-tag crossings: the
+    // wildcard receives are boundaries the JIT must leave to the
+    // interpreter's quiescence machinery, whatever surrounds them.
+    for (std::uint64_t seed : {1ULL, 7ULL, 23ULL}) {
+        const ck::GeneratedCase gc = ck::generate(seed);
+        const auto eng = make_engine(gc.ranks);
+        const auto interp = eng.run(gc.programs, no_jit());
+        const auto jitted = eng.run(gc.programs);
+        EXPECT_BITEQ(interp, jitted, "generated case seed " << seed);
+    }
+}
+
+TEST(Jit, ConcurrentJitRunsMatchTheInterpreter) {
+    // `run` is const and the block cache is per-run state: eight threads
+    // JIT-compiling the same bundle concurrently must each reproduce the
+    // single-threaded interpreter result exactly.
+    const auto eng = make_engine(32);
+    const auto bundle = loop_skeleton(32, /*iters=*/10).take_bundle();
+    const auto base = eng.run(bundle, no_jit());
+    EXPECT_BITEQ(base, eng.run(bundle), "jobs 1");
+
+    constexpr int kJobs = 8;
+    std::vector<as::RunResult> out(kJobs);
+    std::vector<std::thread> threads;
+    threads.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+        threads.emplace_back([&eng, &bundle, &out, i] {
+            out[static_cast<std::size_t>(i)] = eng.run(bundle);
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (int i = 0; i < kJobs; ++i) {
+        EXPECT_BITEQ(base, out[static_cast<std::size_t>(i)], "job " << i);
+    }
+}
+
+TEST(Jit, DeadlockDiagnosisIsIdenticalOnAndOff) {
+    ck::GenConfig cfg;
+    cfg.deadlock = ck::DeadlockKind::recv_cycle;
+    const ck::GeneratedCase gc = ck::generate(42, cfg);
+    const auto eng = make_engine(gc.ranks);
+    const auto diagnose = [&](const as::RunOptions& opts) -> std::string {
+        try {
+            (void)eng.run(gc.programs, opts);
+        } catch (const as::DeadlockError& e) {
+            return e.graph().render();
+        }
+        ADD_FAILURE() << "deadlock not detected";
+        return "";
+    };
+    const std::string on = diagnose(as::RunOptions{});
+    const std::string off = diagnose(no_jit());
+    EXPECT_FALSE(on.empty());
+    EXPECT_EQ(on, off);
+}
+
+} // namespace
