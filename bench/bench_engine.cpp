@@ -198,7 +198,12 @@ struct Scenario {
     /// peak — labelled so a row can never pass off an earlier scenario's
     /// allocation as its own.
     bool rss_per_scenario = false;
+    bool collapse = true;     ///< RunOptions::collapse for this row
     int collapse_classes = 0; ///< rank-equivalence classes the run ended with
+    int collapse_splits = 0;  ///< split events, broken down by cause below
+    int split_p2p = 0;        ///< absolute p2p / wildcard / rel-arrival splits
+    int split_noise = 0;      ///< rank-keyed OS-noise compute splits
+    int split_placement = 0;  ///< rel-send hop-tier (node edge) splits
     int jit_blocks = 0;       ///< superop blocks compiled (jit rows)
     long long jit_block_runs = 0;
     long long jit_ops = 0;
@@ -285,6 +290,10 @@ Scenario measure(const std::string& app, int ranks,
         best = std::min(best, t1 - t0);
         makespan = res.makespan;
         s.collapse_classes = res.collapse_classes;
+        s.collapse_splits = res.collapse_splits;
+        s.split_p2p = res.collapse_split_p2p;
+        s.split_noise = res.collapse_split_noise;
+        s.split_placement = res.collapse_split_placement;
         s.jit_blocks = res.jit_blocks;
         s.jit_block_runs = res.jit_block_runs;
         s.jit_ops = res.jit_ops;
@@ -312,7 +321,8 @@ Scenario measure(const std::string& app, int ranks,
 /// diverges from the uncollapsed engine would be meaningless.
 Scenario measure_scale(const std::string& app, int ranks,
                        const as::ProgramBundle& bundle, bool jit,
-                       bool check_flat, as::RunResult* out) {
+                       bool check_flat, as::RunResult* out,
+                       bool collapse = true) {
     const int nodes = (ranks + 63) / 64;  // Fulhame: 64 cores/node
     aa::ModelKnobs noiseless;
     noiseless.os_noise = 0;  // rank-keyed noise would split every class
@@ -324,10 +334,15 @@ Scenario measure_scale(const std::string& app, int ranks,
     s.app = app;
     s.ranks = ranks;
     s.jit = jit;
-    s.ops = static_cast<long>(ranks) *
-            static_cast<long>(bundle.of(0).ops.size());
+    s.collapse = collapse;
+    // Simulated rank-ops: sum per rank (halo skeletons give boundary ranks
+    // shorter programs, so ranks x ops-of-rank-0 would miscount).
+    for (int r = 0; r < bundle.ranks(); ++r) {
+        s.ops += static_cast<long>(bundle.of(r).ops.size());
+    }
     as::RunOptions opts;
     opts.jit = jit;
+    opts.collapse = collapse;
 
     const bool rss_reset = reset_vm_hwm();
     constexpr int kReps = 3;
@@ -344,6 +359,10 @@ Scenario measure_scale(const std::string& app, int ranks,
     s.seconds = best;
     s.ops_per_sec = static_cast<double>(s.ops) / best;
     s.collapse_classes = res.collapse_classes;
+    s.collapse_splits = res.collapse_splits;
+    s.split_p2p = res.collapse_split_p2p;
+    s.split_noise = res.collapse_split_noise;
+    s.split_placement = res.collapse_split_placement;
     s.jit_blocks = res.jit_blocks;
     s.jit_block_runs = res.jit_block_runs;
     s.jit_ops = res.jit_ops;
@@ -365,11 +384,13 @@ Scenario measure_scale(const std::string& app, int ranks,
 
     finish_rss(&s, rss_reset);
     std::printf("  %-10s %8d ranks  jit %-3s  %11ld ops  %8.4f s  %12.3g ops/s"
-                "  rss %ld MiB%s  classes %d  (makespan %.3f s)\n",
+                "  rss %ld MiB%s  classes %d  splits %d (p2p %d, noise %d, "
+                "placement %d)%s  (makespan %.3f s)\n",
                 app.c_str(), ranks, jit ? "on" : "off", s.ops, s.seconds,
                 s.ops_per_sec, s.peak_rss_kb / 1024,
                 s.rss_per_scenario ? "" : " (process)", s.collapse_classes,
-                makespan);
+                s.collapse_splits, s.split_p2p, s.split_noise, s.split_placement,
+                collapse ? "" : "  [collapse off]", makespan);
     return s;
 }
 
@@ -411,13 +432,18 @@ void write_json(const std::vector<Scenario>& scenarios) {
             if (s.app == b.app && s.ranks == b.ranks) base = b.ops_per_sec;
         }
         j += format("    {\"app\": \"%s\", \"ranks\": %d, \"jit\": %s, "
+                    "\"collapse\": %s, "
                     "\"ops\": %ld, \"seconds\": %.6f, \"ops_per_sec\": %.0f, "
                     "\"peak_rss_kb\": %ld, \"rss_scope\": \"%s\", "
-                    "\"collapse_classes\": %d",
+                    "\"collapse_classes\": %d, \"collapse_splits\": %d, "
+                    "\"split_p2p\": %d, \"split_noise\": %d, "
+                    "\"split_placement\": %d",
                     json_escape(s.app).c_str(), s.ranks,
-                    s.jit ? "true" : "false", s.ops, s.seconds, s.ops_per_sec,
+                    s.jit ? "true" : "false", s.collapse ? "true" : "false",
+                    s.ops, s.seconds, s.ops_per_sec,
                     s.peak_rss_kb, s.rss_per_scenario ? "scenario" : "process",
-                    s.collapse_classes);
+                    s.collapse_classes, s.collapse_splits, s.split_p2p,
+                    s.split_noise, s.split_placement);
         if (s.jit) {
             j += format(", \"jit_blocks\": %d, \"jit_block_runs\": %lld, "
                         "\"jit_ops\": %lld",
@@ -513,6 +539,30 @@ int main(int argc, char** argv) {
     for (int ranks : {48, 256, 1024}) {
         run_pair("cosa", ranks, cosa_skeleton(ranks, /*iters=*/200).take_bundle(),
                  /*scale=*/false, /*check_flat=*/false);
+    }
+
+    // Relative-halo collapse rows (DESIGN.md §11.4): the SAME halo skeletons
+    // as the throughput rows above, but under os_noise=0 so the collapse is
+    // observable — halo_exchange's relative addressing keeps the grid/chain
+    // interior merged through the p2p, ending with classes << ranks. The
+    // jit-on row also proves bit-identity against collapse-off (check_flat),
+    // the pair proves jit-on vs jit-off, and an explicit collapse-off row
+    // records what the engine pays without the merge.
+    std::printf("halo collapse rows (relative-addressed halos, os_noise=0, "
+                "DESIGN.md §11.4)\n");
+    {
+        const auto hpcg_halo = hpcg_skeleton(1024, /*iters=*/20).take_bundle();
+        run_pair("hpcg-halo", 1024, hpcg_halo, /*scale=*/true,
+                 /*check_flat=*/true);
+        scenarios.push_back(measure_scale("hpcg-halo", 1024, hpcg_halo,
+                                          /*jit=*/true, /*check_flat=*/false,
+                                          nullptr, /*collapse=*/false));
+        const auto cosa_halo = cosa_skeleton(1024, /*iters=*/200).take_bundle();
+        run_pair("cosa-halo", 1024, cosa_halo, /*scale=*/true,
+                 /*check_flat=*/true);
+        scenarios.push_back(measure_scale("cosa-halo", 1024, cosa_halo,
+                                          /*jit=*/true, /*check_flat=*/false,
+                                          nullptr, /*collapse=*/false));
     }
 
     std::printf("collapse scaling (SPMD hpcg skeleton, os_noise=0, "

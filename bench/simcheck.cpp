@@ -8,9 +8,12 @@
 // BENCH_simcheck.json; exits nonzero on any failure, so it can serve as a
 // standalone CI gate next to the ctest `check` label. `--collapse-smoke N`
 // additionally gates rank-equivalence collapse (DESIGN.md §11) at N ranks —
-// far beyond the fuzz suite's case sizes — and `--jit-smoke N` does the same
-// for trace-JIT superop execution (§13): JIT-on vs JIT-off bit-identity plus
-// an engagement assertion (blocks compiled, re-used, and executing ops).
+// far beyond the fuzz suite's case sizes — `--halo-collapse-smoke N` gates
+// the relative-addressed halo path (§11.4: a 3D Cartesian skeleton must end
+// with classes << ranks AND stay bit-identical to collapse-off), and
+// `--jit-smoke N` does the same for trace-JIT superop execution (§13):
+// JIT-on vs JIT-off bit-identity plus an engagement assertion (blocks
+// compiled, re-used, and executing ops).
 
 #include "arch/system.hpp"
 #include "sim/check.hpp"
@@ -97,6 +100,76 @@ bool collapse_smoke(int ranks) {
     return d1.empty() && d2.empty();
 }
 
+/// Relative-halo collapse smoke (DESIGN.md §11.4): run a 3D Cartesian halo
+/// skeleton at `ranks` ranks as a shared ProgramBundle. halo_exchange emits
+/// relative-addressed p2p, so the grid interior shares one structural
+/// program and the engine executes it as merged classes — the gate requires
+/// (a) the run to end with FAR fewer classes than ranks (the collapse
+/// actually carried through the p2p), and (b) bit-identity against
+/// collapse-off and a perturbed collapsed schedule. This is the only halo
+/// gate at a scale (100k ranks in CI) the fuzz suite and unit tests cannot
+/// reach. Returns true when both hold.
+bool halo_collapse_smoke(int ranks) {
+    aa::ComputePhase spmv;
+    spmv.label = "halo-smoke-spmv";
+    spmv.flops = 2.0 * 27.0 * 4096.0;
+    spmv.main_bytes = 12.0 * 27.0 * 4096.0;
+    spmv.pattern = aa::MemPattern::gather;
+    spmv.efficiency = 0.8;
+
+    const auto dims = am::dims_create(ranks, 3);
+    const auto neighbors = am::cart_neighbors(dims, /*periodic=*/false);
+    am::ProgramSet ps(ranks);
+    for (int it = 0; it < 2; ++it) {
+        ps.halo_exchange(neighbors, 8.0 * 16.0 * 16.0);
+        ps.compute(spmv);
+        ps.allreduce(8);
+    }
+    const as::ProgramBundle bundle = ps.take_bundle();
+
+    const int nodes = (ranks + 63) / 64;
+    aa::ModelKnobs noiseless;
+    noiseless.os_noise = 0;  // rank-keyed noise splits every class
+    const as::Engine eng(aa::fulhame(),
+                         as::Placement::block(aa::fulhame().node, nodes, ranks, 1),
+                         0.8, noiseless);
+
+    const as::RunResult collapsed = eng.run(bundle);
+    as::RunOptions flat;
+    flat.collapse = false;
+    const std::string d1 = ck::diff_results(collapsed, eng.run(bundle, flat));
+    as::RunOptions shaken;
+    shaken.perturb_seed = 0x4a105eedULL;
+    const std::string d2 = ck::diff_results(collapsed, eng.run(bundle, shaken));
+    if (!d1.empty()) {
+        std::fprintf(stderr,
+                     "halo collapse smoke (%d ranks): collapsed vs flat: %s\n",
+                     ranks, d1.c_str());
+    }
+    if (!d2.empty()) {
+        std::fprintf(stderr,
+                     "halo collapse smoke (%d ranks): collapsed vs perturbed: %s\n",
+                     ranks, d2.c_str());
+    }
+    // "Far fewer": the interior must stay merged. A 3D halo has <= 27
+    // structural boundary patterns; splits add node-edge and arrival-order
+    // classes but never approach O(ranks).
+    const bool merged = collapsed.collapse_classes * 16 <= ranks;
+    if (!merged) {
+        std::fprintf(stderr,
+                     "halo collapse smoke (%d ranks): %d classes — interior did"
+                     " not stay merged\n",
+                     ranks, collapsed.collapse_classes);
+    }
+    const bool ok = d1.empty() && d2.empty() && merged;
+    std::printf("halo collapse smoke: %d ranks, %d classes, %d splits"
+                " (p2p %d, placement %d) — %s\n",
+                ranks, collapsed.collapse_classes, collapsed.collapse_splits,
+                collapsed.collapse_split_p2p, collapsed.collapse_split_placement,
+                ok ? "bit-identical" : "MISMATCH");
+    return ok;
+}
+
 /// Trace-JIT smoke (DESIGN.md §13): run a halo-exchange + collective
 /// skeleton at `ranks` ranks — far beyond the fuzz suite's 4..32-rank cases
 /// — and require superop execution bit-identical to the interpreter on both
@@ -164,7 +237,7 @@ bool jit_smoke(int ranks) {
 
 void write_json(const ck::CheckConfig& cfg, const ck::CheckReport& rep,
                 double seconds, int smoke_ranks, bool smoke_ok,
-                int jit_ranks, bool jit_ok) {
+                int halo_ranks, bool halo_ok, int jit_ranks, bool jit_ok) {
     std::string j = "{\n  \"bench\": \"simcheck\",\n  \"unit\": \"seeds/sec\",\n";
     j += format("  \"seeds\": %d,\n  \"first_seed\": %llu,\n", cfg.seeds,
                 static_cast<unsigned long long>(cfg.first_seed));
@@ -174,6 +247,9 @@ void write_json(const ck::CheckConfig& cfg, const ck::CheckReport& rep,
                 rep.failures.size());
     j += format("  \"collapse_smoke_ranks\": %d,\n  \"collapse_smoke_ok\": %s,\n",
                 smoke_ranks, smoke_ok ? "true" : "false");
+    j += format("  \"halo_collapse_smoke_ranks\": %d,\n"
+                "  \"halo_collapse_smoke_ok\": %s,\n",
+                halo_ranks, halo_ok ? "true" : "false");
     j += format("  \"jit_smoke_ranks\": %d,\n  \"jit_smoke_ok\": %s,\n",
                 jit_ranks, jit_ok ? "true" : "false");
     j += format("  \"seconds\": %.3f,\n  \"seeds_per_sec\": %.2f\n}\n", seconds,
@@ -200,12 +276,17 @@ int main(int argc, char** argv) {
                "also smoke-test rank-equivalence collapse at this many ranks"
                " (0 = skip)",
                "0");
+    cli.option("halo-collapse-smoke",
+               "also smoke-test relative-halo collapse (3D Cartesian skeleton)"
+               " at this many ranks (0 = skip)",
+               "0");
     cli.option("jit-smoke",
                "also differential-test trace-JIT superop execution at this"
                " many ranks (0 = skip)",
                "0");
     ck::CheckConfig cfg;
     int smoke_ranks = 0;
+    int halo_ranks = 0;
     int jit_ranks = 0;
     try {
         cli.parse(argc, argv);
@@ -216,6 +297,7 @@ int main(int argc, char** argv) {
         cfg.deadlock_every = static_cast<int>(cli.get_long("deadlock-every"));
         cfg.jobs = static_cast<int>(cli.get_long("jobs"));
         smoke_ranks = static_cast<int>(cli.get_long("collapse-smoke"));
+        halo_ranks = static_cast<int>(cli.get_long("halo-collapse-smoke"));
         jit_ranks = static_cast<int>(cli.get_long("jit-smoke"));
     } catch (const armstice::util::Error& e) {
         std::fprintf(stderr, "simcheck: %s\n%s", e.what(), cli.usage().c_str());
@@ -233,7 +315,9 @@ int main(int argc, char** argv) {
     std::printf("%.2f s wall, %.2f seeds/sec\n", dt,
                 dt > 0 ? cfg.seeds / dt : 0.0);
     const bool smoke_ok = smoke_ranks <= 0 || collapse_smoke(smoke_ranks);
+    const bool halo_ok = halo_ranks <= 0 || halo_collapse_smoke(halo_ranks);
     const bool jit_ok = jit_ranks <= 0 || jit_smoke(jit_ranks);
-    write_json(cfg, rep, dt, smoke_ranks, smoke_ok, jit_ranks, jit_ok);
-    return rep.ok() && smoke_ok && jit_ok ? 0 : 1;
+    write_json(cfg, rep, dt, smoke_ranks, smoke_ok, halo_ranks, halo_ok,
+               jit_ranks, jit_ok);
+    return rep.ok() && smoke_ok && halo_ok && jit_ok ? 0 : 1;
 }

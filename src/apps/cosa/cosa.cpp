@@ -66,20 +66,14 @@ AppResult run_cosa(const arch::SystemSpec& sys, const CosaConfig& cfg) {
         std::sqrt(cells_per_block) * 4.0 * snaps * 5.0 * 8.0 * 3.0;
 
     // Blocks chain: block b talks to b-1/b+1; with round-robin ownership the
-    // active ranks form a ring neighbourhood.
-    std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(ranks));
+    // active ranks form a chain neighbourhood.
+    const auto neighbors = simmpi::chain_neighbors(ranks, dist.active_ranks);
     std::vector<std::vector<double>> halo_bytes(static_cast<std::size_t>(ranks));
     for (int r = 0; r < dist.active_ranks; ++r) {
         const double b = halo_bytes_per_block *
                          dist.blocks_of[static_cast<std::size_t>(r)];
-        if (r > 0) {
-            neighbors[static_cast<std::size_t>(r)].push_back(r - 1);
-            halo_bytes[static_cast<std::size_t>(r)].push_back(b);
-        }
-        if (r + 1 < dist.active_ranks) {
-            neighbors[static_cast<std::size_t>(r)].push_back(r + 1);
-            halo_bytes[static_cast<std::size_t>(r)].push_back(b);
-        }
+        halo_bytes[static_cast<std::size_t>(r)].assign(
+            neighbors[static_cast<std::size_t>(r)].size(), b);
     }
 
     simmpi::ProgramSet ps(ranks);

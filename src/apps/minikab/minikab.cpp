@@ -87,11 +87,7 @@ AppResult run_minikab(const arch::SystemSpec& sys, const MinikabConfig& cfg) {
     blas1.efficiency = eta;
 
     // Slab decomposition: two neighbours in the chain interior.
-    std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(cfg.ranks));
-    for (int r = 0; r < cfg.ranks; ++r) {
-        if (r > 0) neighbors[static_cast<std::size_t>(r)].push_back(r - 1);
-        if (r + 1 < cfg.ranks) neighbors[static_cast<std::size_t>(r)].push_back(r + 1);
-    }
+    const auto neighbors = simmpi::chain_neighbors(cfg.ranks);
     const double halo = slab_interface_bytes(cfg);
 
     // Solver-variant work: the Jacobi sweep adds a diagonal solve per

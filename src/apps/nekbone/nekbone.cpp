@@ -54,11 +54,7 @@ AppResult run_nekbone(const arch::SystemSpec& sys, const NekboneConfig& cfg) {
     blas1.efficiency = eta;
 
     // dssum face exchange: ranks form a chain of element slabs.
-    std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(cfg.ranks));
-    for (int r = 0; r < cfg.ranks; ++r) {
-        if (r > 0) neighbors[static_cast<std::size_t>(r)].push_back(r - 1);
-        if (r + 1 < cfg.ranks) neighbors[static_cast<std::size_t>(r)].push_back(r + 1);
-    }
+    const auto neighbors = simmpi::chain_neighbors(cfg.ranks);
     const double face_bytes = 8.0 * cfg.nx1 * cfg.nx1;
 
     const int sim_iters = std::min(cfg.cg_iters, 60);

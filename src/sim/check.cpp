@@ -61,9 +61,10 @@ GeneratedCase generate(std::uint64_t seed, const GenConfig& cfg) {
     };
 
     for (int round = 0; round < rounds; ++round) {
-        std::uint64_t kind = rng.next_below(7);
+        std::uint64_t kind = rng.next_below(8);
         if (kind == 4 && (!cfg.allow_sendrecv || ranks < 2)) kind = 3;
         if (kind == 5 && !cfg.allow_any_source) kind = 3;
+        if (kind == 7 && (!cfg.allow_sendrecv || ranks < 2)) kind = 3;
         switch (kind) {
             case 0: {  // world allreduce
                 const double bytes = rng.uniform(8, 1e5);
@@ -138,6 +139,66 @@ GeneratedCase generate(std::uint64_t seed, const GenConfig& cfg) {
                 for (int r = 0; r < ranks; ++r) {
                     gc.total_flops += phase.flops;
                     prog(r).compute(phase);
+                }
+                break;
+            }
+            case 7: {  // relative-addressed halo (DESIGN.md §11.4): a 1D or
+                       // 2D grid/torus exchange emitted as send_rel/recv_rel,
+                       // the exact form simmpi::halo_exchange produces (sim
+                       // cannot link simmpi, so the shape is rebuilt here).
+                       // Interior ranks end up structurally identical, so the
+                       // bundle differentials below drive the engine's merged
+                       // relative-p2p machinery — grouped boundary splits,
+                       // blocked partial matches, quiescence resolution —
+                       // against RefEngine, collapse-off and the perturbed
+                       // schedules.
+                const bool periodic = rng.next_below(2) == 0;
+                const double bytes = rng.uniform(1, 1e6);
+                const int tag = 2000 + round;
+                int cols = 1;  // largest divisor <= sqrt(ranks), else 1D
+                if (rng.next_below(2) == 0) {
+                    for (int d = 2; d * d <= ranks; ++d) {
+                        if (ranks % d == 0) cols = d;
+                    }
+                }
+                const int rows = ranks / cols;
+                std::vector<std::vector<int>> nbrs(
+                    static_cast<std::size_t>(ranks));
+                const auto wrap = [&](int v, int extent) {
+                    if (v >= 0 && v < extent) return v;
+                    return periodic ? (v + extent) % extent : -1;
+                };
+                for (int r = 0; r < ranks; ++r) {
+                    const int x = r % cols;
+                    const int y = r / cols;
+                    auto& out = nbrs[static_cast<std::size_t>(r)];
+                    for (int dir : {-1, +1}) {
+                        if (cols > 1) {
+                            const int xx = wrap(x + dir, cols);
+                            if (xx >= 0 && y * cols + xx != r) {
+                                out.push_back(y * cols + xx);
+                            }
+                        }
+                        if (rows > 1) {
+                            const int yy = wrap(y + dir, rows);
+                            if (yy >= 0 && yy * cols + x != r) {
+                                out.push_back(yy * cols + x);
+                            }
+                        }
+                    }
+                    // Periodic extents of 2 reach the same neighbour twice.
+                    std::sort(out.begin(), out.end());
+                    out.erase(std::unique(out.begin(), out.end()), out.end());
+                }
+                for (int r = 0; r < ranks; ++r) {
+                    for (int nb : nbrs[static_cast<std::size_t>(r)]) {
+                        prog(r).send_rel(nb - r, bytes, tag);
+                    }
+                }
+                for (int r = 0; r < ranks; ++r) {
+                    for (int nb : nbrs[static_cast<std::size_t>(r)]) {
+                        prog(r).recv_rel(nb - r, tag);
+                    }
                 }
                 break;
             }

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <unordered_map>
@@ -106,8 +107,11 @@ enum class BlockKind { none, recv, collective };
 /// identical (same Program object, same ExecContext class) executing as one
 /// state machine (DESIGN.md §11). A singleton class is exactly the old
 /// per-rank state. Collapsed classes split — lazily, the moment the next op
-/// could break the symmetry — into singletons that inherit the shared state,
+/// could break the symmetry — into subclasses that inherit the shared state,
 /// so every rank's trajectory is bit-identical to an uncollapsed run.
+/// Absolute-addressed p2p and noise-stretched compute split to singletons;
+/// relative-addressed p2p (the halo form) splits by *group*, peeling off
+/// only the members whose hop tier or message arrival actually diverges.
 struct SimClass {
     // Execution state (what RankState used to hold).
     std::size_t pc = 0;
@@ -115,6 +119,10 @@ struct SimClass {
     BlockKind blocked = BlockKind::none;
     int want_src = kAnySource;
     int want_tag = 0;
+    /// want_src is a rank *offset* (class blocked on a relative recv; each
+    /// member m waits on m + want_src). Never true alongside a wildcard:
+    /// relative receives are explicit-source by construction.
+    bool want_rel = false;
     int coll_count = 0;      ///< collectives entered (per member)
     PhaseId mark_id = kNoPhase;  ///< current MarkOp label (kNoPhase = none)
     bool finished = false;
@@ -126,6 +134,13 @@ struct SimClass {
     int rep = 0;             ///< lowest member rank; the one "executing"
     int size = 1;            ///< member count
     std::vector<int> members;  ///< ascending; members[0] == rep
+    /// Verified relative-send hop tiers: (rank offset -> hop tier, -1 =
+    /// on-node), recorded only when the tier is uniform across members.
+    /// Membership only ever shrinks, and uniform-over-a-set implies
+    /// uniform-over-every-subset, so split-off subclasses inherit entries
+    /// soundly — each halo direction is proven once per class, not once per
+    /// class per iteration.
+    std::vector<std::pair<int, int>> rel_tiers;
     // Per-member results, replicated to every member at the end. Summing the
     // replicas in ascending rank order reproduces the uncollapsed reductions
     // bit-exactly because each member would have produced the same values.
@@ -386,7 +401,6 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     }
 
     RunResult result;
-    result.collapse_classes = static_cast<int>(cls.size());
 
     // Per-phase compute seconds accumulate *per class* (indexed by interned
     // PhaseId) in program order, which no schedule can permute, and reduce
@@ -505,19 +519,32 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         }
     };
 
-    // Splitting: the moment class ci's next op could distinguish members —
-    // any p2p op (absolute rank addressing), or a ComputeOp under nonzero
+    // Split accounting: every split event is attributed to the op kind that
+    // broke the symmetry (bench_engine reports the breakdown).
+    enum class SplitWhy { p2p, noise, placement };
+    const auto count_split = [&](SplitWhy why) {
+        ++result.collapse_splits;
+        switch (why) {
+            case SplitWhy::p2p: ++result.collapse_split_p2p; break;
+            case SplitWhy::noise: ++result.collapse_split_noise; break;
+            case SplitWhy::placement: ++result.collapse_split_placement; break;
+        }
+    };
+
+    // Full split: the moment class ci's next op could distinguish members
+    // per rank — an absolute-addressed p2p op, or a ComputeOp under nonzero
     // os_noise (the noise draw is rank-keyed) — every member except the
     // representative peels off into a singleton inheriting the shared state
     // verbatim. Members have been bit-identical up to here by induction, so
     // the inherited state *is* each member's uncollapsed state. New
     // singletons enqueue in ascending member order; collectives never split
     // (their effect on every waiter is symmetric) and MarkOps are per-class.
-    const auto split_class = [&](std::uint32_t ci) {
+    // Relative-addressed p2p takes the *grouped* split below instead.
+    const auto split_class = [&](std::uint32_t ci, SplitWhy why) {
         std::vector<int> members = std::move(cls[ci].members);
         cls[ci].members.clear();
         cls[ci].size = 1;
-        ++result.collapse_splits;
+        count_split(why);
         const SimClass base = cls[ci];  // state snapshot (members already cut)
         for (std::size_t i = 1; i < members.size(); ++i) {
             SimClass s = base;
@@ -538,8 +565,9 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // source rank) key. Arrival = sender issue time + p2p latency, both pure
     // functions of the programs, so — unlike a global send-issue counter —
     // the match cannot depend on the order the engine happened to run ranks
-    // (DESIGN.md §10.2). Classes blocked on a recv are always singletons
-    // (p2p ops split first), so the class rep is the receiving rank.
+    // (DESIGN.md §10.2). Only singletons reach this path (wildcard recvs
+    // split first; merged relative recvs match per member via rel_probe), so
+    // the class rep is the receiving rank.
     const auto find_recv =
         [&](const SimClass& s) -> std::pair<SrcQueue*, std::uint32_t> {
         if (!p2p_live) return {nullptr, 0};
@@ -581,8 +609,9 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // loads into hundreds of KB of class state. Maintained at every
     // transition of (blocked == recv && want_src != kAnySource): set on
     // explicit-recv block (interpreter and in-block suspend), cleared on
-    // every match. Classes blocked on a recv are singletons (p2p splits
-    // first), so the bit is keyed by the class rep == the receiving rank.
+    // every match. The bit is keyed by the *receiving rank*: a singleton's
+    // class rep, or — for a merged class blocked on a relative receive —
+    // every member (so any member's delivery wakes the class).
     std::vector<std::uint64_t> recv_waiting(
         (static_cast<std::size_t>(n) + 63) / 64, 0);
     const auto set_recv_wait = [&](int rank) {
@@ -598,6 +627,272 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 (rank & 63)) &
                1;
     };
+
+    // --- Relative-addressed p2p on merged classes (DESIGN.md §11) ----------
+    // A relative send/recv (SendOp/RecvOp with rel == true; dst/src is a
+    // rank offset) names the same *neighbour relationship* in every member
+    // of a class, which is what lets a halo's interior ranks execute p2p
+    // merged: the op is timing-equivalent across members whenever the hop
+    // tier (sends) or the matched-message completion time (recvs) is
+    // uniform, and where that uniformity breaks the class splits by *group*
+    // — only the members on the broken side peel off, still merged.
+
+    /// Per-member signatures for a grouped split, parallel to `members`.
+    std::vector<std::uint64_t> glabels;
+
+    // Grouped split: partition class ci's members by the signature in
+    // `glabels`. The group containing the representative stays in place —
+    // already dequeued, it re-executes the op that triggered the split — and
+    // every other label peels off as ONE class that stays merged, enqueued
+    // in first-appearance order. This is how the halo interior stays
+    // collapsed: symmetry breaks along placement and arrival boundaries, not
+    // per rank, so a full singleton split would shatter O(surface) structure
+    // into O(ranks).
+    const auto split_groups = [&](std::uint32_t ci, SplitWhy why) {
+        count_split(why);
+        const std::vector<int> members = std::move(cls[ci].members);
+        std::vector<std::uint64_t> order;  // distinct labels, first-appearance
+        for (const std::uint64_t l : glabels) {
+            bool seen = false;
+            for (const std::uint64_t o : order) seen = seen || o == l;
+            if (!seen) order.push_back(l);
+        }
+        cls[ci].members.clear();
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (glabels[i] == order[0]) cls[ci].members.push_back(members[i]);
+        }
+        cls[ci].size = static_cast<int>(cls[ci].members.size());
+        const SimClass base = cls[ci];  // snapshot after trimming members
+        for (std::size_t g = 1; g < order.size(); ++g) {
+            SimClass s = base;
+            s.members.clear();
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                if (glabels[i] == order[g]) s.members.push_back(members[i]);
+            }
+            s.size = static_cast<int>(s.members.size());
+            s.rep = s.members[0];
+            s.queued = true;
+            const auto nc = static_cast<std::uint32_t>(cls.size());
+            for (const int m : s.members) {
+                cls_of[static_cast<std::size_t>(m)] = nc;
+            }
+            runnable.push_back(nc);
+            cls.push_back(std::move(s));
+        }
+    };
+
+    // Hop-tier signature of a relative send from member `m`: -1 when source
+    // and destination share a node, else the hop count. Together with the
+    // byte count this determines the transfer price, so "same tier for every
+    // member" is exactly "same send timing for every member".
+    const auto rel_tier = [&](int m, int delta) -> int {
+        const int a = rank_node[static_cast<std::size_t>(m)];
+        const int b = rank_node[static_cast<std::size_t>(m + delta)];
+        return a == b ? -1 : topo.hops(a, b);
+    };
+    // Transfer seconds under one tier — the same expressions as the absolute
+    // SendOp branch, so merged and singleton executions produce equal bits.
+    const auto tier_price = [&](int tier, double bytes) -> double {
+        if (tier < 0) {
+            return np.shm_latency_s + bytes / np.shm_bandwidth +
+                   np.msg_overhead_s;
+        }
+        return hop_base[static_cast<std::size_t>(tier)] + bytes / np.bandwidth +
+               np.msg_overhead_s;
+    };
+
+    // Collapse-path classes always carry `members`; singletons from the
+    // uncollapsed path or a full split leave it empty.
+    const auto each_member = [&](const SimClass& s, auto&& f) {
+        if (s.members.empty()) {
+            f(s.rep);
+        } else {
+            for (const int m : s.members) f(m);
+        }
+    };
+
+    /// "No pending match" signature: the all-ones NaN bit pattern, which a
+    /// finite completion time can never produce.
+    constexpr std::uint64_t kNoMatch = ~std::uint64_t{0};
+    struct RelHit {
+        std::uint32_t slot = UINT32_MAX;  ///< qarena slot, UINT32_MAX = none
+        std::uint32_t idx = 0;
+        double arrival = 0;
+    };
+    std::vector<RelHit> rel_hits;  // scratch, parallel to glabels
+    // First tag match in the (m + delta -> m) FIFO — the unique candidate an
+    // explicit-source receive can consume, and (FIFO order) a choice that
+    // later deliveries can never change.
+    const auto rel_match = [&](int m, int delta, int tag) -> RelHit {
+        RelHit h;
+        if (!p2p_live) return h;
+        const auto& box = mailbox[static_cast<std::size_t>(m)];
+        const int src = m + delta;
+        for (const auto& e : box.srcs) {
+            if (e.src != src) continue;
+            const auto& sq = qarena[e.slot];
+            const Message* msgs = sq.data();
+            for (std::uint32_t i = sq.head; i < sq.size(); ++i) {
+                if (msgs[i].tag != tag) continue;
+                h.slot = e.slot;
+                h.idx = i;
+                h.arrival = msgs[i].arrival;
+                break;
+            }
+            break;
+        }
+        return h;
+    };
+    // Per-member match signatures for a relative receive over class `s`:
+    // fills rel_hits and glabels (the bit pattern of the member's completion
+    // time max(class time, arrival), or kNoMatch). Returns {any, all}.
+    const auto rel_probe = [&](const SimClass& s, int delta,
+                               int tag) -> std::pair<bool, bool> {
+        rel_hits.clear();
+        glabels.clear();
+        bool any = false;
+        bool all = true;
+        each_member(s, [&](int m) {
+            const RelHit h = rel_match(m, delta, tag);
+            rel_hits.push_back(h);
+            if (h.slot == UINT32_MAX) {
+                all = false;
+                glabels.push_back(kNoMatch);
+            } else {
+                any = true;
+                const double done = h.arrival > s.time ? h.arrival : s.time;
+                std::uint64_t bits;
+                std::memcpy(&bits, &done, sizeof bits);
+                glabels.push_back(bits);
+            }
+        });
+        return {any, all};
+    };
+
+    // Execute one relative SendOp for class ci (any size). Every member m
+    // sends to m + delta at the same class time with the same bytes, so with
+    // a uniform hop tier the price — and the sender-side time advance — is
+    // one shared value, while delivery stays *physical*: one message into
+    // each (m, m + delta) FIFO, exactly what the uncollapsed schedule would
+    // enqueue (so absolute receives, wildcard receives and deadlock
+    // forensics against merged senders need no special handling). Returns
+    // false when the tier differs across members (node-edge members of a
+    // block placement): the class group-split by tier with pc unmoved and
+    // the caller re-dispatches the now-uniform subgroups.
+    const auto rel_send_exec = [&](std::uint32_t ci, const SendOp& snd) -> bool {
+        ensure_p2p();
+        {
+            const SimClass& s = cls[ci];
+            ARMSTICE_CHECK(snd.bytes >= 0, "negative message size");
+            each_member(s, [&](int m) {
+                const int dst = m + snd.dst;
+                ARMSTICE_CHECK(dst >= 0 && dst < n, "send dst out of range");
+            });
+        }
+        int tier = 0;
+        if (cls[ci].size <= 1) {
+            tier = rel_tier(cls[ci].rep, snd.dst);
+        } else {
+            auto& s = cls[ci];
+            bool cached = false;
+            for (const auto& [d, t] : s.rel_tiers) {
+                if (d == snd.dst) {
+                    tier = t;
+                    cached = true;
+                    break;
+                }
+            }
+            if (!cached) {
+                const int t0 = rel_tier(s.members[0], snd.dst);
+                bool uniform = true;
+                glabels.clear();
+                for (const int m : s.members) {
+                    const int t = rel_tier(m, snd.dst);
+                    glabels.push_back(static_cast<std::uint32_t>(t));
+                    uniform = uniform && t == t0;
+                }
+                if (!uniform) {
+                    split_groups(ci, SplitWhy::placement);
+                    return false;
+                }
+                s.rel_tiers.emplace_back(snd.dst, t0);
+                tier = t0;
+            }
+        }
+        auto& s = cls[ci];
+        const double p2p = tier_price(tier, snd.bytes);
+        const double arrival = s.time + p2p;
+        const double inject = np.msg_overhead_s + snd.bytes / np.injection_bw;
+        s.time += inject;
+        s.stats.injected_bytes += snd.bytes;
+        ++s.stats.msgs_sent;
+        each_member(s, [&](int m) {
+            const int dst = m + snd.dst;
+            qarena[slot_for(mailbox[static_cast<std::size_t>(dst)], m)]
+                .push_back(Message{m, snd.tag, arrival});
+            if (recv_waiting_at(dst)) {
+                wake(cls_of[static_cast<std::size_t>(dst)]);
+            }
+        });
+        ++s.pc;
+        return true;
+    };
+
+    // Execute one relative RecvOp for class ci (any size). Each member m
+    // matches its own (m + delta -> m) FIFO exactly as a singleton would;
+    // the class advances merged only when every member has a match and all
+    // completion times agree bit-for-bit. A *partial* match blocks rather
+    // than splits: an explicit-source FIFO match is fixed once present, so
+    // waiting for the stragglers' senders is schedule-equivalent, and the
+    // transient rounds where some members' senders simply have not run yet
+    // must not shatter the class — genuinely asymmetric cases are
+    // group-split at quiescence. All-matched with disagreeing completions
+    // splits immediately (more deliveries cannot change a fixed match).
+    // Returns 1 matched (pc advanced), 0 group-split (pc unmoved, caller
+    // re-dispatches), 2 blocked.
+    const auto rel_recv_exec = [&](std::uint32_t ci, const RecvOp& rcv) -> int {
+        {
+            const SimClass& s = cls[ci];
+            each_member(s, [&](int m) {
+                const int src = m + rcv.src;
+                ARMSTICE_CHECK(src >= 0 && src < n, "recv src out of range");
+            });
+        }
+        auto& s = cls[ci];
+        s.want_src = rcv.src;
+        s.want_tag = rcv.tag;
+        s.want_rel = true;
+        const auto [any, all] = rel_probe(s, rcv.src, rcv.tag);
+        (void)any;
+        if (!all) {
+            s.blocked = BlockKind::recv;
+            each_member(s, [&](int m) { set_recv_wait(m); });
+            return 2;
+        }
+        bool uniform = true;
+        for (const std::uint64_t l : glabels) uniform = uniform && l == glabels[0];
+        if (!uniform) {
+            split_groups(ci, SplitWhy::p2p);
+            return 0;
+        }
+        for (const RelHit& h : rel_hits) qarena[h.slot].consume(h.idx);
+        double done;
+        std::memcpy(&done, &glabels[0], sizeof done);
+        // Uniform completion means either every arrival <= class time (no
+        // wait anywhere) or every arrival equals `done` (> time), so the
+        // per-member wait is one shared value, bit-equal to the singleton's
+        // `arrival - time`.
+        if (done > s.time) {
+            s.stats.recv_wait += done - s.time;
+            s.time = done;
+        }
+        ++s.stats.msgs_received;
+        s.blocked = BlockKind::none;
+        each_member(s, [&](int m) { clr_recv_wait(m); });
+        ++s.pc;
+        return 1;
+    };
+    // -----------------------------------------------------------------------
 
     const double os_noise = cost_.knobs().os_noise;
     // Schedule perturbation (sim::check): any nonzero seed permutes every
@@ -668,12 +963,22 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
 
     const auto compile_block = [&](const Program& prog, std::size_t pc,
                                    const jit::RunScan& scan, std::uint32_t cc,
-                                   int rep) -> const jit::Block* {
+                                   int rep, bool resolve_rel) -> const jit::Block* {
         jit::Guards g;
         g.model_version = arch::kModelVersion;
         g.knobs_fp = knobs_fp;
         g.ctx = cc;
-        g.rank = scan.has_p2p ? rep : -1;
+        // Only steps with *resolved* addresses pin a block to its compiling
+        // rank (qidx and transfer price are rank-resolved at compile time):
+        // absolute p2p always, and relative p2p when compiling for a
+        // singleton (resolve_rel — the fast path that folds rel ops down to
+        // the precomputed absolute form). A merged class keeps rel steps
+        // symbolic, so its block stays rank-neutral and is shared across
+        // every member — and across classes. Pinned rel blocks can never be
+        // claimed by a merged class: a rank lives in exactly one class and
+        // classes only ever split, so once the singleton exists no merged
+        // class can have the same representative.
+        g.rank = (scan.has_abs_p2p || (resolve_rel && scan.has_p2p)) ? rep : -1;
         if (scan.has_p2p) ensure_p2p();  // queue indices resolve into mailboxes
         jit::CompileEnv env;
         env.price = [&, cc](const ComputeOp& c, const arch::ComputePhase& ph) {
@@ -697,21 +1002,27 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 slot_for(mailbox[static_cast<std::size_t>(dst)], rep));
         };
         env.recv_qidx = [&, rep](int src) {
+            ARMSTICE_CHECK(src >= 0 && src < n, "recv src out of range");
             return static_cast<int>(
                 slot_for(mailbox[static_cast<std::size_t>(rep)], src));
         };
         env.msg_overhead_s = np.msg_overhead_s;
         env.injection_bw = np.injection_bw;
+        env.resolve_rel_rank = resolve_rel ? rep : -1;
         const jit::Block* blk = jcache.insert(jit::compile(prog, pc, scan, g, env));
         ++result.jit_blocks;
         return blk;
     };
 
     // Run block `blk` for class ci from step `step0` (0 = fresh dispatch,
-    // else a resume after an in-block recv blocked). Returns false when the
-    // class suspended again. The step bodies are the interpreter branches
-    // minus everything precomputed; `pc` tracks per step so noise draws and
-    // deadlock/forensic snapshots see the exact interpreter state.
+    // else a resume after an in-block recv blocked). Returns 1 when the
+    // block ran to completion, -1 when the class suspended (in-block recv
+    // without a message; parked via jit_blk/jit_step), 0 when a relative
+    // p2p step group-split the class mid-block — pc then sits at the split
+    // op and the interpreter takes over the dispatch. The step bodies are
+    // the interpreter branches minus everything precomputed; `pc` tracks per
+    // step so noise draws and deadlock/forensic snapshots see the exact
+    // interpreter state.
     //
     // The class's hot scalars live in locals for the whole run: the step
     // bodies store into mailboxes, the runnable queue and other classes, and
@@ -720,7 +1031,7 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
     // through memory on every step, which at ~10 machine instructions per
     // step is most of the loop.
     const auto execute_block = [&](std::uint32_t ci, const jit::Block* blk,
-                                   std::uint32_t step0) -> bool {
+                                   std::uint32_t step0) -> int {
         auto& s = cls[ci];
         auto& stats = s.stats;
         const int r = s.rep;
@@ -728,9 +1039,10 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         if (blk->has_p2p) ensure_p2p();
         const jit::Step* const steps = blk->steps.data();
         const auto nsteps = static_cast<std::uint32_t>(blk->steps.size());
-        // Safe to hoist: no queue is ever created inside a block execution
-        // (compile_block resolved every slot), so qarena cannot move here.
-        SrcQueue* const qa = qarena.data();
+        // Hoisted across absolute steps (compile_block resolved every slot,
+        // so they never grow the arena); refreshed after relative sends,
+        // whose per-member slot_for calls can.
+        SrcQueue* qa = qarena.data();
         double t = s.time;
         std::size_t pc = s.pc;
         double flops = s.flops;
@@ -750,6 +1062,21 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             stats.injected_bytes = inj_bytes;
             stats.msgs_sent = msgs_sent;
             stats.msgs_received = msgs_recv;
+        };
+        // Relative p2p steps run through the shared class-state helpers
+        // (rel_send_exec / rel_recv_exec advance s directly), so the hot
+        // locals round-trip through a writeback + reload around them. The
+        // O(size) member fan-out dwarfs that cost.
+        const auto reload = [&] {
+            t = s.time;
+            pc = s.pc;
+            flops = s.flops;
+            mark = s.mark_id;
+            compute_acc = stats.compute;
+            recv_wait_acc = stats.recv_wait;
+            inj_bytes = stats.injected_bytes;
+            msgs_sent = stats.msgs_sent;
+            msgs_recv = stats.msgs_received;
         };
         for (std::uint32_t i = step0; i < nsteps; ++i) {
             const jit::Step& st = steps[i];
@@ -789,6 +1116,7 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                     // them, exactly as after the interpreter's RecvOp.
                     s.want_src = st.a_int;
                     s.want_tag = st.tag;
+                    s.want_rel = false;
                     // try_recv specialised to an explicit source: st.qidx is
                     // the (src -> r) queue's arena slot; the first tag match
                     // in FIFO order is the unique candidate, consumed with
@@ -816,8 +1144,42 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                         s.jit_step = i;
                         result.jit_ops += i - step0;
                         writeback();
-                        return false;
+                        return -1;
                     }
+                    break;
+                }
+                case jit::StepKind::send_rel: {
+                    writeback();
+                    const SendOp op{st.a_int, st.bytes, st.tag, /*rel=*/true};
+                    if (!rel_send_exec(ci, op)) {
+                        // Hop tier diverged: the class group-split with pc
+                        // at this op; the interpreter takes over (and the
+                        // uniform subgroups re-enter the JIT next dispatch).
+                        result.jit_ops += i - step0;
+                        return 0;
+                    }
+                    reload();
+                    qa = qarena.data();  // slot_for may have grown the arena
+                    break;
+                }
+                case jit::StepKind::recv_rel: {
+                    writeback();
+                    const RecvOp op{st.a_int, st.tag, /*rel=*/true};
+                    const int got = rel_recv_exec(ci, op);
+                    if (got == 0) {
+                        result.jit_ops += i - step0;
+                        return 0;
+                    }
+                    if (got == 2) {
+                        // Parked mid-block, mirroring the absolute recv
+                        // suspension; rel_recv_exec already recorded the
+                        // blocked/waiting state for every member.
+                        s.jit_blk = blk;
+                        s.jit_step = i;
+                        result.jit_ops += i - step0;
+                        return -1;
+                    }
+                    reload();
                     break;
                 }
                 case jit::StepKind::mark:
@@ -829,13 +1191,14 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         result.jit_ops += nsteps - step0;
         s.jit_link = blk;
         writeback();
-        return true;
+        return 1;
     };
 
     // Block lookup for class ci at its current pc. Returns 1 when a block
     // ran to completion, -1 when it suspended on an in-block recv, 0 when
     // the interpreter should take this dispatch (boundary at pc, run too
-    // short, cache full, or a collapsed class that must split first).
+    // short, cache full, a collapsed class that must split first, or a
+    // block that bailed after a mid-block grouped split).
     const auto attempt_jit = [&](std::uint32_t ci) -> int {
         auto& s = cls[ci];
         const std::size_t pc = s.pc;
@@ -849,13 +1212,16 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         s.run_idx = k;
         if (k == nr || pc < runs[k].start) return 0;  // boundary op at pc
         const jit::RunEntry& ru = runs[k];
-        // Collapsed classes interpret runs that would split them (p2p, or
-        // noise-stretched compute): the interpreter's split-before-execute
-        // peels members at the exact op, and the singletons re-enter here —
-        // this is the §11 class-split guard. (For a mid-run suffix the whole
-        // run's flags over-approximate the suffix — conservative, and only
-        // reachable transiently while a class is being peeled.)
-        if (s.size > 1 && (ru.has_p2p || (ru.has_compute && os_noise > 0))) {
+        // Collapsed classes interpret runs that would *fully* split them
+        // (absolute-addressed p2p, or noise-stretched compute): the
+        // interpreter's split-before-execute peels members at the exact op,
+        // and the singletons re-enter here — this is the §11 class-split
+        // guard. Relative p2p runs compile and execute merged: their steps
+        // resolve price and queues per member, splitting by group mid-block
+        // only where the symmetry genuinely breaks. (For a mid-run suffix
+        // the whole run's flags over-approximate the suffix — conservative,
+        // and only reachable transiently while a class is being peeled.)
+        if (s.size > 1 && (ru.has_abs_p2p || (ru.has_compute && os_noise > 0))) {
             return 0;
         }
         const bool at_start = pc == ru.start;
@@ -894,7 +1260,8 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 blk = jcache.find(scan.hash, want, prog, keys, pc, scan.len);
                 if (blk == nullptr) {
                     if (jcache.full()) return 0;
-                    blk = compile_block(prog, pc, scan, s.ctx, s.rep);
+                    blk = compile_block(prog, pc, scan, s.ctx, s.rep,
+                                        /*resolve_rel=*/s.size == 1);
                 }
                 if (s.jit_link != nullptr) s.jit_link->next = blk;
             }
@@ -905,12 +1272,50 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 s.run_blocks[ru.id] = blk;
             }
         }
-        return execute_block(ci, blk, 0) ? 1 : -1;
+        return execute_block(ci, blk, 0);
     };
     // -----------------------------------------------------------------------
 
     while (finished_ranks < n) {
         if (run_head == runnable.size()) {
+            // Merged classes parked on a relative receive with a *partial*
+            // match resolve first: in the uncollapsed schedule those members
+            // would have consumed their (already fixed) FIFO matches long
+            // before quiescence, so they must advance before any wildcard
+            // grant reads the pending-message pool. Splitting by match
+            // status here — not on every transient mid-round wake — is what
+            // keeps a halo's interior classes merged while boundary
+            // neighbours trickle in; reaching quiescence with the mismatch
+            // still present means it is genuine asymmetry.
+            {
+                bool progressed = false;
+                const std::size_t nc0 = cls.size();  // splits append
+                for (std::size_t i = 0; i < nc0; ++i) {
+                    SimClass& s = cls[i];
+                    if (s.finished || s.size <= 1 || !s.want_rel ||
+                        s.blocked != BlockKind::recv) {
+                        continue;
+                    }
+                    const auto [got_any, got_all] =
+                        rel_probe(s, s.want_src, s.want_tag);
+                    if (!got_any) continue;
+                    const auto ci = static_cast<std::uint32_t>(i);
+                    if (!got_all) {
+                        split_groups(ci, SplitWhy::p2p);
+                        // Matched groups re-execute the receive on wake (and
+                        // may split further by completion time there); the
+                        // unmatched group stays blocked. split_groups already
+                        // enqueued the peeled groups — only the in-place one
+                        // needs an explicit wake when it matched.
+                        if (glabels[0] != kNoMatch) wake(ci);
+                    } else {
+                        wake(ci);  // all matched since blocking: just resume
+                    }
+                    progressed = true;
+                }
+                if (progressed) continue;
+            }
+
             // Global quiescence: no rank can advance without an ANY_SOURCE
             // match. Wildcard recvs are resolved only here — an eager match
             // would consume whichever message this particular schedule
@@ -931,9 +1336,11 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             for (std::size_t k = 0; k < nc; ++k) {
                 const std::size_t i = start + k < nc ? start + k : start + k - nc;
                 const auto& s = cls[i];
+                // !want_rel: a relative offset of -1 aliases the kAnySource
+                // sentinel but is an explicit-source wait, never a wildcard.
                 if (!s.finished && s.blocked == BlockKind::recv &&
-                    s.want_src == kAnySource && s.rep < grant_rank &&
-                    find_recv(s).first != nullptr) {
+                    !s.want_rel && s.want_src == kAnySource &&
+                    s.rep < grant_rank && find_recv(s).first != nullptr) {
                     grant = static_cast<std::uint32_t>(i);
                     grant_rank = s.rep;
                 }
@@ -960,7 +1367,9 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 if (s.finished) continue;
                 if (s.blocked == BlockKind::recv) {
                     w.blocked_on_recv = true;
-                    w.want_src = s.want_src;
+                    // A merged relative wait resolves per member — the same
+                    // absolute source each singleton would report.
+                    w.want_src = s.want_rel ? r + s.want_src : s.want_src;
                     w.want_tag = s.want_tag;
                 } else {
                     // The engine counts a collective as entered *before*
@@ -1018,12 +1427,17 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             if (jit_enabled) {
                 if (cls[ci].jit_blk != nullptr) {
                     // Parked mid-block on a recv that now (presumably) has a
-                    // message: resume at the suspended step.
+                    // message: resume at the suspended step. A 0 return
+                    // (mid-block grouped split) falls through — the op at pc
+                    // is handled below and the JIT re-engages next dispatch.
                     const jit::Block* blk = cls[ci].jit_blk;
                     const std::uint32_t step = cls[ci].jit_step;
                     cls[ci].jit_blk = nullptr;
-                    if (!execute_block(ci, blk, step)) advancing = false;
-                    continue;
+                    const int got = execute_block(ci, blk, step);
+                    if (got != 0) {
+                        if (got < 0) advancing = false;
+                        continue;
+                    }
                 }
                 if (try_jit) {
                     try_jit = false;
@@ -1035,11 +1449,32 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 }
             }
             // Split-before-execute: peel members off *before* binding any
-            // reference (split_class grows `cls`, invalidating references).
+            // reference (splitting grows `cls`, invalidating references).
+            // Relative-addressed p2p is the exception: a merged class
+            // executes it in place while the op is provably
+            // timing-equivalent across members, group-splitting (not to
+            // singletons) exactly where the symmetry breaks.
             if (cls[ci].size > 1) {
-                const std::size_t t = ops_data[cls[ci].pc].index();
-                if (t == 1 || t == 2 || (t == 0 && os_noise > 0)) {
-                    split_class(ci);
+                const Op& op0 = ops_data[cls[ci].pc];
+                const std::size_t t = op0.index();
+                if (t == 1) {
+                    const auto* snd = std::get_if<SendOp>(&op0);
+                    if (snd->rel) {
+                        rel_send_exec(ci, *snd);  // executed, or group-split
+                        continue;                 // with pc unmoved
+                    }
+                    split_class(ci, SplitWhy::p2p);
+                } else if (t == 2) {
+                    const auto* rcv = std::get_if<RecvOp>(&op0);
+                    if (rcv->rel) {
+                        const int got = rel_recv_exec(ci, *rcv);
+                        if (got == 1) try_jit = jit_enabled;  // run boundary
+                        if (got == 2) advancing = false;
+                        continue;
+                    }
+                    split_class(ci, SplitWhy::p2p);
+                } else if (t == 0 && os_noise > 0) {
+                    split_class(ci, SplitWhy::noise);
                 }
             }
             auto& s = cls[ci];
@@ -1052,11 +1487,12 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
             const std::size_t tag = op.index();
             if (tag == 1) {  // SendOp
                 const auto* snd = std::get_if<SendOp>(&op);
-                ARMSTICE_CHECK(snd->dst >= 0 && snd->dst < n, "send dst out of range");
+                const int dst = snd->resolve_dst(r);
+                ARMSTICE_CHECK(dst >= 0 && dst < n, "send dst out of range");
                 ARMSTICE_CHECK(snd->bytes >= 0, "negative message size");
                 ensure_p2p();
                 const int src_node = rank_node[static_cast<std::size_t>(r)];
-                const int dst_node = rank_node[static_cast<std::size_t>(snd->dst)];
+                const int dst_node = rank_node[static_cast<std::size_t>(dst)];
                 double p2p;
                 if (src_node == dst_node) {
                     p2p = np.shm_latency_s + snd->bytes / np.shm_bandwidth +
@@ -1075,23 +1511,30 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                 s.time += inject;
                 stats.injected_bytes += snd->bytes;
                 ++stats.msgs_sent;
-                qarena[slot_for(mailbox[static_cast<std::size_t>(snd->dst)], r)]
+                qarena[slot_for(mailbox[static_cast<std::size_t>(dst)], r)]
                     .push_back(Message{r, snd->tag, arrival});
                 // ANY_SOURCE waiters are not woken by sends: they resolve at
-                // quiescence only (schedule invariance). A recv-blocked class
-                // is a singleton, so its rep is the destination rank itself.
-                if (recv_waiting_at(snd->dst)) {
-                    wake(cls_of[static_cast<std::size_t>(snd->dst)]);
+                // quiescence only (schedule invariance).
+                if (recv_waiting_at(dst)) {
+                    wake(cls_of[static_cast<std::size_t>(dst)]);
                 }
                 ++s.pc;
             } else if (tag == 2) {  // RecvOp
                 const auto* rcv = std::get_if<RecvOp>(&op);
-                s.want_src = rcv->src;
+                // A singleton resolves a relative source to its absolute
+                // rank up front, so matching, quiescence and forensics all
+                // see the exact state an absolute receive would produce.
+                s.want_src = rcv->resolve_src(r);
                 s.want_tag = rcv->tag;
+                s.want_rel = false;
+                if (rcv->rel) {
+                    ARMSTICE_CHECK(s.want_src >= 0 && s.want_src < n,
+                                   "recv src out of range");
+                }
                 // ANY_SOURCE matches only with a quiescence grant (above);
                 // explicit-source matching is confluent and stays eager.
                 std::optional<Message> m;
-                if (rcv->src != kAnySource || s.any_grant) {
+                if (!rcv->is_any() || s.any_grant) {
                     s.any_grant = false;
                     m = try_recv(s);
                 }
@@ -1110,7 +1553,7 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
                     try_jit = jit_enabled;  // a matched recv ends a run
                 } else {
                     s.blocked = BlockKind::recv;
-                    if (rcv->src != kAnySource) set_recv_wait(r);
+                    if (!rcv->is_any()) set_recv_wait(r);
                     advancing = false;
                 }
             } else if (tag == 0) {  // ComputeOp
@@ -1256,6 +1699,9 @@ RunResult Engine::run_impl(const std::vector<const Program*>& progs,
         }
         result.phase_compute.emplace(phase_table().str(id), acc);
     }
+    // End-of-run class count: what the collapse actually sustained once
+    // every split had happened (equals the initial count when nothing split).
+    result.collapse_classes = static_cast<int>(cls.size());
     return result;
 }
 

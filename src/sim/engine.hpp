@@ -84,11 +84,15 @@ struct RunOptions {
     std::uint64_t perturb_seed = 0;
     /// Rank-equivalence collapse (DESIGN.md §11): ranks sharing one Program
     /// object (ProgramBundle) and one ExecContext class execute as one
-    /// simulation class until an op breaks the symmetry (any p2p op, or a
-    /// compute op under nonzero os_noise), at which point the class splits
-    /// into per-rank singletons. Results are bit-identical with the flag on
-    /// or off — it is a simulation-cost knob, never a model knob. Ignored
-    /// (forced off) when a Trace is attached.
+    /// simulation class until an op breaks the symmetry. Absolute p2p ops
+    /// and noise-stretched compute shatter the class into per-rank
+    /// singletons; relative-addressed p2p (§11.4 — what the simmpi halo
+    /// helpers emit) stays merged while hop tiers and match arrivals agree
+    /// across members, and group-splits into per-signature subclasses where
+    /// they genuinely differ, so a Cartesian halo interior runs as O(surface)
+    /// classes. Results are bit-identical with the flag on or off — it is a
+    /// simulation-cost knob, never a model knob. Ignored (forced off) when a
+    /// Trace is attached.
     bool collapse = true;
     /// Trace-JIT superop execution (DESIGN.md §13): straight-line op runs
     /// are compiled once into blocks with precomputed per-step costs and
@@ -109,10 +113,20 @@ struct RunResult {
     /// for the SPMD per-rank view).
     std::map<std::string, double> phase_compute;
     /// Collapse diagnostics (not part of the modelled result: excluded from
-    /// check::diff_results and the persistent-cache codec). Classes the run
-    /// started with, and how many of them split mid-run.
+    /// check::diff_results and the persistent-cache codec).
+    /// `collapse_classes` is the number of simulation classes the run *ended*
+    /// with (initial classes plus every class a split created — equal to the
+    /// initial count when nothing split); `collapse_splits` counts split
+    /// events, broken down by cause: `split_p2p` (absolute-addressed p2p op,
+    /// wildcard recv, or relative-recv arrival asymmetry), `split_noise`
+    /// (rank-keyed OS-noise draw on a compute op), `split_placement`
+    /// (relative send whose hop distance differs across members — node-edge
+    /// effects of the Placement).
     int collapse_classes = 0;
     int collapse_splits = 0;
+    int collapse_split_p2p = 0;
+    int collapse_split_noise = 0;
+    int collapse_split_placement = 0;
     /// Trace-JIT diagnostics (like the collapse counters: excluded from
     /// diff_results and the cache codec). Superop blocks compiled this run,
     /// block dispatches (including partial resumes after an in-block recv

@@ -73,9 +73,14 @@ RunScan scan_run(const OpKey* keys, std::size_t pc, std::size_t nops) {
     mixw(scan.hash, scan.len);
     scan.has_compute =
         (kinds_seen & (1u << static_cast<std::uint32_t>(OpKeyKind::compute))) != 0;
-    scan.has_p2p =
+    scan.has_abs_p2p =
         (kinds_seen & ((1u << static_cast<std::uint32_t>(OpKeyKind::send)) |
                        (1u << static_cast<std::uint32_t>(OpKeyKind::recv)))) != 0;
+    scan.has_p2p =
+        scan.has_abs_p2p ||
+        (kinds_seen & ((1u << static_cast<std::uint32_t>(OpKeyKind::send_rel)) |
+                       (1u << static_cast<std::uint32_t>(OpKeyKind::recv_rel)))) !=
+            0;
     return scan;
 }
 
@@ -98,12 +103,13 @@ inline bool same_prog_op_eq(const Op& a, const Op& b) {
         case 1: {
             const auto& sa = *std::get_if<SendOp>(&a);
             const auto& sb = *std::get_if<SendOp>(&b);
-            return sa.dst == sb.dst && sa.bytes == sb.bytes && sa.tag == sb.tag;
+            return sa.dst == sb.dst && sa.bytes == sb.bytes &&
+                   sa.tag == sb.tag && sa.rel == sb.rel;
         }
         case 2: {
             const auto& ra = *std::get_if<RecvOp>(&a);
             const auto& rb = *std::get_if<RecvOp>(&b);
-            return ra.src == rb.src && ra.tag == rb.tag;
+            return ra.src == rb.src && ra.tag == rb.tag && ra.rel == rb.rel;
         }
         case 3:
             return std::get_if<AllreduceOp>(&a)->bytes ==
@@ -144,6 +150,7 @@ Block compile(const Program& prog, std::size_t pc, const RunScan& scan,
     b.guards = guards;
     b.content_hash = scan.hash;
     b.has_p2p = scan.has_p2p;
+    b.has_abs_p2p = scan.has_abs_p2p;
     b.has_compute = scan.has_compute;
     b.src_prog = &prog;
     b.src_pc = pc;
@@ -158,20 +165,36 @@ Block compile(const Program& prog, std::size_t pc, const RunScan& scan,
             st.cost = env.price(*c, phase);
             st.aux = phase.flops;
         } else if (const auto* snd = std::get_if<SendOp>(&op)) {
-            st.kind = StepKind::send;
             st.a_int = snd->dst;
             st.tag = snd->tag;
             st.bytes = snd->bytes;
-            st.cost = env.p2p_seconds(snd->dst, snd->bytes);
             st.aux = env.msg_overhead_s + snd->bytes / env.injection_bw;
-            st.qidx = env.send_qidx(snd->dst);
+            if (snd->rel && env.resolve_rel_rank < 0) {
+                // Destination (and so the transfer price and queue) depends
+                // on the executing member: resolved per execution, keeping
+                // the block member- and class-neutral.
+                st.kind = StepKind::send_rel;
+            } else {
+                // Absolute op, or a relative op resolved for the singleton
+                // rank — either way the price and queue are fixed now.
+                if (snd->rel) st.a_int += env.resolve_rel_rank;
+                st.kind = StepKind::send;
+                st.cost = env.p2p_seconds(st.a_int, snd->bytes);
+                st.qidx = env.send_qidx(st.a_int);
+                b.has_abs_p2p = true;
+            }
         } else if (const auto* rcv = std::get_if<RecvOp>(&op)) {
-            ARMSTICE_CHECK(rcv->src != kAnySource,
-                           "wildcard recv inside a superop run");
-            st.kind = StepKind::recv;
+            ARMSTICE_CHECK(!rcv->is_any(), "wildcard recv inside a superop run");
             st.a_int = rcv->src;
             st.tag = rcv->tag;
-            st.qidx = env.recv_qidx(rcv->src);
+            if (rcv->rel && env.resolve_rel_rank < 0) {
+                st.kind = StepKind::recv_rel;
+            } else {
+                if (rcv->rel) st.a_int += env.resolve_rel_rank;
+                st.kind = StepKind::recv;
+                st.qidx = env.recv_qidx(st.a_int);
+                b.has_abs_p2p = true;
+            }
         } else {
             const auto* m = std::get_if<MarkOp>(&op);
             ARMSTICE_CHECK(m != nullptr, "collective inside a superop run");

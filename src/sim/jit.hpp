@@ -93,7 +93,7 @@ std::uint64_t knobs_fingerprint(const arch::ModelKnobs& knobs);
 /// must match exactly.
 bool guards_match(const Guards& have, const Guards& want);
 
-enum class StepKind : std::uint8_t { compute, send, recv, mark };
+enum class StepKind : std::uint8_t { compute, send, recv, mark, send_rel, recv_rel };
 
 /// One compiled op. Field meaning by kind:
 ///   compute: cost = priced seconds for the guard ExecContext class (before
@@ -103,8 +103,17 @@ enum class StepKind : std::uint8_t { compute, send, recv, mark };
 ///            qidx = arena slot of the (compiling rank -> dst) queue.
 ///   recv:    a_int = src rank (never kAnySource), tag, qidx = arena slot
 ///            of the (src -> compiling rank) queue.
+///   send_rel:a_int = rank offset (dst = executing rank + a_int), tag,
+///            bytes = payload, aux = injection seconds. The transfer price
+///            and destination queue depend on the executing member, so the
+///            engine resolves them per execution through the class's
+///            verified hop tier — which is what lets ONE block be shared by
+///            every member of a merged class (Guards::rank stays -1 when a
+///            run's only p2p is relative).
+///   recv_rel:a_int = rank offset (src = executing rank + a_int), tag. The
+///            queue is resolved per member at execution.
 ///   mark:    label = phase id to set (kNoPhase clears). qidx stays -1 for
-///            compute/mark steps.
+///            compute/mark/rel steps.
 ///
 /// qidx turns the interpreter's per-op mailbox scan into one computed
 /// address into the run's flat queue arena — no dependent loads, so the
@@ -128,7 +137,8 @@ struct Step {
 struct RunScan {
     std::size_t len = 0;        ///< ops in the run (0 = boundary at pc)
     std::uint64_t hash = 0;     ///< content hash (mix_op_hash over the run)
-    bool has_p2p = false;       ///< any send/recv step
+    bool has_p2p = false;       ///< any send/recv step (absolute or relative)
+    bool has_abs_p2p = false;   ///< any absolute-addressed send/recv step
     bool has_compute = false;   ///< any compute step
 };
 
@@ -156,6 +166,7 @@ struct Block {
     Guards guards;
     std::uint64_t content_hash = 0;
     bool has_p2p = false;
+    bool has_abs_p2p = false;
     bool has_compute = false;
     /// Source program the block was compiled from. Blocks only ever execute
     /// against this program (OpKeys are program-local, so verify rejects any
@@ -197,6 +208,13 @@ struct CompileEnv {
     std::function<int(int src)> recv_qidx;
     double msg_overhead_s = 0;
     double injection_bw = 1;
+    /// When >= 0, relative p2p ops are resolved at compile time for this
+    /// rank (dst/src = rank + offset) and emitted as absolute steps with
+    /// precomputed cost and qidx — the singleton fast path. The resulting
+    /// block contains absolute steps, so the caller must pin Guards::rank.
+    /// -1 keeps rel ops symbolic (rank-neutral blocks shareable across the
+    /// members of a merged class).
+    int resolve_rel_rank = -1;
 };
 
 /// Compile the run described by `scan` at prog.ops[pc] into a Block.

@@ -36,13 +36,13 @@ struct OpHasher {
         mix(h, c.label_id);
     }
     void operator()(const SendOp& s) const {
-        mix(h, 2);
-        mix(h, static_cast<std::uint64_t>(s.dst));
+        mix(h, s.rel ? 8 : 2);
+        mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(s.dst)));
         mixd(h, s.bytes);
         mix(h, static_cast<std::uint64_t>(s.tag));
     }
     void operator()(const RecvOp& r) const {
-        mix(h, 3);
+        mix(h, r.rel ? 9 : 3);
         mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(r.src)));
         mix(h, static_cast<std::uint64_t>(r.tag));
     }
@@ -145,11 +145,12 @@ inline std::uint64_t fast_op_hash(const Op& op) {
                         << 32);
         std::uint64_t b;
         std::memcpy(&b, &s->bytes, sizeof b);
-        mixw(h, b);
+        mixw(h, b + (s->rel ? 1 : 0));
     } else if (const auto* r = std::get_if<RecvOp>(&op)) {
         mixw(h, static_cast<std::uint32_t>(r->src) |
                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(r->tag))
                         << 32);
+        mixw(h, r->rel ? 1 : 0);
     } else if (const auto* a = std::get_if<AllreduceOp>(&op)) {
         std::uint64_t b;
         std::memcpy(&b, &a->bytes, sizeof b);
@@ -201,13 +202,18 @@ std::vector<OpKey> compute_op_keys(const Program& p) {
                 keys.push_back(pack(OpKeyKind::compute, c.phase_idx));
                 break;
             }
-            case 1:
-                keys.push_back(pack(OpKeyKind::send, intern(op, i)));
+            case 1: {
+                const auto& s = *std::get_if<SendOp>(&op);
+                keys.push_back(
+                    pack(s.rel ? OpKeyKind::send_rel : OpKeyKind::send,
+                         intern(op, i)));
                 break;
+            }
             case 2: {
                 const auto& r = *std::get_if<RecvOp>(&op);
-                keys.push_back(pack(r.src == kAnySource ? OpKeyKind::recv_any
-                                                        : OpKeyKind::recv,
+                keys.push_back(pack(r.is_any() ? OpKeyKind::recv_any
+                               : r.rel         ? OpKeyKind::recv_rel
+                                               : OpKeyKind::recv,
                                     intern(op, i)));
                 break;
             }
@@ -271,10 +277,15 @@ OpRunTable compute_op_runs(const OpKey* keys, std::size_t nops) {
         e.has_compute =
             (kinds_seen &
              (1u << static_cast<std::uint32_t>(OpKeyKind::compute))) != 0;
-        e.has_p2p =
+        e.has_abs_p2p =
             (kinds_seen & ((1u << static_cast<std::uint32_t>(OpKeyKind::send)) |
                            (1u << static_cast<std::uint32_t>(OpKeyKind::recv)))) !=
             0;
+        e.has_p2p =
+            e.has_abs_p2p ||
+            (kinds_seen &
+             ((1u << static_cast<std::uint32_t>(OpKeyKind::send_rel)) |
+              (1u << static_cast<std::uint32_t>(OpKeyKind::recv_rel)))) != 0;
         e.id = rt.distinct;
         auto& chain = by_hash[e.hash];
         for (const std::uint32_t j : chain) {

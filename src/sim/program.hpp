@@ -54,18 +54,36 @@ struct ComputeOp {
 
 /// Eager non-blocking send (MPI_Isend followed by an eventual wait that the
 /// engine folds into injection time).
+///
+/// Relative form (`rel == true`): `dst` holds a signed *rank offset* and the
+/// executing rank r sends to r + dst. Halo/Cartesian helpers emit this form
+/// so every interior rank of a stencil shares one structural program — the
+/// engine's rank-equivalence collapse (DESIGN.md §11) can then keep a whole
+/// class of ranks merged through the send instead of splitting on the first
+/// absolute destination.
 struct SendOp {
     int dst = 0;
     double bytes = 0;
     int tag = 0;
+    bool rel = false;  ///< dst is a rank offset, resolved as rank + dst
+
+    [[nodiscard]] int resolve_dst(int rank) const { return rel ? rank + dst : dst; }
 
     bool operator==(const SendOp&) const = default;
 };
 
 /// Blocking receive with FIFO (src, tag) matching.
+///
+/// Relative form (`rel == true`): `src` holds a signed rank offset and the
+/// executing rank r matches messages from r + src (never a wildcard — a rel
+/// receive always names one source per rank).
 struct RecvOp {
     int src = kAnySource;
     int tag = 0;
+    bool rel = false;  ///< src is a rank offset, resolved as rank + src
+
+    [[nodiscard]] int resolve_src(int rank) const { return rel ? rank + src : src; }
+    [[nodiscard]] bool is_any() const { return !rel && src == kAnySource; }
 
     bool operator==(const RecvOp&) const = default;
 };
@@ -118,9 +136,11 @@ inline constexpr int kOpKeyKindShift = 28;
 /// compiled block cannot precompute.
 enum class OpKeyKind : std::uint32_t {
     compute = 1,
-    send = 2,
-    recv = 3,  ///< explicit-source receive
+    send = 2,  ///< absolute-destination send
+    recv = 3,  ///< absolute explicit-source receive
     mark = 4,
+    send_rel = 5,  ///< relative-offset send (SendOp::rel)
+    recv_rel = 6,  ///< relative-offset receive (RecvOp::rel)
     allreduce = 8,
     barrier = 9,
     alltoall = 10,
@@ -151,6 +171,7 @@ struct OpRun {
     std::uint32_t id = 0;
     std::uint64_t hash = 0;
     bool has_p2p = false;      ///< any send / explicit recv in the run
+    bool has_abs_p2p = false;  ///< any *absolute-addressed* send / recv
     bool has_compute = false;  ///< any compute op in the run
 };
 
@@ -193,8 +214,18 @@ struct Program {
         ops.emplace_back(SendOp{dst, bytes, tag});
         return *this;
     }
+    /// Relative-offset send: the executing rank r sends to r + delta.
+    Program& send_rel(int delta, double bytes, int tag = 0) {
+        ops.emplace_back(SendOp{delta, bytes, tag, /*rel=*/true});
+        return *this;
+    }
     Program& recv(int src = kAnySource, int tag = 0) {
         ops.emplace_back(RecvOp{src, tag});
+        return *this;
+    }
+    /// Relative-offset receive: the executing rank r matches src r + delta.
+    Program& recv_rel(int delta, int tag = 0) {
+        ops.emplace_back(RecvOp{delta, tag, /*rel=*/true});
         return *this;
     }
     Program& allreduce(double bytes = 8) {

@@ -137,10 +137,11 @@ RunResult RefEngine::run(const std::vector<Program>& programs) const {
             while (advancing && s.pc < prog.ops.size()) {
                 const Op& op = prog.ops[s.pc];
                 if (const auto* snd = std::get_if<SendOp>(&op)) {
-                    ARMSTICE_CHECK(snd->dst >= 0 && snd->dst < n,
+                    const int dst = snd->resolve_dst(r);
+                    ARMSTICE_CHECK(dst >= 0 && dst < n,
                                    "send dst out of range");
                     const int a = placement_.loc(r).node;
-                    const int b = placement_.loc(snd->dst).node;
+                    const int b = placement_.loc(dst).node;
                     const double arrival =
                         s.time + network_.p2p_time(a, b, snd->bytes);
                     s.time += np.msg_overhead_s + snd->bytes / np.injection_bw;
@@ -148,7 +149,7 @@ RunResult RefEngine::run(const std::vector<Program>& programs) const {
                     ++stats.msgs_sent;
                     RefMsg m;
                     m.src = r;
-                    m.dst = snd->dst;
+                    m.dst = dst;
                     m.tag = snd->tag;
                     m.arrival = arrival;
                     m.send_idx = sends_issued[static_cast<std::size_t>(r)]++;
@@ -156,12 +157,18 @@ RunResult RefEngine::run(const std::vector<Program>& programs) const {
                     ++s.pc;
                     progress = true;
                 } else if (const auto* rcv = std::get_if<RecvOp>(&op)) {
-                    s.want_src = rcv->src;
+                    // Relative sources resolve to absolute ranks up front
+                    // (same rule as the engine's singleton path).
+                    s.want_src = rcv->resolve_src(r);
                     s.want_tag = rcv->tag;
+                    if (rcv->rel) {
+                        ARMSTICE_CHECK(s.want_src >= 0 && s.want_src < n,
+                                       "recv src out of range");
+                    }
                     std::size_t mi = std::numeric_limits<std::size_t>::max();
                     // ANY_SOURCE resolves only at quiescence, via any_grant
                     // (same rule as the engine; DESIGN.md §10.2).
-                    if (rcv->src != kAnySource || s.any_grant) {
+                    if (!rcv->is_any() || s.any_grant) {
                         s.any_grant = false;
                         mi = find_match(r);
                     }

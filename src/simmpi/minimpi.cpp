@@ -74,6 +74,13 @@ ProgramSet& ProgramSet::halo_exchange(const std::vector<std::vector<int>>& neigh
     ARMSTICE_CHECK(static_cast<int>(neighbors.size()) == ranks(),
                    "neighbor lists must cover all ranks");
     ARMSTICE_CHECK(bytes.size() == neighbors.size(), "bytes lists must match");
+    // Emit *relative* p2p ops (dst/src as rank offsets): the offsets are the
+    // neighbour relationship itself, so every interior rank of a Cartesian
+    // halo builds a structurally identical program. ProgramBundle dedup then
+    // keeps one copy, and the engine's rank-equivalence collapse (DESIGN.md
+    // §11) executes the whole interior as O(surface) merged classes instead
+    // of O(ranks) singletons — the simulated timings are identical to the
+    // absolute form either way.
     // All sends first.
     for (int r = 0; r < ranks(); ++r) {
         const auto& nb = neighbors[static_cast<std::size_t>(r)];
@@ -81,7 +88,7 @@ ProgramSet& ProgramSet::halo_exchange(const std::vector<std::vector<int>>& neigh
         ARMSTICE_CHECK(nb.size() == by.size(), "neighbor/bytes length mismatch");
         for (std::size_t i = 0; i < nb.size(); ++i) {
             ARMSTICE_CHECK(nb[i] >= 0 && nb[i] < ranks(), "neighbor out of range");
-            at(r).send(nb[i], by[i], tag);
+            at(r).send_rel(nb[i] - r, by[i], tag);
         }
     }
     // Then matching receives (one per inbound edge).
@@ -92,7 +99,7 @@ ProgramSet& ProgramSet::halo_exchange(const std::vector<std::vector<int>>& neigh
             const auto& back = neighbors[static_cast<std::size_t>(nb)];
             ARMSTICE_CHECK(std::find(back.begin(), back.end(), r) != back.end(),
                            "halo graph must be symmetric");
-            at(r).recv(nb, tag);
+            at(r).recv_rel(nb - r, tag);
         }
     }
     return *this;
@@ -205,6 +212,18 @@ std::vector<std::vector<int>> cart_neighbors(const std::vector<int>& dims,
         auto& v = out[static_cast<std::size_t>(r)];
         std::sort(v.begin(), v.end());
         v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    return out;
+}
+
+std::vector<std::vector<int>> chain_neighbors(int ranks, int active) {
+    ARMSTICE_CHECK(ranks >= 1, "chain_neighbors needs >=1 rank");
+    if (active < 0) active = ranks;
+    ARMSTICE_CHECK(active <= ranks, "active ranks exceed rank count");
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < active; ++r) {
+        if (r > 0) out[static_cast<std::size_t>(r)].push_back(r - 1);
+        if (r + 1 < active) out[static_cast<std::size_t>(r)].push_back(r + 1);
     }
     return out;
 }

@@ -68,6 +68,11 @@ public:
     /// Neighbour (halo) exchange: rank r sends `bytes[r][i]` to
     /// `neighbors[r][i]` and receives from each of its neighbours. Posts all
     /// sends first, then the receives (deadlock-free with eager sends).
+    /// Emitted in *relative* form (send_rel/recv_rel with offset = neighbour
+    /// - rank), so structurally symmetric ranks — a Cartesian halo's whole
+    /// interior — share one program and stay merged through the engine's
+    /// rank-equivalence collapse (DESIGN.md §11). Timings are identical to
+    /// hand-rolled absolute send/recv pairs.
     ProgramSet& halo_exchange(const std::vector<std::vector<int>>& neighbors,
                               const std::vector<std::vector<double>>& bytes,
                               int tag = 0);
@@ -108,5 +113,12 @@ std::vector<int> dims_create(int p, int ndims);
 /// per rank (non-periodic boundaries drop the missing side).
 std::vector<std::vector<int>> cart_neighbors(const std::vector<int>& dims,
                                              bool periodic);
+
+/// Neighbour lists for a 1D chain (slab) decomposition: rank r talks to
+/// r-1 and r+1, chain ends have one neighbour. Only the first `active`
+/// ranks participate (ranks past it get empty lists); active < 0 means all.
+/// The apps' slab/block-chain halos all route through this so their
+/// exchanges hit halo_exchange's relative emission with a uniform shape.
+std::vector<std::vector<int>> chain_neighbors(int ranks, int active = -1);
 
 } // namespace armstice::simmpi
