@@ -1,10 +1,12 @@
 #include "core/runner.hpp"
 
 #include "core/cache.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
 #include "util/threadpool.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -101,7 +103,8 @@ namespace detail {
 
 void run_points(const std::vector<std::string>& keys,
                 const std::function<std::any(std::size_t)>& eval,
-                std::vector<std::any>& results, int jobs, const AnyCodec* codec) {
+                std::vector<std::any>& results, int jobs, const AnyCodec* codec,
+                const RunHooks* hooks) {
     const std::size_t n = keys.size();
     results.resize(n);
 
@@ -136,6 +139,23 @@ void run_points(const std::vector<std::string>& keys,
         g_stats.jobs = jobs;
     }
 
+    // Streaming: deliver(rep, value) fires on_result for the representative
+    // AND every in-batch duplicate aliased to it, so a consumer waiting on
+    // any index unblocks the moment its key's result exists. Memo hits fire
+    // here, before anything evaluates.
+    auto deliver = [&](std::size_t rep, const std::any& value) {
+        if (hooks == nullptr || !hooks->on_result) return;
+        hooks->on_result(rep, value);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i != rep && owner[i] == rep) hooks->on_result(i, value);
+        }
+    };
+    if (hooks != nullptr && hooks->on_result) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (hit[i]) hooks->on_result(i, *hit[i]);
+        }
+    }
+
     std::vector<std::shared_ptr<const std::any>> fresh(n);
 
     // Persistent-cache probe: every memo miss with a disk-cacheable result
@@ -145,7 +165,6 @@ void run_points(const std::vector<std::string>& keys,
     // or undecodable is just a miss. File I/O runs outside g_mu.
     CacheStore* const store = codec != nullptr ? cache_store() : nullptr;
     std::vector<std::size_t> to_eval;
-    long disk_hits = 0;
     long disk_misses = 0;
     if (store != nullptr) {
         for (const std::size_t i : reps) {
@@ -153,7 +172,15 @@ void run_points(const std::vector<std::string>& keys,
                 std::any decoded = codec->decode(*payload);
                 if (decoded.has_value()) {
                     fresh[i] = std::make_shared<const std::any>(std::move(decoded));
-                    ++disk_hits;
+                    // Count the hit BEFORE delivering: on_result may complete
+                    // a waiter that immediately reads sweep_stats(), and a
+                    // delivered result whose hit isn't counted yet reads as a
+                    // lost update.
+                    {
+                        std::lock_guard<std::mutex> lock(g_mu);
+                        ++g_stats.disk_hits;
+                    }
+                    deliver(i, *fresh[i]);
                     continue;
                 }
                 util::log_warn("cache: undecodable payload for key " + keys[i] +
@@ -167,7 +194,6 @@ void run_points(const std::vector<std::string>& keys,
     }
     {
         std::lock_guard<std::mutex> lock(g_mu);
-        g_stats.disk_hits += disk_hits;
         g_stats.disk_misses += disk_misses;
         g_stats.misses += static_cast<long>(to_eval.size());
     }
@@ -176,13 +202,23 @@ void run_points(const std::vector<std::string>& keys,
     std::vector<std::exception_ptr> errors(pending.size());
     double eval_s = 0;
     std::mutex eval_mu;
+    std::atomic<bool> cancelled{false};
     const auto batch_start = std::chrono::steady_clock::now();
 
     auto eval_one = [&](std::size_t j) {
+        // Cancellation is polled per evaluation: a cancelled batch skips
+        // everything not yet started but lets in-progress points finish (a
+        // half-evaluated simulation is useless; a finished one is cacheable).
+        if (cancelled.load(std::memory_order_relaxed) ||
+            (hooks != nullptr && hooks->cancelled && hooks->cancelled())) {
+            cancelled.store(true, std::memory_order_relaxed);
+            return;
+        }
         const std::size_t i = pending[j];
         const auto t0 = std::chrono::steady_clock::now();
         try {
             fresh[i] = std::make_shared<const std::any>(eval(i));
+            deliver(i, *fresh[i]);
         } catch (...) {
             errors[j] = std::current_exception();
         }
@@ -233,6 +269,11 @@ void run_points(const std::vector<std::string>& keys,
     }
     for (const auto& e : errors) {
         if (e) std::rethrow_exception(e);
+    }
+    // Evaluated points were flushed and memo-promoted above; the batch
+    // itself still has holes, so it cannot return results.
+    if (cancelled.load(std::memory_order_relaxed)) {
+        throw util::CancelledError("sweep batch cancelled");
     }
 
     for (std::size_t i = 0; i < n; ++i) {

@@ -107,6 +107,25 @@ struct SweepStats {
     }
 };
 
+/// Per-batch observation/cancellation hooks (the serving layer's window
+/// into a running batch; plain batch callers leave both empty).
+struct RunHooks {
+    /// Fired once per point, as soon as that point's result exists: memo and
+    /// in-batch-duplicate hits fire during batch setup, disk hits after the
+    /// probe, evaluated points the moment evaluation returns — before the
+    /// persistent-cache flush, so a streaming consumer is never blocked on
+    /// disk I/O. May be invoked concurrently from pool threads; the value
+    /// reference is only valid for the duration of the call.
+    std::function<void(std::size_t index, const std::any& value)> on_result;
+
+    /// Polled before each evaluation (cheap; called from pool threads).
+    /// Returning true abandons the batch: not-yet-started evaluations are
+    /// skipped and run() throws util::CancelledError once in-progress
+    /// evaluations drain. Results already produced stay cached (and were
+    /// already delivered through on_result).
+    std::function<bool()> cancelled;
+};
+
 /// Default pool size for new SweepRunners: the value installed by
 /// set_default_jobs (bench `--jobs N`), else the ARMSTICE_JOBS environment
 /// variable, else 1 (serial — callers never pay thread startup unasked).
@@ -156,9 +175,11 @@ const AnyCodec* codec_for() {
 /// Type-erased core: fills results[i] for every i, evaluating each unique
 /// uncached key exactly once on a pool of `jobs` threads. `codec`, when
 /// non-null, enables the persistent-cache load/store hooks for this batch.
+/// `hooks` (nullable) adds per-point result streaming and cancellation.
 void run_points(const std::vector<std::string>& keys,
                 const std::function<std::any(std::size_t)>& eval,
-                std::vector<std::any>& results, int jobs, const AnyCodec* codec);
+                std::vector<std::any>& results, int jobs, const AnyCodec* codec,
+                const RunHooks* hooks = nullptr);
 
 } // namespace detail
 
@@ -176,6 +197,16 @@ public:
     template <class R>
     std::vector<R> run(const std::vector<SweepPoint>& points,
                        const std::function<R(const SweepPoint&, std::size_t)>& eval) const {
+        return run<R>(points, eval, RunHooks{});
+    }
+
+    /// As above, with per-point streaming / cancellation hooks. `hooks` is
+    /// only referenced for the duration of the call; on_result receives the
+    /// result as a `const std::any&` holding an R.
+    template <class R>
+    std::vector<R> run(const std::vector<SweepPoint>& points,
+                       const std::function<R(const SweepPoint&, std::size_t)>& eval,
+                       const RunHooks& hooks) const {
         static_assert(TaggedResult<R>,
                       "every SweepRunner result type needs a ResultTraits<R> "
                       "specialisation with a stable tag (core/cache_codec.hpp); "
@@ -187,9 +218,10 @@ public:
             keys.push_back(std::string(ResultTraits<R>::tag) + '|' + p.key());
         }
         std::vector<std::any> raw(points.size());
+        const bool have_hooks = hooks.on_result || hooks.cancelled;
         detail::run_points(
             keys, [&](std::size_t i) { return std::any(eval(points[i], i)); }, raw,
-            jobs_, detail::codec_for<R>());
+            jobs_, detail::codec_for<R>(), have_hooks ? &hooks : nullptr);
         std::vector<R> out;
         out.reserve(points.size());
         for (auto& v : raw) out.push_back(std::any_cast<R>(std::move(v)));

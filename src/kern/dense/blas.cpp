@@ -187,12 +187,14 @@ void zgemm_naive(std::span<const cplx> a, std::span<const cplx> b,
                  std::span<cplx> c, int m, int k, int n) {
     ARMSTICE_CHECK(c.size() == static_cast<std::size_t>(m) * n, "zgemm_naive C size");
     std::fill(c.begin(), c.end(), cplx{0.0, 0.0});
+    // Pointer arithmetic via data(): &span[i] on a degenerate (k or n == 0)
+    // operand would bind a reference into an empty span.
     for (int i = 0; i < m; ++i) {
-        cplx* crow = &c[static_cast<std::size_t>(i) * n];
-        const cplx* arow = &a[static_cast<std::size_t>(i) * k];
+        cplx* crow = c.data() + static_cast<std::size_t>(i) * n;
+        const cplx* arow = a.data() + static_cast<std::size_t>(i) * k;
         for (int p = 0; p < k; ++p) {
             const cplx aip = arow[p];
-            const cplx* brow = &b[static_cast<std::size_t>(p) * n];
+            const cplx* brow = b.data() + static_cast<std::size_t>(p) * n;
             for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
         }
     }

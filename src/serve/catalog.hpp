@@ -1,0 +1,70 @@
+#pragma once
+// The serving catalog: which sweeps a serve::Server will evaluate, and how a
+// wire-level point spec maps onto the existing app models + SweepRunner
+// cache keys.
+//
+// A PointSpec is the protocol's unit of work: an app family name, a system
+// from the arch catalog, a placement (nodes/ranks/threads) and a
+// `key=value;...` config string. parse/validation happens ONCE at request
+// admission (bad specs become typed ERROR frames, they never reach a compute
+// thread), and canonical_config() rewrites the config into a fixed field
+// order/format so that two requests describing the same simulation — in any
+// key order, with default fields spelled out or omitted — share one cache
+// key and therefore one computation (request coalescing is keyed on this).
+//
+// Serving stays bit-identical to batch mode by construction: both paths
+// funnel through the same SweepPoint key and the same apps::run_* call, and
+// results travel as ResultTraits<apps::AppResult> bytes (doubles bit-exact).
+
+#include "apps/common.hpp"
+#include "core/runner.hpp"
+
+#include <string>
+#include <vector>
+
+namespace armstice::serve {
+
+/// One requested sweep point as it appears on the wire.
+struct PointSpec {
+    std::string app;     ///< "minikab" | "nekbone" | "cosa"
+    std::string system;  ///< arch catalog name, e.g. "A64FX"
+    int nodes = 1;
+    int ranks = 1;
+    int threads = 1;
+    std::string config;  ///< "key=value;..." app parameters ("" = defaults)
+};
+
+inline bool operator==(const PointSpec& a, const PointSpec& b) {
+    return a.app == b.app && a.system == b.system && a.nodes == b.nodes &&
+           a.ranks == b.ranks && a.threads == b.threads && a.config == b.config;
+}
+
+/// Apps the catalog can serve (all AppResult-shaped).
+const std::vector<std::string>& served_apps();
+
+/// Validate `spec` and return it with config rewritten canonically.
+/// Throws util::Error (unknown app/system, malformed or unknown config keys,
+/// non-positive placement) — the server turns this into a BAD_REQUEST frame.
+PointSpec canonicalize(const PointSpec& spec);
+
+/// The cache/coalescing key of a canonical spec: identical to the key the
+/// batch path uses, so serving and batch mode share memo + disk entries.
+core::SweepPoint to_sweep_point(const PointSpec& canonical);
+
+/// Evaluate one canonical spec (no caching — callers go through
+/// SweepRunner, which layers memo + disk cache + coalescing on top).
+apps::AppResult eval_point(const PointSpec& canonical);
+
+/// Batch reference path: canonicalize + SweepRunner over `specs` with
+/// `jobs` threads. This is exactly what the server does per fresh key; the
+/// differential tests compare server-streamed bytes against this.
+std::vector<apps::AppResult> batch_eval(const std::vector<PointSpec>& specs,
+                                        int jobs);
+
+/// Bit-exact wire encoding of a result (ResultTraits<apps::AppResult>).
+std::string encode_result(const apps::AppResult& r);
+
+/// Decode a wire payload; throws util::Error on malformed bytes.
+apps::AppResult decode_result(const std::string& payload);
+
+} // namespace armstice::serve

@@ -1,0 +1,154 @@
+#include "serve/client.hpp"
+
+#include "util/error.hpp"
+
+#include <utility>
+
+namespace armstice::serve {
+namespace {
+
+[[noreturn]] void throw_error_frame(const ErrorMsg& err) {
+    throw util::Error("serve: server error " +
+                      std::to_string(static_cast<int>(err.code)) + ": " +
+                      err.message);
+}
+
+} // namespace
+
+Client::Client(util::Socket sock) : sock_(std::move(sock)) {
+    Message m;
+    DecodeStatus status = DecodeStatus::kOk;
+    if (read_frame(sock_, m, status) != ReadStatus::kOk) {
+        throw util::Error("serve: no Hello from server (" +
+                          std::string(decode_status_name(status)) + ")");
+    }
+    if (const auto* err = std::get_if<ErrorMsg>(&m.body)) throw_error_frame(*err);
+    const auto* hello = std::get_if<Hello>(&m.body);
+    if (hello == nullptr) {
+        throw util::Error("serve: handshake frame is not a Hello");
+    }
+    if (hello->protocol != kProtocolVersion) {
+        throw util::Error("serve: protocol version mismatch: server " +
+                          std::to_string(hello->protocol) + ", client " +
+                          std::to_string(kProtocolVersion));
+    }
+    hello_ = *hello;
+}
+
+Client Client::connect_unix_path(const std::string& path) {
+    return Client(util::connect_unix(path));
+}
+
+Client Client::connect_tcp_port(int port) {
+    return Client(util::connect_tcp(port));
+}
+
+bool Client::read_message(Message& out) {
+    DecodeStatus status = DecodeStatus::kOk;
+    const ReadStatus rs = read_frame(sock_, out, status);
+    if (rs == ReadStatus::kMalformed) {
+        throw util::Error("serve: malformed frame from server: " +
+                          std::string(decode_status_name(status)));
+    }
+    return rs == ReadStatus::kOk;
+}
+
+bool Client::send_raw(const std::string& bytes) { return sock_.send_all(bytes); }
+
+Message Client::request(const Message& req) {
+    if (!write_frame(sock_, req)) {
+        throw util::Error("serve: connection lost while sending request");
+    }
+    Message reply;
+    if (!read_message(reply)) {
+        throw util::Error("serve: connection closed before reply");
+    }
+    if (const auto* err = std::get_if<ErrorMsg>(&reply.body)) {
+        throw_error_frame(*err);
+    }
+    return reply;
+}
+
+Client::SweepReply Client::sweep(
+    const std::vector<PointSpec>& specs,
+    const std::function<void(const PointResult&)>& on_point) {
+    Message req;
+    req.req_id = next_req_id_++;
+    req.body = SweepRequest{specs};
+    if (!write_frame(sock_, req)) {
+        throw util::Error("serve: connection lost while sending sweep");
+    }
+
+    SweepReply out;
+    for (;;) {
+        Message m;
+        if (!read_message(m)) {
+            throw util::Error("serve: connection closed mid-stream");
+        }
+        if (const auto* err = std::get_if<ErrorMsg>(&m.body)) {
+            throw_error_frame(*err);
+        }
+        if (const auto* retry = std::get_if<RetryLater>(&m.body)) {
+            out.retry = true;
+            out.retry_info = *retry;
+            return out;
+        }
+        if (auto* point = std::get_if<PointResult>(&m.body)) {
+            if (on_point) on_point(*point);
+            out.points.push_back(std::move(*point));
+            continue;
+        }
+        if (const auto* done = std::get_if<SweepDone>(&m.body)) {
+            out.done = *done;
+            return out;
+        }
+        throw util::Error("serve: unexpected frame in sweep stream");
+    }
+}
+
+std::string Client::figure(int n) {
+    Message req;
+    req.req_id = next_req_id_++;
+    req.body = FigureRequest{n};
+    Message reply = request(req);
+    auto* fig = std::get_if<FigureResult>(&reply.body);
+    if (fig == nullptr) {
+        throw util::Error("serve: figure reply has wrong frame type");
+    }
+    return std::move(fig->csv);
+}
+
+std::string Client::scorecard() {
+    Message req;
+    req.req_id = next_req_id_++;
+    req.body = ScorecardRequest{};
+    Message reply = request(req);
+    auto* card = std::get_if<ScorecardResult>(&reply.body);
+    if (card == nullptr) {
+        throw util::Error("serve: scorecard reply has wrong frame type");
+    }
+    return std::move(card->text);
+}
+
+StatsResult Client::stats() {
+    Message req;
+    req.req_id = next_req_id_++;
+    req.body = StatsRequest{};
+    Message reply = request(req);
+    const auto* stats = std::get_if<StatsResult>(&reply.body);
+    if (stats == nullptr) {
+        throw util::Error("serve: stats reply has wrong frame type");
+    }
+    return *stats;
+}
+
+void Client::send_sweep_only(const std::vector<PointSpec>& specs) {
+    Message req;
+    req.req_id = next_req_id_++;
+    req.body = SweepRequest{specs};
+    if (!write_frame(sock_, req)) {
+        throw util::Error("serve: connection lost while sending sweep");
+    }
+}
+
+} // namespace armstice::serve

@@ -1,0 +1,72 @@
+#pragma once
+// serve::Client — the blocking client side of the serve protocol, used by
+// the serving test battery, the load driver and the --smoke self-test. One
+// Client is one connection; it is not thread-safe (use one per thread, the
+// server handles the concurrency).
+
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace armstice::serve {
+
+class Client {
+public:
+    /// Connect and consume the server's Hello. Throws util::Error on
+    /// connection failure or a protocol violation in the handshake.
+    static Client connect_unix_path(const std::string& path);
+    static Client connect_tcp_port(int port);
+
+    [[nodiscard]] const Hello& hello() const { return hello_; }
+
+    /// Outcome of one sweep request.
+    struct SweepReply {
+        bool retry = false;        ///< server sent RETRY_LATER
+        RetryLater retry_info;
+        std::vector<PointResult> points;  ///< per-point frames, request order
+        SweepDone done;
+    };
+
+    /// Issue a sweep and collect the streamed reply. `on_point` (optional)
+    /// observes each point frame as it arrives. Throws util::Error on an
+    /// ERROR frame or protocol violation.
+    SweepReply sweep(const std::vector<PointSpec>& specs,
+                     const std::function<void(const PointResult&)>& on_point = {});
+
+    /// Fetch figure N's CSV bytes (exactly core::figN_csv).
+    std::string figure(int n);
+
+    /// Fetch the rendered reproduction scorecard.
+    std::string scorecard();
+
+    /// Fetch the server's stats frame.
+    StatsResult stats();
+
+    /// Send a sweep request and return WITHOUT reading any reply — the
+    /// disconnect-mid-stream fault tests drop the connection right after.
+    void send_sweep_only(const std::vector<PointSpec>& specs);
+
+    /// Send raw bytes on the wire (fault-injection tests).
+    bool send_raw(const std::string& bytes);
+
+    /// Read one frame (fault-injection tests peek at error replies).
+    /// Returns false on EOF/close.
+    bool read_message(Message& out);
+
+    void close() { sock_.close(); }
+
+private:
+    explicit Client(util::Socket sock);
+
+    Message request(const Message& req);
+
+    util::Socket sock_;
+    Hello hello_;
+    std::uint32_t next_req_id_ = 1;
+};
+
+} // namespace armstice::serve

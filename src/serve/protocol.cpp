@@ -1,0 +1,310 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace armstice::serve {
+namespace {
+
+// ---- body encoders ---------------------------------------------------------
+
+void put_spec(util::ByteWriter& w, const PointSpec& p) {
+    w.str(p.app);
+    w.str(p.system);
+    w.i32(p.nodes);
+    w.i32(p.ranks);
+    w.i32(p.threads);
+    w.str(p.config);
+}
+
+PointSpec get_spec(util::ByteReader& r) {
+    PointSpec p;
+    p.app = r.str();
+    p.system = r.str();
+    p.nodes = r.i32();
+    p.ranks = r.i32();
+    p.threads = r.i32();
+    p.config = r.str();
+    return p;
+}
+
+struct BodyEncoder {
+    util::ByteWriter& w;
+
+    void operator()(const Hello& b) {
+        w.u32(b.protocol);
+        w.u32(b.model_version);
+        w.u32(b.max_frame);
+    }
+    void operator()(const SweepRequest& b) {
+        w.u32(static_cast<std::uint32_t>(b.points.size()));
+        for (const auto& p : b.points) put_spec(w, p);
+    }
+    void operator()(const FigureRequest& b) { w.i32(b.figure); }
+    void operator()(const ScorecardRequest&) {}
+    void operator()(const StatsRequest&) {}
+    void operator()(const PointResult& b) {
+        w.u32(b.index);
+        w.u8(static_cast<std::uint8_t>(b.origin));
+        w.boolean(b.ok);
+        w.str(b.payload);
+    }
+    void operator()(const SweepDone& b) {
+        w.u32(b.points);
+        w.u32(b.cached);
+        w.u32(b.coalesced);
+        w.u32(b.computed);
+        w.u32(b.errors);
+    }
+    void operator()(const FigureResult& b) {
+        w.i32(b.figure);
+        w.str(b.csv);
+    }
+    void operator()(const ScorecardResult& b) { w.str(b.text); }
+    void operator()(const StatsResult& b) {
+        w.u64(b.requests);
+        w.u64(b.sweep_requests);
+        w.u64(b.figure_requests);
+        w.u64(b.scorecard_requests);
+        w.u64(b.stats_requests);
+        w.u64(b.points);
+        w.u64(b.cache_hits);
+        w.u64(b.coalesced);
+        w.u64(b.computed);
+        w.u64(b.point_errors);
+        w.u64(b.retries);
+        w.u64(b.protocol_errors);
+        w.u64(b.sessions_opened);
+        w.u64(b.sessions_active);
+        w.u64(b.inflight);
+        w.f64(b.uptime_s);
+        w.f64(b.qps);
+        w.u64(b.rss_bytes);
+    }
+    void operator()(const ErrorMsg& b) {
+        w.u32(static_cast<std::uint32_t>(b.code));
+        w.str(b.message);
+    }
+    void operator()(const RetryLater& b) {
+        w.u32(b.inflight);
+        w.u32(b.limit);
+    }
+};
+
+// ---- body decoders ---------------------------------------------------------
+// Each returns the body; semantic violations call r.invalidate() and the
+// caller maps the reader's state to a DecodeStatus.
+
+Hello get_hello(util::ByteReader& r) {
+    Hello b;
+    b.protocol = r.u32();
+    b.model_version = r.u32();
+    b.max_frame = r.u32();
+    return b;
+}
+
+SweepRequest get_sweep_request(util::ByteReader& r, bool& bad_value) {
+    SweepRequest b;
+    const std::uint32_t n = r.u32();
+    if (!r.ok()) return b;
+    if (n == 0 || n > kMaxPointsPerRequest) {
+        bad_value = true;
+        r.invalidate();
+        return b;
+    }
+    // Each spec costs >= 22 bytes on the wire; bound the reserve by what the
+    // buffer can actually hold so a corrupt count cannot balloon allocation.
+    if (static_cast<std::uint64_t>(n) * 22 > r.remaining()) {
+        r.invalidate();
+        return b;
+    }
+    b.points.reserve(n);
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) b.points.push_back(get_spec(r));
+    return b;
+}
+
+PointResult get_point_result(util::ByteReader& r, bool& bad_value) {
+    PointResult b;
+    b.index = r.u32();
+    const std::uint8_t origin = r.u8();
+    if (r.ok() && origin > static_cast<std::uint8_t>(PointOrigin::kComputed)) {
+        bad_value = true;
+        r.invalidate();
+        return b;
+    }
+    b.origin = static_cast<PointOrigin>(origin);
+    b.ok = r.boolean();
+    b.payload = r.str();
+    return b;
+}
+
+SweepDone get_sweep_done(util::ByteReader& r) {
+    SweepDone b;
+    b.points = r.u32();
+    b.cached = r.u32();
+    b.coalesced = r.u32();
+    b.computed = r.u32();
+    b.errors = r.u32();
+    return b;
+}
+
+StatsResult get_stats_result(util::ByteReader& r) {
+    StatsResult b;
+    b.requests = r.u64();
+    b.sweep_requests = r.u64();
+    b.figure_requests = r.u64();
+    b.scorecard_requests = r.u64();
+    b.stats_requests = r.u64();
+    b.points = r.u64();
+    b.cache_hits = r.u64();
+    b.coalesced = r.u64();
+    b.computed = r.u64();
+    b.point_errors = r.u64();
+    b.retries = r.u64();
+    b.protocol_errors = r.u64();
+    b.sessions_opened = r.u64();
+    b.sessions_active = r.u64();
+    b.inflight = r.u64();
+    b.uptime_s = r.f64();
+    b.qps = r.f64();
+    b.rss_bytes = r.u64();
+    return b;
+}
+
+ErrorMsg get_error(util::ByteReader& r, bool& bad_value) {
+    ErrorMsg b;
+    const std::uint32_t code = r.u32();
+    if (r.ok() && (code < 1 || code > static_cast<std::uint32_t>(
+                                        ErrorCode::kInternal))) {
+        bad_value = true;
+        r.invalidate();
+        return b;
+    }
+    b.code = static_cast<ErrorCode>(code);
+    b.message = r.str();
+    return b;
+}
+
+RetryLater get_retry_later(util::ByteReader& r) {
+    RetryLater b;
+    b.inflight = r.u32();
+    b.limit = r.u32();
+    return b;
+}
+
+} // namespace
+
+const char* decode_status_name(DecodeStatus s) {
+    switch (s) {
+        case DecodeStatus::kOk: return "ok";
+        case DecodeStatus::kEmptyFrame: return "empty frame";
+        case DecodeStatus::kOversized: return "oversized frame";
+        case DecodeStatus::kUnknownType: return "unknown frame type";
+        case DecodeStatus::kTruncated: return "truncated frame";
+        case DecodeStatus::kTrailingBytes: return "trailing bytes";
+        case DecodeStatus::kBadValue: return "impossible field value";
+    }
+    return "?";
+}
+
+FrameType Message::type() const {
+    // variant alternative order matches the FrameType numbering (1-based).
+    return static_cast<FrameType>(body.index() + 1);
+}
+
+std::string encode_message(const Message& m) {
+    util::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(m.type()));
+    w.u32(m.req_id);
+    std::visit(BodyEncoder{w}, m.body);
+    return w.take();
+}
+
+DecodeStatus decode_message(std::string_view payload, Message& out) {
+    if (payload.empty()) return DecodeStatus::kEmptyFrame;
+    if (payload.size() > kMaxFrame) return DecodeStatus::kOversized;
+
+    util::ByteReader r(payload);
+    const std::uint8_t type = r.u8();
+    const std::uint32_t req_id = r.u32();
+    if (!r.ok()) return DecodeStatus::kTruncated;
+    if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+        type > static_cast<std::uint8_t>(FrameType::kRetryLater)) {
+        return DecodeStatus::kUnknownType;
+    }
+
+    Message m;
+    m.req_id = req_id;
+    bool bad_value = false;
+    switch (static_cast<FrameType>(type)) {
+        case FrameType::kHello: m.body = get_hello(r); break;
+        case FrameType::kSweepRequest:
+            m.body = get_sweep_request(r, bad_value);
+            break;
+        case FrameType::kFigureRequest: {
+            FigureRequest b;
+            b.figure = r.i32();
+            m.body = b;
+            break;
+        }
+        case FrameType::kScorecardRequest: m.body = ScorecardRequest{}; break;
+        case FrameType::kStatsRequest: m.body = StatsRequest{}; break;
+        case FrameType::kPointResult:
+            m.body = get_point_result(r, bad_value);
+            break;
+        case FrameType::kSweepDone: m.body = get_sweep_done(r); break;
+        case FrameType::kFigureResult: {
+            FigureResult b;
+            b.figure = r.i32();
+            b.csv = r.str();
+            m.body = b;
+            break;
+        }
+        case FrameType::kScorecardResult: {
+            ScorecardResult b;
+            b.text = r.str();
+            m.body = b;
+            break;
+        }
+        case FrameType::kStatsResult: m.body = get_stats_result(r); break;
+        case FrameType::kError: m.body = get_error(r, bad_value); break;
+        case FrameType::kRetryLater: m.body = get_retry_later(r); break;
+    }
+    if (bad_value) return DecodeStatus::kBadValue;
+    if (!r.ok()) return DecodeStatus::kTruncated;
+    if (!r.at_end()) return DecodeStatus::kTrailingBytes;
+    out = std::move(m);
+    return DecodeStatus::kOk;
+}
+
+bool write_frame(util::Socket& s, const Message& m) {
+    const std::string payload = encode_message(m);
+    util::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    std::string frame = w.take();
+    frame += payload;
+    return s.send_all(frame);
+}
+
+ReadStatus read_frame(util::Socket& s, Message& out, DecodeStatus& status) {
+    unsigned char len_bytes[4];
+    if (!s.recv_exact(len_bytes, 4)) return ReadStatus::kClosed;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+        len |= static_cast<std::uint32_t>(len_bytes[i]) << (8 * i);
+    }
+    if (len == 0) {
+        status = DecodeStatus::kEmptyFrame;
+        return ReadStatus::kMalformed;
+    }
+    if (len > kMaxFrame) {
+        // Reject before reading: the claimed body is never allocated.
+        status = DecodeStatus::kOversized;
+        return ReadStatus::kMalformed;
+    }
+    std::string payload(len, '\0');
+    if (!s.recv_exact(payload.data(), len)) return ReadStatus::kClosed;
+    status = decode_message(payload, out);
+    return status == DecodeStatus::kOk ? ReadStatus::kOk : ReadStatus::kMalformed;
+}
+
+} // namespace armstice::serve

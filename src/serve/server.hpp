@@ -1,0 +1,111 @@
+#pragma once
+// serve::Server — the armstice-as-a-service daemon core (DESIGN.md §14).
+// Accepts concurrent clients on a unix-domain and/or 127.0.0.1 TCP listener,
+// speaks the length-prefixed frame protocol (serve/protocol.hpp), and serves
+// sweep / figure / scorecard / stats requests from one shared SweepService
+// (in-memory + CacheStore-backed cache, request coalescing, bounded
+// admission). Sessions are one thread each; sweep results stream back
+// per-point in request order as their futures resolve, so a late joiner
+// receives bytes the moment the one shared computation finishes.
+//
+// Embeddable by design: the daemon binary (bench/armstice_serve.cpp), the
+// --smoke self-test and the serving test battery all run this class
+// in-process.
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+#include "util/socket.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace armstice::serve {
+
+struct ServerConfig {
+    std::string unix_path;    ///< non-empty: listen on this unix socket
+    int tcp_port = -1;        ///< >= 0: listen on 127.0.0.1 (0 = ephemeral)
+    int workers = 2;          ///< compute threads behind the coalescing map
+    std::size_t max_inflight = 64;  ///< admission bound (fresh points)
+    int max_sessions = 32;    ///< concurrent connections before SESSION_LIMIT
+};
+
+class Server {
+public:
+    /// `evaluator` overrides the sweep evaluator (tests); empty = default
+    /// SweepRunner path.
+    explicit Server(ServerConfig cfg, SweepService::Evaluator evaluator = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind the configured listeners and start accepting. Throws
+    /// util::Error when neither endpoint is configured or a bind fails.
+    void start();
+
+    /// Stop accepting, shut down live sessions, drain the service. Safe to
+    /// call twice; also run by the destructor.
+    void stop();
+
+    /// Endpoints actually bound (TCP port resolves an ephemeral request).
+    [[nodiscard]] int tcp_port() const { return tcp_port_; }
+    [[nodiscard]] const std::string& unix_path() const {
+        return cfg_.unix_path;
+    }
+
+    /// Stats frame as a kStatsRequest would see it right now.
+    [[nodiscard]] StatsResult stats_snapshot() const;
+
+    [[nodiscard]] const SweepService& service() const { return service_; }
+
+private:
+    struct Session {
+        util::Socket sock;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void accept_loop(util::Listener listener);
+    void run_session(std::shared_ptr<Session> session);
+    void handle_sweep(Session& s, std::uint32_t req_id, const SweepRequest& req);
+    void handle_figure(Session& s, std::uint32_t req_id, const FigureRequest& req);
+    void handle_scorecard(Session& s, std::uint32_t req_id);
+    void handle_stats(Session& s, std::uint32_t req_id);
+    bool send(Session& s, const Message& m);
+    void send_error(Session& s, std::uint32_t req_id, ErrorCode code,
+                    const std::string& message);
+    void reap_finished_sessions();
+
+    ServerConfig cfg_;
+    SweepService service_;
+    int tcp_port_ = -1;
+
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    std::vector<std::thread> accept_threads_;
+
+    mutable std::mutex sessions_mu_;
+    std::list<std::shared_ptr<Session>> sessions_;
+
+    // Request counters (deterministic; see StatsResult).
+    mutable std::mutex stats_mu_;
+    std::uint64_t sweep_requests_ = 0;
+    std::uint64_t figure_requests_ = 0;
+    std::uint64_t scorecard_requests_ = 0;
+    std::uint64_t stats_requests_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t protocol_errors_ = 0;
+    std::uint64_t sessions_opened_ = 0;
+    std::chrono::steady_clock::time_point start_time_{};
+};
+
+/// VmRSS of this process in bytes (0 where /proc is unsupported).
+std::uint64_t current_rss_bytes();
+
+} // namespace armstice::serve

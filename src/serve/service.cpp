@@ -1,0 +1,187 @@
+#include "serve/service.hpp"
+
+#include "core/app_codecs.hpp"  // ResultTraits<apps::AppResult> for SweepRunner::run
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+#include <any>
+#include <exception>
+#include <utility>
+
+namespace armstice::serve {
+
+SweepService::SweepService(ServiceConfig cfg, Evaluator evaluator)
+    : cfg_(cfg),
+      evaluator_(std::move(evaluator)),
+      queue_(cfg.max_inflight < 1 ? 1 : cfg.max_inflight) {
+    cfg_.workers = cfg_.workers < 1 ? 1 : cfg_.workers;
+    cfg_.max_inflight = queue_.capacity();
+    workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+SweepService::~SweepService() { stop(); }
+
+SweepService::Ticket SweepService::submit(const std::vector<PointSpec>& canonical) {
+    Ticket t;
+    t.limit = static_cast<std::uint32_t>(cfg_.max_inflight);
+    t.futures.reserve(canonical.size());
+    t.origin.reserve(canonical.size());
+
+    std::vector<Job> jobs;
+    std::vector<std::string> created;  // rollback list on overload
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ || stopping_.load(std::memory_order_relaxed)) {
+        t.inflight = static_cast<std::uint32_t>(stats_.inflight);
+        ++stats_.overloads;
+        return t;  // not admitted; server reports shutting-down separately
+    }
+    for (const auto& spec : canonical) {
+        const std::string key = to_sweep_point(spec).key();
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            // A duplicate within this request lands here too: its first
+            // occurrence created the pending entry, so it coalesces.
+            t.futures.push_back(it->second->future);
+            if (it->second->done) {
+                t.origin.push_back(PointOrigin::kCached);
+                ++t.cached;
+            } else {
+                t.origin.push_back(PointOrigin::kCoalesced);
+                ++t.coalesced;
+            }
+            continue;
+        }
+        auto entry = std::make_shared<Entry>();
+        entry->future = entry->promise.get_future().share();
+        entries_.emplace(key, entry);
+        created.push_back(key);
+        jobs.push_back(Job{key, spec, std::move(entry)});
+        t.futures.push_back(jobs.back().entry->future);
+        t.origin.push_back(PointOrigin::kComputed);
+        ++t.fresh;
+    }
+
+    // All-or-nothing admission: the whole fresh set enters the bounded
+    // queue or none of it does. Rolling back is safe because mu_ has been
+    // held since classification — no other request can have joined the
+    // entries created above.
+    if (!queue_.try_push_all(std::move(jobs))) {
+        for (const auto& key : created) entries_.erase(key);
+        t.futures.clear();
+        t.origin.clear();
+        t.cached = t.coalesced = t.fresh = 0;
+        t.inflight = static_cast<std::uint32_t>(stats_.inflight);
+        ++stats_.overloads;
+        return t;
+    }
+
+    t.admitted = true;
+    stats_.points += static_cast<long>(canonical.size());
+    stats_.cache_hits += t.cached;
+    stats_.coalesced += t.coalesced;
+    stats_.inflight += t.fresh;
+    return t;
+}
+
+ServiceStats SweepService::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void SweepService::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) return;
+        stopped_ = true;
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    // Fail everything still queued; running jobs observe stopping_ through
+    // the cancellation hook (or finish normally — both are fine).
+    for (auto& job : queue_.drain()) {
+        PointOutcome out;
+        out.error = "serve: server stopping";
+        finish_job(job, std::move(out));
+    }
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+}
+
+void SweepService::worker_loop() {
+    while (auto job = queue_.pop()) run_job(*job);
+}
+
+void SweepService::run_job(const Job& job) {
+    PointOutcome out;
+    bool delivered = false;
+    try {
+        if (evaluator_) {
+            if (stopping_.load(std::memory_order_relaxed)) {
+                throw util::CancelledError("serve: server stopping");
+            }
+            out.payload = evaluator_(job.spec);
+            out.ok = true;
+        } else {
+            // Default path: one-point SweepRunner batch — memo cache, disk
+            // probe/flush and damaged-entry degradation all come from the
+            // batch machinery, so serving cannot drift from batch mode. The
+            // on_result hook completes the entry the moment the result
+            // exists (before the persistent-cache flush), and the
+            // cancellation hook abandons queued evaluations on shutdown.
+            core::RunHooks hooks;
+            hooks.on_result = [&](std::size_t, const std::any& value) {
+                PointOutcome early;
+                early.ok = true;
+                early.payload =
+                    encode_result(std::any_cast<const apps::AppResult&>(value));
+                finish_job(job, std::move(early));
+                delivered = true;
+            };
+            hooks.cancelled = [this] {
+                return stopping_.load(std::memory_order_relaxed);
+            };
+            const std::vector<core::SweepPoint> pts = {to_sweep_point(job.spec)};
+            core::SweepRunner(1).run<apps::AppResult>(
+                pts,
+                [&job](const core::SweepPoint&, std::size_t) {
+                    return eval_point(job.spec);
+                },
+                hooks);
+            if (delivered) return;
+            out.error = "serve: evaluation produced no result";
+        }
+    } catch (const std::exception& e) {
+        out.ok = false;
+        out.payload.clear();
+        out.error = e.what();
+    }
+    if (!delivered) finish_job(job, std::move(out));
+}
+
+void SweepService::finish_job(const Job& job, PointOutcome outcome) {
+    const bool ok = outcome.ok;
+    if (!ok) {
+        util::log_warn("serve: point '" + job.key + "' failed: " + outcome.error);
+    }
+    // Bookkeeping strictly before set_value: anyone who observes the future
+    // resolved must also observe the counters reflecting it.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --stats_.inflight;
+        if (ok) {
+            ++stats_.computed;
+            job.entry->done = true;
+        } else {
+            ++stats_.point_errors;
+            // Evict so the next request retries instead of replaying the error.
+            auto it = entries_.find(job.key);
+            if (it != entries_.end() && it->second == job.entry) entries_.erase(it);
+        }
+    }
+    job.entry->promise.set_value(std::move(outcome));
+}
+
+} // namespace armstice::serve

@@ -1,0 +1,132 @@
+#pragma once
+// SweepService — the serving layer's shared result cache with request
+// coalescing and admission control (DESIGN.md §14.2). This is the piece that
+// turns N concurrent identical sweeps into ONE computation:
+//
+//   * every canonical point key owns at most one map entry; the first
+//     request to name a key becomes its computation, later requests (and
+//     duplicate points within one request) attach to the pending
+//     shared_future — "late joiners" stream the result the instant the one
+//     computation finishes;
+//   * completed entries stay resident as the in-memory serving cache
+//     (backed transparently by the core memo cache + CacheStore, because
+//     computations run through SweepRunner);
+//   * admission is all-or-nothing per request: either every fresh
+//     computation the request needs fits in the bounded compute queue
+//     (util::BoundedQueue::try_push_all) or nothing is enqueued and the
+//     caller sends a typed RETRY_LATER — the server never queues unboundedly
+//     and never half-admits;
+//   * failed computations are evicted on completion so a later request
+//     retries instead of serving a cached error.
+//
+// The service is transport-agnostic (serve::Server adds the socket layer);
+// the concurrency tests drive it directly.
+
+#include "serve/catalog.hpp"
+#include "serve/protocol.hpp"
+#include "util/bounded_queue.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace armstice::serve {
+
+struct ServiceConfig {
+    int workers = 2;                ///< compute threads
+    std::size_t max_inflight = 64;  ///< bounded compute backlog (points)
+};
+
+/// Terminal state of one point's computation.
+struct PointOutcome {
+    bool ok = false;
+    std::string payload;  ///< encoded AppResult when ok
+    std::string error;    ///< diagnostic when !ok
+};
+
+/// Monotone counters (gauge: inflight). All deterministic functions of the
+/// request history — the stats frame is golden-testable.
+struct ServiceStats {
+    long points = 0;        ///< specs submitted through admitted requests
+    long cache_hits = 0;    ///< served from a completed entry
+    long coalesced = 0;     ///< attached to a pending computation
+    long computed = 0;      ///< computations that completed ok
+    long point_errors = 0;  ///< computations that failed
+    long overloads = 0;     ///< requests rejected by admission control
+    long inflight = 0;      ///< fresh computations queued or running
+};
+
+class SweepService {
+public:
+    /// Evaluate one canonical spec to an encoded payload; may throw. The
+    /// default runs eval_point through a SweepRunner (memo + disk cache,
+    /// early completion via core::RunHooks). Tests inject gated evaluators
+    /// to hold computations in flight deterministically.
+    using Evaluator = std::function<std::string(const PointSpec&)>;
+
+    explicit SweepService(ServiceConfig cfg, Evaluator evaluator = {});
+    ~SweepService();
+
+    SweepService(const SweepService&) = delete;
+    SweepService& operator=(const SweepService&) = delete;
+
+    /// Result of admitting one request. When `admitted`, futures[i] resolves
+    /// point i of the request (request order); origin[i] says how.
+    struct Ticket {
+        bool admitted = false;
+        std::uint32_t inflight = 0;  ///< gauge at rejection time
+        std::uint32_t limit = 0;     ///< admission bound
+        std::vector<std::shared_future<PointOutcome>> futures;
+        std::vector<PointOrigin> origin;
+        std::uint32_t cached = 0;
+        std::uint32_t coalesced = 0;
+        std::uint32_t fresh = 0;
+    };
+
+    /// Admit a request of canonical specs (serve::canonicalize first —
+    /// submit never validates). All-or-nothing: on overload, no entry and no
+    /// queue slot is consumed.
+    Ticket submit(const std::vector<PointSpec>& canonical);
+
+    [[nodiscard]] ServiceStats stats() const;
+    [[nodiscard]] std::size_t max_inflight() const { return cfg_.max_inflight; }
+
+    /// Fail queued-but-unstarted computations, let running ones finish, and
+    /// join the workers. Idempotent; also run by the destructor.
+    void stop();
+
+private:
+    struct Entry {
+        std::promise<PointOutcome> promise;
+        std::shared_future<PointOutcome> future;
+        bool done = false;  // guarded by mu_
+    };
+    struct Job {
+        std::string key;
+        PointSpec spec;
+        std::shared_ptr<Entry> entry;
+    };
+
+    void worker_loop();
+    void run_job(const Job& job);
+    void finish_job(const Job& job, PointOutcome outcome);
+
+    ServiceConfig cfg_;
+    Evaluator evaluator_;  ///< empty = default SweepRunner path
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    ServiceStats stats_;
+    util::BoundedQueue<Job> queue_;
+    std::atomic<bool> stopping_{false};
+    bool stopped_ = false;  // guarded by mu_
+    std::vector<std::thread> workers_;
+};
+
+} // namespace armstice::serve

@@ -29,6 +29,15 @@ public:
     explicit DeadlockError(std::string what) : Error(std::move(what)) {}
 };
 
+/// Thrown when a sweep batch is abandoned through core::RunHooks::cancelled
+/// (e.g. the serve daemon shutting down mid-batch). Points evaluated before
+/// the cancellation was observed keep their cache entries; the batch as a
+/// whole produces no results.
+class CancelledError : public Error {
+public:
+    explicit CancelledError(std::string what) : Error(std::move(what)) {}
+};
+
 [[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
 
 } // namespace armstice::util

@@ -1,0 +1,210 @@
+#include "util/socket.hpp"
+
+#include "util/error.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace armstice::util {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw Error(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+// ---- Socket ----------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+bool Socket::send_all(const void* data, std::size_t n) {
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+        const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (sent == 0) return false;
+        p += sent;
+        n -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+bool Socket::recv_exact(void* data, std::size_t n) {
+    char* p = static_cast<char*>(data);
+    while (n > 0) {
+        const ssize_t got = ::recv(fd_, p, n, 0);
+        if (got < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (got == 0) return false;  // orderly EOF mid-buffer
+        p += got;
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+void Socket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Socket::shutdown() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ---- Listener --------------------------------------------------------------
+
+Listener Listener::listen_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        throw Error("unix socket path empty or too long: '" + path + "'");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    ::unlink(path.c_str());  // stale socket file from a crashed server
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw_errno("bind(" + path + ")");
+    }
+    if (::listen(fd, 64) != 0) {
+        ::close(fd);
+        throw_errno("listen(" + path + ")");
+    }
+    Listener l;
+    l.fd_ = fd;
+    l.path_ = path;
+    return l;
+}
+
+Listener Listener::listen_tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    if (::listen(fd, 64) != 0) {
+        ::close(fd);
+        throw_errno("listen(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        ::close(fd);
+        throw_errno("getsockname");
+    }
+    Listener l;
+    l.fd_ = fd;
+    l.port_ = static_cast<int>(ntohs(addr.sin_port));
+    return l;
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      path_(std::move(other.path_)) {
+    other.path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        port_ = std::exchange(other.port_, 0);
+        path_ = std::move(other.path_);
+        other.path_.clear();
+    }
+    return *this;
+}
+
+Socket Listener::accept(int timeout_ms) {
+    if (fd_ < 0) return Socket();
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r <= 0) return Socket();  // timeout or error (incl. closed fd)
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) return Socket();
+    return Socket(cfd);
+}
+
+void Listener::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+// ---- connect ---------------------------------------------------------------
+
+Socket connect_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        throw Error("unix socket path empty or too long: '" + path + "'");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw_errno("connect(" + path + ")");
+    }
+    return Socket(fd);
+}
+
+Socket connect_tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+    }
+    return Socket(fd);
+}
+
+} // namespace armstice::util

@@ -1,0 +1,90 @@
+#pragma once
+// Thin POSIX stream-socket wrapper for the serve daemon (serve::Server /
+// serve::Client). Deliberately minimal: blocking sockets, unix-domain and
+// 127.0.0.1 TCP only, EINTR-safe full-buffer send/recv, and poll-based
+// accept so a listener can be shut down promptly. All failures are reported
+// via return values or util::Error at connect/bind time — never errno
+// spelunking at call sites, and never SIGPIPE (sends use MSG_NOSIGNAL).
+
+#include <cstddef>
+#include <string>
+
+namespace armstice::util {
+
+/// One connected stream socket (RAII over the fd; move-only).
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+    Socket(Socket&& other) noexcept;
+    Socket& operator=(Socket&& other) noexcept;
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] int fd() const { return fd_; }
+
+    /// Send the whole buffer; false on any error (peer gone, socket closed).
+    bool send_all(const void* data, std::size_t n);
+    bool send_all(const std::string& data) {
+        return send_all(data.data(), data.size());
+    }
+
+    /// Receive exactly `n` bytes; false on EOF or error before `n` arrived.
+    bool recv_exact(void* data, std::size_t n);
+
+    /// Close the fd now (also done by the destructor). Safe to call twice.
+    void close();
+
+    /// shutdown(SHUT_RDWR) — unblocks a peer thread parked in recv_exact.
+    void shutdown();
+
+private:
+    int fd_ = -1;
+};
+
+/// A listening socket (unix-domain or 127.0.0.1 TCP).
+class Listener {
+public:
+    /// Bind + listen on a unix-domain socket path (unlinks a stale file
+    /// first). Throws util::Error on failure.
+    static Listener listen_unix(const std::string& path);
+
+    /// Bind + listen on 127.0.0.1:`port` (0 = kernel-assigned; the chosen
+    /// port is readable via port()). Throws util::Error on failure.
+    static Listener listen_tcp(int port);
+
+    Listener() = default;
+    ~Listener();
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+    Listener(Listener&& other) noexcept;
+    Listener& operator=(Listener&& other) noexcept;
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] int port() const { return port_; }
+    [[nodiscard]] const std::string& unix_path() const { return path_; }
+
+    /// Wait up to `timeout_ms` for a connection. Returns an invalid Socket
+    /// on timeout, on error, or after close() — callers poll a stop flag
+    /// between calls.
+    Socket accept(int timeout_ms);
+
+    /// Close the listening fd (and unlink the unix path, if any).
+    void close();
+
+private:
+    int fd_ = -1;
+    int port_ = 0;
+    std::string path_;  ///< unix socket path to unlink on close
+};
+
+/// Connect to a unix-domain socket path. Throws util::Error on failure.
+Socket connect_unix(const std::string& path);
+
+/// Connect to 127.0.0.1:`port`. Throws util::Error on failure.
+Socket connect_tcp(int port);
+
+} // namespace armstice::util

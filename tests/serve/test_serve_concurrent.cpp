@@ -1,0 +1,355 @@
+// Concurrency and coalescing tests (DESIGN.md §14.2). The load-bearing
+// claims: N concurrent requests naming the same key trigger exactly ONE
+// computation; every requester — owner, joiner, late joiner — receives
+// bit-identical bytes; admission control is all-or-nothing with a clean
+// rollback; and the whole dance is data-race-free (this suite runs under
+// ARMSTICE_SANITIZE=thread in CI).
+//
+// Determinism tool: a gated evaluator. Computations block inside the
+// evaluator until the test releases them, so "requests arrive while the
+// computation is in flight" is a constructed fact, not a timing hope.
+
+#include "core/cache.hpp"
+#include "core/runner.hpp"
+#include "serve/catalog.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/str.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+namespace ac = armstice::core;
+namespace as = armstice::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Evaluator gate: run() counts the call per key, then blocks until
+/// release(). The payload is a pure function of the spec, so bit-identity
+/// checks are exact.
+class GatedEvaluator {
+public:
+    std::string run(const as::PointSpec& spec) {
+        const std::string key = spec.app + "|" + std::to_string(spec.nodes) +
+                                "|" + spec.config;
+        std::unique_lock<std::mutex> lock(mu_);
+        ++calls_[key];
+        ++entered_;
+        entered_cv_.notify_all();
+        release_cv_.wait(lock, [this] { return released_; });
+        return "payload:" + key;
+    }
+
+    /// Block until `n` computations are inside run().
+    void await_entered(int n) {
+        std::unique_lock<std::mutex> lock(mu_);
+        entered_cv_.wait(lock, [&] { return entered_ >= n; });
+    }
+
+    void release() {
+        std::lock_guard<std::mutex> lock(mu_);
+        released_ = true;
+        release_cv_.notify_all();
+    }
+
+    [[nodiscard]] std::map<std::string, int> calls() {
+        std::lock_guard<std::mutex> lock(mu_);
+        return calls_;
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable entered_cv_;
+    std::condition_variable release_cv_;
+    std::map<std::string, int> calls_;
+    int entered_ = 0;
+    bool released_ = false;
+};
+
+as::PointSpec spec(const std::string& app, int nodes, const std::string& cfg) {
+    as::PointSpec p;
+    p.app = app;
+    p.system = "A64FX";
+    p.nodes = nodes;
+    p.ranks = 8 * nodes;
+    p.threads = 1;
+    p.config = cfg;
+    return p;
+}
+
+std::string unique_sock(const std::string& tag) {
+    return (fs::path(::testing::TempDir()) /
+            ("armstice-serve-conc-" + tag + ".sock"))
+        .string();
+}
+
+} // namespace
+
+TEST(ServeConcurrent, LateJoinersAttachToThePendingComputation) {
+    // One key, eight concurrent requests, the computation held in flight:
+    // exactly one evaluator call, the seven joiners coalesce, and everyone
+    // reads the same payload from the one shared future.
+    GatedEvaluator gate;
+    as::SweepService service(
+        as::ServiceConfig{2, 64},
+        [&gate](const as::PointSpec& s) { return gate.run(s); });
+    const std::vector<as::PointSpec> one = {
+        as::canonicalize(spec("minikab", 1, "rows=100000;iters=10"))};
+
+    std::vector<as::SweepService::Ticket> tickets(8);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] { tickets[t] = service.submit(one); });
+    }
+    for (auto& th : threads) th.join();
+    gate.await_entered(1);
+    gate.release();
+
+    int owners = 0, joiners = 0;
+    std::vector<std::string> payloads;
+    for (const auto& t : tickets) {
+        ASSERT_TRUE(t.admitted);
+        ASSERT_EQ(t.futures.size(), 1u);
+        const as::PointOutcome out = t.futures[0].get();
+        ASSERT_TRUE(out.ok) << out.error;
+        payloads.push_back(out.payload);
+        owners += t.fresh;
+        joiners += t.coalesced + t.cached;
+    }
+    EXPECT_EQ(owners, 1);
+    EXPECT_EQ(joiners, 7);
+    for (const auto& p : payloads) EXPECT_EQ(p, payloads[0]);
+
+    const auto calls = gate.calls();
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(calls.begin()->second, 1) << "key evaluated more than once";
+    service.stop();
+    EXPECT_EQ(service.stats().computed, 1);
+    EXPECT_EQ(service.stats().inflight, 0);
+}
+
+TEST(ServeConcurrent, ExactlyOneComputationPerDistinctKeyUnderContention) {
+    // 16 threads x 40 requests over 6 distinct keys, evaluator released from
+    // the start (free-running): however the interleaving lands, each key is
+    // computed exactly once, ever.
+    GatedEvaluator gate;
+    gate.release();
+    as::SweepService service(
+        as::ServiceConfig{4, 64},
+        [&gate](const as::PointSpec& s) { return gate.run(s); });
+
+    std::vector<as::PointSpec> pool;
+    for (int k = 0; k < 6; ++k) {
+        pool.push_back(as::canonicalize(
+            spec(k % 2 == 0 ? "minikab" : "nekbone", 1 + k / 2,
+                 k % 2 == 0 ? armstice::util::format("rows=%d;iters=10", 100000 + k)
+                            : armstice::util::format("elems=%d;iters=10", 4 + k))));
+    }
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 16; ++t) {
+        threads.emplace_back([&, t] {
+            for (int r = 0; r < 40; ++r) {
+                // Deterministic per-thread rotation over the pool.
+                std::vector<as::PointSpec> req = {pool[(t + r) % pool.size()],
+                                                  pool[(t + 2 * r) % pool.size()]};
+                auto ticket = service.submit(req);
+                if (!ticket.admitted) continue;  // overload is legal here
+                for (std::size_t i = 0; i < ticket.futures.size(); ++i) {
+                    const as::PointOutcome out = ticket.futures[i].get();
+                    const std::string want =
+                        "payload:" + req[i].app + "|" +
+                        std::to_string(req[i].nodes) + "|" + req[i].config;
+                    if (!out.ok || out.payload != want) ++mismatches;
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    const auto calls = gate.calls();
+    EXPECT_EQ(calls.size(), pool.size());
+    for (const auto& [key, n] : calls) {
+        EXPECT_EQ(n, 1) << "key '" << key << "' computed " << n << " times";
+    }
+    service.stop();
+    EXPECT_EQ(service.stats().computed, static_cast<long>(pool.size()));
+}
+
+TEST(ServeConcurrent, AdmissionIsAllOrNothingWithCleanRollback) {
+    // workers=1, queue capacity 2. Key A occupies the worker (gated); a
+    // request needing 3 fresh computations cannot fit and must be rejected
+    // whole — and its rolled-back entries must not poison later requests.
+    GatedEvaluator gate;
+    as::SweepService service(
+        as::ServiceConfig{1, 2},
+        [&gate](const as::PointSpec& s) { return gate.run(s); });
+
+    const auto a = as::canonicalize(spec("minikab", 1, "rows=100000;iters=10"));
+    const auto b = as::canonicalize(spec("minikab", 2, "rows=100000;iters=10"));
+    const auto c = as::canonicalize(spec("minikab", 3, "rows=100000;iters=10"));
+    const auto d = as::canonicalize(spec("minikab", 4, "rows=100000;iters=10"));
+
+    auto ta = service.submit({a});
+    ASSERT_TRUE(ta.admitted);
+    gate.await_entered(1);  // worker now holds A; the queue is empty
+
+    // B+C+D needs 3 queue slots; only 2 exist. All-or-nothing: rejected.
+    auto tbcd = service.submit({b, c, d});
+    EXPECT_FALSE(tbcd.admitted);
+    EXPECT_TRUE(tbcd.futures.empty());
+    EXPECT_EQ(tbcd.limit, 2u);
+    EXPECT_EQ(service.stats().overloads, 1);
+
+    // Rollback check: B must be admittable as a FRESH computation — if the
+    // rejected request had leaked its entry, this would wrongly coalesce
+    // against a computation nobody queued (and hang forever).
+    auto tb = service.submit({b});
+    ASSERT_TRUE(tb.admitted);
+    EXPECT_EQ(tb.fresh, 1u);
+    EXPECT_EQ(tb.coalesced, 0u);
+
+    gate.release();
+    EXPECT_TRUE(ta.futures[0].get().ok);
+    EXPECT_TRUE(tb.futures[0].get().ok);
+
+    // After the release, C+D fit (all-or-nothing now succeeds).
+    auto tcd = service.submit({c, d});
+    ASSERT_TRUE(tcd.admitted);
+    EXPECT_TRUE(tcd.futures[0].get().ok);
+    EXPECT_TRUE(tcd.futures[1].get().ok);
+    service.stop();
+    EXPECT_EQ(service.stats().computed, 4);
+}
+
+TEST(ServeConcurrent, DuplicatePointsWithinOneRequestCoalesce) {
+    GatedEvaluator gate;
+    gate.release();
+    as::SweepService service(
+        as::ServiceConfig{2, 64},
+        [&gate](const as::PointSpec& s) { return gate.run(s); });
+    const auto a = as::canonicalize(spec("minikab", 1, "rows=100000;iters=10"));
+    auto t = service.submit({a, a, a});
+    ASSERT_TRUE(t.admitted);
+    EXPECT_EQ(t.fresh, 1u);
+    EXPECT_EQ(t.coalesced, 2u);
+    const std::string p0 = t.futures[0].get().payload;
+    EXPECT_EQ(t.futures[1].get().payload, p0);
+    EXPECT_EQ(t.futures[2].get().payload, p0);
+    service.stop();
+    EXPECT_EQ(service.stats().computed, 1);
+    EXPECT_EQ(gate.calls().size(), 1u);
+}
+
+TEST(ServeConcurrent, FullStackClientsStreamOneComputationPerKey) {
+    // The same invariants through the real server: sockets, sessions,
+    // streaming. 8 clients x the same 4-point request; the evaluator tallies
+    // per-key calls.
+    const std::string sock = unique_sock("fullstack");
+    GatedEvaluator gate;
+    gate.release();
+    as::ServerConfig cfg;
+    cfg.unix_path = sock;
+    cfg.workers = 3;
+    as::Server server(cfg, [&gate](const as::PointSpec& s) { return gate.run(s); });
+    server.start();
+
+    std::vector<as::PointSpec> specs;
+    for (int k = 0; k < 4; ++k) {
+        specs.push_back(spec("minikab", 1 + k, "rows=100000;iters=10"));
+    }
+
+    std::vector<as::Client::SweepReply> replies(8);
+    std::vector<std::string> failures(8);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 8; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                as::Client client = as::Client::connect_unix_path(sock);
+                replies[c] = client.sweep(specs);
+            } catch (const std::exception& e) {
+                failures[c] = e.what();
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    for (int c = 0; c < 8; ++c) {
+        ASSERT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+        ASSERT_FALSE(replies[c].retry) << "client " << c;
+        ASSERT_EQ(replies[c].points.size(), specs.size()) << "client " << c;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            ASSERT_TRUE(replies[c].points[i].ok);
+            EXPECT_EQ(replies[c].points[i].payload, replies[0].points[i].payload)
+                << "client " << c << " point " << i;
+        }
+    }
+    for (const auto& [key, n] : gate.calls()) {
+        EXPECT_EQ(n, 1) << "key '" << key << "'";
+    }
+    EXPECT_EQ(gate.calls().size(), specs.size());
+    const as::StatsResult stats = server.stats_snapshot();
+    EXPECT_EQ(stats.computed, specs.size());
+    EXPECT_EQ(stats.cache_hits + stats.coalesced,
+              8 * specs.size() - specs.size());
+    server.stop();
+}
+
+TEST(ServeConcurrent, FullStackOverloadYieldsTypedRetryLater) {
+    // workers=1 + capacity 2, computations held: the blocker's two keys pin
+    // the worker and one queue slot, so a client asking for two fresh keys
+    // finds only one slot free and must receive RETRY_LATER carrying the
+    // admission bound — and succeed on retry once the gate opens.
+    const std::string sock = unique_sock("retry");
+    GatedEvaluator gate;
+    as::ServerConfig cfg;
+    cfg.unix_path = sock;
+    cfg.workers = 1;
+    cfg.max_inflight = 2;
+    as::Server server(cfg, [&gate](const as::PointSpec& s) { return gate.run(s); });
+    server.start();
+
+    as::Client blocker = as::Client::connect_unix_path(sock);
+    blocker.send_sweep_only({spec("minikab", 1, "rows=100000;iters=10"),
+                             spec("minikab", 4, "rows=100000;iters=10")});
+    gate.await_entered(1);  // worker holds key 1; key 4 occupies a queue slot
+
+    as::Client victim = as::Client::connect_unix_path(sock);
+    const auto rejected = victim.sweep({spec("minikab", 2, "rows=100000;iters=10"),
+                                        spec("minikab", 3, "rows=100000;iters=10")});
+    EXPECT_TRUE(rejected.retry);
+    EXPECT_EQ(rejected.retry_info.limit, 2u);
+    EXPECT_TRUE(rejected.points.empty());
+
+    gate.release();
+    // Drain the blocker's stream to SweepDone before retrying: the done frame
+    // is sent only after both of its points resolved, and finish_job decrements
+    // inflight before resolving a future — so by here capacity is fully free
+    // and the retry's admission is deterministic, not a race against drain.
+    as::Message msg;
+    while (blocker.read_message(msg) && !std::holds_alternative<as::SweepDone>(msg.body)) {
+    }
+    const auto accepted =
+        victim.sweep({spec("minikab", 2, "rows=100000;iters=10"),
+                      spec("minikab", 3, "rows=100000;iters=10")});
+    EXPECT_FALSE(accepted.retry);
+    ASSERT_EQ(accepted.points.size(), 2u);
+    EXPECT_TRUE(accepted.points[0].ok);
+    EXPECT_TRUE(accepted.points[1].ok);
+    EXPECT_GE(server.stats_snapshot().retries, 1u);
+    server.stop();
+}

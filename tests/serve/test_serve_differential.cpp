@@ -1,0 +1,239 @@
+// Differential tests: bytes streamed by serve::Server must be EXPECT_EQ
+// bit-identical to the batch SweepRunner path for the same points — at jobs
+// 1 and jobs 8, from a cold cache and from a warm one, and regardless of how
+// the client spelled the config string. "Close" is not a concept here: both
+// paths share one SweepPoint key and one encoder, so a single differing byte
+// is a real divergence.
+
+#include "core/cache.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "serve/catalog.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace ac = armstice::core;
+namespace as = armstice::serve;
+namespace au = armstice::util;
+namespace fs = std::filesystem;
+
+namespace {
+
+class ServeDifferential : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+               ("armstice-serve-diff-" + std::string(info->name()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        sock_ = (dir_ / "serve.sock").string();
+        ac::reset_sweep_cache();
+    }
+
+    void TearDown() override {
+        ac::set_cache_dir("");
+        ac::reset_sweep_cache();
+        au::set_log_sink(nullptr);
+        fs::remove_all(dir_);
+    }
+
+    [[nodiscard]] as::Server make_server_config(int workers = 2) const {
+        as::ServerConfig cfg;
+        cfg.unix_path = sock_;
+        cfg.workers = workers;
+        return as::Server(cfg);
+    }
+
+    fs::path dir_;
+    std::string sock_;
+};
+
+/// Request points across all three served apps, each spelled with scrambled
+/// key order / omitted defaults — canonicalization must make them equal to
+/// the tidy batch spelling.
+std::vector<as::PointSpec> wire_specs() {
+    std::vector<as::PointSpec> specs;
+    as::PointSpec p;
+
+    p.app = "minikab";
+    p.system = "A64FX";
+    p.nodes = 2;
+    p.ranks = 16;
+    p.threads = 1;
+    p.config = "iters=30;rows=150000;nnz=2000000";  // scrambled key order
+    specs.push_back(p);
+
+    p = as::PointSpec{};
+    p.app = "minikab";
+    p.system = "A64FX";
+    p.nodes = 1;
+    p.ranks = 8;
+    p.threads = 1;
+    p.config = "rows=150000;nnz=2000000;iters=30;solver=cg";  // defaults spelled
+    specs.push_back(p);
+
+    p = as::PointSpec{};
+    p.app = "nekbone";
+    p.system = "A64FX";
+    p.nodes = 2;
+    p.ranks = 16;
+    p.threads = 7;  // nekbone forces threads=1; must not split the key
+    p.config = "nx1=8;elems=6;iters=15";
+    specs.push_back(p);
+
+    p = as::PointSpec{};
+    p.app = "cosa";
+    p.system = "A64FX";
+    p.nodes = 1;
+    p.ranks = 8;
+    p.config = "blocks=4;cells=60000;harmonics=2;iters=10";
+    specs.push_back(p);
+
+    return specs;
+}
+
+std::vector<std::string> batch_reference(const std::vector<as::PointSpec>& specs,
+                                         int jobs) {
+    const std::vector<armstice::apps::AppResult> batch =
+        as::batch_eval(specs, jobs);
+    std::vector<std::string> bytes;
+    bytes.reserve(batch.size());
+    for (const auto& r : batch) bytes.push_back(as::encode_result(r));
+    return bytes;
+}
+
+} // namespace
+
+TEST_F(ServeDifferential, BatchJobs1AndJobs8AreBitIdentical) {
+    const auto specs = wire_specs();
+    const auto ref1 = batch_reference(specs, 1);
+    ac::reset_sweep_cache();  // jobs=8 run must not just replay the memo
+    const auto ref8 = batch_reference(specs, 8);
+    ASSERT_EQ(ref1.size(), ref8.size());
+    for (std::size_t i = 0; i < ref1.size(); ++i) {
+        EXPECT_EQ(ref1[i], ref8[i]) << "point " << i;
+    }
+}
+
+TEST_F(ServeDifferential, ServedBytesMatchBatchColdAndWarm) {
+    const auto specs = wire_specs();
+    const auto reference = batch_reference(specs, 1);
+    ac::reset_sweep_cache();  // server starts cold: it must compute, not memo
+
+    auto server = make_server_config();
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+
+    // Cold pass: every distinct key computed server-side.
+    const auto cold = client.sweep(specs);
+    ASSERT_FALSE(cold.retry);
+    ASSERT_EQ(cold.points.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(cold.points[i].ok) << cold.points[i].payload;
+        EXPECT_EQ(cold.points[i].payload, reference[i]) << "point " << i;
+        EXPECT_EQ(cold.points[i].index, i);
+        // Payloads decode back to a usable AppResult.
+        EXPECT_NO_THROW((void)as::decode_result(cold.points[i].payload));
+    }
+    EXPECT_EQ(cold.done.points, specs.size());
+    EXPECT_EQ(cold.done.errors, 0u);
+
+    // Warm pass on the same server: all points come from the serve cache and
+    // carry the same bytes.
+    const auto warm = client.sweep(specs);
+    ASSERT_FALSE(warm.retry);
+    ASSERT_EQ(warm.points.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(warm.points[i].ok);
+        EXPECT_EQ(warm.points[i].payload, reference[i]) << "point " << i;
+        EXPECT_EQ(warm.points[i].origin, as::PointOrigin::kCached)
+            << "point " << i;
+    }
+    EXPECT_EQ(warm.done.cached, specs.size());
+    server.stop();
+}
+
+TEST_F(ServeDifferential, ServedBytesMatchBatchThroughTheDiskCache) {
+    // Batch populates the persistent cache; a fresh server process (modelled
+    // by resetting the memo cache) must serve the *disk* bytes — still
+    // bit-identical, because doubles persist bit-exact.
+    ac::set_cache_dir((dir_ / "cache").string());
+    const auto specs = wire_specs();
+    const auto reference = batch_reference(specs, 1);
+    ASSERT_GT(ac::cache_store()->stats().stores, 0u);
+
+    ac::reset_sweep_cache();  // memo gone; disk remains
+    auto server = make_server_config();
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+    const auto reply = client.sweep(specs);
+    ASSERT_FALSE(reply.retry);
+    ASSERT_EQ(reply.points.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(reply.points[i].ok);
+        EXPECT_EQ(reply.points[i].payload, reference[i]) << "point " << i;
+    }
+    // The server's computations were disk hits, not re-evaluations.
+    const auto ss = ac::sweep_stats();
+    const auto cs = ac::cache_store()->stats();
+    EXPECT_EQ(ss.disk_hits, static_cast<long>(specs.size()))
+        << "sweep: hits=" << ss.hits << " disk_hits=" << ss.disk_hits
+        << " disk_misses=" << ss.disk_misses << " misses=" << ss.misses
+        << " stores=" << ss.disk_stores << " | store: probes=" << cs.probes
+        << " hits=" << cs.hits << " rejected=" << cs.rejected
+        << " stores=" << cs.stores << " store_failures=" << cs.store_failures;
+    server.stop();
+}
+
+TEST_F(ServeDifferential, EquivalentSpellingsShareOneComputationAndOneByteStream) {
+    // Same simulation, three spellings: scrambled key order, defaults
+    // spelled out, defaults omitted. Canonicalization must collapse them to
+    // one key — so the server computes once and all three stream the same
+    // bytes.
+    as::PointSpec tidy;
+    tidy.app = "minikab";
+    tidy.system = "A64FX";
+    tidy.nodes = 1;
+    tidy.ranks = 8;
+    tidy.threads = 1;
+    tidy.config = "rows=120000;nnz=1500000;iters=20;solver=cg";
+
+    as::PointSpec scrambled = tidy;
+    scrambled.config = "iters=20;nnz=1500000;rows=120000;solver=cg";
+    as::PointSpec defaulted = tidy;
+    defaulted.config = "iters=20;nnz=1500000;rows=120000";  // cg is the default
+
+    auto server = make_server_config();
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+    const auto reply = client.sweep({tidy, scrambled, defaulted});
+    ASSERT_FALSE(reply.retry);
+    ASSERT_EQ(reply.points.size(), 3u);
+    ASSERT_TRUE(reply.points[0].ok) << reply.points[0].payload;
+    EXPECT_EQ(reply.points[1].payload, reply.points[0].payload);
+    EXPECT_EQ(reply.points[2].payload, reply.points[0].payload);
+    EXPECT_EQ(server.service().stats().computed, 1);
+    server.stop();
+}
+
+TEST_F(ServeDifferential, FigureAndScorecardBytesMatchBatch) {
+    // Figures/scorecard are whole-artefact requests; the served bytes must
+    // equal the batch renderers byte-for-byte.
+    auto server = make_server_config(4);
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+    EXPECT_EQ(client.figure(1), ac::fig1_csv(ac::run_fig1()));
+    EXPECT_EQ(client.figure(4), ac::fig4_csv(ac::run_fig4()));
+    server.stop();
+}

@@ -1,0 +1,319 @@
+// Fault-injection tests (DESIGN.md §14.3): the server must stay correct
+// when clients misbehave and when its own persistent cache is damaged.
+//
+//   * a client disconnecting mid-stream must not cancel or corrupt the
+//     shared computation — coalesced joiners and later requests still get
+//     the result, exactly once;
+//   * malformed frames (zero-length, oversized, garbage, unknown type) are
+//     answered with a typed BAD_FRAME error and a closed session — the
+//     claimed body of an oversized length prefix is never allocated;
+//   * a well-formed frame carrying an invalid request (unknown app, bad
+//     config) earns BAD_REQUEST but the session survives for the next
+//     request;
+//   * a damaged CacheStore entry degrades to a logged miss: the point is
+//     recomputed and served bit-identical to the uncorrupted reference.
+
+#include "core/app_codecs.hpp"
+#include "core/cache.hpp"
+#include "core/runner.hpp"
+#include "serve/catalog.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ac = armstice::core;
+namespace as = armstice::serve;
+namespace au = armstice::util;
+namespace fs = std::filesystem;
+
+namespace {
+
+class ServeFault : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+               ("armstice-serve-fault-" + std::string(info->name()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        sock_ = (dir_ / "serve.sock").string();
+        au::set_log_sink([this](au::LogLevel level, const std::string& msg) {
+            std::lock_guard<std::mutex> lock(warn_mu_);
+            if (level >= au::LogLevel::warn) warnings_.push_back(msg);
+        });
+        ac::reset_sweep_cache();
+    }
+
+    void TearDown() override {
+        ac::set_cache_dir("");
+        ac::reset_sweep_cache();
+        au::set_log_sink(nullptr);
+        fs::remove_all(dir_);
+    }
+
+    [[nodiscard]] bool warned_containing(const std::string& needle) {
+        std::lock_guard<std::mutex> lock(warn_mu_);
+        for (const auto& w : warnings_) {
+            if (w.find(needle) != std::string::npos) return true;
+        }
+        return false;
+    }
+
+    static void overwrite(const std::string& path, const std::string& bytes) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /// Raw frame bytes: u32 length prefix + payload.
+    static std::string frame_bytes(const std::string& payload) {
+        std::string out;
+        const auto len = static_cast<std::uint32_t>(payload.size());
+        for (int i = 0; i < 4; ++i) {
+            out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+        }
+        return out + payload;
+    }
+
+    /// Expect: one BAD_FRAME error frame, then a closed connection.
+    static void expect_bad_frame_then_close(as::Client& client) {
+        as::Message m;
+        ASSERT_TRUE(client.read_message(m)) << "no error frame before close";
+        const auto* err = std::get_if<as::ErrorMsg>(&m.body);
+        ASSERT_NE(err, nullptr);
+        EXPECT_EQ(err->code, as::ErrorCode::kBadFrame);
+        EXPECT_FALSE(client.read_message(m)) << "session not closed";
+    }
+
+    as::PointSpec minikab_spec(int nodes) const {
+        as::PointSpec p;
+        p.app = "minikab";
+        p.system = "A64FX";
+        p.nodes = nodes;
+        p.ranks = 8 * nodes;
+        p.threads = 1;
+        p.config = "rows=120000;nnz=1500000;iters=15";
+        return p;
+    }
+
+    fs::path dir_;
+    std::string sock_;
+    std::mutex warn_mu_;
+    std::vector<std::string> warnings_;
+};
+
+/// Gate + tally evaluator (same shape as the concurrency suite's).
+class Gate {
+public:
+    std::string run(const as::PointSpec& spec) {
+        const std::string key = spec.app + "|" + std::to_string(spec.nodes);
+        std::unique_lock<std::mutex> lock(mu_);
+        ++calls_[key];
+        ++entered_;
+        entered_cv_.notify_all();
+        release_cv_.wait(lock, [this] { return released_; });
+        return "payload:" + key;
+    }
+    void await_entered(int n) {
+        std::unique_lock<std::mutex> lock(mu_);
+        entered_cv_.wait(lock, [&] { return entered_ >= n; });
+    }
+    void release() {
+        std::lock_guard<std::mutex> lock(mu_);
+        released_ = true;
+        release_cv_.notify_all();
+    }
+    [[nodiscard]] std::map<std::string, int> calls() {
+        std::lock_guard<std::mutex> lock(mu_);
+        return calls_;
+    }
+
+private:
+    std::mutex mu_;
+    std::condition_variable entered_cv_, release_cv_;
+    std::map<std::string, int> calls_;
+    int entered_ = 0;
+    bool released_ = false;
+};
+
+} // namespace
+
+TEST_F(ServeFault, DisconnectMidStreamDoesNotCancelTheSharedComputation) {
+    Gate gate;
+    as::ServerConfig cfg;
+    cfg.unix_path = sock_;
+    cfg.workers = 2;
+    as::Server server(cfg, [&gate](const as::PointSpec& s) { return gate.run(s); });
+    server.start();
+
+    {
+        // The doomed client: request two points, vanish while both are in
+        // flight.
+        as::Client doomed = as::Client::connect_unix_path(sock_);
+        doomed.send_sweep_only({minikab_spec(1), minikab_spec(2)});
+        gate.await_entered(2);
+        doomed.close();  // mid-stream disconnect, results never read
+    }
+    gate.release();
+
+    // A later client asking for the same keys gets both — served from the
+    // entries the doomed client's computations completed into.
+    as::Client survivor = as::Client::connect_unix_path(sock_);
+    const auto reply = survivor.sweep({minikab_spec(1), minikab_spec(2)});
+    ASSERT_FALSE(reply.retry);
+    ASSERT_EQ(reply.points.size(), 2u);
+    EXPECT_TRUE(reply.points[0].ok);
+    EXPECT_TRUE(reply.points[1].ok);
+    EXPECT_EQ(reply.points[0].payload, "payload:minikab|1");
+    EXPECT_EQ(reply.points[1].payload, "payload:minikab|2");
+
+    // Exactly once each, despite the disconnect.
+    for (const auto& [key, n] : gate.calls()) EXPECT_EQ(n, 1) << key;
+    EXPECT_EQ(server.stats_snapshot().computed, 2u);
+    server.stop();
+}
+
+TEST_F(ServeFault, ZeroLengthFrameIsRejectedWithBadFrame) {
+    as::ServerConfig cfg;
+    cfg.unix_path = sock_;
+    as::Server server(cfg);
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+    ASSERT_TRUE(client.send_raw(std::string(4, '\0')));  // length prefix 0
+    expect_bad_frame_then_close(client);
+    EXPECT_EQ(server.stats_snapshot().protocol_errors, 1u);
+    server.stop();
+}
+
+TEST_F(ServeFault, OversizedLengthPrefixIsRejectedWithoutReadingTheBody) {
+    as::ServerConfig cfg;
+    cfg.unix_path = sock_;
+    as::Server server(cfg);
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+    // Claim a body of kMaxFrame+1 bytes but send none: a server that tried
+    // to read (or allocate) the claimed body would hang here; the early
+    // rejection answers immediately.
+    const std::uint32_t len = as::kMaxFrame + 1;
+    std::string prefix;
+    for (int i = 0; i < 4; ++i) {
+        prefix.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    }
+    ASSERT_TRUE(client.send_raw(prefix));
+    expect_bad_frame_then_close(client);
+    EXPECT_EQ(server.stats_snapshot().protocol_errors, 1u);
+    server.stop();
+}
+
+TEST_F(ServeFault, GarbagePayloadIsRejectedWithBadFrame) {
+    as::ServerConfig cfg;
+    cfg.unix_path = sock_;
+    as::Server server(cfg);
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+    ASSERT_TRUE(client.send_raw(frame_bytes("\xfegarbage frame body")));
+    expect_bad_frame_then_close(client);
+    server.stop();
+}
+
+TEST_F(ServeFault, TruncatedFrameThenDisconnectIsACleanClose) {
+    // Half a frame followed by EOF is a hangup, not a protocol error: the
+    // server must just reap the session.
+    as::ServerConfig cfg;
+    cfg.unix_path = sock_;
+    as::Server server(cfg);
+    server.start();
+    {
+        as::Client client = as::Client::connect_unix_path(sock_);
+        ASSERT_TRUE(client.send_raw(frame_bytes("partial").substr(0, 6)));
+        client.close();
+    }
+    // The session thread notices EOF; a fresh client still gets service.
+    as::Client next = as::Client::connect_unix_path(sock_);
+    EXPECT_NO_THROW((void)next.stats());
+    EXPECT_EQ(server.stats_snapshot().protocol_errors, 0u);
+    server.stop();
+}
+
+TEST_F(ServeFault, InvalidRequestEarnsBadRequestButTheSessionSurvives) {
+    Gate gate;
+    gate.release();
+    as::ServerConfig cfg;
+    cfg.unix_path = sock_;
+    as::Server server(cfg, [&gate](const as::PointSpec& s) { return gate.run(s); });
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+
+    // Unknown app: typed BAD_REQUEST (client surfaces it as an exception).
+    as::PointSpec bad = minikab_spec(1);
+    bad.app = "hpl";
+    EXPECT_THROW((void)client.sweep({bad}), au::Error);
+
+    // Unknown config key: same.
+    bad = minikab_spec(1);
+    bad.config = "rows=1000;warp_drive=9";
+    EXPECT_THROW((void)client.sweep({bad}), au::Error);
+
+    // The session is still usable for a valid request.
+    const auto reply = client.sweep({minikab_spec(1)});
+    ASSERT_FALSE(reply.retry);
+    ASSERT_EQ(reply.points.size(), 1u);
+    EXPECT_TRUE(reply.points[0].ok);
+    server.stop();
+}
+
+TEST_F(ServeFault, DamagedCacheEntryDegradesToLoggedMissAndRecompute) {
+    // Populate the persistent cache through the batch path, then flip a byte
+    // inside one entry. A cold server (memo reset) must log the damaged
+    // entry as a miss, recompute the point, and serve bytes identical to the
+    // pristine reference — while the intact entry is served from disk.
+    ac::set_cache_dir((dir_ / "cache").string());
+    const std::vector<as::PointSpec> specs = {minikab_spec(1), minikab_spec(2)};
+    const std::vector<armstice::apps::AppResult> batch = as::batch_eval(specs, 1);
+    const std::string ref0 = as::encode_result(batch[0]);
+    const std::string ref1 = as::encode_result(batch[1]);
+    ASSERT_EQ(ac::cache_store()->stats().stores, 2u);
+
+    // Corrupt entry 0 (checksum break deep in the payload).
+    const std::string key0 =
+        std::string(ac::ResultTraits<armstice::apps::AppResult>::tag) + '|' +
+        as::to_sweep_point(as::canonicalize(specs[0])).key();
+    const std::string path0 = ac::cache_store()->path_for(key0);
+    auto bytes = au::read_file(path0);
+    ASSERT_TRUE(bytes.has_value()) << path0;
+    (*bytes)[bytes->size() - 5] ^= 0x2d;
+    overwrite(path0, *bytes);
+
+    ac::reset_sweep_cache();  // cold memo; the damaged entry is all that's left
+    as::ServerConfig cfg;
+    cfg.unix_path = sock_;
+    as::Server server(cfg);
+    server.start();
+    as::Client client = as::Client::connect_unix_path(sock_);
+    const auto reply = client.sweep(specs);
+    ASSERT_FALSE(reply.retry);
+    ASSERT_EQ(reply.points.size(), 2u);
+    ASSERT_TRUE(reply.points[0].ok) << reply.points[0].payload;
+    ASSERT_TRUE(reply.points[1].ok) << reply.points[1].payload;
+    EXPECT_EQ(reply.points[0].payload, ref0) << "recomputed point diverged";
+    EXPECT_EQ(reply.points[1].payload, ref1);
+
+    EXPECT_TRUE(warned_containing("cache:")) << "damage was not logged";
+    const auto stats = ac::sweep_stats();
+    EXPECT_EQ(stats.misses, 1) << "damaged entry should force one re-eval";
+    EXPECT_EQ(stats.disk_hits, 1) << "intact entry should come from disk";
+    server.stop();
+}

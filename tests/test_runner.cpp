@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <any>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -240,6 +241,128 @@ TEST(SweepRunner, FooterReportsPoolPointsAndHitRate) {
     EXPECT_NE(footer.find("pool=2"), std::string::npos);
     EXPECT_NE(footer.find("4 points"), std::string::npos);
     EXPECT_NE(footer.find("hit rate"), std::string::npos);
+}
+
+// ---- RunHooks (per-point streaming + cancellation) --------------------------
+
+namespace {
+
+/// Thread-safe recorder for on_result deliveries.
+struct Deliveries {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, int>> seen;  // (index, value)
+
+    ac::RunHooks hooks() {
+        ac::RunHooks h;
+        h.on_result = [this](std::size_t i, const std::any& v) {
+            std::lock_guard<std::mutex> lock(mu);
+            seen.emplace_back(i, std::any_cast<int>(v));
+        };
+        return h;
+    }
+};
+
+} // namespace
+
+TEST(RunHooks, OnResultFiresExactlyOncePerPointWithTheFinalValue) {
+    ac::reset_sweep_cache();
+    std::vector<ac::SweepPoint> points;
+    for (int i = 0; i < 6; ++i) points.push_back(pt("hook" + std::to_string(i)));
+    Deliveries rec;
+    const auto out = ac::SweepRunner(4).run<int>(
+        points,
+        [](const ac::SweepPoint&, std::size_t i) { return static_cast<int>(i) * 3; },
+        rec.hooks());
+    ASSERT_EQ(rec.seen.size(), points.size());
+    std::set<std::size_t> indices;
+    for (const auto& [i, v] : rec.seen) {
+        indices.insert(i);
+        EXPECT_EQ(v, out[i]) << "hook value diverges from returned result";
+    }
+    EXPECT_EQ(indices.size(), points.size()) << "some index delivered twice/never";
+}
+
+TEST(RunHooks, MemoHitsAndInBatchDuplicatesAreDelivered) {
+    ac::reset_sweep_cache();
+    // First run primes the memo with "a"; the hooked run then mixes a memo
+    // hit, a fresh point, and an in-batch duplicate of the fresh point.
+    (void)ac::SweepRunner(1).run<int>(
+        {pt("a")}, [](const ac::SweepPoint&, std::size_t) { return 10; });
+    Deliveries rec;
+    const auto out = ac::SweepRunner(1).run<int>(
+        {pt("a"), pt("b"), pt("b")},
+        [](const ac::SweepPoint&, std::size_t) { return 20; }, rec.hooks());
+    EXPECT_EQ(out, (std::vector<int>{10, 20, 20}));
+    ASSERT_EQ(rec.seen.size(), 3u);
+    // The memo hit is delivered first — before anything evaluates.
+    EXPECT_EQ(rec.seen[0], (std::pair<std::size_t, int>{0, 10}));
+    std::set<std::size_t> indices;
+    for (const auto& [i, v] : rec.seen) indices.insert(i);
+    EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(RunHooks, CancellationSkipsUnstartedPointsAndThrows) {
+    ac::reset_sweep_cache();
+    // Serial run, cancel flag raised by the first evaluation: point 0
+    // finishes (it already started), the rest are skipped, and the batch
+    // reports the cancellation as a typed error.
+    std::atomic<bool> cancel{false};
+    std::atomic<int> evals{0};
+    ac::RunHooks hooks;
+    hooks.cancelled = [&cancel] { return cancel.load(); };
+    EXPECT_THROW(
+        (void)ac::SweepRunner(1).run<int>(
+            {pt("c0"), pt("c1"), pt("c2")},
+            [&](const ac::SweepPoint&, std::size_t i) {
+                evals.fetch_add(1);
+                cancel.store(true);
+                return static_cast<int>(i);
+            },
+            hooks),
+        au::CancelledError);
+    EXPECT_EQ(evals.load(), 1) << "cancellation did not stop the batch";
+
+    // The completed point was promoted to the memo cache before the throw:
+    // a retry evaluates only the two skipped points.
+    std::atomic<int> retry_evals{0};
+    const auto out = ac::SweepRunner(1).run<int>(
+        {pt("c0"), pt("c1"), pt("c2")},
+        [&](const ac::SweepPoint&, std::size_t i) {
+            retry_evals.fetch_add(1);
+            return static_cast<int>(i);
+        });
+    EXPECT_EQ(retry_evals.load(), 2);
+    EXPECT_EQ(out[0], 0) << "cached result from the cancelled batch";
+}
+
+TEST(RunHooks, EvaluationErrorOutranksCancellation) {
+    ac::reset_sweep_cache();
+    // A batch that both throws and cancels must surface the evaluation
+    // error — cancellation is bookkeeping, the error is the news.
+    ac::RunHooks hooks;
+    std::atomic<bool> cancel{false};
+    hooks.cancelled = [&cancel] { return cancel.load(); };
+    try {
+        (void)ac::SweepRunner(1).run<int>(
+            {pt("e0"), pt("e1")},
+            [&](const ac::SweepPoint&, std::size_t) -> int {
+                cancel.store(true);
+                throw au::Error("evaluation exploded");
+            },
+            hooks);
+        FAIL() << "batch did not throw";
+    } catch (const au::CancelledError&) {
+        FAIL() << "cancellation outranked the evaluation error";
+    } catch (const au::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("exploded"), std::string::npos);
+    }
+}
+
+TEST(RunHooks, TwoArgRunStillWorksWithoutHooks) {
+    ac::reset_sweep_cache();
+    const auto out = ac::SweepRunner(2).run<int>(
+        {pt("nohooks")}, [](const ac::SweepPoint&, std::size_t) { return 9; });
+    EXPECT_EQ(out[0], 9);
 }
 
 // ---- jobs_from_args ---------------------------------------------------------
